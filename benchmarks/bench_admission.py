@@ -1,0 +1,18 @@
+"""Extension bench: admission control under a tail-heavy workload.
+
+Admit-everything (the paper's default) lets the Zipf tail churn a tight
+cache; a TinyLFU-style semantic doorkeeper halves eviction churn and still
+improves the hit rate.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import admission_study
+
+
+def test_admission_study(run_experiment):
+    result = run_experiment(admission_study.run, n_queries=2000)
+    always = row(result, admission="always")
+    doorkeeper = row(result, admission="doorkeeper")
+    assert doorkeeper["evictions"] < 0.6 * always["evictions"]
+    assert doorkeeper["hit_rate"] >= always["hit_rate"]
+    assert doorkeeper["api_calls"] <= always["api_calls"]

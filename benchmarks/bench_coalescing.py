@@ -1,0 +1,23 @@
+"""Extension bench: miss coalescing under a flash crowd.
+
+At the instant a fresh topic bursts (Figure 3), concurrent misses without
+coalescing each pay a remote fetch for an answer already in flight —
+exactly when rate-limit quota is scarcest. In-flight sharing collapses the
+herd to roughly one fetch per distinct fact.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import coalescing_study
+
+
+def test_coalescing_flash_crowd(run_experiment):
+    result = run_experiment(coalescing_study.run, n_clients=120, n_facts=4)
+    off = row(result, coalescing="off")
+    on = row(result, coalescing="on")
+    # The herd collapses to about one fetch per fact.
+    assert on["api_calls"] <= 2 * 4
+    assert on["api_calls"] < 0.25 * off["api_calls"]
+    assert on["coalesced"] > 0
+    # Followers are no slower for waiting; the fleet is faster overall.
+    assert on["mean_latency_s"] <= off["mean_latency_s"] * 1.05
+    assert on["api_cost_usd"] < off["api_cost_usd"]

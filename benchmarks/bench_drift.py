@@ -1,0 +1,22 @@
+"""§6.7 + §5 deep dive: threshold recalibration under judger drift.
+
+Mid-run the judger's discrimination degrades (workload drift); Algorithm 1
+tightens τ_lsm to hold the precision target, and the §5 fine-tuning hook
+uses the same labelled samples to repair the judger itself.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments.recalibration_overhead import run_drift
+
+
+def test_drift_stabilisation(run_experiment):
+    result = run_experiment(run_drift, phase_tasks=400)
+    uncorrected = row(result, configuration="no_recalibration")
+    corrected = row(result, configuration="recalibration")
+    tuned = row(result, configuration="recalibration_finetune")
+    assert uncorrected["phase2_hit_precision"] < 0.995
+    assert corrected["phase2_hit_precision"] >= 0.999
+    assert corrected["final_tau_lsm"] > 0.9
+    assert corrected["recalibration_rounds"] >= 2
+    assert tuned["final_neg_score_mean"] < 0.2
+    assert tuned["phase2_hit_precision"] >= 0.999

@@ -1,0 +1,25 @@
+"""Figure 10: throughput vs request concurrency (Musique, ratio 0.4).
+
+Paper: baselines plateau around 1 req/s (remote-bound); Asteria scales
+nearly linearly to 4.89 req/s at rate 8 — 4.5× over exact, 5.7× over
+vanilla.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import fig10_concurrency
+
+
+def test_fig10_concurrency(run_experiment):
+    result = run_experiment(fig10_concurrency.run, n_tasks=1000)
+    asteria_1 = row(result, concurrency=1, system="asteria")
+    asteria_8 = row(result, concurrency=8, system="asteria")
+    vanilla_8 = row(result, concurrency=8, system="vanilla")
+    exact_8 = row(result, concurrency=8, system="exact")
+    vanilla_4 = row(result, concurrency=4, system="vanilla")
+    # Near-linear scaling for Asteria.
+    assert asteria_8["throughput_rps"] > 5.0 * asteria_1["throughput_rps"]
+    # Baselines saturate: concurrency 8 buys little over concurrency 4.
+    assert vanilla_8["throughput_rps"] < 1.5 * vanilla_4["throughput_rps"]
+    # Headline multipliers (paper: 5.7x / 4.5x).
+    assert asteria_8["throughput_rps"] > 2.5 * vanilla_8["throughput_rps"]
+    assert asteria_8["throughput_rps"] > 2.0 * exact_8["throughput_rps"]

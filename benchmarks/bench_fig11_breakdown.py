@@ -1,0 +1,22 @@
+"""Figure 11: per-request end-to-end latency breakdown at low concurrency.
+
+Paper: vanilla 1.08 s = 0.6 s inference + 0.48 s retrieval; Asteria 0.61 s
+with 0.02 s cache retrieval + 0.03 s judger validation in place of the
+remote call.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import fig11_breakdown
+
+
+def test_fig11_breakdown(run_experiment):
+    result = run_experiment(fig11_breakdown.run, n_requests=400)
+    vanilla = row(result, system="vanilla")
+    asteria = row(result, system="asteria")
+    assert abs(vanilla["total_s"] - 1.08) < 0.12
+    assert abs(vanilla["inference_s"] - 0.6) < 0.05
+    assert abs(vanilla["retrieval_s"] - 0.45) < 0.08
+    assert asteria["total_s"] < 0.75
+    assert abs(asteria["cache_check_s"] - 0.02) < 0.005
+    assert abs(asteria["judger_s"] - 0.03) < 0.01
+    assert asteria["inference_s"] == vanilla["inference_s"]  # same agent cost

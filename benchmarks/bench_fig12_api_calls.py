@@ -1,0 +1,18 @@
+"""Figure 12: external call volume and retry ratio under the 100-QPM limit.
+
+Paper: vanilla ~1300 calls with a 25 % retry ratio; Asteria 103 calls (a
+92 % reduction) with 0.5 % retries.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import fig12_api_calls
+
+
+def test_fig12_api_calls(run_experiment):
+    result = run_experiment(fig12_api_calls.run, n_tasks=1300)
+    vanilla = row(result, system="vanilla")
+    asteria = row(result, system="asteria")
+    assert vanilla["api_calls"] == 1300
+    assert asteria["call_reduction"] > 0.85  # paper: 92% fewer calls
+    assert asteria["retry_ratio"] < 0.02
+    assert vanilla["retry_ratio"] > 0.15

@@ -1,0 +1,15 @@
+"""Figure 1c: Search-R1 latency breakdown on the uncached agent.
+
+Paper: external retrieval is 40-50 % of execution time, GPU ~50 % idle.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import fig1c_breakdown
+
+
+def test_fig1c_breakdown(run_experiment):
+    result = run_experiment(fig1c_breakdown.run, n_tasks=200)
+    retrieval = row(result, component="external_retrieval")
+    inference = row(result, component="llm_inference")
+    assert 0.30 < retrieval["fraction"] < 0.55
+    assert 0.45 < inference["fraction"] < 0.70

@@ -1,0 +1,18 @@
+"""Figure 2: Zipfian distribution of search interest across time windows.
+
+Paper: the top five topics dominate both 24-hour and 7-day windows.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import fig2_zipf
+
+
+def test_fig2_zipf(run_experiment):
+    result = run_experiment(fig2_zipf.run)
+    for window in ("24h", "7d"):
+        total = row(result, window=window, topic_rank="top5_total")
+        assert total["share"] > 0.15
+        assert -1.4 < total["fitted_slope"] < -0.6
+        first = row(result, window=window, topic_rank=1)
+        fifth = row(result, window=window, topic_rank=5)
+        assert first["volume"] > 2 * fifth["volume"]

@@ -1,0 +1,15 @@
+"""Figure 3: bursty, correlated query patterns around external events.
+
+Paper: events spike their topic's interest and drag related topics along.
+"""
+
+from repro.experiments import fig3_bursts
+
+
+def test_fig3_bursts(run_experiment):
+    result = run_experiment(fig3_bursts.run, duration=600.0)
+    assert len(result.rows) == 4
+    for event_row in result.rows:
+        assert event_row["burst_ratio"] > 1.5
+        if "related_burst_ratio" in event_row:
+            assert event_row["related_burst_ratio"] > 1.0

@@ -1,0 +1,24 @@
+"""Figure 8: trend-driven (bursty) workload vs cache ratio.
+
+Paper: up to 3.8× throughput over vanilla with ~95 % hit rates; LCFU's
+staticity-aware eviction absorbs each trend wave.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import fig8_trend
+
+
+def test_fig8_trend(run_experiment):
+    result = run_experiment(fig8_trend.run, duration=600.0)
+    for ratio in (0.2, 0.6):
+        vanilla = row(result, cache_ratio=ratio, system="vanilla")
+        exact = row(result, cache_ratio=ratio, system="exact")
+        asteria = row(result, cache_ratio=ratio, system="asteria")
+        assert asteria["hit_rate"] > 0.85
+        assert exact["hit_rate"] < 0.25
+        # Vanilla's completions trickle out at the rate limit long after the
+        # trace ends, inflating its nominal completions/second; the gap is
+        # still well above 1.5x and the latency collapse is the real story.
+        assert asteria["throughput_rps"] > 1.5 * vanilla["throughput_rps"]
+        # Bursts overwhelm the rate-limited baselines' latencies.
+        assert asteria["p99_latency_s"] < 0.1 * vanilla["p99_latency_s"]

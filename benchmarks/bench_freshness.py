@@ -1,0 +1,24 @@
+"""Freshness ablation: the §4.3 TTL aging mechanism, quantified.
+
+Volatile facts change their authoritative answers over simulated time, so a
+hit on an old entry serves stale knowledge. The paper's TTL bounds that;
+scaling TTL by the staticity score (the metadata the paper already collects)
+bounds it far tighter per refetch dollar.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import freshness_study
+
+
+def test_freshness_ablation(run_experiment):
+    result = run_experiment(freshness_study.run, n_queries=1500)
+    no_ttl = row(result, aging="no_ttl")
+    fixed = row(result, aging="fixed_ttl")
+    scaled = row(result, aging="staticity_ttl")
+    # TTL aging reduces staleness; staticity-aware aging reduces it most.
+    assert no_ttl["stale_serve_rate"] > fixed["stale_serve_rate"]
+    assert scaled["stale_serve_rate"] < 0.6 * fixed["stale_serve_rate"]
+    # The cost: more refetches — but bounded (< 3x the fixed-TTL volume).
+    assert scaled["api_calls"] < 3 * fixed["api_calls"]
+    # Hit rates stay useful in every configuration.
+    assert scaled["hit_rate"] > 0.7

@@ -1,0 +1,31 @@
+"""Extension bench: the ANN stage's recall, measured at the hit rate.
+
+Every true paraphrase the coarse filter fails to surface is a hit no judger
+can recover. Graph (HNSW) and inverted-file (IVF) search are effectively
+exact at cache scale; default-parameter product quantization compresses past
+the τ_sim threshold and collapses the filter, while finer codebooks restore
+it — quantisation error against a tight threshold is a cliff, not a slope.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import index_study
+
+
+def test_index_choice(run_experiment):
+    result = run_experiment(index_study.run, n_queries=3000)
+    flat = row(result, index="flat")
+    hnsw = row(result, index="hnsw")
+    ivf = row(result, index="ivf")
+    pq = row(result, index="pq")
+    pq_fine = row(result, index="pq-fine")
+    # Graph/IVF keep effectively all of the exact hit rate.
+    assert hnsw["hit_rate_vs_flat"] > 0.97
+    assert ivf["hit_rate_vs_flat"] > 0.9
+    # Default PQ falls off the cliff; fine codebooks climb back.
+    assert pq["hit_rate_vs_flat"] < 0.5
+    assert pq_fine["hit_rate_vs_flat"] > 0.95
+    # Correctness is never the casualty — only hit rate (the judger still
+    # validates whatever candidates survive).
+    for entry in result.rows:
+        assert entry["accuracy"] > 0.99
+    assert flat["hit_rate"] > 0.7

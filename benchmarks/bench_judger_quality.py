@@ -1,0 +1,28 @@
+"""Extension bench: sensitivity to the semantic judger's error rate.
+
+§5 claims the judger is pluggable and "sufficient for practical use" at
+small-LLM quality. This sweep shows the envelope: degradation is graceful —
+a judger 10x worse than the calibrated stand-in costs hit rate (false
+negatives) long before it meaningfully corrupts answers (false positives),
+because τ_lsm and the similarity filter bound the damage.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import judger_quality
+
+
+def test_judger_quality(run_experiment):
+    result = run_experiment(judger_quality.run, n_tasks=400)
+    perfect = row(result, flip_rate=0.0)
+    calibrated = row(result, flip_rate=0.02)
+    degraded = row(result, flip_rate=0.2)
+    # The calibrated stand-in is nearly indistinguishable from perfect.
+    assert calibrated["hit_rate"] > perfect["hit_rate"] - 0.05
+    assert calibrated["knowledge_accuracy"] > 0.99
+    # Degradation is monotone and graceful.
+    rates = [r["hit_rate"] for r in result.rows]
+    assert rates == sorted(rates, reverse=True)
+    assert degraded["hit_rate"] > 0.5
+    assert degraded["knowledge_accuracy"] > 0.9
+    # Errors cost remote calls (missed hits refetch).
+    assert degraded["api_calls"] > perfect["api_calls"]

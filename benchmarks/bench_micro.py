@@ -1,0 +1,101 @@
+"""Micro-benchmarks: wall-clock performance of the hot substrates.
+
+Unlike the experiment benches (virtual-time macro runs, rounds=1), these
+measure the library's real compute cost per operation — the numbers a user
+sizing a deployment of the *implementation* cares about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann import FlatIndex, HNSWIndex
+from repro.core import Query
+from repro.embedding import HashingEmbedder
+from repro.factory import build_asteria_engine, build_remote
+from repro.judger import JudgeRequest, SimulatedJudger
+
+
+@pytest.fixture(scope="module")
+def unit_vectors():
+    rng = np.random.default_rng(0)
+    vectors = rng.standard_normal((2000, 256)).astype(np.float32)
+    return vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+
+
+def test_micro_embed_one_query(benchmark):
+    embedder = HashingEmbedder(seed=1)
+    embedder.embed("warm the token vector cache once")
+    benchmark(embedder.embed, "ok so what is the height of mount everest")
+
+
+def test_micro_flat_search_2k(benchmark, unit_vectors):
+    index = FlatIndex(256)
+    for key, vector in enumerate(unit_vectors):
+        index.add(key, vector)
+    query = unit_vectors[7]
+    benchmark(index.search, query, 4)
+
+
+def test_micro_hnsw_search_2k(benchmark, unit_vectors):
+    index = HNSWIndex(256, seed=1, ef_search=32)
+    for key, vector in enumerate(unit_vectors):
+        index.add(key, vector)
+    query = unit_vectors[7]
+    benchmark(index.search, query, 4)
+
+
+def test_micro_hnsw_insert(benchmark, unit_vectors):
+    index = HNSWIndex(256, seed=1)
+    for key, vector in enumerate(unit_vectors[:500]):
+        index.add(key, vector)
+    counter = iter(range(10_000, 1_000_000))
+
+    def insert():
+        index.add(next(counter), unit_vectors[777])
+
+    benchmark(insert)
+
+
+def test_micro_judger_verdict(benchmark):
+    judger = SimulatedJudger(seed=1)
+    request = JudgeRequest(
+        query_text="ok what is the height of everest",
+        cached_query="height of mount everest",
+        query_truth="F",
+        cached_truth="F",
+    )
+    benchmark(judger.judge, request)
+
+
+def test_micro_engine_hit_path(benchmark):
+    """The full two-stage lookup on a warm cache (the common case)."""
+    import itertools
+
+    engine = build_asteria_engine(build_remote(), seed=1)
+    engine.handle(Query("height of mount everest", fact_id="F"), 0.0)
+    query = Query("ok the height of mount everest please", fact_id="F")
+    counter = itertools.count(1)
+
+    def hit():
+        engine.handle(query, 1.0 + 0.01 * next(counter))
+
+    benchmark(hit)
+
+
+def test_micro_engine_miss_insert_evict_path(benchmark):
+    """Miss + admission + eviction churn on a capacity-bound cache."""
+    from repro.core import AsteriaConfig
+
+    engine = build_asteria_engine(
+        build_remote(), AsteriaConfig(capacity_items=64), seed=1
+    )
+    counter = iter(range(1_000_000))
+
+    def miss():
+        index = next(counter)
+        engine.handle(
+            Query(f"distinct topic number {index} kangaroo", fact_id=f"T{index}"),
+            float(index),
+        )
+
+    benchmark(miss)

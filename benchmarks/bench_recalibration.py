@@ -1,0 +1,19 @@
+"""§6.7 deep dive: recalibration overhead.
+
+Paper: periodic offline recalibration (5 samples/minute) costs about 2 %
+throughput while holding the precision target under drift.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import recalibration_overhead
+
+
+def test_recalibration_overhead(run_experiment):
+    result = run_experiment(recalibration_overhead.run, n_tasks=800)
+    off = row(result, recalibration="off")
+    on = row(result, recalibration="on")
+    assert on["rounds"] >= 2
+    overhead = 1.0 - on["throughput_rps"] / off["throughput_rps"]
+    assert overhead < 0.05  # paper: ~2%
+    assert on["accuracy"] >= 0.99
+    assert on["gt_fetches"] > 0  # ground-truth sampling actually happened

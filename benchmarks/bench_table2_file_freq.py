@@ -1,0 +1,13 @@
+"""Table 2: SWE-bench file access frequencies on the sqlfluff repository.
+
+Paper: 1.0, 0.28, 0.22, 0.14, 0.10, 0.08, 0.04, 0.04, 0.04 for the nine
+head files.
+"""
+
+from repro.experiments import table2_file_freq
+
+
+def test_table2_file_freq(run_experiment):
+    result = run_experiment(table2_file_freq.run, n_issues=1000)
+    for file_row in result.rows:
+        assert abs(file_row["measured_freq"] - file_row["paper_freq"]) < 0.06

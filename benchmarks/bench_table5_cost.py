@@ -1,0 +1,26 @@
+"""Table 5: operational cost across deployment configurations.
+
+Paper: vanilla $82.5 @ 0.87 req/s, Asteria w/o sharing $158.5 @ 4.74,
+co-located Asteria $76.64 @ 4.89 — about 6× more throughput per dollar.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import table5_cost
+
+
+def test_table5_cost(run_experiment):
+    result = run_experiment(table5_cost.run, n_tasks=400)
+    vanilla = row(result, configuration="vanilla")
+    wo_sharing = row(result, configuration="asteria_wo_sharing")
+    asteria = row(result, configuration="asteria")
+    # Absolute dollar lines land near the paper's.
+    assert abs(vanilla["total_cost_usd"] - 82.5) < 5.0
+    assert abs(wo_sharing["total_cost_usd"] - 158.5) < 10.0
+    assert abs(asteria["total_cost_usd"] - 76.64) < 5.0
+    # API fees collapse by >80% under caching.
+    assert asteria["api_cost_usd"] < 0.2 * vanilla["api_cost_usd"]
+    # Co-location keeps nearly all of the two-GPU throughput.
+    assert asteria["throughput_rps"] > 0.9 * wo_sharing["throughput_rps"]
+    # The headline: much better throughput per dollar.
+    assert asteria["thpt_per_dollar"] > 3.0 * vanilla["thpt_per_dollar"]
+    assert asteria["thpt_per_dollar"] > wo_sharing["thpt_per_dollar"]

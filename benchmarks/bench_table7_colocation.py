@@ -1,0 +1,20 @@
+"""Table 7: co-location efficiency — MPS 80/20 vs a dedicated judger GPU.
+
+Paper: the co-located configuration retains 94 % of dedicated throughput
+(2.72 vs 2.89 req/s) at +9.5 % p99 latency, on half the GPUs.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import table7_colocation
+
+
+def test_table7_colocation(run_experiment):
+    result = run_experiment(table7_colocation.run, n_tasks=600)
+    dedicated = row(result, configuration="Dedicated-2GPU")
+    colocated = row(result, configuration="Co-located (MPS 80/20)")
+    assert dedicated["gpus"] == 2 and colocated["gpus"] == 1
+    # ~94% retention and a positive (but bounded) p99 penalty.
+    assert 0.88 < colocated["throughput_retention"] < 0.99
+    assert 0.0 < colocated["p99_inflation"] < 0.25
+    # Caching effectiveness identical across placements.
+    assert abs(colocated["hit_rate"] - dedicated["hit_rate"]) < 0.02

@@ -1,0 +1,23 @@
+"""§4.2 ablation: the τ_sim / τ_lsm trade-off surfaces.
+
+The design-choice data behind Sine's operating point: permissive τ_sim
+keeps recall, strict τ_lsm keeps precision, and Algorithm 1 navigates the
+curve automatically.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import tau_sweep
+
+
+def test_tau_sweep(run_experiment):
+    result = run_experiment(tau_sweep.run, n_queries=800)
+    # Raising tau_sim to absurd strictness destroys the hit rate.
+    loose = row(result, tau_sim=0.7, tau_lsm=0.9)
+    strict = row(result, tau_sim=0.99, tau_lsm=0.9)
+    assert strict["hit_rate"] < 0.6 * loose["hit_rate"]
+    # Dropping tau_lsm to near zero trades precision for hits.
+    reckless = row(result, tau_sim=0.7, tau_lsm=0.02)
+    assert reckless["hit_rate"] >= loose["hit_rate"]
+    assert reckless["hit_precision"] <= loose["hit_precision"]
+    # The operating point keeps precision at 1.0 on this workload.
+    assert loose["hit_precision"] > 0.995

@@ -1,0 +1,25 @@
+"""Extension bench: fleet scaling with a shared semantic L2.
+
+The cross-region story at fleet scale — one node's remote fetch should warm
+every node. Shared-L2 hit rates must stay flat with node count while
+isolated nodes degrade.
+"""
+
+from benchmarks.conftest import row
+from repro.experiments import tiered_fleet
+
+
+def test_tiered_fleet(run_experiment):
+    result = run_experiment(tiered_fleet.run)
+    for nodes in (2, 4, 8):
+        shared = row(result, nodes=nodes, l2="shared")
+        isolated = row(result, nodes=nodes, l2="isolated")
+        assert shared["fleet_hit_rate"] > isolated["fleet_hit_rate"]
+        assert shared["remote_calls"] < isolated["remote_calls"]
+    # Sharing keeps the fleet flat as it scales.
+    shared_1 = row(result, nodes=1, l2="shared")
+    shared_8 = row(result, nodes=8, l2="shared")
+    assert shared_8["fleet_hit_rate"] > shared_1["fleet_hit_rate"] - 0.05
+    # Isolated nodes pay a real dilution penalty by 8 nodes.
+    isolated_8 = row(result, nodes=8, l2="isolated")
+    assert shared_8["fleet_hit_rate"] > isolated_8["fleet_hit_rate"] + 0.1

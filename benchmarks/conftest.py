@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark runs one paper experiment at full scale exactly once
+(``rounds=1``: these are macro-experiments on a virtual clock, not
+micro-benchmarks), prints the same rows/series the paper's table or figure
+reports, and asserts the qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Benchmark one experiment runner and print its table."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(*args, **kwargs), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            result.print_table()
+        return result
+
+    return runner
+
+
+def row(result, **criteria):
+    """First row matching the criteria; fails loudly otherwise."""
+    rows = result.filter(**criteria)
+    assert rows, f"no rows matching {criteria} in {result.name}"
+    return rows[0]

@@ -1,0 +1,60 @@
+"""Quickstart: semantic knowledge caching in a dozen lines.
+
+Builds the full Asteria stack (hashing embedder, flat ANN index, simulated
+semantic judger, LCFU cache, cross-region remote service), then shows the
+three behaviours that define the system:
+
+1. a cold miss fetches from the remote region (~0.4 s simulated);
+2. a *paraphrase* of the same question is a semantic cache hit (~0.05 s);
+3. a lookalike query with a different meaning is caught by the judger and
+   correctly fetched fresh.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Query, build_asteria_engine, build_remote
+
+
+def show(label: str, response) -> None:
+    source = "CACHE " if response.served_from_cache else "REMOTE"
+    print(
+        f"  [{source}] {label:<46s} latency={response.latency * 1000:7.1f} ms"
+        f"  (candidates={response.lookup.candidates}, judged={response.lookup.judged})"
+    )
+
+
+def main() -> None:
+    remote = build_remote()  # U(0.3, 0.5) s cross-region search API, $5/1k
+    engine = build_asteria_engine(remote, seed=7)
+
+    print("1. Cold miss — the knowledge is not cached yet:")
+    show(
+        "who painted the mona lisa",
+        engine.handle(Query("who painted the mona lisa", fact_id="mona-lisa"), 0.0),
+    )
+
+    print("\n2. Paraphrases of the same question — semantic hits:")
+    for text in (
+        "tell me who painted the mona lisa",
+        "ok so i need to find who painted mona lisa",
+        "the mona lisa was painted by whom",
+    ):
+        show(text, engine.handle(Query(text, fact_id="mona-lisa"), 1.0))
+
+    print("\n3. A lookalike with different meaning — the judger rejects it:")
+    show(
+        "who stole the mona lisa in 1911",
+        engine.handle(Query("who stole the mona lisa in 1911", fact_id="theft"), 2.0),
+    )
+
+    metrics = engine.metrics
+    print(
+        f"\nSummary: {metrics.requests} requests, hit rate "
+        f"{metrics.hit_rate:.0%}, {remote.calls} remote calls "
+        f"(${remote.cost_meter.api_cost:.4f} in API fees), accuracy "
+        f"{metrics.accuracy:.0%}."
+    )
+
+
+if __name__ == "__main__":
+    main()

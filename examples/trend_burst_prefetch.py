@@ -1,0 +1,82 @@
+"""Riding a trend wave: bursty traffic, LCFU eviction, and prefetching.
+
+Synthesises a 10-minute Google-Trends-style trace — background Zipf traffic
+plus four event-driven topic bursts with correlated sympathy surges (the
+Figure 3 pattern) — and serves it open-loop through Asteria with predictive
+prefetching enabled, versus the uncached baseline. Prints the minute-by-
+minute arrival rate next to each system's hit rate and latency.
+
+Run:  python examples/trend_burst_prefetch.py
+"""
+
+from repro.core import AsteriaConfig
+from repro.factory import build_asteria_engine, build_remote, build_vanilla_engine
+from repro.sim import Simulator
+from repro.workloads import TrendWorkload, build_dataset, run_open_loop
+
+DURATION = 600.0
+# Deliberately small: with room for the whole universe nothing is ever
+# evicted and prefetching has no work to do. At 12% the cache is contended,
+# so predicting the follow-up query in a trend session pays.
+CACHE_RATIO = 0.12
+
+
+def main() -> None:
+    dataset = build_dataset("hotpotqa", seed=1)
+    workload = TrendWorkload(
+        dataset, duration=DURATION, base_rate=1.0, seed=4,
+        followup_probability=0.5,
+    )
+    arrivals = workload.timed_queries()
+
+    print("Trend trace: arrival rate per minute (x = 1 query/s):")
+    for minute in range(int(DURATION // 60)):
+        count = sum(1 for at, _ in arrivals if 60 * minute <= at < 60 * (minute + 1))
+        rate = count / 60.0
+        print(f"  min {minute:>2d} | {'x' * int(rate * 10):<70s} {rate:5.2f}/s")
+    for event in workload.events:
+        print(
+            f"  event at t={event.start:5.0f}s: topic '{event.topic}' "
+            f"(+{event.magnitude:.0f}/s, related: "
+            f"{', '.join(t for t, _ in event.related) or 'none'})"
+        )
+
+    print("\nServing the trace:")
+    for name in ("vanilla", "asteria"):
+        remote = build_remote(dataset.universe, rate_limit_per_minute=100, seed=3)
+        if name == "vanilla":
+            engine = build_vanilla_engine(remote)
+        else:
+            engine = build_asteria_engine(
+                remote,
+                AsteriaConfig(
+                    capacity_items=dataset.capacity_for(CACHE_RATIO),
+                    prefetch_enabled=True,
+                    prefetch_confidence=0.3,
+                ),
+                seed=5,
+            )
+        sim = Simulator()
+        responses = run_open_loop(sim, engine, arrivals)
+        latencies = sorted(response.latency for response in responses)
+        mean = sum(latencies) / len(latencies)
+        p99 = latencies[int(0.99 * (len(latencies) - 1))]
+        extra = ""
+        if name == "asteria":
+            extra = (
+                f", prefetches={engine.metrics.prefetches_issued}"
+                f" (confirmed {engine.metrics.prefetch_hits})"
+            )
+        print(
+            f"  {name:<8s} served {len(responses)} queries in {sim.now:6.1f}s | "
+            f"hit={engine.metrics.hit_rate:6.1%} mean={mean:7.2f}s "
+            f"p99={p99:8.2f}s api_calls={remote.calls}{extra}"
+        )
+    print(
+        "\nThe uncached agent drowns in the bursts (rate-limit queueing); "
+        "Asteria absorbs them from the cache."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,159 @@
+"""The scripted think-act-observe loop shared by all agents.
+
+One task executes as: for each scripted tool call — an LLM inference step
+(think + action generation), then the tool call through the knowledge
+engine, then observation — and finally one more inference step that emits
+the answer. Inference either burns pure latency or occupies GPU compute via
+the priority-aware scheduler; tool calls are the engine's business.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.agent.model import AgentLatencyModel, AgentTask, TaskResult
+from repro.agent.parser import format_block
+from repro.core.engine import KnowledgeEngine
+from repro.serving.scheduler import PriorityAwareScheduler
+
+
+class ScriptedAgent:
+    """Drives :class:`AgentTask` scripts through a knowledge engine.
+
+    Parameters
+    ----------
+    engine:
+        Any :class:`~repro.core.engine.KnowledgeEngine`.
+    latency_model:
+        Per-step inference cost; a default Figure-11-calibrated model is
+        created when omitted.
+    scheduler:
+        Optional :class:`PriorityAwareScheduler`; when given, inference
+        steps are submitted as agent work (full-GPU seconds) instead of
+        plain timeouts, so co-location contention is real.
+    record_trajectory:
+        Render the tagged trajectory text (costs memory; off by default for
+        large sweeps).
+    answer_step:
+        Whether the final answer generation costs an inference step (True;
+        single-request latency studies turn it off to isolate one
+        think-act-observe cycle).
+    """
+
+    #: The action tag this agent emits (``search`` / ``tool`` / ``file``).
+    action_tag = "tool"
+    #: Template for the think block preceding each action.
+    think_template = "I need more information: {query}"
+
+    def __init__(
+        self,
+        engine: KnowledgeEngine,
+        latency_model: AgentLatencyModel | None = None,
+        scheduler: PriorityAwareScheduler | None = None,
+        record_trajectory: bool = False,
+        answer_step: bool = True,
+        name: str = "agent",
+    ) -> None:
+        self.engine = engine
+        self.latency_model = latency_model or AgentLatencyModel()
+        self.scheduler = scheduler
+        self.record_trajectory = record_trajectory
+        self.answer_step = answer_step
+        self.name = name
+
+    # -- analytic execution ------------------------------------------------
+    def run_task(self, task: AgentTask, now: float = 0.0) -> TaskResult:
+        """Execute ``task`` analytically starting at time ``now``."""
+        clock = now
+        inference_total = 0.0
+        retrieval_total = 0.0
+        hits = 0
+        knowledge_correct = True
+        parts: list[str] = []
+        for query in task.queries:
+            step = self.latency_model.sample_step()
+            clock += step
+            inference_total += step
+            response = self.engine.handle(query, clock)
+            clock += response.latency
+            retrieval_total += response.latency
+            if response.served_from_cache:
+                hits += 1
+            if response.lookup.truth_match is False:
+                knowledge_correct = False
+            if self.record_trajectory:
+                parts.append(
+                    format_block("think", self.think_template.format(query=query.text))
+                )
+                parts.append(format_block(self.action_tag, query.text))
+                parts.append(format_block("info", response.result))
+        if self.answer_step:
+            final_step = self.latency_model.sample_step()
+            clock += final_step
+            inference_total += final_step
+        if self.record_trajectory:
+            parts.append(format_block("answer", task.answer or task.question))
+        return TaskResult(
+            task_id=task.task_id,
+            latency=clock - now,
+            inference_latency=inference_total,
+            retrieval_latency=retrieval_total,
+            steps=task.hops,
+            hits=hits,
+            knowledge_correct=knowledge_correct,
+            trajectory="\n".join(parts),
+            finished_at=clock,
+        )
+
+    # -- discrete-event execution ------------------------------------------------
+    def run_task_process(self, sim, task: AgentTask) -> Generator:
+        """Execute ``task`` as a simulated process; returns a TaskResult."""
+        start = sim.now
+        inference_total = 0.0
+        retrieval_total = 0.0
+        hits = 0
+        knowledge_correct = True
+        parts: list[str] = []
+        for query in task.queries:
+            inference_total += yield from self._infer(sim)
+            before = sim.now
+            response = yield from self.engine.process(sim, query)
+            retrieval_total += sim.now - before
+            if response.served_from_cache:
+                hits += 1
+            if response.lookup.truth_match is False:
+                knowledge_correct = False
+            if self.record_trajectory:
+                parts.append(
+                    format_block("think", self.think_template.format(query=query.text))
+                )
+                parts.append(format_block(self.action_tag, query.text))
+                parts.append(format_block("info", response.result))
+        if self.answer_step:
+            inference_total += yield from self._infer(sim)
+        if self.record_trajectory:
+            parts.append(format_block("answer", task.answer or task.question))
+        return TaskResult(
+            task_id=task.task_id,
+            latency=sim.now - start,
+            inference_latency=inference_total,
+            retrieval_latency=retrieval_total,
+            steps=task.hops,
+            hits=hits,
+            knowledge_correct=knowledge_correct,
+            trajectory="\n".join(parts),
+            finished_at=sim.now,
+        )
+
+    def _infer(self, sim) -> Generator:
+        """One inference step: GPU-scheduled when a scheduler is attached."""
+        work = self.latency_model.sample_step()
+        if self.scheduler is not None:
+            started = sim.now
+            yield from self.scheduler.submit_agent(work)
+            return sim.now - started
+        yield sim.timeout(work)
+        return work
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(engine={self.engine.name!r})"

@@ -1,0 +1,17 @@
+"""The coding agent (SWE-Bench-style issue resolution)."""
+
+from __future__ import annotations
+
+from repro.agent.base import ScriptedAgent
+
+
+class CodeAgent(ScriptedAgent):
+    """A repository-maintenance agent: actions are ``<file>`` retrievals.
+
+    Each task is one GitHub issue; its tool calls request the repository
+    files the fix depends on (shared core files across issues are what make
+    this workload cacheable — Table 2).
+    """
+
+    action_tag = "file"
+    think_template = "To resolve this issue I must read: {query}"

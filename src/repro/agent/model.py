@@ -1,0 +1,135 @@
+"""Agent tasks, inference-latency model, and task results.
+
+A :class:`AgentTask` scripts what a real agent would do for one user
+request: an ordered list of tool-call queries (the workload generator knows
+the reasoning chain) and a final answer. :class:`AgentLatencyModel` supplies
+per-step LLM inference times — drawn from a distribution in pure-latency
+mode, or expressed as full-GPU work when a GPU scheduler is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.types import Query
+from repro.sim.distributions import Distribution, TruncatedNormal, distribution_from_spec
+
+
+@dataclass(frozen=True)
+class AgentTask:
+    """One scripted user request.
+
+    ``queries`` are the tool calls the agent will issue in order (multi-hop
+    questions yield several). ``answer_fact`` is the fact id the final
+    answer hinges on (defaults to the last query's fact) — the answer is
+    judged correct only if the knowledge served for that fact was correct.
+    """
+
+    task_id: str
+    question: str
+    queries: tuple[Query, ...]
+    answer: str = ""
+    answer_fact: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise ValueError(f"task {self.task_id!r} has no tool calls")
+
+    @property
+    def hops(self) -> int:
+        """Number of tool calls this task performs."""
+        return len(self.queries)
+
+
+@dataclass
+class TaskResult:
+    """Outcome of executing one task through an engine."""
+
+    task_id: str
+    latency: float
+    inference_latency: float
+    retrieval_latency: float
+    steps: int
+    hits: int
+    knowledge_correct: bool
+    trajectory: str = ""
+    finished_at: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.steps if self.steps else 0.0
+
+
+class AgentLatencyModel:
+    """Per-step LLM inference cost.
+
+    Figure 11 puts core agent inference at ~0.6 s per request; per *step* of
+    a multi-hop task we default to N(0.6, 0.05) truncated at 0.2. The same
+    number doubles as full-GPU work when a scheduler executes it.
+
+    Parameters
+    ----------
+    per_step:
+        Latency distribution (or number / spec dict) for one think+generate
+        step.
+    rng:
+        Seeded generator for draws.
+    """
+
+    def __init__(
+        self,
+        per_step: "Distribution | float | dict | None" = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if per_step is None:
+            self.per_step = TruncatedNormal(mu=0.6, sigma=0.05, floor=0.2)
+        else:
+            self.per_step = distribution_from_spec(per_step)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def sample_step(self) -> float:
+        """Inference seconds (== full-GPU work) for one step."""
+        return self.per_step.sample(self.rng)
+
+    def __repr__(self) -> str:
+        return f"AgentLatencyModel(per_step={self.per_step!r})"
+
+
+@dataclass
+class AgentStats:
+    """Aggregate over many task executions."""
+
+    results: list[TaskResult] = field(default_factory=list)
+
+    def add(self, result: TaskResult) -> None:
+        self.results.append(result)
+
+    @property
+    def tasks(self) -> int:
+        return len(self.results)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.results:
+            return 0.0
+        return float(np.mean([r.latency for r in self.results]))
+
+    def percentile_latency(self, p: float) -> float:
+        if not self.results:
+            return 0.0
+        return float(np.percentile([r.latency for r in self.results], p))
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of tasks whose knowledge path stayed correct."""
+        if not self.results:
+            return 1.0
+        return sum(r.knowledge_correct for r in self.results) / len(self.results)
+
+    def throughput(self, horizon: float) -> float:
+        """Completed tasks per second over ``horizon`` simulated seconds."""
+        if horizon <= 0:
+            raise ValueError("horizon must be > 0")
+        return len(self.results) / horizon

@@ -1,0 +1,17 @@
+"""The search agent (Search-R1-style, Figure 1b)."""
+
+from __future__ import annotations
+
+from repro.agent.base import ScriptedAgent
+
+
+class SearchAgent(ScriptedAgent):
+    """A Search-R1-like agent: actions are ``<search>`` queries.
+
+    The scripted loop reproduces the paper's example exactly: a ``<think>``
+    block articulating the sub-goal, a ``<search>`` tool call, and an
+    ``<info>`` observation per hop, closed by an ``<answer>`` block.
+    """
+
+    action_tag = "search"
+    think_template = "I need to find out: {query}"

@@ -1,0 +1,39 @@
+"""Approximate nearest-neighbour indexes, implemented from scratch.
+
+The paper uses FAISS for its ANN candidate-selection stage. This package
+provides the same capability natively:
+
+``FlatIndex``
+    Exact brute-force search — the correctness baseline.
+``IVFIndex``
+    Inverted-file index over k-means cells (trained online) with an
+    ``nprobe`` recall knob.
+``HNSWIndex``
+    Hierarchical navigable small-world graph with ``ef_search`` recall knob
+    and tombstone deletion.
+``PQIndex``
+    Product-quantization-compressed index (Jégou et al. 2011, the paper's
+    [35]) with asymmetric-distance search — m bytes per vector.
+
+All indexes share the :class:`VectorIndex` interface, score by cosine
+similarity (vectors are normalised on insertion), support deletion (caches
+evict), and are deterministic under a fixed seed.
+"""
+
+from repro.ann.base import SearchHit, VectorIndex
+from repro.ann.flat import FlatIndex
+from repro.ann.hnsw import HNSWIndex
+from repro.ann.ivf import IVFIndex
+from repro.ann.kmeans import kmeans
+from repro.ann.pq import PQIndex, ProductQuantizer
+
+__all__ = [
+    "FlatIndex",
+    "HNSWIndex",
+    "IVFIndex",
+    "PQIndex",
+    "ProductQuantizer",
+    "SearchHit",
+    "VectorIndex",
+    "kmeans",
+]

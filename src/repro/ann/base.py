@@ -1,0 +1,65 @@
+"""The vector-index interface shared by all ANN implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@dataclass(frozen=True, order=True)
+class SearchHit:
+    """One search result: an item key and its cosine similarity to the query.
+
+    Ordered by ``(score, key)`` so lists of hits sort deterministically.
+    """
+
+    score: float
+    key: int
+
+
+def normalize(vector: np.ndarray) -> np.ndarray:
+    """Return ``vector`` as unit-norm float32; zero vectors pass through."""
+    vector = np.asarray(vector, dtype=np.float32)
+    if vector.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {vector.shape}")
+    norm = float(np.linalg.norm(vector))
+    if norm > 0:
+        vector = vector / norm
+    return vector
+
+
+@runtime_checkable
+class VectorIndex(Protocol):
+    """Mutable cosine-similarity index over integer-keyed vectors.
+
+    Implementations must tolerate interleaved ``add``/``remove``/``search``
+    (caches insert and evict continuously) and must be deterministic for a
+    fixed seed.
+    """
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        ...
+
+    def add(self, key: int, vector: np.ndarray) -> None:
+        """Insert ``vector`` under ``key``; re-adding a live key is an error."""
+        ...
+
+    def remove(self, key: int) -> None:
+        """Delete ``key``; removing an absent key raises ``KeyError``."""
+        ...
+
+    def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
+        """Top-``k`` most similar items, best first."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of live items."""
+        ...
+
+    def __contains__(self, key: int) -> bool:
+        """True if ``key`` is live in the index."""
+        ...

@@ -1,0 +1,99 @@
+"""Exact brute-force vector index.
+
+Stores vectors in a dynamically grown matrix and scores queries with a single
+matrix-vector product. This is the recall=1.0 baseline the approximate
+indexes are measured against, and the default index for the cache (cache
+populations are small enough that exact search is also the fastest option).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann.base import SearchHit, normalize
+
+
+class FlatIndex:
+    """Exact cosine-similarity index with slot reuse after deletion."""
+
+    def __init__(self, dim: int, initial_capacity: int = 1024) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if initial_capacity < 1:
+            raise ValueError(f"initial_capacity must be >= 1, got {initial_capacity}")
+        self._dim = dim
+        self._matrix = np.zeros((initial_capacity, dim), dtype=np.float32)
+        self._key_to_slot: dict[int, int] = {}
+        self._slot_to_key: dict[int, int] = {}
+        self._free_slots: list[int] = list(range(initial_capacity - 1, -1, -1))
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def __len__(self) -> int:
+        return len(self._key_to_slot)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._key_to_slot
+
+    def add(self, key: int, vector: np.ndarray) -> None:
+        """Insert ``vector`` (normalised) under ``key``."""
+        if key in self._key_to_slot:
+            raise KeyError(f"key {key} already present")
+        vector = normalize(vector)
+        if vector.shape[0] != self._dim:
+            raise ValueError(f"expected dim {self._dim}, got {vector.shape[0]}")
+        if not self._free_slots:
+            self._grow()
+        slot = self._free_slots.pop()
+        self._matrix[slot] = vector
+        self._key_to_slot[key] = slot
+        self._slot_to_key[slot] = key
+
+    def remove(self, key: int) -> None:
+        """Delete ``key``; its slot is recycled."""
+        slot = self._key_to_slot.pop(key, None)
+        if slot is None:
+            raise KeyError(f"key {key} not in index")
+        del self._slot_to_key[slot]
+        self._matrix[slot] = 0.0
+        self._free_slots.append(slot)
+
+    def vector(self, key: int) -> np.ndarray:
+        """The stored (normalised) vector for ``key``."""
+        slot = self._key_to_slot.get(key)
+        if slot is None:
+            raise KeyError(f"key {key} not in index")
+        return self._matrix[slot].copy()
+
+    def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
+        """Exact top-``k`` by cosine similarity, best first."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not self._key_to_slot:
+            return []
+        query = normalize(query)
+        occupied = len(self._key_to_slot) + len(self._free_slots)
+        scores = self._matrix[:occupied] @ query
+        live_slots = np.fromiter(self._slot_to_key, dtype=np.int64)
+        live_scores = scores[live_slots]
+        top = min(k, live_scores.shape[0])
+        order = np.argpartition(-live_scores, top - 1)[:top]
+        hits = [
+            SearchHit(score=float(live_scores[i]), key=self._slot_to_key[int(live_slots[i])])
+            for i in order
+        ]
+        hits.sort(key=lambda hit: (-hit.score, hit.key))
+        return hits
+
+    def _grow(self) -> None:
+        old_capacity = self._matrix.shape[0]
+        new_capacity = old_capacity * 2
+        grown = np.zeros((new_capacity, self._dim), dtype=np.float32)
+        grown[:old_capacity] = self._matrix
+        self._matrix = grown
+        self._free_slots.extend(range(new_capacity - 1, old_capacity - 1, -1))
+
+    def __repr__(self) -> str:
+        return f"FlatIndex(dim={self._dim}, items={len(self)})"

@@ -1,0 +1,301 @@
+"""Hierarchical Navigable Small World (HNSW) graph index, from scratch.
+
+Follows Malkov & Yashunin (2016): nodes are inserted at a geometrically
+distributed maximum layer; queries greedily descend the upper layers and run
+a best-first beam search (width ``ef_search``) on the bottom layer.
+
+Similarity is cosine (vectors normalised on insert), maximised rather than
+minimised. Deletions are tombstoned — the node keeps routing traffic but is
+excluded from results — and the graph is rebuilt automatically once tombstones
+exceed ``compaction_ratio`` of the population, which keeps long-lived caches
+(insert/evict churn) healthy.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.ann.base import SearchHit, normalize
+
+
+class _Node:
+    __slots__ = ("key", "vector", "level", "neighbors", "deleted")
+
+    def __init__(self, key: int, vector: np.ndarray, level: int) -> None:
+        self.key = key
+        self.vector = vector
+        self.level = level
+        #: neighbors[layer] -> list of neighbor keys
+        self.neighbors: list[list[int]] = [[] for _ in range(level + 1)]
+        self.deleted = False
+
+
+class HNSWIndex:
+    """HNSW approximate index with tombstone deletion and auto-compaction.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    m:
+        Out-degree target for upper layers; layer 0 allows ``2 * m``
+        (default 16).
+    ef_construction:
+        Beam width while inserting (default 100).
+    ef_search:
+        Beam width while querying; the effective beam is
+        ``max(ef_search, k)`` (default 50).
+    seed:
+        Seed for the level sampler.
+    compaction_ratio:
+        Rebuild when tombstones exceed this fraction of stored nodes
+        (default 0.5).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 16,
+        ef_construction: int = 100,
+        ef_search: int = 50,
+        seed: int = 0,
+        compaction_ratio: float = 0.5,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if m < 2:
+            raise ValueError(f"m must be >= 2, got {m}")
+        if ef_construction < m:
+            raise ValueError("ef_construction must be >= m")
+        if not 0 < compaction_ratio <= 1:
+            raise ValueError("compaction_ratio must be in (0, 1]")
+        self._dim = dim
+        self.m = m
+        self.m0 = 2 * m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self.seed = seed
+        self.compaction_ratio = compaction_ratio
+        self._level_multiplier = 1.0 / math.log(m)
+        self._rng = np.random.default_rng(seed)
+        self._nodes: dict[int, _Node] = {}
+        self._entry_point: int | None = None
+        self._live_count = 0
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def __contains__(self, key: int) -> bool:
+        node = self._nodes.get(key)
+        return node is not None and not node.deleted
+
+    @property
+    def tombstones(self) -> int:
+        """Number of deleted-but-retained routing nodes."""
+        return len(self._nodes) - self._live_count
+
+    # -- similarity ---------------------------------------------------------
+    def _sim(self, a: np.ndarray, b: np.ndarray) -> float:
+        return float(np.dot(a, b))
+
+    # -- insertion ------------------------------------------------------------
+    def add(self, key: int, vector: np.ndarray) -> None:
+        """Insert ``vector`` under ``key`` (resurrects a tombstoned key)."""
+        existing = self._nodes.get(key)
+        if existing is not None and not existing.deleted:
+            raise KeyError(f"key {key} already present")
+        if existing is not None:
+            # Re-adding a tombstoned key: resurrect with the new vector by
+            # rebuilding that node from scratch.
+            self._drop_node(key)
+        vector = normalize(vector)
+        if vector.shape[0] != self._dim:
+            raise ValueError(f"expected dim {self._dim}, got {vector.shape[0]}")
+
+        level = self._sample_level()
+        node = _Node(key, vector, level)
+        self._nodes[key] = node
+        self._live_count += 1
+
+        if self._entry_point is None:
+            self._entry_point = key
+            return
+
+        entry = self._entry_point
+        top_level = self._nodes[entry].level
+
+        # Greedy descent through layers above the node's level.
+        current = entry
+        for layer in range(top_level, level, -1):
+            current = self._greedy_step(vector, current, layer)
+
+        # Beam search + linking on the shared layers.
+        for layer in range(min(level, top_level), -1, -1):
+            candidates = self._search_layer(
+                vector, [current], self.ef_construction, layer
+            )
+            max_links = self.m0 if layer == 0 else self.m
+            chosen = self._select_neighbors(candidates, self.m)
+            node.neighbors[layer] = [c.key for c in chosen]
+            for hit in chosen:
+                neighbor = self._nodes[hit.key]
+                neighbor.neighbors[layer].append(key)
+                if len(neighbor.neighbors[layer]) > max_links:
+                    self._prune(neighbor, layer, max_links)
+            if candidates:
+                current = candidates[0].key
+
+        if level > top_level:
+            self._entry_point = key
+
+    def _sample_level(self) -> int:
+        uniform = float(self._rng.random())
+        # Guard against log(0).
+        uniform = max(uniform, 1e-12)
+        return int(-math.log(uniform) * self._level_multiplier)
+
+    def _greedy_step(self, query: np.ndarray, start: int, layer: int) -> int:
+        current = start
+        current_sim = self._sim(query, self._nodes[current].vector)
+        improved = True
+        while improved:
+            improved = False
+            for neighbor_key in self._nodes[current].neighbors[layer]:
+                sim = self._sim(query, self._nodes[neighbor_key].vector)
+                if sim > current_sim:
+                    current, current_sim = neighbor_key, sim
+                    improved = True
+        return current
+
+    def _search_layer(
+        self, query: np.ndarray, entries: list[int], ef: int, layer: int
+    ) -> list[SearchHit]:
+        """Best-first beam search; returns hits sorted best-first.
+
+        Tombstoned nodes participate in routing but are included in results
+        too — callers filter them; keeping them lets the caller distinguish
+        routing candidates from servable ones.
+        """
+        visited = set(entries)
+        candidates: list[tuple[float, int]] = []  # max-heap via negation
+        results: list[tuple[float, int]] = []  # min-heap of (sim, key)
+        for entry in entries:
+            sim = self._sim(query, self._nodes[entry].vector)
+            heapq.heappush(candidates, (-sim, entry))
+            heapq.heappush(results, (sim, entry))
+            if len(results) > ef:
+                heapq.heappop(results)
+        while candidates:
+            neg_sim, current = heapq.heappop(candidates)
+            if results and -neg_sim < results[0][0] and len(results) >= ef:
+                break
+            for neighbor_key in self._nodes[current].neighbors[layer]:
+                if neighbor_key in visited:
+                    continue
+                visited.add(neighbor_key)
+                sim = self._sim(query, self._nodes[neighbor_key].vector)
+                if len(results) < ef or sim > results[0][0]:
+                    heapq.heappush(candidates, (-sim, neighbor_key))
+                    heapq.heappush(results, (sim, neighbor_key))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        hits = [SearchHit(score=sim, key=key) for sim, key in results]
+        hits.sort(key=lambda hit: (-hit.score, hit.key))
+        return hits
+
+    def _select_neighbors(self, candidates: list[SearchHit], m: int) -> list[SearchHit]:
+        """Simple top-m selection (candidates arrive sorted best-first)."""
+        return candidates[:m]
+
+    def _prune(self, node: _Node, layer: int, max_links: int) -> None:
+        scored = [
+            SearchHit(
+                score=self._sim(node.vector, self._nodes[key].vector), key=key
+            )
+            for key in node.neighbors[layer]
+        ]
+        scored.sort(key=lambda hit: (-hit.score, hit.key))
+        node.neighbors[layer] = [hit.key for hit in scored[:max_links]]
+
+    # -- deletion ------------------------------------------------------------------
+    def remove(self, key: int) -> None:
+        """Tombstone ``key``; compaction rebuilds the graph when due."""
+        node = self._nodes.get(key)
+        if node is None or node.deleted:
+            raise KeyError(f"key {key} not in index")
+        node.deleted = True
+        self._live_count -= 1
+        if self._entry_point == key:
+            self._entry_point = self._pick_new_entry()
+        if (
+            self._nodes
+            and self.tombstones / len(self._nodes) > self.compaction_ratio
+        ):
+            self._compact()
+
+    def _pick_new_entry(self) -> int | None:
+        best_key, best_level = None, -1
+        for key, node in self._nodes.items():
+            if not node.deleted and node.level > best_level:
+                best_key, best_level = key, node.level
+        return best_key
+
+    def _drop_node(self, key: int) -> None:
+        """Physically remove a tombstoned node (used on key resurrection)."""
+        node = self._nodes.pop(key)
+        for layer in range(node.level + 1):
+            for neighbor_key in node.neighbors[layer]:
+                neighbor = self._nodes.get(neighbor_key)
+                if neighbor is not None and layer < len(neighbor.neighbors):
+                    if key in neighbor.neighbors[layer]:
+                        neighbor.neighbors[layer].remove(key)
+        if self._entry_point == key:
+            self._entry_point = self._pick_new_entry()
+
+    def _compact(self) -> None:
+        """Rebuild the graph from live nodes only."""
+        live = [
+            (node.key, node.vector)
+            for node in self._nodes.values()
+            if not node.deleted
+        ]
+        self._nodes = {}
+        self._entry_point = None
+        self._live_count = 0
+        for key, vector in live:
+            self.add(key, vector)
+
+    # -- queries ---------------------------------------------------------------------
+    def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
+        """Approximate top-``k``: greedy descent + bottom-layer beam."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if self._entry_point is None or self._live_count == 0:
+            return []
+        query = normalize(query)
+        entry = self._entry_point
+        top_level = self._nodes[entry].level
+        current = entry
+        for layer in range(top_level, 0, -1):
+            current = self._greedy_step(query, current, layer)
+        ef = max(self.ef_search, k)
+        # Widen the beam a little when tombstones would otherwise crowd out
+        # live results.
+        if self.tombstones:
+            ef = min(len(self._nodes), ef + self.tombstones)
+        hits = self._search_layer(query, [current], ef, 0)
+        live_hits = [hit for hit in hits if not self._nodes[hit.key].deleted]
+        return live_hits[:k]
+
+    def __repr__(self) -> str:
+        return (
+            f"HNSWIndex(dim={self._dim}, items={len(self)}, m={self.m}, "
+            f"ef_search={self.ef_search}, tombstones={self.tombstones})"
+        )

@@ -1,0 +1,153 @@
+"""Inverted-file (IVF) approximate index over k-means cells.
+
+Vectors are bucketed by their nearest centroid; a query probes only the
+``nprobe`` nearest cells. Until enough vectors have arrived to train the
+coarse quantiser, the index answers exactly from a buffer, so recall degrades
+gracefully for small populations (the common case early in a cache's life).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann.base import SearchHit, normalize
+from repro.ann.kmeans import kmeans
+
+
+class IVFIndex:
+    """IVF index with online training and deletion support.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    nlist:
+        Number of k-means cells (default 16).
+    nprobe:
+        Cells probed per query (default 4). Higher = better recall, slower.
+    train_threshold:
+        Minimum items before the quantiser is trained; exact search is used
+        below this (default ``8 * nlist``).
+    seed:
+        Seed for k-means initialisation.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        nlist: int = 16,
+        nprobe: int = 4,
+        train_threshold: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if nlist < 1:
+            raise ValueError(f"nlist must be >= 1, got {nlist}")
+        if nprobe < 1:
+            raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+        self._dim = dim
+        self.nlist = nlist
+        self.nprobe = min(nprobe, nlist)
+        self.train_threshold = (
+            train_threshold if train_threshold is not None else 8 * nlist
+        )
+        self.seed = seed
+        self._vectors: dict[int, np.ndarray] = {}
+        self._centroids: np.ndarray | None = None
+        self._cells: list[set[int]] = []
+        self._cell_of: dict[int, int] = {}
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def is_trained(self) -> bool:
+        """True once the coarse quantiser has been fitted."""
+        return self._centroids is not None
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._vectors
+
+    def add(self, key: int, vector: np.ndarray) -> None:
+        """Insert ``vector``; assigned to its nearest cell once trained."""
+        if key in self._vectors:
+            raise KeyError(f"key {key} already present")
+        vector = normalize(vector)
+        if vector.shape[0] != self._dim:
+            raise ValueError(f"expected dim {self._dim}, got {vector.shape[0]}")
+        self._vectors[key] = vector
+        if self.is_trained:
+            self._assign(key, vector)
+        elif len(self._vectors) >= max(self.train_threshold, self.nlist):
+            self._train()
+
+    def remove(self, key: int) -> None:
+        """Delete ``key`` from its cell (and the raw store)."""
+        if key not in self._vectors:
+            raise KeyError(f"key {key} not in index")
+        del self._vectors[key]
+        cell = self._cell_of.pop(key, None)
+        if cell is not None:
+            self._cells[cell].discard(key)
+
+    def retrain(self) -> None:
+        """Refit the quantiser on the current population (e.g. after churn)."""
+        if len(self._vectors) >= self.nlist:
+            self._train()
+
+    def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
+        """Top-``k`` over the ``nprobe`` nearest cells (exact pre-training)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not self._vectors:
+            return []
+        query = normalize(query)
+        if not self.is_trained:
+            candidates = self._vectors.keys()
+        else:
+            assert self._centroids is not None
+            centroid_scores = self._centroids @ query
+            probe_order = np.argsort(-centroid_scores)[: self.nprobe]
+            candidates = set()
+            for cell in probe_order:
+                candidates |= self._cells[int(cell)]
+            if not candidates:
+                candidates = self._vectors.keys()
+        hits = [
+            SearchHit(score=float(np.dot(self._vectors[key], query)), key=key)
+            for key in candidates
+        ]
+        hits.sort(key=lambda hit: (-hit.score, hit.key))
+        return hits[:k]
+
+    def _train(self) -> None:
+        keys = sorted(self._vectors)
+        data = np.stack([self._vectors[key] for key in keys])
+        k = min(self.nlist, data.shape[0])
+        centroids, assignments = kmeans(data, k, seed=self.seed)
+        # Normalise centroids so probing can use dot products.
+        norms = np.linalg.norm(centroids, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self._centroids = (centroids / norms).astype(np.float32)
+        self._cells = [set() for _ in range(k)]
+        self._cell_of = {}
+        for key, cell in zip(keys, assignments):
+            self._cells[int(cell)].add(key)
+            self._cell_of[key] = int(cell)
+
+    def _assign(self, key: int, vector: np.ndarray) -> None:
+        assert self._centroids is not None
+        cell = int(np.argmax(self._centroids @ vector))
+        self._cells[cell].add(key)
+        self._cell_of[key] = cell
+
+    def __repr__(self) -> str:
+        return (
+            f"IVFIndex(dim={self._dim}, items={len(self)}, nlist={self.nlist}, "
+            f"nprobe={self.nprobe}, trained={self.is_trained})"
+        )

@@ -1,0 +1,91 @@
+"""Lloyd's k-means, written here so the IVF index has no external trainer.
+
+Works on unit-norm vectors with Euclidean assignment (equivalent to cosine
+assignment for normalised data). Deterministic under a fixed seed via
+k-means++ initialisation on a seeded generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _kmeans_plus_plus(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by squared distance."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]), dtype=data.dtype)
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    closest_sq = np.sum((data - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = float(closest_sq.sum())
+        if total <= 0:
+            # All remaining points coincide with a centroid; pick uniformly.
+            choice = int(rng.integers(n))
+        else:
+            choice = int(rng.choice(n, p=closest_sq / total))
+        centroids[i] = data[choice]
+        dist_sq = np.sum((data - centroids[i]) ** 2, axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centroids
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    max_iterations: int = 25,
+    seed: int = 0,
+    tolerance: float = 1e-4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster ``data`` (n, d) into ``k`` centroids.
+
+    Returns ``(centroids, assignments)`` where ``assignments[i]`` is the
+    cluster of row ``i``. Empty clusters are re-seeded from the point
+    farthest from its centroid, so exactly ``k`` non-empty clusters are
+    returned whenever ``n >= k``.
+    """
+    data = np.asarray(data, dtype=np.float32)
+    if data.ndim != 2:
+        raise ValueError(f"expected (n, d) data, got shape {data.shape}")
+    n = data.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n < k:
+        raise ValueError(f"cannot form {k} clusters from {n} points")
+
+    rng = np.random.default_rng(seed)
+    centroids = _kmeans_plus_plus(data, k, rng)
+    assignments = np.zeros(n, dtype=np.int64)
+
+    for _ in range(max_iterations):
+        # Assignment step (squared Euclidean via the expansion trick).
+        distances = (
+            np.sum(data**2, axis=1, keepdims=True)
+            - 2.0 * data @ centroids.T
+            + np.sum(centroids**2, axis=1)
+        )
+        new_assignments = np.argmin(distances, axis=1)
+
+        # Update step.
+        new_centroids = np.zeros_like(centroids)
+        counts = np.bincount(new_assignments, minlength=k)
+        np.add.at(new_centroids, new_assignments, data)
+        for cluster in range(k):
+            if counts[cluster] == 0:
+                # Re-seed an empty cluster from the worst-fitted point.
+                worst = int(np.argmax(distances[np.arange(n), new_assignments]))
+                new_centroids[cluster] = data[worst]
+                new_assignments[worst] = cluster
+                counts[cluster] = 1
+            else:
+                new_centroids[cluster] /= counts[cluster]
+
+        shift = float(np.max(np.linalg.norm(new_centroids - centroids, axis=1)))
+        centroids = new_centroids
+        assignments = new_assignments
+        if shift < tolerance:
+            break
+
+    return centroids, assignments

@@ -1,0 +1,214 @@
+"""Product quantization (Jégou et al., 2011 — the paper's reference [35]).
+
+PQ compresses vectors by splitting each into ``m`` subvectors and encoding
+every subvector as the index of its nearest centroid in a per-subspace
+codebook (``k`` centroids each). A d-dimensional float32 vector becomes
+``m`` bytes; queries are scored with the *asymmetric distance computation*
+(ADC): the query stays uncompressed, per-subspace dot-product tables are
+built once, and every encoded vector's score is a table-lookup sum.
+
+:class:`PQIndex` wraps the quantizer in the cache's
+:class:`~repro.ann.base.VectorIndex` interface with the same online-training
+behaviour as IVF: exact search from a buffer until enough vectors arrive to
+train the codebooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann.base import SearchHit, normalize
+from repro.ann.kmeans import kmeans
+
+
+class ProductQuantizer:
+    """The codec: train per-subspace codebooks, encode, and build ADC tables.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality; must be divisible by ``m``.
+    m:
+        Number of subspaces (bytes per code), default 8.
+    k:
+        Centroids per subspace (default 256 — one byte per subquantizer).
+    seed:
+        k-means seed.
+    """
+
+    def __init__(self, dim: int, m: int = 8, k: int = 256, seed: int = 0) -> None:
+        if dim < 1 or m < 1:
+            raise ValueError("dim and m must be >= 1")
+        if dim % m != 0:
+            raise ValueError(f"dim {dim} not divisible by m {m}")
+        if not 2 <= k <= 65536:
+            raise ValueError(f"k must be in [2, 65536], got {k}")
+        self.dim = dim
+        self.m = m
+        self.k = k
+        self.seed = seed
+        self.subdim = dim // m
+        self._codebooks: np.ndarray | None = None  # (m, k, subdim)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._codebooks is not None
+
+    def train(self, data: np.ndarray) -> None:
+        """Fit the ``m`` codebooks on ``data`` (n, dim)."""
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 2 or data.shape[1] != self.dim:
+            raise ValueError(f"expected (n, {self.dim}) training data")
+        k = min(self.k, data.shape[0])
+        if k < 2:
+            raise ValueError("need at least 2 training vectors")
+        codebooks = np.empty((self.m, k, self.subdim), dtype=np.float32)
+        for subspace in range(self.m):
+            block = data[:, subspace * self.subdim : (subspace + 1) * self.subdim]
+            centroids, _ = kmeans(block, k, seed=self.seed + subspace)
+            codebooks[subspace] = centroids
+        self._codebooks = codebooks
+
+    def encode(self, vector: np.ndarray) -> np.ndarray:
+        """Compress one vector into ``m`` centroid indices (uint16)."""
+        if not self.is_trained:
+            raise RuntimeError("quantizer is untrained")
+        vector = np.asarray(vector, dtype=np.float32)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},)")
+        assert self._codebooks is not None
+        code = np.empty(self.m, dtype=np.uint16)
+        for subspace in range(self.m):
+            block = vector[subspace * self.subdim : (subspace + 1) * self.subdim]
+            distances = np.sum(
+                (self._codebooks[subspace] - block) ** 2, axis=1
+            )
+            code[subspace] = np.argmin(distances)
+        return code
+
+    def decode(self, code: np.ndarray) -> np.ndarray:
+        """Reconstruct the approximate vector of ``code``."""
+        if not self.is_trained:
+            raise RuntimeError("quantizer is untrained")
+        assert self._codebooks is not None
+        parts = [
+            self._codebooks[subspace][int(code[subspace])]
+            for subspace in range(self.m)
+        ]
+        return np.concatenate(parts)
+
+    def adc_tables(self, query: np.ndarray) -> np.ndarray:
+        """Per-subspace dot-product lookup tables for ``query`` — (m, k)."""
+        if not self.is_trained:
+            raise RuntimeError("quantizer is untrained")
+        assert self._codebooks is not None
+        query = np.asarray(query, dtype=np.float32)
+        tables = np.empty((self.m, self._codebooks.shape[1]), dtype=np.float32)
+        for subspace in range(self.m):
+            block = query[subspace * self.subdim : (subspace + 1) * self.subdim]
+            tables[subspace] = self._codebooks[subspace] @ block
+        return tables
+
+    def __repr__(self) -> str:
+        return (
+            f"ProductQuantizer(dim={self.dim}, m={self.m}, k={self.k}, "
+            f"trained={self.is_trained})"
+        )
+
+
+class PQIndex:
+    """A PQ-compressed index behind the ``VectorIndex`` interface.
+
+    Until ``train_threshold`` vectors arrive, searches are exact over the
+    raw buffer; training then encodes the population and drops the floats
+    (memory ``m`` bytes/vector instead of ``4 * dim``). Scores are
+    approximate inner products via ADC.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 8,
+        k: int = 64,
+        train_threshold: int = 256,
+        seed: int = 0,
+    ) -> None:
+        if train_threshold < k:
+            raise ValueError("train_threshold must be >= k")
+        self.quantizer = ProductQuantizer(dim, m=m, k=k, seed=seed)
+        self.train_threshold = train_threshold
+        self._raw: dict[int, np.ndarray] = {}
+        self._codes: dict[int, np.ndarray] = {}
+
+    @property
+    def dim(self) -> int:
+        return self.quantizer.dim
+
+    @property
+    def is_trained(self) -> bool:
+        return self.quantizer.is_trained
+
+    def __len__(self) -> int:
+        return len(self._raw) + len(self._codes)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._raw or key in self._codes
+
+    def add(self, key: int, vector: np.ndarray) -> None:
+        """Insert ``vector``; encoded to ``m`` bytes once trained."""
+        if key in self:
+            raise KeyError(f"key {key} already present")
+        vector = normalize(vector)
+        if vector.shape[0] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vector.shape[0]}")
+        if self.is_trained:
+            self._codes[key] = self.quantizer.encode(vector)
+        else:
+            self._raw[key] = vector
+            if len(self._raw) >= self.train_threshold:
+                self._train()
+
+    def _train(self) -> None:
+        data = np.stack(list(self._raw.values()))
+        self.quantizer.train(data)
+        for key, vector in self._raw.items():
+            self._codes[key] = self.quantizer.encode(vector)
+        self._raw.clear()
+
+    def remove(self, key: int) -> None:
+        """Delete ``key`` from the raw buffer or the code store."""
+        if key in self._raw:
+            del self._raw[key]
+        elif key in self._codes:
+            del self._codes[key]
+        else:
+            raise KeyError(f"key {key} not in index")
+
+    def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
+        """Top-``k`` via ADC table lookups (exact for buffered vectors)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if len(self) == 0:
+            return []
+        query = normalize(query)
+        hits: list[SearchHit] = []
+        for key, vector in self._raw.items():
+            hits.append(SearchHit(score=float(np.dot(vector, query)), key=key))
+        if self._codes:
+            tables = self.quantizer.adc_tables(query)
+            for key, code in self._codes.items():
+                score = float(
+                    sum(
+                        tables[subspace, int(code[subspace])]
+                        for subspace in range(self.quantizer.m)
+                    )
+                )
+                hits.append(SearchHit(score=score, key=key))
+        hits.sort(key=lambda hit: (-hit.score, hit.key))
+        return hits[:k]
+
+    def __repr__(self) -> str:
+        return (
+            f"PQIndex(dim={self.dim}, items={len(self)}, "
+            f"trained={self.is_trained})"
+        )

@@ -1,0 +1,177 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig7 --set dataset_names='("musique",)' --set n_tasks=300
+    python -m repro run table5
+    python -m repro run-all --quick
+
+``--set key=value`` pairs are parsed with ``ast.literal_eval`` (falling back
+to a plain string), so ints, floats, tuples, and booleans all work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    admission_study,
+    coalescing_study,
+    fig1c_breakdown,
+    index_study,
+    judger_quality,
+    freshness_study,
+    fig2_zipf,
+    fig3_bursts,
+    fig7_skewed,
+    fig8_trend,
+    fig9_swebench,
+    fig10_concurrency,
+    fig11_breakdown,
+    fig12_api_calls,
+    fig13_accuracy,
+    recalibration_overhead,
+    table2_file_freq,
+    table4_ratelimit,
+    table5_cost,
+    table6_lcfu,
+    table7_colocation,
+    tau_sweep,
+    tiered_fleet,
+)
+
+#: name -> (runner, description). Names follow the paper's artefacts.
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "fig1c": (fig1c_breakdown.run, "Search-R1 latency breakdown"),
+    "fig2": (fig2_zipf.run, "Zipfian search interest by window"),
+    "fig3": (fig3_bursts.run, "bursty, correlated query patterns"),
+    "table2": (table2_file_freq.run, "SWE-bench file access frequencies"),
+    "fig7": (fig7_skewed.run, "skewed search workloads vs cache ratio"),
+    "fig8": (fig8_trend.run, "trend-driven workload vs cache ratio"),
+    "fig9": (fig9_swebench.run, "SWE-bench workload vs cache ratio"),
+    "fig10": (fig10_concurrency.run, "throughput vs request concurrency"),
+    "fig11": (fig11_breakdown.run, "per-request latency breakdown"),
+    "fig12": (fig12_api_calls.run, "API calls and retry ratio"),
+    "table4": (table4_ratelimit.run, "throughput w/ and w/o rate limit"),
+    "table5": (table5_cost.run, "cost analysis across configurations"),
+    "fig13": (fig13_accuracy.run, "generation quality (Exact Match)"),
+    "table6": (table6_lcfu.run, "LCFU vs LRU/LFU eviction"),
+    "table7": (table7_colocation.run, "co-location efficiency"),
+    "recalibration": (recalibration_overhead.run, "recalibration overhead"),
+    "drift": (recalibration_overhead.run_drift, "recalibration under drift"),
+    "tau-sweep": (tau_sweep.run, "tau_sim x tau_lsm trade-off sweep"),
+    "freshness": (freshness_study.run, "TTL aging vs stale servings"),
+    "fleet": (tiered_fleet.run, "shared-L2 fleet scaling (extension)"),
+    "admission": (admission_study.run, "always-admit vs doorkeeper (extension)"),
+    "judger-quality": (judger_quality.run, "LSM error-rate sensitivity (extension)"),
+    "coalescing": (coalescing_study.run, "flash-crowd miss coalescing (extension)"),
+    "index-choice": (index_study.run, "ANN index ablation (extension)"),
+}
+
+#: Reduced-scale overrides for ``run-all --quick``.
+QUICK_OVERRIDES: dict[str, dict] = {
+    "fig1c": {"n_tasks": 40},
+    "fig3": {"duration": 240.0},
+    "table2": {"n_issues": 200},
+    "fig7": {"dataset_names": ("musique",), "cache_ratios": (0.4,), "n_tasks": 300},
+    "fig8": {"cache_ratios": (0.4,), "duration": 200.0},
+    "fig9": {"cache_ratios": (0.4,), "n_issues": 120},
+    "fig10": {"concurrency_levels": (1, 8), "n_tasks": 300},
+    "fig11": {"n_requests": 120},
+    "fig12": {"n_tasks": 400},
+    "table4": {"n_tasks": 300},
+    "table5": {"n_tasks": 200},
+    "fig13": {"dataset_names": ("strategyqa",), "n_tasks": 150},
+    "table6": {"n_tasks": 400, "trials": 2},
+    "table7": {"n_tasks": 200},
+    "recalibration": {"n_tasks": 300},
+    "drift": {"phase_tasks": 200},
+    "tau-sweep": {
+        "tau_sim_values": (0.7, 0.99),
+        "tau_lsm_values": (0.02, 0.9),
+        "n_queries": 300,
+    },
+    "freshness": {"n_queries": 500},
+    "fleet": {"node_counts": (1, 4), "n_queries": 400},
+    "admission": {"n_queries": 600},
+    "judger-quality": {"flip_rates": (0.0, 0.1), "n_tasks": 150},
+    "coalescing": {"n_clients": 60},
+    "index-choice": {"index_kinds": ("flat", "pq"), "n_queries": 800},
+}
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            value = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            value = raw
+        overrides[key] = value
+    return overrides
+
+
+def _command_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    print("Available experiments (python -m repro run <name>):\n")
+    for name, (_, description) in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def _command_run(name: str, overrides: dict) -> int:
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try: python -m repro list")
+        return 2
+    runner, _ = EXPERIMENTS[name]
+    result = runner(**overrides)
+    result.print_table()
+    return 0
+
+
+def _command_run_all(quick: bool) -> int:
+    for name, (runner, _) in EXPERIMENTS.items():
+        overrides = QUICK_OVERRIDES.get(name, {}) if quick else {}
+        result = runner(**overrides)
+        result.print_table()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's experiments.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list available experiments")
+    run_parser = commands.add_parser("run", help="run one experiment")
+    run_parser.add_argument("name", help="experiment name (see `list`)")
+    run_parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a runner keyword argument (repeatable)",
+    )
+    all_parser = commands.add_parser("run-all", help="run every experiment")
+    all_parser.add_argument(
+        "--quick", action="store_true", help="reduced-scale sweep"
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.command == "list":
+        return _command_list()
+    if arguments.command == "run":
+        return _command_run(arguments.name, _parse_overrides(arguments.set))
+    return _command_run_all(arguments.quick)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

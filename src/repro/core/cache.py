@@ -1,0 +1,354 @@
+"""Cache semantics atop Sine (§4.3): hit definition, admission, eviction, TTL.
+
+:class:`AsteriaCache` turns the Sine retrieval pipeline into a real cache:
+
+* **Semantic-aware hit** — a lookup is a hit only after the full two-stage
+  validation; a hit increments the element's frequency.
+* **Admission** — misses (and prefetches) become new semantic elements with
+  metadata captured from the actual remote fetch.
+* **Eviction** — TTL purge first (Algorithm 2 line 6), then lowest retention
+  score under the configured policy until usage fits capacity.
+
+:class:`ExactCache` is the traditional exact-match baseline (Agent_exact)
+with the same capacity/TTL machinery but a plain text-keyed dict.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.element import SemanticElement
+from repro.core.eviction import EvictionPolicy, LCFUPolicy, LRUPolicy
+from repro.core.sine import Sine, SineResult
+from repro.core.types import FetchResult, Query
+from repro.judger.staticity import StaticityScorer
+
+
+def _canonical(text: str) -> str:
+    """Normalisation used for exact-match keys (case/whitespace-insensitive)."""
+    return " ".join(text.lower().split())
+
+
+@dataclass
+class CacheStats:
+    """Book-keeping counters shared by both cache flavours."""
+
+    inserts: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    rejected_duplicates: int = 0
+    prefetch_inserts: int = 0
+
+
+class AsteriaCache:
+    """Semantic knowledge cache over a Sine index.
+
+    Parameters
+    ----------
+    sine:
+        The retrieval pipeline (owns the embedder, ANN index, and judger).
+    capacity_items:
+        Maximum live elements; None = unbounded.
+    default_ttl:
+        Seconds of life per element; None = immortal entries.
+    policy:
+        Eviction policy (default :class:`LCFUPolicy`).
+    staticity_scorer:
+        Scores new elements' staticity; a default noisy scorer is created
+        when omitted.
+    staticity_ttl_scaling:
+        Scale each element's TTL by ``staticity / 10`` (a stable fact lives
+        the full TTL, ephemeral content expires early). Off by default —
+        the paper uses a single user-defined TTL; this is the natural
+        extension its aging discussion suggests.
+    """
+
+    def __init__(
+        self,
+        sine: Sine,
+        capacity_items: int | None = None,
+        default_ttl: float | None = 3600.0,
+        policy: EvictionPolicy | None = None,
+        staticity_scorer: StaticityScorer | None = None,
+        staticity_ttl_scaling: bool = False,
+    ) -> None:
+        if capacity_items is not None and capacity_items < 1:
+            raise ValueError("capacity_items must be >= 1 or None")
+        if default_ttl is not None and default_ttl <= 0:
+            raise ValueError("default_ttl must be > 0 or None")
+        self.sine = sine
+        self.capacity_items = capacity_items
+        self.default_ttl = default_ttl
+        self.policy = policy if policy is not None else LCFUPolicy()
+        self.staticity_scorer = staticity_scorer or StaticityScorer()
+        self.staticity_ttl_scaling = staticity_ttl_scaling
+        self._elements: dict[int, SemanticElement] = {}
+        self._ids = itertools.count(1)
+        self.stats = CacheStats()
+
+    # -- introspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __bool__(self) -> bool:
+        """A cache is a service, not a container: always truthy.
+
+        Without this, an *empty* cache is falsy via ``__len__`` and
+        ``shared_cache or build_new()`` silently un-shares it.
+        """
+        return True
+
+    def __contains__(self, element_id: int) -> bool:
+        return element_id in self._elements
+
+    @property
+    def elements(self) -> dict[int, SemanticElement]:
+        """Live elements keyed by id (treat as read-only)."""
+        return self._elements
+
+    def usage(self) -> int:
+        """Current occupancy in elements (the capacity unit)."""
+        return len(self._elements)
+
+    # -- lookup -----------------------------------------------------------------
+    def lookup(self, query: Query, now: float, ann_only: bool = False) -> SineResult:
+        """Two-stage lookup; a validated match is a *hit* and bumps frequency.
+
+        Expired elements are purged lazily before retrieval so a dead entry
+        can never be served.
+        """
+        self.remove_expired(now)
+        result = self.sine.retrieve(query, self._elements, ann_only=ann_only)
+        if result.match is not None:
+            result.match.record_hit(now)
+            if result.match.prefetched and result.match.frequency == 1:
+                # First validated use of a speculative entry.
+                result.match.metadata["prefetch_confirmed_at"] = now
+        return result
+
+    def contains_semantic(self, query: Query) -> bool:
+        """Stage-1-only membership probe (used by the prefetcher's guard)."""
+        return bool(self.sine.candidates_for(query))
+
+    # -- admission ---------------------------------------------------------------
+    def insert(
+        self,
+        query: Query,
+        fetch: FetchResult,
+        now: float,
+        prefetched: bool = False,
+        ttl: float | None = None,
+    ) -> SemanticElement:
+        """Store a fetched result as a new semantic element.
+
+        ``ttl`` overrides the cache default for this element. Returns the
+        new element (after making room under the capacity limit).
+        """
+        element_id = next(self._ids)
+        staticity = self.staticity_scorer.score(query.text, query.staticity)
+        effective_ttl = ttl if ttl is not None else self.default_ttl
+        if effective_ttl is not None and self.staticity_ttl_scaling:
+            effective_ttl *= staticity / 10.0
+        expires_at = now + effective_ttl if effective_ttl is not None else float("inf")
+        element = SemanticElement(
+            element_id=element_id,
+            key=query.text,
+            value=fetch.result,
+            embedding=self.sine.embedder.embed(query.text),
+            tool=query.tool,
+            truth_key=query.fact_id,
+            staticity=staticity,
+            frequency=0,
+            retrieval_latency=fetch.service_latency,
+            retrieval_cost=fetch.cost,
+            size_tokens=max(1, fetch.size_tokens),
+            created_at=now,
+            last_accessed_at=now,
+            expires_at=expires_at,
+            prefetched=prefetched,
+        )
+        self._elements[element_id] = element
+        self.sine.insert(element)
+        self.stats.inserts += 1
+        if prefetched:
+            self.stats.prefetch_inserts += 1
+        self._enforce_capacity(now, protect=element.element_id)
+        return element
+
+    def remove(self, element_id: int) -> SemanticElement:
+        """Forcibly remove one element (eviction, invalidation)."""
+        element = self._elements.pop(element_id, None)
+        if element is None:
+            raise KeyError(f"element {element_id} not in cache")
+        self.sine.remove(element_id)
+        return element
+
+    def invalidate(self, predicate) -> int:
+        """Remove every element for which ``predicate(element)`` is true.
+
+        The operational escape hatch: purge a tool's entries after a backend
+        migration, drop a topic after a breaking news correction, etc.
+        Returns the number of elements removed.
+        """
+        victims = [
+            element_id
+            for element_id, element in self._elements.items()
+            if predicate(element)
+        ]
+        for element_id in victims:
+            self.remove(element_id)
+        return len(victims)
+
+    # -- lifecycle ----------------------------------------------------------------
+    def remove_expired(self, now: float) -> int:
+        """TTL purge (Algorithm 2 runs this before capacity eviction)."""
+        expired = [
+            element_id
+            for element_id, element in self._elements.items()
+            if element.is_expired(now)
+        ]
+        for element_id in expired:
+            self.remove(element_id)
+        self.stats.expirations += len(expired)
+        return len(expired)
+
+    def _enforce_capacity(self, now: float, protect: int | None = None) -> None:
+        if self.capacity_items is None or self.usage() <= self.capacity_items:
+            return
+        self.remove_expired(now)
+        if self.usage() <= self.capacity_items:
+            return
+        scored = sorted(
+            (
+                (self.policy.score(element, now), element_id)
+                for element_id, element in self._elements.items()
+                if element_id != protect
+            ),
+        )
+        for _, element_id in scored:
+            if self.usage() <= self.capacity_items:
+                break
+            self.remove(element_id)
+            self.stats.evictions += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"AsteriaCache(items={len(self)}, capacity={self.capacity_items}, "
+            f"policy={self.policy.name})"
+        )
+
+
+class ExactCache:
+    """Traditional exact-match cache (the Agent_exact baseline).
+
+    Keys are canonicalised query text; a hit requires the same text (so any
+    paraphrase misses — the failure mode §6.2 attributes to exact caching).
+    Reuses :class:`SemanticElement` for storage so metrics and eviction
+    policies are directly comparable; the default policy is LRU, the classic
+    choice for KV caches.
+    """
+
+    def __init__(
+        self,
+        capacity_items: int | None = None,
+        default_ttl: float | None = 3600.0,
+        policy: EvictionPolicy | None = None,
+        staticity_scorer: StaticityScorer | None = None,
+    ) -> None:
+        if capacity_items is not None and capacity_items < 1:
+            raise ValueError("capacity_items must be >= 1 or None")
+        self.capacity_items = capacity_items
+        self.default_ttl = default_ttl
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.staticity_scorer = staticity_scorer or StaticityScorer()
+        self._by_key: dict[str, SemanticElement] = {}
+        self._ids = itertools.count(1)
+        self.stats = CacheStats()
+        self._empty_embedding = np.zeros(1, dtype=np.float32)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __bool__(self) -> bool:
+        """Always truthy; see :meth:`AsteriaCache.__bool__`."""
+        return True
+
+    def usage(self) -> int:
+        """Current occupancy in entries."""
+        return len(self._by_key)
+
+    def lookup(self, query: Query, now: float) -> SemanticElement | None:
+        """Exact-match lookup; hits bump frequency."""
+        key = _canonical(query.text)
+        element = self._by_key.get(key)
+        if element is None:
+            return None
+        if element.is_expired(now):
+            del self._by_key[key]
+            self.stats.expirations += 1
+            return None
+        element.record_hit(now)
+        return element
+
+    def insert(
+        self,
+        query: Query,
+        fetch: FetchResult,
+        now: float,
+        ttl: float | None = None,
+    ) -> SemanticElement:
+        """Store a fetched result under its canonical text key."""
+        key = _canonical(query.text)
+        if key in self._by_key:
+            # Refresh in place (same exact query fetched twice, e.g. expiry race).
+            self.stats.rejected_duplicates += 1
+            del self._by_key[key]
+        effective_ttl = ttl if ttl is not None else self.default_ttl
+        expires_at = now + effective_ttl if effective_ttl is not None else float("inf")
+        element = SemanticElement(
+            element_id=next(self._ids),
+            key=query.text,
+            value=fetch.result,
+            embedding=self._empty_embedding,
+            tool=query.tool,
+            truth_key=query.fact_id,
+            staticity=self.staticity_scorer.score(query.text, query.staticity),
+            retrieval_latency=fetch.service_latency,
+            retrieval_cost=fetch.cost,
+            size_tokens=max(1, fetch.size_tokens),
+            created_at=now,
+            last_accessed_at=now,
+            expires_at=expires_at,
+        )
+        self._by_key[key] = element
+        self.stats.inserts += 1
+        self._enforce_capacity(now, protect=key)
+        return element
+
+    def _enforce_capacity(self, now: float, protect: str | None = None) -> None:
+        if self.capacity_items is None or len(self._by_key) <= self.capacity_items:
+            return
+        expired_keys = [
+            key for key, element in self._by_key.items() if element.is_expired(now)
+        ]
+        for key in expired_keys:
+            del self._by_key[key]
+        self.stats.expirations += len(expired_keys)
+        if len(self._by_key) <= self.capacity_items:
+            return
+        scored = sorted(
+            (self.policy.score(element, now), key)
+            for key, element in self._by_key.items()
+            if key != protect
+        )
+        for _, key in scored:
+            if len(self._by_key) <= self.capacity_items:
+                break
+            del self._by_key[key]
+            self.stats.evictions += 1
+
+    def __repr__(self) -> str:
+        return f"ExactCache(items={len(self)}, capacity={self.capacity_items})"

@@ -1,0 +1,150 @@
+"""Measurement: latency reservoirs and engine-level counters.
+
+Every engine owns an :class:`EngineMetrics`; experiments read it to print the
+paper's metrics — throughput (req/s), latency percentiles, cache hit rate,
+API calls/retries, and operational cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class LatencyStats:
+    """An append-only collection of latency samples with percentile queries."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def add(self, value: float) -> None:
+        """Record one sample (seconds)."""
+        if value < 0:
+            raise ValueError(f"latency must be >= 0, got {value}")
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self._samples))
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean; 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        return float(np.mean(self._samples))
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100); 0.0 when empty."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, p))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def samples(self) -> list[float]:
+        """A copy of all recorded samples."""
+        return list(self._samples)
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyStats(n={self.count}, mean={self.mean:.4f}, "
+            f"p99={self.p99:.4f})"
+        )
+
+
+@dataclass
+class EngineMetrics:
+    """Counters and latency reservoirs for one engine instance.
+
+    Correctness counters compare the *served* knowledge against the query's
+    hidden ground truth: ``served_correct`` counts responses whose knowledge
+    matched, ``served_incorrect`` counts semantic-cache mistakes (these are
+    what degrade the Figure 13 EM score).
+    """
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    served_correct: int = 0
+    served_incorrect: int = 0
+    prefetches_issued: int = 0
+    prefetch_hits: int = 0
+    coalesced_misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    recalibrations: int = 0
+    total_latency: LatencyStats = field(default_factory=LatencyStats)
+    hit_latency: LatencyStats = field(default_factory=LatencyStats)
+    miss_latency: LatencyStats = field(default_factory=LatencyStats)
+    cache_check_latency: LatencyStats = field(default_factory=LatencyStats)
+    remote_latency: LatencyStats = field(default_factory=LatencyStats)
+
+    @property
+    def hit_rate(self) -> float:
+        """Validated hits / cacheable requests (bypasses excluded)."""
+        cacheable = self.hits + self.misses
+        if cacheable == 0:
+            return 0.0
+        return self.hits / cacheable
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of knowledge-bearing responses that were correct."""
+        served = self.served_correct + self.served_incorrect
+        if served == 0:
+            return 1.0
+        return self.served_correct / served
+
+    def record_lookup(self, status: str) -> None:
+        """Bump the counter matching a lookup ``status``."""
+        self.requests += 1
+        if status == "hit":
+            self.hits += 1
+        elif status == "miss":
+            self.misses += 1
+        elif status == "bypass":
+            self.bypasses += 1
+        else:
+            raise ValueError(f"unknown lookup status {status!r}")
+
+    def reset(self) -> None:
+        """Zero every counter and reservoir (e.g. after a warm-up phase)."""
+        fresh = EngineMetrics()
+        self.__dict__.update(fresh.__dict__)
+
+    def summary(self) -> dict:
+        """A plain-dict snapshot for printing and serialisation."""
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "accuracy": round(self.accuracy, 4),
+            "mean_latency": round(self.total_latency.mean, 4),
+            "p99_latency": round(self.total_latency.p99, 4),
+            "prefetches_issued": self.prefetches_issued,
+            "prefetch_hits": self.prefetch_hits,
+            "coalesced_misses": self.coalesced_misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "recalibrations": self.recalibrations,
+        }

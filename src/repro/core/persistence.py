@@ -1,0 +1,163 @@
+"""Cache persistence: snapshot, save, and warm-restore.
+
+A production knowledge cache survives process restarts — losing it means a
+full cold-start storm against rate-limited remote APIs. A
+:class:`CacheSnapshot` captures every semantic element's key/value and
+metadata as plain JSON (embeddings are *not* stored: keys are re-embedded on
+restore, which keeps snapshots model-agnostic — upgrade the embedder and the
+old snapshot still loads).
+
+>>> snapshot = CacheSnapshot.of(cache)
+>>> snapshot.save("cache.json")
+>>> restored = CacheSnapshot.load("cache.json")
+>>> restored.restore_into(fresh_cache, now=clock.now)
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.cache import AsteriaCache
+from repro.core.element import SemanticElement
+
+#: Snapshot format version; bump on breaking layout changes.
+SNAPSHOT_VERSION = 1
+
+
+def _element_record(element: SemanticElement) -> dict:
+    return {
+        "key": element.key,
+        "value": element.value,
+        "tool": element.tool,
+        "truth_key": element.truth_key,
+        "staticity": element.staticity,
+        "frequency": element.frequency,
+        "retrieval_latency": element.retrieval_latency,
+        "retrieval_cost": element.retrieval_cost,
+        "size_tokens": element.size_tokens,
+        "created_at": element.created_at,
+        "last_accessed_at": element.last_accessed_at,
+        # JSON has no Infinity in strict mode; None encodes "never expires".
+        "expires_at": None if math.isinf(element.expires_at) else element.expires_at,
+        "prefetched": element.prefetched,
+    }
+
+
+@dataclass
+class CacheSnapshot:
+    """A serialisable image of one cache's contents."""
+
+    taken_at: float
+    records: list[dict] = field(default_factory=list)
+    version: int = SNAPSHOT_VERSION
+
+    @classmethod
+    def of(cls, cache: AsteriaCache, now: float | None = None) -> "CacheSnapshot":
+        """Capture ``cache``'s live elements.
+
+        ``now`` (defaulting to the newest access time) is stored so restores
+        can age entries relative to the snapshot moment.
+        """
+        elements = list(cache.elements.values())
+        if now is None:
+            now = max(
+                (element.last_accessed_at for element in elements), default=0.0
+            )
+        return cls(
+            taken_at=now,
+            records=[_element_record(element) for element in elements],
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- (de)serialisation -------------------------------------------------
+    def to_json(self) -> str:
+        """Strict-JSON encoding of the snapshot."""
+        return json.dumps(
+            {
+                "version": self.version,
+                "taken_at": self.taken_at,
+                "records": self.records,
+            },
+            allow_nan=False,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "CacheSnapshot":
+        """Parse a snapshot; rejects unknown versions."""
+        data = json.loads(payload)
+        version = data.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot version {version!r} "
+                f"(expected {SNAPSHOT_VERSION})"
+            )
+        return cls(
+            taken_at=float(data["taken_at"]),
+            records=list(data["records"]),
+            version=version,
+        )
+
+    def save(self, path: "str | Path") -> None:
+        """Write the snapshot to ``path``."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "CacheSnapshot":
+        """Read a snapshot from ``path``."""
+        return cls.from_json(Path(path).read_text())
+
+    # -- restore -------------------------------------------------------------
+    def restore_into(
+        self,
+        cache: AsteriaCache,
+        now: float = 0.0,
+        drop_expired: bool = True,
+    ) -> int:
+        """Re-populate ``cache`` from this snapshot; returns elements restored.
+
+        Keys are re-embedded through the cache's own Sine, timestamps are
+        shifted so ages are preserved relative to ``now`` (an entry 100 s
+        old at snapshot time is 100 s old after restore), and entries whose
+        TTL already lapsed are skipped when ``drop_expired``.
+        """
+        if len(cache):
+            raise ValueError("restore_into requires an empty cache")
+        shift = now - self.taken_at
+        restored = 0
+        for record in self.records:
+            expires_at = record["expires_at"]
+            expires_at = (
+                float("inf") if expires_at is None else expires_at + shift
+            )
+            if drop_expired and expires_at <= now:
+                continue
+            element = SemanticElement(
+                element_id=next(cache._ids),
+                key=record["key"],
+                value=record["value"],
+                embedding=cache.sine.embedder.embed(record["key"]),
+                tool=record["tool"],
+                truth_key=record["truth_key"],
+                staticity=record["staticity"],
+                frequency=record["frequency"],
+                retrieval_latency=record["retrieval_latency"],
+                retrieval_cost=record["retrieval_cost"],
+                size_tokens=record["size_tokens"],
+                created_at=record["created_at"] + shift,
+                last_accessed_at=record["last_accessed_at"] + shift,
+                expires_at=expires_at,
+                prefetched=record["prefetched"],
+            )
+            cache.elements[element.element_id] = element
+            cache.sine.insert(element)
+            restored += 1
+        cache._enforce_capacity(now)
+        return restored
+
+    def __repr__(self) -> str:
+        return f"CacheSnapshot(elements={len(self)}, taken_at={self.taken_at})"

@@ -1,0 +1,211 @@
+"""Periodic threshold recalibration (§4.2, Algorithm 1).
+
+A fixed ``tau_lsm`` is brittle under workload drift. The recalibrator samples
+recent validated lookups, obtains ground truth for each (in the paper: a
+fresh fetch judged by a ground-truth evaluator; here: the query's hidden fact
+identity, optionally charged as a real refetch), builds the judger's
+precision curve on a validation set, and picks the smallest threshold whose
+precision meets the target.
+
+The precision-curve utilities are exposed separately because the τ sweep
+benchmarks reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """One validated lookup: the judger's score and whether it was right.
+
+    ``score`` is the LSM confidence for the pair that was served;
+    ``correct`` is the ground-truth label produced by the evaluator.
+    """
+
+    score: float
+    correct: bool
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"score must be in [0, 1], got {self.score}")
+
+
+def precision_curve(
+    records: Sequence[EvalRecord],
+) -> list[tuple[float, float]]:
+    """Precision at every distinct score threshold, ascending by threshold.
+
+    Each entry is ``(threshold, precision_when_accepting_score >= threshold)``.
+    Thresholds with zero accepted records are omitted.
+    """
+    if not records:
+        return []
+    ordered = sorted(records, key=lambda record: record.score)
+    scores = np.array([record.score for record in ordered])
+    correct = np.array([record.correct for record in ordered], dtype=float)
+    # Suffix sums: accepting everything from index i upward.
+    total_from = np.cumsum(np.ones_like(correct)[::-1])[::-1]
+    correct_from = np.cumsum(correct[::-1])[::-1]
+    curve: list[tuple[float, float]] = []
+    seen: set[float] = set()
+    for index, threshold in enumerate(scores):
+        if threshold in seen:
+            continue
+        seen.add(threshold)
+        curve.append((float(threshold), float(correct_from[index] / total_from[index])))
+    return curve
+
+
+def find_threshold(
+    curve: Sequence[tuple[float, float]],
+    target_precision: float,
+    fallback: float = 1.0,
+) -> float:
+    """Smallest threshold whose precision meets ``target_precision``.
+
+    Falls back to ``fallback`` (reject-almost-everything) when no threshold
+    on the curve reaches the target — the safe direction for a cache.
+    """
+    if not 0.0 < target_precision <= 1.0:
+        raise ValueError(f"target_precision must be in (0, 1], got {target_precision}")
+    for threshold, precision in curve:
+        if precision >= target_precision:
+            return threshold
+    return fallback
+
+
+class ThresholdRecalibrator:
+    """Algorithm 1, packaged for the engine.
+
+    Parameters
+    ----------
+    target_precision:
+        The quality bar P_target (paper example: 0.99).
+    sample_size:
+        Recent records sampled per round (paper: 5 per minute).
+    ground_truth:
+        ``ground_truth(query_text, served_truth_key, query_fact_id) -> bool``
+        labels whether the served answer was correct. The default compares
+        fact identities — equivalent to the paper's FetchGT + EvaluateGT
+        pipeline in our substrate.
+    min_records:
+        Do nothing until the validation set has at least this many labelled
+        records (avoids thrashing on tiny evidence).
+    rng:
+        Sampling generator (seeded by the experiment).
+    """
+
+    def __init__(
+        self,
+        target_precision: float = 0.99,
+        sample_size: int = 5,
+        ground_truth: Callable[[str, str | None, str | None], bool] | None = None,
+        min_records: int = 20,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if sample_size < 1:
+            raise ValueError("sample_size must be >= 1")
+        if min_records < 1:
+            raise ValueError("min_records must be >= 1")
+        self.target_precision = target_precision
+        self.sample_size = sample_size
+        self.ground_truth = ground_truth or self._oracle_ground_truth
+        self.min_records = min_records
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._validation_set: list[EvalRecord] = []
+        self.rounds = 0
+
+    @staticmethod
+    def _oracle_ground_truth(
+        query_text: str, served_truth_key: str | None, query_fact_id: str | None
+    ) -> bool:
+        if served_truth_key is None or query_fact_id is None:
+            return False
+        return served_truth_key == query_fact_id
+
+    @property
+    def validation_size(self) -> int:
+        """Labelled records accumulated so far."""
+        return len(self._validation_set)
+
+    def ingest(
+        self,
+        recent: Sequence[tuple[str, float, str | None, str | None]],
+    ) -> int:
+        """Label a sample of recent lookups and grow the validation set.
+
+        ``recent`` entries are ``(query_text, lsm_score, served_truth_key,
+        query_fact_id)`` — what the engine's eval log records per validated
+        hit. Returns the number of newly labelled records.
+        """
+        if not recent:
+            return 0
+        count = min(self.sample_size, len(recent))
+        chosen = self.rng.choice(len(recent), size=count, replace=False)
+        for index in chosen:
+            query_text, score, served_truth, fact_id = recent[int(index)]
+            label = self.ground_truth(query_text, served_truth, fact_id)
+            self._validation_set.append(EvalRecord(score=score, correct=label))
+        return count
+
+    def recalibrate(self, current_threshold: float) -> float:
+        """One recalibration round; returns the (possibly unchanged) τ'."""
+        self.rounds += 1
+        if len(self._validation_set) < self.min_records:
+            return current_threshold
+        curve = precision_curve(self._validation_set)
+        return find_threshold(curve, self.target_precision, fallback=current_threshold)
+
+    def forget(self, keep_last: int = 0) -> None:
+        """Discard old validation records (workload drift makes them stale)."""
+        if keep_last < 0:
+            raise ValueError("keep_last must be >= 0")
+        if keep_last == 0:
+            self._validation_set.clear()
+        else:
+            self._validation_set = self._validation_set[-keep_last:]
+
+    #: What one fine-tuning round pulls the simulated judger back towards:
+    #: the calibrated SimulatedJudger defaults (its "well-trained" state).
+    FINE_TUNE_TARGETS = {
+        "flip_rate": 0.002,
+        "pos_alpha": 30.0,
+        "pos_beta": 0.4,
+        "neg_alpha": 0.8,
+        "neg_beta": 20.0,
+    }
+
+    def fine_tune(self, judger, decay: float = 0.7) -> bool:
+        """Use the annotated set to improve the judger itself (§5).
+
+        The paper notes the recalibration labels can fine-tune the LSM.
+        In our substrate a fine-tuning round moves each of the simulated
+        judger's error parameters a fraction ``1 - decay`` of the way back
+        to its well-calibrated value — the system-level effect of training
+        on a batch of labelled mistakes. Requires at least ``min_records``
+        accumulated labels and a judger exposing the simulated parameters
+        (returns False otherwise, so heuristic judgers are unaffected).
+        """
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        if len(self._validation_set) < self.min_records:
+            return False
+        tuned = False
+        for attribute, target in self.FINE_TUNE_TARGETS.items():
+            value = getattr(judger, attribute, None)
+            if value is None:
+                continue
+            setattr(judger, attribute, target + (value - target) * decay)
+            tuned = True
+        return tuned
+
+    def __repr__(self) -> str:
+        return (
+            f"ThresholdRecalibrator(target={self.target_precision}, "
+            f"rounds={self.rounds}, validation={self.validation_size})"
+        )

@@ -1,0 +1,179 @@
+"""Sine — the Semantic Retrieval Index (§4.2).
+
+Two-stage retrieval over semantic elements:
+
+1. **Coarse filter**: an ANN search over query embeddings keeps candidates
+   with cosine similarity >= ``tau_sim`` (high recall, cheap).
+2. **Fine validation**: the semantic judger scores each surviving candidate
+   and the first with confidence >= ``tau_lsm`` becomes the match (high
+   precision).
+
+Sine is *retrieval only* — it neither admits, evicts, nor mutates frequency;
+:mod:`repro.core.cache` layers cache semantics on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.ann.base import SearchHit, VectorIndex
+from repro.core.element import SemanticElement
+from repro.core.types import Query
+from repro.embedding.model import EmbeddingModel
+from repro.judger.base import JudgeRequest, Judger, JudgeVerdict
+
+
+@dataclass(frozen=True)
+class SineResult:
+    """Outcome of one two-stage retrieval.
+
+    ``match`` is the validated element or None. ``candidates`` are the ANN
+    hits that passed ``tau_sim`` (in similarity order); ``verdicts`` aligns
+    with the judged prefix of ``candidates``. ``ann_considered`` counts raw
+    ANN results before thresholding.
+    """
+
+    match: SemanticElement | None
+    candidates: list[SearchHit] = field(default_factory=list)
+    verdicts: list[JudgeVerdict] = field(default_factory=list)
+    ann_considered: int = 0
+
+    @property
+    def judged(self) -> int:
+        """Number of candidates the judger scored."""
+        return len(self.verdicts)
+
+    @property
+    def top_similarity(self) -> float:
+        """Best ANN similarity seen (0.0 when the index was empty)."""
+        return self.candidates[0].score if self.candidates else 0.0
+
+
+class Sine:
+    """The two-stage semantic retrieval index.
+
+    Parameters
+    ----------
+    embedder:
+        Embedding model for query fingerprints.
+    index:
+        Any :class:`~repro.ann.base.VectorIndex`; keys are element ids.
+    judger:
+        The validation model (ignored when ``ann_only`` lookups are asked
+        for).
+    tau_sim / tau_lsm:
+        Stage thresholds. ``tau_lsm`` is mutable at runtime — the threshold
+        recalibrator (Algorithm 1) adjusts it.
+    max_candidates:
+        ANN results retrieved per query.
+    judge_all:
+        If True, judge every candidate and pick the highest-scoring
+        acceptable one; if False (default), stop at the first acceptance —
+        the paper's latency-oriented behaviour.
+    """
+
+    def __init__(
+        self,
+        embedder: EmbeddingModel,
+        index: VectorIndex,
+        judger: Judger,
+        tau_sim: float = 0.7,
+        tau_lsm: float = 0.9,
+        max_candidates: int = 4,
+        judge_all: bool = False,
+    ) -> None:
+        if not 0.0 <= tau_sim <= 1.0 or not 0.0 <= tau_lsm <= 1.0:
+            raise ValueError("thresholds must be in [0, 1]")
+        if max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        self.embedder = embedder
+        self.index = index
+        self.judger = judger
+        self.tau_sim = tau_sim
+        self.tau_lsm = tau_lsm
+        self.max_candidates = max_candidates
+        self.judge_all = judge_all
+
+    # -- population management (driven by the cache) -------------------------
+    def insert(self, element: SemanticElement) -> None:
+        """Index ``element`` by its embedding."""
+        self.index.add(element.element_id, element.embedding)
+
+    def remove(self, element_id: int) -> None:
+        """Drop ``element_id`` from the index."""
+        self.index.remove(element_id)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    # -- retrieval ---------------------------------------------------------
+    def candidates_for(self, query: Query) -> list[SearchHit]:
+        """Stage 1 only: ANN hits above ``tau_sim``, best first."""
+        embedding = self.embedder.embed(query.text)
+        hits = self.index.search(embedding, self.max_candidates)
+        return [hit for hit in hits if hit.score >= self.tau_sim]
+
+    def retrieve(
+        self,
+        query: Query,
+        elements: Mapping[int, SemanticElement],
+        ann_only: bool = False,
+    ) -> SineResult:
+        """Full two-stage retrieval.
+
+        ``elements`` maps element ids to live elements (the cache's store);
+        ANN hits lacking a live element are skipped defensively.
+
+        With ``ann_only`` the top candidate above ``tau_sim`` is returned
+        unvalidated — the strawman of §3.2 used by the accuracy ablation.
+        """
+        embedding = self.embedder.embed(query.text)
+        raw_hits = self.index.search(embedding, self.max_candidates)
+        candidates = [hit for hit in raw_hits if hit.score >= self.tau_sim]
+
+        if ann_only:
+            for hit in candidates:
+                element = elements.get(hit.key)
+                if element is not None:
+                    return SineResult(
+                        match=element,
+                        candidates=candidates,
+                        ann_considered=len(raw_hits),
+                    )
+            return SineResult(
+                match=None, candidates=candidates, ann_considered=len(raw_hits)
+            )
+
+        verdicts: list[JudgeVerdict] = []
+        best: tuple[float, SemanticElement] | None = None
+        for hit in candidates:
+            element = elements.get(hit.key)
+            if element is None:
+                continue
+            verdict = self.judger.judge(
+                JudgeRequest(
+                    query_text=query.text,
+                    cached_query=element.key,
+                    cached_result=element.value,
+                    query_truth=query.fact_id,
+                    cached_truth=element.truth_key,
+                )
+            )
+            verdicts.append(verdict)
+            if verdict.score >= self.tau_lsm:
+                if not self.judge_all:
+                    return SineResult(
+                        match=element,
+                        candidates=candidates,
+                        verdicts=verdicts,
+                        ann_considered=len(raw_hits),
+                    )
+                if best is None or verdict.score > best[0]:
+                    best = (verdict.score, element)
+        return SineResult(
+            match=best[1] if best is not None else None,
+            candidates=candidates,
+            verdicts=verdicts,
+            ann_considered=len(raw_hits),
+        )

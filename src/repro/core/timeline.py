@@ -1,0 +1,134 @@
+"""Windowed metric time series — observability for live cache behaviour.
+
+The aggregate counters in :class:`~repro.core.metrics.EngineMetrics` hide
+dynamics: a trend burst's hit-rate dip, an eviction storm, a drifting
+judger. A :class:`MetricsTimeline` buckets per-request observations into
+fixed windows and exposes the series a dashboard (or the trend analysis)
+would plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WindowStats:
+    """Aggregates for one time window."""
+
+    start: float
+    requests: int = 0
+    hits: int = 0
+    latency_sum: float = 0.0
+    api_calls: int = 0
+    _latencies: list = field(default_factory=list, repr=False)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency_sum / self.requests if self.requests else 0.0
+
+    @property
+    def p95_latency(self) -> float:
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+class MetricsTimeline:
+    """Per-window request observations.
+
+    Parameters
+    ----------
+    window:
+        Bucket width in simulated seconds (default 60).
+
+    Use :meth:`observe` per request (the engine response has everything
+    needed), then read :meth:`series` / :meth:`windows`.
+
+    >>> timeline = MetricsTimeline(window=60.0)
+    >>> timeline.observe(now=10.0, hit=True, latency=0.05)
+    >>> timeline.observe(now=70.0, hit=False, latency=0.45, api_call=True)
+    >>> [round(rate, 2) for _, rate in timeline.series("hit_rate")]
+    [1.0, 0.0]
+    """
+
+    def __init__(self, window: float = 60.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.window = window
+        self._windows: dict[int, WindowStats] = {}
+
+    def observe(
+        self,
+        now: float,
+        hit: bool,
+        latency: float,
+        api_call: bool = False,
+    ) -> None:
+        """Record one request finishing at time ``now``."""
+        if now < 0:
+            raise ValueError("now must be >= 0")
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        index = int(now // self.window)
+        stats = self._windows.get(index)
+        if stats is None:
+            stats = WindowStats(start=index * self.window)
+            self._windows[index] = stats
+        stats.requests += 1
+        if hit:
+            stats.hits += 1
+        stats.latency_sum += latency
+        stats._latencies.append(latency)
+        if api_call:
+            stats.api_calls += 1
+
+    def observe_response(self, now: float, response) -> None:
+        """Convenience: record an :class:`EngineResponse` at time ``now``."""
+        self.observe(
+            now=now,
+            hit=response.served_from_cache,
+            latency=response.latency,
+            api_call=response.fetch is not None,
+        )
+
+    def windows(self) -> list[WindowStats]:
+        """All non-empty windows in time order."""
+        return [self._windows[i] for i in sorted(self._windows)]
+
+    def series(self, metric: str) -> list[tuple[float, float]]:
+        """(window_start, value) pairs for ``metric``.
+
+        Metrics: ``hit_rate``, ``mean_latency``, ``p95_latency``,
+        ``requests``, ``api_calls``.
+        """
+        valid = ("hit_rate", "mean_latency", "p95_latency", "requests", "api_calls")
+        if metric not in valid:
+            raise ValueError(f"unknown metric {metric!r}; expected one of {valid}")
+        return [
+            (stats.start, float(getattr(stats, metric)))
+            for stats in self.windows()
+        ]
+
+    def sparkline(self, metric: str = "hit_rate", width: int = 8) -> str:
+        """A terminal sparkline of ``metric`` (one block char per window)."""
+        blocks = " ▁▂▃▄▅▆▇█"
+        values = [value for _, value in self.series(metric)]
+        if not values:
+            return ""
+        top = max(values) or 1.0
+        return "".join(
+            blocks[min(len(blocks) - 1, int(value / top * (len(blocks) - 1)))]
+            for value in values
+        )
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __repr__(self) -> str:
+        return f"MetricsTimeline(window={self.window}, windows={len(self)})"

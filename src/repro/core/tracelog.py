@@ -1,0 +1,113 @@
+"""Structured request tracing — one record per resolved tool call.
+
+Production caches are debugged from their request logs. :class:`TraceLog`
+captures each request's decision path (status, ANN candidates, judged count,
+latency split, cost) as plain dicts, exports/imports JSONL, and computes the
+summary a postmortem needs. Attach one to any engine via
+``engine.trace = TraceLog()`` — engines call :meth:`record` when a trace is
+attached, with zero overhead otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+class TraceLog:
+    """Bounded in-memory request log with JSONL import/export.
+
+    Parameters
+    ----------
+    max_records:
+        Oldest records are dropped beyond this bound (default 100 000).
+    """
+
+    def __init__(self, max_records: int = 100_000) -> None:
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.max_records = max_records
+        self._records: list[dict] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def record(self, now: float, query, response) -> None:
+        """Append one resolved request (engine-facing API)."""
+        lookup = response.lookup
+        entry = {
+            "now": round(now, 6),
+            "tool": query.tool,
+            "query": query.text,
+            "status": lookup.status,
+            "latency": round(response.latency, 6),
+            "cache_check": round(lookup.latency, 6),
+            "candidates": lookup.candidates,
+            "judged": lookup.judged,
+            "truth_match": lookup.truth_match,
+            "cost": response.fetch.cost if response.fetch else 0.0,
+            "retries": response.fetch.retries if response.fetch else 0,
+        }
+        self._records.append(entry)
+        if len(self._records) > self.max_records:
+            self._records.pop(0)
+            self.dropped += 1
+
+    def records(self) -> list[dict]:
+        """A copy of the stored records, oldest first."""
+        return list(self._records)
+
+    # -- persistence -------------------------------------------------------
+    def save_jsonl(self, path: "str | Path") -> None:
+        """Write one JSON object per line."""
+        lines = [json.dumps(record, allow_nan=False) for record in self._records]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+    @classmethod
+    def load_jsonl(cls, path: "str | Path", max_records: int = 100_000) -> "TraceLog":
+        """Read a JSONL trace back into a TraceLog."""
+        log = cls(max_records=max_records)
+        for line in Path(path).read_text().splitlines():
+            if line.strip():
+                log._records.append(json.loads(line))
+        return log
+
+    # -- analysis ----------------------------------------------------------------
+    def summary(self) -> dict:
+        """Aggregate view: counts, hit rate, latency mean, spend."""
+        total = len(self._records)
+        if total == 0:
+            return {"requests": 0}
+        by_status: dict[str, int] = {}
+        latency_sum = 0.0
+        cost_sum = 0.0
+        wrong = 0
+        for record in self._records:
+            by_status[record["status"]] = by_status.get(record["status"], 0) + 1
+            latency_sum += record["latency"]
+            cost_sum += record["cost"]
+            if record["truth_match"] is False:
+                wrong += 1
+        hits = by_status.get("hit", 0)
+        misses = by_status.get("miss", 0)
+        return {
+            "requests": total,
+            "by_status": by_status,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "mean_latency": latency_sum / total,
+            "total_cost": cost_sum,
+            "wrong_servings": wrong,
+        }
+
+    def slowest(self, n: int = 10) -> list[dict]:
+        """The ``n`` slowest requests (a tail-latency postmortem's start)."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return sorted(self._records, key=lambda r: -r["latency"])[:n]
+
+    def __repr__(self) -> str:
+        return f"TraceLog(records={len(self)}, dropped={self.dropped})"

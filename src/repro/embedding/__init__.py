@@ -1,0 +1,32 @@
+"""Embedding substrate.
+
+The paper embeds tool-call queries with Qwen3-Embedding-0.6B. Offline we
+substitute a deterministic *hashing embedder*: every token maps to a seeded
+Gaussian direction, a query's embedding is the weighted, L2-normalised sum of
+its token vectors (stopwords are downweighted, bigrams add a little word-order
+signal). This reproduces the property the system design depends on —
+paraphrases that share content words land close in cosine space, while
+*confusable* queries (shared surface tokens, different intent) also land
+close, which is exactly the false-positive regime the semantic judger exists
+to catch.
+
+The :class:`EmbeddingModel` protocol is the integration point: a real model
+client can be dropped in anywhere the simulated one is used.
+"""
+
+from repro.embedding.model import (
+    CachedEmbedder,
+    EmbeddingModel,
+    HashingEmbedder,
+    cosine_similarity,
+)
+from repro.embedding.tokenizer import STOPWORDS, SimpleTokenizer
+
+__all__ = [
+    "CachedEmbedder",
+    "EmbeddingModel",
+    "HashingEmbedder",
+    "STOPWORDS",
+    "SimpleTokenizer",
+    "cosine_similarity",
+]

@@ -1,0 +1,92 @@
+"""A small, deterministic tokenizer for query text.
+
+Lowercases, strips punctuation, and splits on whitespace. The tokenizer also
+classifies stopwords so the embedder can downweight them — content words are
+what make two paraphrases of the same question similar.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+#: Function words that carry little query intent. Deliberately small — the
+#: goal is to damp syntactic filler, not to do linguistics.
+STOPWORDS = frozenset(
+    """
+    a an and are as at be but by can could did do does for from had has have
+    how i in is it its me my of on or s shall should so tell that the their
+    them then there these they this those to us was we were what when where
+    which who whom whose why will with would you your please
+    about know knows want wants need needs give gives show shows find finds
+    get gets just really also quick question
+    now ok okay hey well hmm oh um uh right
+    """.split()
+)
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9']+")
+
+#: Suffixes stripped by the light stemmer, longest first.
+_SUFFIXES = ("ings", "ing", "edly", "ed", "ers", "er", "es", "s", "ly")
+
+
+def light_stem(token: str) -> str:
+    """A tiny suffix stripper (not Porter; just enough to merge inflections).
+
+    Real embedding models place "painted" and "painter" close together; a
+    hashing embedder would not, so we conflate common inflections before
+    hashing. Stems shorter than 3 characters are never produced. A doubled
+    final consonant left by -ing/-ed stripping is collapsed ("running" ->
+    "run"), except the stable doubles "ll"/"ss" ("falling" -> "fall").
+    """
+    for suffix in _SUFFIXES:
+        if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+            stem = token[: -len(suffix)]
+            if (
+                suffix in ("ing", "ings", "ed", "edly")
+                and len(stem) >= 4
+                and stem[-1] == stem[-2]
+                and stem[-1] not in "ls"
+            ):
+                stem = stem[:-1]
+            return stem
+    return token
+
+
+class SimpleTokenizer:
+    """Deterministic lowercase word tokenizer with stopword tagging.
+
+    Parameters
+    ----------
+    stopwords:
+        Words to tag as low-information. Defaults to :data:`STOPWORDS`.
+    stem:
+        Apply :func:`light_stem` to non-stopword tokens (default True).
+    """
+
+    def __init__(
+        self, stopwords: Iterable[str] | None = None, stem: bool = True
+    ) -> None:
+        self.stopwords = frozenset(stopwords) if stopwords is not None else STOPWORDS
+        self.stem = stem
+
+    def tokenize(self, text: str) -> list[str]:
+        """Split ``text`` into lowercase alphanumeric tokens (stemmed)."""
+        if not isinstance(text, str):
+            raise TypeError(f"expected str, got {type(text).__name__}")
+        raw = _TOKEN_PATTERN.findall(text.lower())
+        if not self.stem:
+            return raw
+        return [t if t in self.stopwords else light_stem(t) for t in raw]
+
+    def is_stopword(self, token: str) -> bool:
+        """True if ``token`` is tagged as a stopword."""
+        return token in self.stopwords
+
+    def content_tokens(self, text: str) -> list[str]:
+        """Tokens of ``text`` with stopwords removed."""
+        return [t for t in self.tokenize(text) if t not in self.stopwords]
+
+    def bigrams(self, tokens: list[str]) -> list[str]:
+        """Adjacent token pairs joined with an underscore."""
+        return [f"{a}_{b}" for a, b in zip(tokens, tokens[1:])]

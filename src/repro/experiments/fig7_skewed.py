@@ -1,0 +1,57 @@
+"""Figure 7 — end-to-end serving on skewed search workloads vs cache ratio.
+
+For each dataset (Zilliz-GPT, HotpotQA, Musique, 2Wiki) and cache-size
+ratio, the paper compares Agent_vanilla, Agent_exact, and Agent_Asteria on
+throughput, cache hit rate, and latency under Zipf(0.99) traffic with a
+rate-limited search API. Headline shapes: Asteria sustains >85 % hit rates
+where exact-match stays below 20 %, yielding up to 3.6× throughput and up to
+4× lower latency.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult, SystemSetup, run_system_on_tasks
+from repro.workloads.datasets import DATASET_NAMES, build_dataset
+from repro.workloads.skewed import SkewedWorkload
+
+DEFAULT_RATIOS = (0.1, 0.2, 0.4, 0.6, 0.8)
+DEFAULT_SYSTEMS = ("vanilla", "exact", "asteria")
+
+
+def run(
+    dataset_names: tuple[str, ...] = DATASET_NAMES,
+    cache_ratios: tuple[float, ...] = DEFAULT_RATIOS,
+    systems: tuple[str, ...] = DEFAULT_SYSTEMS,
+    n_tasks: int = 1000,
+    concurrency: int = 8,
+    rate_limit_per_minute: int | None = 100,
+    seed: int = 0,
+) -> ExperimentResult:
+    """The full sweep; one row per (dataset, ratio, system)."""
+    result = ExperimentResult(
+        name="Figure 7: skewed search workloads (Zipf 0.99) vs cache ratio",
+        notes=(
+            "Paper shape: Asteria >85% hit rate and up to 3.6x throughput "
+            "over exact-match (<20% hits) across all four datasets."
+        ),
+    )
+    for dataset_name in dataset_names:
+        dataset = build_dataset(dataset_name, seed=seed)
+        for ratio in cache_ratios:
+            capacity = dataset.capacity_for(ratio)
+            for system in systems:
+                workload = SkewedWorkload(dataset, seed=seed + 1)
+                tasks = workload.single_hop_tasks(n_tasks)
+                outcome = run_system_on_tasks(
+                    SystemSetup(system=system, capacity_items=capacity, seed=seed),
+                    tasks,
+                    dataset.universe,
+                    concurrency=concurrency,
+                    rate_limit_per_minute=rate_limit_per_minute,
+                )
+                result.add_row(
+                    dataset=dataset_name,
+                    cache_ratio=ratio,
+                    **outcome.metrics_row(),
+                )
+    return result

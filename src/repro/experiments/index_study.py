@@ -1,0 +1,98 @@
+"""ANN index ablation: does the coarse filter's recall reach the hit rate?
+
+The paper uses FAISS and treats the ANN stage as a high-recall black box.
+This study swaps the four native implementations — exact Flat, graph-based
+HNSW, inverted-file IVF, and PQ compression — under the full engine and
+measures what stage-1 recall does to the end metric: every true paraphrase
+the index fails to surface is a lost hit no judger can recover.
+"""
+
+from __future__ import annotations
+
+from repro.ann import PQIndex
+from repro.core import AsteriaConfig
+from repro.factory import build_asteria_engine, build_remote
+from repro.experiments.harness import ExperimentResult
+from repro.workloads.datasets import build_dataset
+from repro.workloads.skewed import SkewedWorkload
+
+DEFAULT_INDEXES = ("flat", "hnsw", "ivf", "pq", "pq-fine")
+
+#: Embedding dimensionality of the factory's default embedder.
+_EMBED_DIM = 256
+
+
+def _build_custom_index(kind: str, seed: int):
+    """Index variants beyond the factory names; None = use the factory."""
+    if kind == "pq-fine":
+        # Finer codebooks (m=32 subspaces, 256 centroids): 4x the code
+        # bytes of the default PQ, far smaller ADC error.
+        return PQIndex(_EMBED_DIM, m=32, k=256, train_threshold=512, seed=seed)
+    return None
+
+
+def run(
+    dataset_name: str = "musique",
+    index_kinds: tuple[str, ...] = DEFAULT_INDEXES,
+    n_facts: int = 600,
+    cache_items: int = 700,
+    n_queries: int = 3000,
+    zipf_s: float = 0.6,
+    seed: int = 0,
+) -> ExperimentResult:
+    """One row per index kind over the same skewed stream.
+
+    The universe is scaled up (600 facts, ~flat popularity) so the cache
+    population crosses the approximate indexes' training thresholds —
+    below them every index answers exactly and the ablation is vacuous.
+    """
+    result = ExperimentResult(
+        name="ANN index ablation inside the full engine",
+        notes=(
+            "Flat is the recall=1.0 reference. Graph/IVF search stays "
+            "near-exact at cache scale; default PQ (m=8, k=64) compresses "
+            "256-dim embeddings so hard that ADC error crosses tau_sim and "
+            "the coarse filter collapses — finer codebooks (pq-fine) "
+            "recover it. Lesson: under a tight similarity threshold, "
+            "quantisation error is a hit-rate cliff, not a slope."
+        ),
+    )
+    dataset = build_dataset(
+        dataset_name,
+        seed=seed,
+        n_facts=n_facts,
+        n_questions=max(n_facts, 250),
+        zipf_s=zipf_s,
+    )
+    capacity = cache_items
+    reference_hit_rate = None
+    for kind in index_kinds:
+        remote = build_remote(dataset.universe, seed=seed)
+        custom = _build_custom_index(kind, seed)
+        engine = build_asteria_engine(
+            remote,
+            AsteriaConfig(capacity_items=capacity),
+            seed=seed,
+            index_kind=kind if custom is None else "flat",
+            index=custom,
+        )
+        workload = SkewedWorkload(dataset, seed=seed + 1)
+        now = 0.0
+        for query in workload.queries(n_queries):
+            response = engine.handle(query, now)
+            now += response.latency + 0.1
+        metrics = engine.metrics
+        if kind == "flat":
+            reference_hit_rate = metrics.hit_rate
+        result.add_row(
+            index=kind,
+            hit_rate=round(metrics.hit_rate, 4),
+            hit_rate_vs_flat=round(
+                metrics.hit_rate / reference_hit_rate, 4
+            )
+            if reference_hit_rate
+            else 1.0,
+            accuracy=round(metrics.accuracy, 4),
+            api_calls=remote.calls,
+        )
+    return result

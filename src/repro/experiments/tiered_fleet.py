@@ -1,0 +1,84 @@
+"""Fleet-scale extension: per-node L1 + shared regional L2.
+
+Not a paper artefact — the natural deployment the paper's cross-region
+framing and multi-cloud related work (Macaron, EVCache) point to. N agent
+nodes round-robin one skewed workload; with a shared L2 a single node's
+remote fetch warms the entire fleet, so the fleet hit rate stays flat as
+nodes are added, while isolated nodes dilute their private caches.
+"""
+
+from __future__ import annotations
+
+from repro.core import AsteriaConfig
+from repro.factory import build_remote, build_semantic_cache, build_tiered_engine
+from repro.experiments.harness import ExperimentResult
+from repro.workloads.datasets import build_dataset
+from repro.workloads.skewed import SkewedWorkload
+
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8)
+
+
+def run(
+    dataset_name: str = "musique",
+    node_counts: tuple[int, ...] = DEFAULT_NODE_COUNTS,
+    l1_capacity: int = 8,
+    l2_capacity: int = 150,
+    n_queries: int = 1200,
+    seed: int = 0,
+) -> ExperimentResult:
+    """One row per (node count, sharing mode)."""
+    result = ExperimentResult(
+        name="Tiered fleet: shared L2 vs isolated nodes",
+        notes=(
+            "Shared tier keeps the fleet hit rate flat as nodes scale; "
+            "isolated nodes pay one cold start per node."
+        ),
+    )
+    dataset = build_dataset(dataset_name, seed=seed)
+    for n_nodes in node_counts:
+        for shared in (False, True):
+            remote = build_remote(dataset.universe, seed=seed)
+            nodes = []
+            shared_l2 = (
+                build_semantic_cache(
+                    AsteriaConfig(capacity_items=l2_capacity), seed=seed + 5
+                )
+                if shared
+                else None
+            )
+            for index in range(n_nodes):
+                l2 = shared_l2
+                if l2 is None:
+                    # Isolated: same total L2 budget, split across nodes.
+                    per_node = max(1, l2_capacity // n_nodes)
+                    l2 = build_semantic_cache(
+                        AsteriaConfig(capacity_items=per_node), seed=seed + 5
+                    )
+                nodes.append(
+                    build_tiered_engine(
+                        remote,
+                        l2,
+                        l1_capacity=l1_capacity,
+                        seed=seed + 5,
+                        name=f"node{index}",
+                    )
+                )
+            workload = SkewedWorkload(dataset, seed=seed + 1)
+            now = 0.0
+            latencies = []
+            for index, query in enumerate(workload.queries(n_queries)):
+                response = nodes[index % n_nodes].handle(query, now)
+                latencies.append(response.latency)
+                now += response.latency + 0.05
+            hits = sum(node.metrics.hits for node in nodes)
+            total = sum(node.metrics.requests for node in nodes)
+            l2_hits = sum(node.l2_hits for node in nodes)
+            result.add_row(
+                nodes=n_nodes,
+                l2="shared" if shared else "isolated",
+                fleet_hit_rate=round(hits / total, 4),
+                l2_hit_share=round(l2_hits / total, 4),
+                remote_calls=remote.calls,
+                mean_latency_s=round(sum(latencies) / len(latencies), 4),
+            )
+    return result

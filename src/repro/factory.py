@@ -1,0 +1,204 @@
+"""One-call construction of engines and their substrates.
+
+Experiments need the same stack assembled over and over: embedder → ANN
+index → judger → Sine → cache → engine, plus a remote service resolving
+against a fact universe. These helpers build it with sensible defaults and a
+single seed, so every benchmark and example reads as configuration rather
+than plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann import FlatIndex, HNSWIndex, IVFIndex, PQIndex
+from repro.ann.base import VectorIndex
+from repro.core import (
+    AsteriaCache,
+    AsteriaConfig,
+    AsteriaEngine,
+    ExactCache,
+    ExactEngine,
+    Sine,
+    VanillaEngine,
+)
+from repro.core.eviction import EvictionPolicy, policy_by_name
+from repro.core.tiered import TieredEngine
+from repro.embedding import CachedEmbedder, HashingEmbedder
+from repro.judger import SimulatedJudger
+from repro.judger.staticity import StaticityScorer
+from repro.network import RemoteDataService, TokenBucket
+from repro.network.ratelimit import RateLimiter
+from repro.sim.distributions import Distribution, Uniform
+from repro.sim.random import derive_seed
+from repro.workloads.facts import FactUniverse
+
+
+def build_index(kind: str, dim: int, seed: int = 0) -> VectorIndex:
+    """An ANN index by name: ``flat`` (default), ``hnsw``, ``ivf``, or ``pq``."""
+    if kind == "flat":
+        return FlatIndex(dim)
+    if kind == "hnsw":
+        return HNSWIndex(dim, seed=seed)
+    if kind == "ivf":
+        return IVFIndex(dim, seed=seed)
+    if kind == "pq":
+        return PQIndex(dim, seed=seed)
+    raise ValueError(f"unknown index kind {kind!r}; expected flat/hnsw/ivf/pq")
+
+
+def build_remote(
+    universe: FactUniverse | None = None,
+    latency: "Distribution | float | dict | None" = None,
+    rate_limit_per_minute: int | None = None,
+    cost_per_call: float = 0.005,
+    seed: int = 0,
+    name: str = "search-api",
+) -> RemoteDataService:
+    """A remote data service, optionally resolving against ``universe``.
+
+    ``latency`` defaults to the paper's U(0.3 s, 0.5 s) search-API range;
+    pass 0.3 for the self-hosted RAG service. ``rate_limit_per_minute``
+    installs a token bucket (Google's limit is 100 QPM).
+    """
+    limiter: RateLimiter | None = None
+    if rate_limit_per_minute is not None:
+        limiter = TokenBucket.per_minute(rate_limit_per_minute)
+    return RemoteDataService(
+        name=name,
+        latency=latency if latency is not None else Uniform(0.3, 0.5),
+        resolver=universe.resolve if universe is not None else None,
+        rate_limiter=limiter,
+        cost_per_call=cost_per_call,
+        rng=np.random.default_rng(derive_seed(seed, f"remote:{name}")),
+    )
+
+
+def build_asteria_engine(
+    remote: RemoteDataService,
+    config: AsteriaConfig | None = None,
+    seed: int = 0,
+    index_kind: str = "flat",
+    index: VectorIndex | None = None,
+    policy: "EvictionPolicy | str" = "lcfu",
+    judger: SimulatedJudger | None = None,
+    judge_executor=None,
+    name: str = "asteria",
+) -> AsteriaEngine:
+    """The full Asteria stack with simulated substrates.
+
+    One ``seed`` derives independent streams for the embedder, judger, and
+    staticity scorer, so two engines with the same seed behave identically.
+    A pre-built ``index`` (matching the embedder's 256 dims) overrides
+    ``index_kind`` when custom ANN parameters are needed.
+    """
+    config = config if config is not None else AsteriaConfig()
+    embedder = CachedEmbedder(HashingEmbedder(seed=derive_seed(seed, "embedder")))
+    if index is None:
+        index = build_index(index_kind, embedder.dim, seed=derive_seed(seed, "index"))
+    elif index.dim != embedder.dim:
+        raise ValueError(
+            f"custom index dim {index.dim} != embedder dim {embedder.dim}"
+        )
+    if judger is None:
+        judger = SimulatedJudger(seed=derive_seed(seed, "judger"))
+    sine = Sine(
+        embedder,
+        index,
+        judger,
+        tau_sim=config.tau_sim,
+        tau_lsm=config.tau_lsm,
+        max_candidates=config.max_candidates,
+    )
+    if isinstance(policy, str):
+        policy = policy_by_name(policy)
+    cache = AsteriaCache(
+        sine,
+        capacity_items=config.capacity_items,
+        default_ttl=config.default_ttl,
+        policy=policy,
+        staticity_scorer=StaticityScorer(seed=derive_seed(seed, "staticity")),
+        staticity_ttl_scaling=config.staticity_ttl_scaling,
+    )
+    return AsteriaEngine(
+        cache, remote, config, judge_executor=judge_executor, name=name
+    )
+
+
+def build_exact_engine(
+    remote: RemoteDataService,
+    capacity_items: int | None = None,
+    default_ttl: float | None = 3600.0,
+    name: str = "exact",
+) -> ExactEngine:
+    """The Agent_exact baseline."""
+    cache = ExactCache(capacity_items=capacity_items, default_ttl=default_ttl)
+    return ExactEngine(cache, remote, name=name)
+
+
+def build_vanilla_engine(
+    remote: RemoteDataService, name: str = "vanilla"
+) -> VanillaEngine:
+    """The Agent_vanilla baseline."""
+    return VanillaEngine(remote, name=name)
+
+
+def build_semantic_cache(
+    config: AsteriaConfig | None = None,
+    seed: int = 0,
+    index_kind: str = "flat",
+    policy: "EvictionPolicy | str" = "lcfu",
+) -> AsteriaCache:
+    """A standalone semantic cache (used for shared tiers and direct use)."""
+    config = config if config is not None else AsteriaConfig()
+    embedder = CachedEmbedder(HashingEmbedder(seed=derive_seed(seed, "embedder")))
+    index = build_index(index_kind, embedder.dim, seed=derive_seed(seed, "index"))
+    judger = SimulatedJudger(seed=derive_seed(seed, "judger"))
+    sine = Sine(
+        embedder,
+        index,
+        judger,
+        tau_sim=config.tau_sim,
+        tau_lsm=config.tau_lsm,
+        max_candidates=config.max_candidates,
+    )
+    if isinstance(policy, str):
+        policy = policy_by_name(policy)
+    return AsteriaCache(
+        sine,
+        capacity_items=config.capacity_items,
+        default_ttl=config.default_ttl,
+        policy=policy,
+        staticity_scorer=StaticityScorer(seed=derive_seed(seed, "staticity")),
+        staticity_ttl_scaling=config.staticity_ttl_scaling,
+    )
+
+
+def build_tiered_engine(
+    remote: RemoteDataService,
+    l2: AsteriaCache,
+    l1_capacity: int | None = 16,
+    config: AsteriaConfig | None = None,
+    seed: int = 0,
+    l2_latency: float = 0.005,
+    name: str = "tiered",
+) -> TieredEngine:
+    """One fleet node: a private L1 over the shared ``l2`` cache.
+
+    Build the shared tier once with :func:`build_semantic_cache` (use the
+    same ``seed`` so both tiers share embedder/judger behaviour), then one
+    TieredEngine per node.
+    """
+    config = config if config is not None else AsteriaConfig()
+    l1_config = AsteriaConfig(
+        tau_sim=config.tau_sim,
+        tau_lsm=config.tau_lsm,
+        max_candidates=config.max_candidates,
+        capacity_items=l1_capacity,
+        default_ttl=config.default_ttl,
+        staticity_ttl_scaling=config.staticity_ttl_scaling,
+    )
+    l1 = build_semantic_cache(l1_config, seed=seed)
+    return TieredEngine(
+        l1, l2, remote, config, l2_latency=l2_latency, name=name
+    )

@@ -1,0 +1,241 @@
+"""The remote data service the cache's miss path talks to.
+
+A :class:`RemoteDataService` composes a latency model, an optional rate
+limiter with client-side exponential backoff, and per-call fees. It answers
+queries through a pluggable ``resolver`` callable (the workload's fact
+universe provides one; the default fabricates deterministic text).
+
+Two execution styles are supported:
+
+* **Analytic** — :meth:`fetch_at` computes the whole fetch (throttle waits,
+  retries, service time) given a start time; used by sequential examples and
+  unit tests.
+* **Discrete-event** — :meth:`fetch` is a generator to be driven with
+  ``yield from`` inside a simulated process; contention between concurrent
+  clients then emerges from the shared limiter and the event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+import numpy as np
+
+from repro.core.types import FetchResult, Query, estimate_tokens
+from repro.network.cost import CostMeter
+from repro.network.ratelimit import RateLimiter
+from repro.sim.distributions import Distribution, Uniform, distribution_from_spec
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for throttled calls.
+
+    Delay for attempt ``k`` (0-based retry count) is
+    ``min(base * multiplier**k, max_delay)`` plus uniform jitter of up to
+    ``jitter`` seconds. The default retry budget is effectively unbounded
+    (clients keep waiting under sustained throttling, which is what inflates
+    the baselines' latencies in §6.2); lower it to study fail-fast clients.
+    """
+
+    base: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 8.0
+    max_retries: int = 1000
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base <= 0 or self.multiplier < 1 or self.max_delay < self.base:
+            raise ValueError("invalid backoff parameters")
+        if self.max_retries < 0 or self.jitter < 0:
+            raise ValueError("max_retries and jitter must be >= 0")
+
+    def delay(self, retry_index: int, rng: np.random.Generator) -> float:
+        """Backoff before retry number ``retry_index`` (0-based)."""
+        delay = min(self.base * self.multiplier**retry_index, self.max_delay)
+        if self.jitter > 0:
+            delay += float(rng.uniform(0.0, self.jitter))
+        return delay
+
+
+class RateLimitExceeded(RuntimeError):
+    """Raised when a fetch exhausts its retry budget."""
+
+
+def _default_resolver(query: Query) -> str:
+    identity = query.fact_id if query.fact_id is not None else query.text
+    return f"[remote] canonical result for {identity}"
+
+
+class RemoteDataService:
+    """A cross-region data service with latency, throttling, and fees.
+
+    Parameters
+    ----------
+    name:
+        Service name, used in stats and cost breakdowns.
+    latency:
+        Per-call service latency — a :class:`Distribution`, a number, or a
+        spec dict. Defaults to U(0.3 s, 0.5 s), the paper's search API range.
+    resolver:
+        ``resolver(query) -> str`` produces the authoritative result.
+    time_resolver:
+        Optional ``(query, now) -> str`` resolver for sources whose answers
+        change over time (takes precedence over ``resolver``); ``now`` is
+        the simulated completion time of the fetch.
+    rate_limiter:
+        Optional :class:`RateLimiter`; None means unthrottled.
+    cost_per_call:
+        Fee charged per *successful* call (throttled attempts are free, as
+        with real providers). A query's own ``cost`` annotation overrides it.
+    retry_policy:
+        Backoff shape for throttled attempts.
+    rng:
+        Generator used for latency draws and jitter.
+    cost_meter:
+        Optional shared meter; a private one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        name: str = "search-api",
+        latency: "Distribution | float | dict | None" = None,
+        resolver: Callable[[Query], str] | None = None,
+        time_resolver: "Callable[[Query, float], str] | None" = None,
+        rate_limiter: RateLimiter | None = None,
+        cost_per_call: float = 0.005,
+        retry_policy: RetryPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        cost_meter: CostMeter | None = None,
+    ) -> None:
+        if cost_per_call < 0:
+            raise ValueError(f"cost_per_call must be >= 0: {cost_per_call}")
+        self.name = name
+        self.latency = (
+            distribution_from_spec(latency) if latency is not None else Uniform(0.3, 0.5)
+        )
+        self.resolver = resolver or _default_resolver
+        self.time_resolver = time_resolver
+        self.rate_limiter = rate_limiter
+        self.cost_per_call = cost_per_call
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.cost_meter = cost_meter if cost_meter is not None else CostMeter()
+        # -- statistics --
+        self.calls = 0
+        self.attempts = 0
+        self.retries = 0
+
+    # -- shared pieces -------------------------------------------------------
+    def _admission_plan(self, start: float) -> tuple[float, int, bool]:
+        """Walk the throttle/backoff loop; returns (grant_time, retries, limited).
+
+        Consumes limiter permits and RNG draws, so call exactly once per fetch.
+        """
+        now = start
+        retries = 0
+        limited = False
+        if self.rate_limiter is None:
+            return now, 0, False
+        while not self.rate_limiter.try_acquire(now):
+            limited = True
+            if retries >= self.retry_policy.max_retries:
+                raise RateLimitExceeded(
+                    f"{self.name}: gave up after {retries} retries"
+                )
+            backoff = self.retry_policy.delay(retries, self.rng)
+            earliest = self.rate_limiter.next_available(now)
+            now = max(now + backoff, earliest)
+            retries += 1
+        return now, retries, limited
+
+    def _complete(self, query: Query, waited: float, now: float = 0.0) -> FetchResult:
+        # Heterogeneous backends: a query may declare that its data source is
+        # slower/faster than the service baseline (drives LCFU's cost focus).
+        scale = float(query.metadata.get("latency_scale", 1.0))
+        service_time = self.latency.sample(self.rng) * scale
+        if self.time_resolver is not None:
+            result = self.time_resolver(query, now + service_time)
+        else:
+            result = self.resolver(query)
+        fee = query.cost if query.cost is not None else self.cost_per_call
+        self.cost_meter.charge_api_call(fee, tool=query.tool)
+        self.calls += 1
+        return FetchResult(
+            result=result,
+            latency=waited + service_time,
+            service_latency=service_time,
+            cost=fee,
+            retries=0,  # filled in by callers
+            rate_limited=False,
+            size_tokens=estimate_tokens(result),
+        )
+
+    # -- analytic execution -------------------------------------------------------
+    def fetch_at(self, query: Query, now: float = 0.0) -> FetchResult:
+        """Perform a whole fetch starting at time ``now`` (analytic mode)."""
+        grant_time, retries, limited = self._admission_plan(now)
+        self.attempts += 1 + retries
+        self.retries += retries
+        base = self._complete(query, waited=grant_time - now, now=grant_time)
+        return FetchResult(
+            result=base.result,
+            latency=base.latency,
+            service_latency=base.service_latency,
+            cost=base.cost,
+            retries=retries,
+            rate_limited=limited,
+            size_tokens=base.size_tokens,
+        )
+
+    # -- discrete-event execution ----------------------------------------------------
+    def fetch(self, sim: Simulator, query: Query) -> Generator:
+        """Process-style fetch; drive with ``yield from`` inside a process.
+
+        Returns a :class:`FetchResult` whose latency is measured on the
+        simulator clock, so queueing across concurrent callers is real.
+        """
+        start = sim.now
+        retries = 0
+        limited = False
+        if self.rate_limiter is not None:
+            while not self.rate_limiter.try_acquire(sim.now):
+                limited = True
+                if retries >= self.retry_policy.max_retries:
+                    raise RateLimitExceeded(
+                        f"{self.name}: gave up after {retries} retries"
+                    )
+                backoff = self.retry_policy.delay(retries, self.rng)
+                earliest = self.rate_limiter.next_available(sim.now)
+                wait = max(backoff, earliest - sim.now)
+                retries += 1
+                self.attempts += 1
+                self.retries += 1
+                yield sim.timeout(wait)
+        base = self._complete(query, waited=0.0, now=sim.now)
+        self.attempts += 1
+        yield sim.timeout(base.service_latency)
+        return FetchResult(
+            result=base.result,
+            latency=sim.now - start,
+            service_latency=base.service_latency,
+            cost=base.cost,
+            retries=retries,
+            rate_limited=limited,
+            size_tokens=base.size_tokens,
+        )
+
+    @property
+    def retry_ratio(self) -> float:
+        """Fraction of attempts that were retries (the paper's Figure 12 metric)."""
+        if self.attempts == 0:
+            return 0.0
+        return self.retries / self.attempts
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteDataService({self.name!r}, calls={self.calls}, "
+            f"retries={self.retries}, cost=${self.cost_meter.api_cost:.4f})"
+        )

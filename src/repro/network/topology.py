@@ -1,0 +1,83 @@
+"""Inter-region latency topology.
+
+A :class:`RegionTopology` maps ordered region pairs to latency
+distributions. The default topology reflects the paper's deployment numbers:
+an agent region and a remote data region separated by a WAN with 100-300 ms
+of network delay, yielding 300-500 ms end-to-end service latencies for
+search-API calls (§2.2, §6.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.distributions import Constant, Distribution, Uniform
+
+
+class RegionTopology:
+    """Latency distributions between named regions.
+
+    Pairs are directional; :meth:`connect` registers both directions unless
+    ``symmetric=False``. Intra-region latency defaults to
+    ``local_latency`` (1 ms) unless overridden.
+    """
+
+    def __init__(self, local_latency: float = 0.001) -> None:
+        if local_latency < 0:
+            raise ValueError(f"local_latency must be >= 0: {local_latency}")
+        self._links: dict[tuple[str, str], Distribution] = {}
+        self._regions: set[str] = set()
+        self.local_latency = local_latency
+
+    @property
+    def regions(self) -> frozenset[str]:
+        """All regions mentioned by any link."""
+        return frozenset(self._regions)
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        latency: Distribution,
+        symmetric: bool = True,
+    ) -> None:
+        """Register the latency distribution for ``src -> dst``."""
+        if src == dst:
+            raise ValueError("use local_latency for intra-region latency")
+        self._links[(src, dst)] = latency
+        self._regions.update((src, dst))
+        if symmetric:
+            self._links[(dst, src)] = latency
+
+    def latency_distribution(self, src: str, dst: str) -> Distribution:
+        """The latency distribution for ``src -> dst``."""
+        if src == dst:
+            return Constant(self.local_latency)
+        link = self._links.get((src, dst))
+        if link is None:
+            raise KeyError(f"no link registered for {src!r} -> {dst!r}")
+        return link
+
+    def sample_latency(
+        self, src: str, dst: str, rng: np.random.Generator
+    ) -> float:
+        """One latency draw for ``src -> dst``."""
+        return self.latency_distribution(src, dst).sample(rng)
+
+    def __repr__(self) -> str:
+        return f"RegionTopology(regions={sorted(self._regions)}, links={len(self._links)})"
+
+
+def default_topology() -> RegionTopology:
+    """The paper's two-region deployment plus a same-region reference.
+
+    * ``agent`` — the on-premise H100 cluster region.
+    * ``remote`` — the data-service region; one-way delivery time is drawn
+      U(0.10 s, 0.30 s) per §2.2's 100-300 ms cross-region delay (the
+      service adds its own processing time on top).
+    * ``local-dc`` — a same-metro data centre (2 ms) for ablations.
+    """
+    topology = RegionTopology()
+    topology.connect("agent", "remote", Uniform(0.10, 0.30))
+    topology.connect("agent", "local-dc", Constant(0.002))
+    return topology

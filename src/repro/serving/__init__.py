@@ -1,0 +1,36 @@
+"""GPU serving substrate: MPS-style partitioning and priority co-location.
+
+The paper co-locates the ~7B agent LLM and the ~0.6B semantic judger on one
+H100 via CUDA MPS, giving the agent ~80 % of compute and protecting its
+latency with a priority-aware admission controller over a unified dynamic
+memory pool (§4.4, Figure 6). This package reproduces those mechanics on the
+discrete-event simulator:
+
+``GpuDevice`` / ``GpuPartition``
+    A GPU with named compute partitions; work submitted to a partition with
+    share *s* runs at *s* × full speed, with a bounded number of concurrent
+    batch slots (continuous-batching abstraction).
+``KVMemoryPool``
+    Static per-workload reservations plus a shared dynamic region.
+``PriorityAwareScheduler``
+    Agent queue served exhaustively; judger batches admitted only when the
+    agent queue is idle or its memory demand is met — the paper's two-level
+    defence.
+``FixedLatencyExecutor`` / ``PartitionJudgeExecutor``
+    :class:`~repro.core.engine.JudgeExecutor` implementations wiring cache
+    validation onto (co-located or dedicated) GPU partitions.
+"""
+
+from repro.serving.executor import FixedLatencyExecutor, PartitionJudgeExecutor
+from repro.serving.gpu import GpuDevice, GpuPartition
+from repro.serving.memory import KVMemoryPool
+from repro.serving.scheduler import PriorityAwareScheduler
+
+__all__ = [
+    "FixedLatencyExecutor",
+    "GpuDevice",
+    "GpuPartition",
+    "KVMemoryPool",
+    "PartitionJudgeExecutor",
+    "PriorityAwareScheduler",
+]

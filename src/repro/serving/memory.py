@@ -1,0 +1,108 @@
+"""The unified KV-cache memory pool (§4.4, Figure 6).
+
+Each workload (agent, judger) owns a *static partition* sized for its common
+case; a shared *dynamic* region absorbs bursts. Allocation requests draw from
+the caller's static reservation first and spill into the dynamic pool. The
+scheduler consults :meth:`can_allocate` before admitting judger batches so
+the agent's spill headroom is never stolen.
+"""
+
+from __future__ import annotations
+
+
+class KVMemoryPool:
+    """GB-denominated memory accounting with static + dynamic regions.
+
+    Parameters
+    ----------
+    total_gb:
+        Device memory available for KV caches.
+    static_gb:
+        Mapping of workload name to its static reservation. The sum must not
+        exceed ``total_gb``; the remainder is the dynamic pool.
+    """
+
+    def __init__(self, total_gb: float, static_gb: dict[str, float]) -> None:
+        if total_gb <= 0:
+            raise ValueError(f"total_gb must be > 0, got {total_gb}")
+        if any(v < 0 for v in static_gb.values()):
+            raise ValueError("static reservations must be >= 0")
+        reserved = sum(static_gb.values())
+        if reserved > total_gb:
+            raise ValueError(
+                f"static reservations ({reserved} GB) exceed total ({total_gb} GB)"
+            )
+        self.total_gb = float(total_gb)
+        self.static_gb = dict(static_gb)
+        self.dynamic_gb = total_gb - reserved
+        #: Static usage per workload.
+        self._static_used: dict[str, float] = {name: 0.0 for name in static_gb}
+        #: Dynamic usage per workload.
+        self._dynamic_used: dict[str, float] = {name: 0.0 for name in static_gb}
+
+    # -- introspection -------------------------------------------------------
+    def static_free(self, workload: str) -> float:
+        """Unused static reservation of ``workload``."""
+        self._check_workload(workload)
+        return self.static_gb[workload] - self._static_used[workload]
+
+    @property
+    def dynamic_free(self) -> float:
+        """Unused dynamic-region memory."""
+        return self.dynamic_gb - sum(self._dynamic_used.values())
+
+    def used_by(self, workload: str) -> float:
+        """Total GB currently held by ``workload``."""
+        self._check_workload(workload)
+        return self._static_used[workload] + self._dynamic_used[workload]
+
+    def can_allocate(self, workload: str, amount: float) -> bool:
+        """Would :meth:`allocate` succeed right now?"""
+        self._check_workload(workload)
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        return amount <= self.static_free(workload) + self.dynamic_free
+
+    # -- mutation ----------------------------------------------------------------
+    def allocate(self, workload: str, amount: float) -> bool:
+        """Claim ``amount`` GB for ``workload``; static first, then dynamic.
+
+        Returns False (allocating nothing) if the combined free space is
+        insufficient.
+        """
+        if not self.can_allocate(workload, amount):
+            return False
+        from_static = min(amount, self.static_free(workload))
+        self._static_used[workload] += from_static
+        self._dynamic_used[workload] += amount - from_static
+        return True
+
+    def release(self, workload: str, amount: float) -> None:
+        """Return ``amount`` GB; dynamic spill is repaid before static."""
+        self._check_workload(workload)
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        held = self.used_by(workload)
+        if amount > held + 1e-9:
+            raise ValueError(
+                f"{workload} releasing {amount} GB but holds only {held} GB"
+            )
+        from_dynamic = min(amount, self._dynamic_used[workload])
+        self._dynamic_used[workload] -= from_dynamic
+        self._static_used[workload] -= amount - from_dynamic
+        # Clamp float dust.
+        self._static_used[workload] = max(0.0, self._static_used[workload])
+        self._dynamic_used[workload] = max(0.0, self._dynamic_used[workload])
+
+    def _check_workload(self, workload: str) -> None:
+        if workload not in self.static_gb:
+            raise KeyError(
+                f"unknown workload {workload!r}; known: {sorted(self.static_gb)}"
+            )
+
+    def __repr__(self) -> str:
+        usage = {name: round(self.used_by(name), 2) for name in self.static_gb}
+        return (
+            f"KVMemoryPool(total={self.total_gb} GB, "
+            f"dynamic_free={self.dynamic_free:.2f} GB, used={usage})"
+        )

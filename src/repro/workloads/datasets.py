@@ -1,0 +1,335 @@
+"""Synthetic QA datasets standing in for the paper's search benchmarks.
+
+The paper samples ~250 questions from each of Zilliz-GPT, HotpotQA, Musique,
+and 2WikiMultiHop (§6.1), and a StrategyQA-like set for accuracy. Offline we
+generate universes whose *cache-relevant structure* matches:
+
+* ~60 distinct knowledge units behind a nominal ~250 questions per dataset
+  (several questions ask for the same knowledge — the semantic-locality
+  ratio), ranked by Zipf(0.99) popularity;
+* each fact reachable through ~112 deterministic paraphrases (a live agent
+  regenerates its tool query every time, so strings rarely repeat — which is
+  why exact caches miss);
+* a per-dataset fraction of *confusable* fact pairs (same content words,
+  one differing qualifier) that defeat similarity-only matching;
+* multi-hop *chains* (Musique > 2Wiki ≈ HotpotQA > Zilliz single-hop) that
+  create the query-to-query correlations prefetching exploits;
+* heterogeneous retrieval cost/latency (a premium slice) that LCFU values;
+* attribute-driven staticity (capitals are stable, prices are ephemeral);
+* a per-dataset base Exact-Match score for the vanilla agent, used by the
+  Figure 13 accuracy analysis.
+
+Everything is deterministic given the dataset name and seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.types import Query
+from repro.sim.random import derive_seed
+from repro.workloads.facts import Fact, FactUniverse
+from repro.workloads.paraphrase import Paraphraser
+
+#: (entity, topic) bank. Entities are multi-token where natural; content
+#: stems are what the embedder fingerprints.
+_ENTITIES: tuple[tuple[str, str], ...] = (
+    ("mount everest", "geography"), ("kilimanjaro", "geography"),
+    ("amazon river", "geography"), ("nile delta", "geography"),
+    ("sahara desert", "geography"), ("lake baikal", "geography"),
+    ("grand canyon", "geography"), ("great barrier reef", "geography"),
+    ("mariana trench", "geography"), ("angel falls", "geography"),
+    ("mona lisa", "art"), ("starry night", "art"),
+    ("sistine chapel", "art"), ("girl pearl earring", "art"),
+    ("guernica painting", "art"), ("venus milo", "art"),
+    ("david sculpture", "art"), ("persistence memory", "art"),
+    ("water lilies", "art"), ("scream painting", "art"),
+    ("leonardo vinci", "history"), ("isaac newton", "history"),
+    ("marie curie", "history"), ("albert einstein", "history"),
+    ("cleopatra egypt", "history"), ("julius caesar", "history"),
+    ("napoleon bonaparte", "history"), ("genghis khan", "history"),
+    ("abraham lincoln", "history"), ("winston churchill", "history"),
+    ("solar panel", "technology"), ("lithium battery", "technology"),
+    ("quantum computer", "technology"), ("neural network", "technology"),
+    ("jet engine", "technology"), ("fiber optic", "technology"),
+    ("microchip fabrication", "technology"), ("electric vehicle", "technology"),
+    ("space telescope", "technology"), ("fusion reactor", "technology"),
+    ("world cup", "sports"), ("olympic marathon", "sports"),
+    ("tour france", "sports"), ("wimbledon tennis", "sports"),
+    ("super bowl", "sports"), ("cricket ashes", "sports"),
+    ("formula racing", "sports"), ("boston marathon", "sports"),
+    ("chess championship", "sports"), ("rugby nations", "sports"),
+    ("aspirin tablet", "health"), ("penicillin antibiotic", "health"),
+    ("insulin hormone", "health"), ("vitamin d", "health"),
+    ("malaria vaccine", "health"), ("blood pressure", "health"),
+    ("caffeine metabolism", "health"), ("gut microbiome", "health"),
+    ("measles outbreak", "health"), ("influenza strain", "health"),
+    ("stock exchange", "finance"), ("federal reserve", "finance"),
+    ("crypto currency", "finance"), ("mortgage rate", "finance"),
+    ("hedge fund", "finance"), ("carbon tax", "finance"),
+    ("trade tariff", "finance"), ("pension fund", "finance"),
+    ("venture capital", "finance"), ("inflation index", "finance"),
+    ("jazz festival", "entertainment"), ("opera house", "entertainment"),
+    ("film noir", "entertainment"), ("broadway musical", "entertainment"),
+    ("anime studio", "entertainment"), ("rock album", "entertainment"),
+    ("video game", "entertainment"), ("comic convention", "entertainment"),
+    ("streaming series", "entertainment"), ("puppet theatre", "entertainment"),
+    ("photosynthesis process", "science"), ("plate tectonics", "science"),
+    ("dna helix", "science"), ("black hole", "science"),
+    ("higgs boson", "science"), ("crispr editing", "science"),
+    ("dark matter", "science"), ("exoplanet survey", "science"),
+    ("coral bleaching", "science"), ("permafrost methane", "science"),
+)
+
+#: (attribute, true staticity) bank — capitals are stable, prices ephemeral.
+_ATTRIBUTES: tuple[tuple[str, int], ...] = (
+    ("height", 9), ("length", 9), ("origin", 10), ("inventor", 10),
+    ("discovery year", 10), ("author", 10), ("location", 9),
+    ("composition", 8), ("founder", 10), ("meaning", 8),
+    ("history", 9), ("structure", 8), ("capacity", 7),
+    ("winner", 7), ("record", 6), ("schedule", 3),
+    ("price", 2), ("forecast", 2), ("ranking", 3),
+    ("availability", 3), ("population", 5), ("budget", 4),
+    ("membership", 5), ("duration", 8),
+)
+
+#: Qualifier pairs used to build confusable fact groups; the two facts share
+#: every content stem except the qualifier.
+_CONFUSABLE_QUALIFIERS: tuple[tuple[str, str], ...] = (
+    ("2018", "2022"), ("summer", "winter"), ("northern", "southern"),
+    ("original", "modern"), ("indoor", "outdoor"), ("junior", "senior"),
+    ("opening", "closing"), ("eastern", "western"),
+)
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Shape parameters of one synthetic dataset.
+
+    ``n_facts`` counts distinct knowledge units; ``n_questions`` is the
+    dataset's nominal question count (the paper samples ~250 questions per
+    dataset, several of which ask for the same knowledge — that ratio is
+    what makes semantic caching effective where exact caching is not).
+    Cache-size ratios are expressed against ``n_questions``.
+    """
+
+    name: str
+    n_facts: int = 60
+    n_questions: int = 250
+    zipf_s: float = 0.99
+    confusable_fraction: float = 0.2
+    premium_fraction: float = 0.2
+    premium_cost: float = 0.02
+    premium_latency_scale: float = 2.0
+    mean_answer_tokens: int = 64
+    min_hops: int = 1
+    max_hops: int = 1
+    n_chains: int = 120
+    base_em: float = 0.6
+
+
+#: Per-dataset profiles. ``base_em`` values follow the relative difficulty
+#: the literature reports (Musique hardest, Zilliz easiest); StrategyQA's
+#: 0.79 matches the number quoted in §6.6.
+PROFILES: dict[str, DatasetProfile] = {
+    "zilliz_gpt": DatasetProfile(
+        name="zilliz_gpt", confusable_fraction=0.10, min_hops=1, max_hops=1,
+        base_em=0.82,
+    ),
+    "hotpotqa": DatasetProfile(
+        name="hotpotqa", confusable_fraction=0.20, min_hops=2, max_hops=2,
+        base_em=0.62,
+    ),
+    "musique": DatasetProfile(
+        name="musique", confusable_fraction=0.30, min_hops=2, max_hops=4,
+        base_em=0.45,
+    ),
+    "two_wiki": DatasetProfile(
+        name="two_wiki", confusable_fraction=0.20, min_hops=2, max_hops=2,
+        base_em=0.55,
+    ),
+    "strategyqa": DatasetProfile(
+        name="strategyqa", n_facts=50, n_questions=200,
+        confusable_fraction=0.25, min_hops=2, max_hops=3, base_em=0.79,
+    ),
+}
+
+DATASET_NAMES = tuple(name for name in PROFILES if name != "strategyqa")
+
+
+class QADataset:
+    """A synthetic QA dataset: universe + chains + paraphraser + profile."""
+
+    def __init__(
+        self,
+        profile: DatasetProfile,
+        universe: FactUniverse,
+        chains: list[tuple[str, ...]],
+        paraphraser: Paraphraser,
+    ) -> None:
+        self.profile = profile
+        self.universe = universe
+        self.chains = chains
+        self.paraphraser = paraphraser
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def base_em(self) -> float:
+        """Vanilla agent Exact-Match score on this dataset."""
+        return self.profile.base_em
+
+    def capacity_for(self, cache_ratio: float) -> int:
+        """Cache capacity (items) for a ratio of the nominal dataset size."""
+        if not 0.0 < cache_ratio:
+            raise ValueError(f"cache_ratio must be > 0, got {cache_ratio}")
+        return max(1, int(cache_ratio * self.profile.n_questions))
+
+    def query_for(
+        self, fact: Fact, variant: int, session: str | None = None
+    ) -> Query:
+        """A :class:`Query` asking ``fact`` with paraphrase ``variant``.
+
+        ``session`` tags the query with the requesting workflow's identity
+        (the prefetcher learns transitions per session).
+        """
+        metadata = {}
+        if fact.latency_scale != 1.0:
+            metadata["latency_scale"] = fact.latency_scale
+        if session is not None:
+            metadata["session"] = session
+        return Query(
+            text=self.paraphraser.phrase(fact.core, variant),
+            tool="search",
+            fact_id=fact.fact_id,
+            staticity=fact.staticity,
+            cost=fact.cost,
+            metadata=metadata,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QADataset({self.name!r}, facts={len(self.universe)}, "
+            f"chains={len(self.chains)})"
+        )
+
+
+def _build_facts(profile: DatasetProfile, rng: np.random.Generator) -> list[Fact]:
+    """Generate the fact list for ``profile`` in popularity order."""
+    facts: list[Fact] = []
+    entity_order = rng.permutation(len(_ENTITIES))
+    attribute_order = rng.permutation(len(_ATTRIBUTES))
+    n_confusable_groups = int(
+        profile.n_facts * profile.confusable_fraction / 2
+    )
+    pair_cursor = 0
+    combo_index = 0
+
+    def next_combo() -> tuple[str, str, str, int]:
+        nonlocal combo_index
+        entity, topic = _ENTITIES[entity_order[combo_index % len(_ENTITIES)]]
+        attr_step = combo_index // len(_ENTITIES)
+        attribute, staticity = _ATTRIBUTES[
+            attribute_order[(combo_index + attr_step) % len(_ATTRIBUTES)]
+        ]
+        combo_index += 1
+        return entity, topic, attribute, staticity
+
+    while len(facts) < profile.n_facts:
+        entity, topic, attribute, staticity = next_combo()
+        premium = bool(rng.random() < profile.premium_fraction)
+        cost = profile.premium_cost if premium else None
+        latency_scale = profile.premium_latency_scale if premium else 1.0
+        answer_tokens = max(
+            8, int(rng.normal(profile.mean_answer_tokens, profile.mean_answer_tokens / 4))
+        )
+        if pair_cursor < n_confusable_groups and len(facts) + 2 <= profile.n_facts:
+            qual_a, qual_b = _CONFUSABLE_QUALIFIERS[
+                pair_cursor % len(_CONFUSABLE_QUALIFIERS)
+            ]
+            group = f"{profile.name}:grp{pair_cursor}"
+            for qualifier in (qual_a, qual_b):
+                core = f"{attribute} {entity} {qualifier}"
+                facts.append(
+                    Fact(
+                        fact_id=f"{profile.name}:{len(facts)}",
+                        core=core,
+                        answer=f"The {attribute} of {entity} ({qualifier}) is "
+                        f"value-{len(facts)}",
+                        topic=topic,
+                        staticity=staticity,
+                        cost=cost,
+                        latency_scale=latency_scale,
+                        answer_tokens=answer_tokens,
+                        confusable_group=group,
+                    )
+                )
+            pair_cursor += 1
+        else:
+            core = f"{attribute} {entity}"
+            facts.append(
+                Fact(
+                    fact_id=f"{profile.name}:{len(facts)}",
+                    core=core,
+                    answer=f"The {attribute} of {entity} is value-{len(facts)}",
+                    topic=topic,
+                    staticity=staticity,
+                    cost=cost,
+                    latency_scale=latency_scale,
+                    answer_tokens=answer_tokens,
+                )
+            )
+    # Popularity order: shuffle so confusables are spread across ranks.
+    rng.shuffle(facts)
+    return facts[: profile.n_facts]
+
+
+def _build_chains(
+    profile: DatasetProfile, facts: list[Fact], rng: np.random.Generator
+) -> list[tuple[str, ...]]:
+    """Multi-hop reasoning chains (fact-id tuples), popularity-ordered.
+
+    Chains prefer popular facts for their first hop (questions about popular
+    topics are themselves popular) and reuse a stable successor per fact so
+    prefetchable transition structure exists.
+    """
+    n = len(facts)
+    chains: list[tuple[str, ...]] = []
+    # A stable "related fact" mapping: fact i -> fact (i * 7 + 3) % n, which
+    # is deterministic and avoids self-loops for n not divisible by 7.
+    for chain_index in range(profile.n_chains):
+        hops = int(rng.integers(profile.min_hops, profile.max_hops + 1))
+        start = chain_index % n
+        chain = [start]
+        current = start
+        while len(chain) < hops:
+            current = (current * 7 + 3) % n
+            if current == chain[0]:
+                current = (current + 1) % n
+            chain.append(current)
+        chains.append(tuple(facts[i].fact_id for i in chain))
+    return chains
+
+
+def build_dataset(name: str, seed: int = 0, **overrides) -> QADataset:
+    """Construct the named dataset deterministically.
+
+    ``name`` is one of ``zilliz_gpt``, ``hotpotqa``, ``musique``,
+    ``two_wiki``, ``strategyqa``. Keyword ``overrides`` replace profile
+    fields (e.g. ``premium_latency_scale=4.0`` for cost-heterogeneity
+    studies).
+    """
+    profile = PROFILES.get(name)
+    if profile is None:
+        raise ValueError(f"unknown dataset {name!r}; known: {sorted(PROFILES)}")
+    if overrides:
+        profile = replace(profile, **overrides)
+    rng = np.random.default_rng(derive_seed(seed, f"dataset:{name}"))
+    facts = _build_facts(profile, rng)
+    universe = FactUniverse(name, facts)
+    chains = _build_chains(profile, facts, rng)
+    return QADataset(profile, universe, chains, Paraphraser())

@@ -1,0 +1,118 @@
+"""Deterministic paraphrase generation.
+
+Real users phrase the same information need many ways; that is exactly what
+defeats exact-match caches (§2.4). The paraphraser wraps a fact's content
+core in templates whose filler words are all embedding stopwords, so:
+
+* paraphrases of the same fact keep identical content stems → cosine ≥ ~0.95
+  under the hashing embedder (inside the coarse filter);
+* different facts share few stems → well below the filter;
+* confusable facts (same stems, one differing qualifier) land in between —
+  above the filter, caught only by the judger.
+
+Everything is deterministic: variant ``i`` of a given core is always the
+same string.
+"""
+
+from __future__ import annotations
+
+#: Filler-only templates. Every non-``{core}`` word must be a tokenizer
+#: stopword (tests enforce this), so templates perturb word order and length
+#: without touching the content fingerprint.
+DEFAULT_TEMPLATES = (
+    "{core}",
+    "what is {core}",
+    "tell me about {core}",
+    "can you tell me {core}",
+    "do you know {core}",
+    "i want to know {core}",
+    "please show me {core}",
+    "i need to find {core}",
+    "what do you know about {core}",
+    "just tell me {core}",
+    "give me {core}",
+    "{core} please",
+    "quick question about {core}",
+    "could you find {core} for me",
+)
+
+#: Template indices at which the core's word order is reversed (models
+#: keyword-style re-orderings such as "mona lisa painter").
+_REVERSED_VARIANTS = frozenset({3, 7, 11})
+
+#: Interjection prefixes (all stopwords) forming the second paraphrase axis.
+#: A live agent regenerates its tool query every time, so even the same
+#: question rarely produces byte-identical strings — this axis models that.
+DEFAULT_FILLERS = (
+    "",
+    "ok so",
+    "well",
+    "now then",
+    "hey",
+    "um",
+    "oh right",
+    "so",
+)
+
+
+class Paraphraser:
+    """Deterministic surface forms for fact cores.
+
+    The variant space is ``templates x fillers`` (14 x 8 = 112 by default):
+    variant ``i`` uses template ``i % len(templates)`` with interjection
+    prefix ``(i // len(templates)) % len(fillers)``. All filler material is
+    stopwords, so every variant of one core shares the same content
+    fingerprint.
+
+    Parameters
+    ----------
+    templates:
+        Filler templates containing one ``{core}`` placeholder.
+    fillers:
+        Interjection prefixes (may include the empty string).
+    variants:
+        Size of the variant space exposed; defaults to the full grid.
+    """
+
+    def __init__(
+        self,
+        templates: tuple[str, ...] = DEFAULT_TEMPLATES,
+        fillers: tuple[str, ...] = DEFAULT_FILLERS,
+        variants: int | None = None,
+    ) -> None:
+        if not templates:
+            raise ValueError("need at least one template")
+        for template in templates:
+            if "{core}" not in template:
+                raise ValueError(f"template {template!r} lacks a {{core}} slot")
+        if not fillers:
+            raise ValueError("need at least one filler (may be the empty string)")
+        self.templates = tuple(templates)
+        self.fillers = tuple(fillers)
+        grid = len(self.templates) * len(self.fillers)
+        if variants is None:
+            variants = grid
+        if not 1 <= variants <= grid:
+            raise ValueError(f"variants must be in [1, {grid}], got {variants}")
+        self.variants = variants
+
+    def phrase(self, core: str, variant: int) -> str:
+        """Variant ``variant`` (mod ``variants``) of ``core``."""
+        if not core:
+            raise ValueError("core must be non-empty")
+        index = variant % self.variants
+        template_index = index % len(self.templates)
+        filler_index = (index // len(self.templates)) % len(self.fillers)
+        body = core
+        if template_index in _REVERSED_VARIANTS:
+            body = " ".join(reversed(core.split()))
+        text = self.templates[template_index].format(core=body)
+        filler = self.fillers[filler_index]
+        return f"{filler} {text}".strip()
+
+    def all_phrases(self, core: str) -> list[str]:
+        """Every distinct paraphrase of ``core``."""
+        return [self.phrase(core, index) for index in range(self.variants)]
+
+    def __repr__(self) -> str:
+        return f"Paraphraser(variants={self.variants})"

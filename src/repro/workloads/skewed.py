@@ -1,0 +1,109 @@
+"""Skewed (Zipf) search workloads — the Figure 7 traffic shape.
+
+Queries target facts by Zipf(0.99) popularity; each arrival phrases its fact
+through a uniformly chosen paraphrase, so the same knowledge is requested
+under many surface forms (high semantic locality, low textual locality).
+Task mode samples multi-hop chains instead, producing the correlated
+query-to-query transitions prefetching can learn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agent.model import AgentTask
+from repro.core.types import Query
+from repro.sim.random import derive_seed
+from repro.workloads.datasets import QADataset
+from repro.workloads.zipf import ZipfSampler
+
+
+class SkewedWorkload:
+    """Zipf-skewed query/task streams over one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The :class:`~repro.workloads.datasets.QADataset` to draw from.
+    seed:
+        Stream seed (derive different seeds for repeated trials).
+    zipf_s:
+        Popularity skew; defaults to the dataset profile's (0.99).
+    """
+
+    def __init__(self, dataset: QADataset, seed: int = 0, zipf_s: float | None = None) -> None:
+        self.dataset = dataset
+        self.seed = seed
+        s = zipf_s if zipf_s is not None else dataset.profile.zipf_s
+        self._fact_sampler = ZipfSampler(len(dataset.universe), s)
+        self._chain_sampler = ZipfSampler(len(dataset.chains), s)
+        self._rng = np.random.default_rng(
+            derive_seed(seed, f"skewed:{dataset.name}")
+        )
+
+    def next_query(self) -> Query:
+        """One Zipf-popularity query with a random paraphrase."""
+        rank = self._fact_sampler.sample(self._rng)
+        fact = self.dataset.universe.by_rank(rank)
+        variant = int(self._rng.integers(self.dataset.paraphraser.variants))
+        return self.dataset.query_for(fact, variant)
+
+    def queries(self, count: int) -> list[Query]:
+        """A flat stream of ``count`` queries."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return [self.next_query() for _ in range(count)]
+
+    def next_task(self) -> AgentTask:
+        """One multi-hop task following a Zipf-popular reasoning chain."""
+        chain_rank = self._chain_sampler.sample(self._rng)
+        chain = self.dataset.chains[chain_rank]
+        task_id = (
+            f"{self.dataset.name}:chain{chain_rank}:{self._rng.integers(1 << 30)}"
+        )
+        queries = []
+        for fact_id in chain:
+            fact = self.dataset.universe.get(fact_id)
+            variant = int(self._rng.integers(self.dataset.paraphraser.variants))
+            queries.append(self.dataset.query_for(fact, variant, session=task_id))
+        final_fact = self.dataset.universe.get(chain[-1])
+        return AgentTask(
+            task_id=task_id,
+            question=f"multi-hop question about {chain[0]}",
+            queries=tuple(queries),
+            answer=final_fact.answer,
+            answer_fact=final_fact.fact_id,
+        )
+
+    def tasks(self, count: int) -> list[AgentTask]:
+        """A stream of ``count`` tasks."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return [self.next_task() for _ in range(count)]
+
+    def next_single_hop_task(self) -> AgentTask:
+        """One single-query task whose fact is drawn by fact-level Zipf.
+
+        This is the Figure 7 shape: each request is one question whose
+        popularity follows the dataset's head-tail skew directly (chains
+        would flatten the skew).
+        """
+        query = self.next_query()
+        assert query.fact_id is not None
+        fact = self.dataset.universe.get(query.fact_id)
+        return AgentTask(
+            task_id=f"{self.dataset.name}:q:{self._rng.integers(1 << 30)}",
+            question=query.text,
+            queries=(query,),
+            answer=fact.answer,
+            answer_fact=fact.fact_id,
+        )
+
+    def single_hop_tasks(self, count: int) -> list[AgentTask]:
+        """``count`` single-hop tasks (the skewed-benchmark request unit)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return [self.next_single_hop_task() for _ in range(count)]
+
+    def __repr__(self) -> str:
+        return f"SkewedWorkload({self.dataset.name!r}, seed={self.seed})"

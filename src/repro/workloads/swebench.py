@@ -1,0 +1,181 @@
+"""SWE-bench-style coding workload on an sqlfluff-like repository (§2.3, §6.2).
+
+Table 2 of the paper measures how often each sqlfluff file is needed across
+SWE-bench Dev tasks: one file by *every* task, a few core modules heavily,
+and a long tail rarely. Issues are modelled as tasks whose tool calls fetch
+the files the fix depends on; because core files recur across issues, the
+file-fetch stream has the near-Zipf locality a semantic cache can exploit —
+while distinct files sharing most path tokens give the judger real work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agent.model import AgentTask
+from repro.core.types import Query
+from repro.sim.random import derive_seed
+from repro.workloads.facts import Fact, FactUniverse
+from repro.workloads.paraphrase import Paraphraser
+
+#: Table 2: per-file access frequency across SWE-bench Dev tasks.
+TABLE2_ACCESS_FREQUENCIES = (1.0, 0.28, 0.22, 0.14, 0.10, 0.08, 0.04, 0.04, 0.04)
+
+#: The nine head files (frequencies above) plus tail structure below. Paths
+#: follow sqlfluff's real layout.
+_HEAD_FILES = (
+    "src/sqlfluff/core/linter/linter.py",
+    "src/sqlfluff/core/parser/segments/base.py",
+    "src/sqlfluff/core/rules/base.py",
+    "src/sqlfluff/core/parser/grammar/base.py",
+    "src/sqlfluff/core/config.py",
+    "src/sqlfluff/core/parser/lexer.py",
+    "src/sqlfluff/core/templaters/jinja.py",
+    "src/sqlfluff/core/dialects/dialect_ansi.py",
+    "src/sqlfluff/core/errors.py",
+)
+
+#: File-fetch phrasing templates (filler words are embedding stopwords).
+FILE_TEMPLATES = (
+    "{core}",
+    "show me {core}",
+    "i need {core}",
+    "please give me {core}",
+    "what is in {core}",
+    "find {core}",
+    "can you get {core}",
+    "{core} please",
+)
+
+#: Frequency assigned to every tail file.
+_TAIL_FREQUENCY = 0.02
+
+
+def _path_core(path: str) -> str:
+    """Content core of a file path (tokens the embedder fingerprints)."""
+    return path.replace("/", " ").replace(".", " ").replace("_", " ")
+
+
+def build_repo_universe(
+    n_tail_files: int = 40, seed: int = 0, mean_file_tokens: int = 400
+) -> FactUniverse:
+    """The sqlfluff-like repository as a fact universe (fact = file).
+
+    Head files carry the Table 2 frequencies in their metadata-bearing
+    order; tail files follow. File contents are deterministic synthetic
+    text sized like real modules.
+    """
+    if n_tail_files < 0:
+        raise ValueError("n_tail_files must be >= 0")
+    rng = np.random.default_rng(derive_seed(seed, "swebench:repo"))
+    facts = []
+    paths = list(_HEAD_FILES) + [
+        f"src/sqlfluff/rules/L{index:03d}.py" for index in range(1, n_tail_files + 1)
+    ]
+    for index, path in enumerate(paths):
+        tokens = max(50, int(rng.normal(mean_file_tokens, mean_file_tokens / 3)))
+        facts.append(
+            Fact(
+                fact_id=path,
+                core=_path_core(path),
+                answer=f"<file {path}> module source",
+                topic="code",
+                staticity=8,  # Source files change slowly between issues.
+                cost=0.0,  # Self-hosted RAG service: no per-call fee (§6.4).
+                answer_tokens=tokens,
+            )
+        )
+    return FactUniverse("sqlfluff", facts)
+
+
+class SWEBenchWorkload:
+    """Issue-resolution tasks over the synthetic sqlfluff repository.
+
+    Each issue (task) reads the always-needed linter core, each head file
+    independently with its Table 2 probability, and 1-3 tail files specific
+    to the issue. Tool calls use the ``file`` tool and varied phrasing.
+
+    Parameters
+    ----------
+    universe:
+        A repository universe (defaults to :func:`build_repo_universe`).
+    seed:
+        Determinism seed.
+    max_files_per_issue:
+        Upper bound on files one issue touches (keeps tasks bounded).
+    """
+
+    def __init__(
+        self,
+        universe: FactUniverse | None = None,
+        seed: int = 0,
+        max_files_per_issue: int = 6,
+    ) -> None:
+        if max_files_per_issue < 1:
+            raise ValueError("max_files_per_issue must be >= 1")
+        self.universe = universe if universe is not None else build_repo_universe(seed=seed)
+        self.seed = seed
+        self.max_files_per_issue = max_files_per_issue
+        self._rng = np.random.default_rng(derive_seed(seed, "swebench:issues"))
+        self.paraphraser = Paraphraser(templates=FILE_TEMPLATES)
+        self._head = [self.universe.get(path) for path in _HEAD_FILES]
+        self._tail = [
+            fact for fact in self.universe if fact.fact_id not in _HEAD_FILES
+        ]
+
+    def _file_query(self, fact: Fact) -> Query:
+        variant = int(self._rng.integers(self.paraphraser.variants))
+        return Query(
+            text=self.paraphraser.phrase(fact.core, variant),
+            tool="file",
+            fact_id=fact.fact_id,
+            staticity=fact.staticity,
+            cost=fact.cost,
+        )
+
+    def next_issue(self, issue_number: int) -> AgentTask:
+        """Generate one issue-resolution task."""
+        files: list[Fact] = []
+        for fact, frequency in zip(self._head, TABLE2_ACCESS_FREQUENCIES):
+            if self._rng.random() < frequency:
+                files.append(fact)
+        tail_count = int(self._rng.integers(1, 4)) if self._tail else 0
+        if tail_count:
+            picks = self._rng.choice(
+                len(self._tail), size=min(tail_count, len(self._tail)), replace=False
+            )
+            files.extend(self._tail[int(i)] for i in picks)
+        files = files[: self.max_files_per_issue]
+        if not files:  # Frequencies are probabilistic; guarantee >= 1 file.
+            files = [self._head[0]]
+        queries = tuple(self._file_query(fact) for fact in files)
+        return AgentTask(
+            task_id=f"sqlfluff:issue-{issue_number}",
+            question=f"resolve github issue #{issue_number} in sqlfluff",
+            queries=queries,
+            answer=f"patch for issue #{issue_number}",
+            answer_fact=files[-1].fact_id,
+        )
+
+    def issues(self, count: int) -> list[AgentTask]:
+        """``count`` sequential issues."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return [self.next_issue(number) for number in range(count)]
+
+    def empirical_file_frequencies(self, issues: list[AgentTask]) -> dict[str, float]:
+        """Fraction of issues touching each file (reproduces Table 2)."""
+        if not issues:
+            return {}
+        counts: dict[str, int] = {}
+        for issue in issues:
+            touched = {query.fact_id for query in issue.queries}
+            for fact_id in touched:
+                if fact_id is not None:
+                    counts[fact_id] = counts.get(fact_id, 0) + 1
+        return {
+            fact_id: count / len(issues) for fact_id, count in counts.items()
+        }
+
+    def __repr__(self) -> str:
+        return f"SWEBenchWorkload(files={len(self.universe)}, seed={self.seed})"

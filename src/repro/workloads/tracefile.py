@@ -1,0 +1,120 @@
+"""Workload trace files: freeze a generated workload to JSONL and replay it.
+
+Generated workloads are deterministic per seed, but pinning an exact trace
+to disk is what makes results portable across versions, machines, and
+engine configurations — every system replays byte-identical traffic.
+Supports both flat timed-query traces (open-loop experiments) and agent
+task scripts (closed-loop experiments).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.agent.model import AgentTask
+from repro.core.types import Query
+
+#: Format marker written into every trace file.
+TRACE_FORMAT = "asteria-trace-v1"
+
+
+def _query_record(query: Query) -> dict:
+    return {
+        "text": query.text,
+        "tool": query.tool,
+        "fact_id": query.fact_id,
+        "staticity": query.staticity,
+        "cost": query.cost,
+        "metadata": dict(query.metadata),
+    }
+
+
+def _query_from(record: dict) -> Query:
+    return Query(
+        text=record["text"],
+        tool=record.get("tool", "search"),
+        fact_id=record.get("fact_id"),
+        staticity=record.get("staticity"),
+        cost=record.get("cost"),
+        metadata=record.get("metadata", {}),
+    )
+
+
+def save_timed_queries(
+    arrivals: Sequence[tuple[float, Query]], path: "str | Path"
+) -> None:
+    """Write an open-loop trace: header line, then one arrival per line."""
+    lines = [json.dumps({"format": TRACE_FORMAT, "kind": "timed-queries"})]
+    for at, query in arrivals:
+        lines.append(json.dumps({"at": at, **_query_record(query)}, allow_nan=False))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_timed_queries(path: "str | Path") -> list[tuple[float, Query]]:
+    """Read an open-loop trace written by :func:`save_timed_queries`."""
+    lines = Path(path).read_text().splitlines()
+    header = _check_header(lines, expected_kind="timed-queries", path=path)
+    arrivals = []
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        arrivals.append((float(record["at"]), _query_from(record)))
+    return arrivals
+
+
+def save_tasks(tasks: Sequence[AgentTask], path: "str | Path") -> None:
+    """Write a closed-loop task trace."""
+    lines = [json.dumps({"format": TRACE_FORMAT, "kind": "tasks"})]
+    for task in tasks:
+        lines.append(
+            json.dumps(
+                {
+                    "task_id": task.task_id,
+                    "question": task.question,
+                    "answer": task.answer,
+                    "answer_fact": task.answer_fact,
+                    "queries": [_query_record(query) for query in task.queries],
+                },
+                allow_nan=False,
+            )
+        )
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_tasks(path: "str | Path") -> list[AgentTask]:
+    """Read a task trace written by :func:`save_tasks`."""
+    lines = Path(path).read_text().splitlines()
+    _check_header(lines, expected_kind="tasks", path=path)
+    tasks = []
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        tasks.append(
+            AgentTask(
+                task_id=record["task_id"],
+                question=record["question"],
+                queries=tuple(_query_from(q) for q in record["queries"]),
+                answer=record.get("answer", ""),
+                answer_fact=record.get("answer_fact"),
+            )
+        )
+    return tasks
+
+
+def _check_header(lines: list[str], expected_kind: str, path) -> dict:
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    header = json.loads(lines[0])
+    if header.get("format") != TRACE_FORMAT:
+        raise ValueError(
+            f"{path}: not an {TRACE_FORMAT} file (format={header.get('format')!r})"
+        )
+    if header.get("kind") != expected_kind:
+        raise ValueError(
+            f"{path}: trace kind {header.get('kind')!r}, expected {expected_kind!r}"
+        )
+    return header

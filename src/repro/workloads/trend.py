@@ -1,0 +1,235 @@
+"""Trend-driven bursty workloads (§2.3 Figure 3, evaluated in Figure 8).
+
+Interest in a topic spikes when an external event fires (a model release, a
+royal succession) and decays exponentially; related topics surge in sympathy.
+The paper captures 12-hour Google Trends series for four topics and
+compresses them into a 10-minute trace; we synthesise the same shape: a
+Zipf background plus four timed :class:`TrendEvent` spikes with correlated
+topic mass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.types import Query
+from repro.sim.random import derive_seed
+from repro.workloads.datasets import QADataset
+from repro.workloads.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class TrendEvent:
+    """One external event driving a topic surge.
+
+    ``magnitude`` is the extra arrival rate (queries/s) at the spike peak;
+    it decays as ``exp(-(t - start) / decay)``. ``related`` lists
+    (topic, weight) pairs that surge in sympathy — weight is the fraction of
+    the event's rate routed to that topic.
+    """
+
+    topic: str
+    start: float
+    magnitude: float
+    decay: float = 60.0
+    related: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.magnitude < 0 or self.decay <= 0:
+            raise ValueError("invalid trend event parameters")
+        if any(weight < 0 for _, weight in self.related):
+            raise ValueError("related weights must be >= 0")
+
+    def rate_at(self, t: float) -> float:
+        """Extra arrival rate this event contributes at time ``t``."""
+        if t < self.start:
+            return 0.0
+        return self.magnitude * math.exp(-(t - self.start) / self.decay)
+
+
+def default_events(dataset: QADataset, duration: float = 600.0) -> list[TrendEvent]:
+    """Four spaced events over the trace, with one related topic each."""
+    topics = dataset.universe.topics()
+    if len(topics) < 2:
+        raise ValueError("trend events need at least two topics")
+    events = []
+    for index in range(4):
+        topic = topics[index % len(topics)]
+        related_topic = topics[(index + 1) % len(topics)]
+        events.append(
+            TrendEvent(
+                topic=topic,
+                start=duration * (0.1 + 0.2 * index),
+                magnitude=6.0 - index,
+                decay=45.0 + 15.0 * index,
+                related=((related_topic, 0.25),),
+            )
+        )
+    return events
+
+
+class TrendWorkload:
+    """Timed query stream: Zipf background + event-driven topic bursts.
+
+    Parameters
+    ----------
+    dataset:
+        Source of facts and topics.
+    events:
+        Trend events; defaults to :func:`default_events`.
+    duration:
+        Trace length in seconds (default 600 — the paper's compressed
+        10 minutes).
+    base_rate:
+        Background arrival rate in queries/second.
+    followup_probability:
+        Probability that an event-driven query triggers a correlated
+        follow-up a few seconds later ("gpt-5 release" then "gpt-5
+        benchmarks" — the Figure 3 correlation Markov prefetching learns).
+        Each fact has one deterministic follow-up fact within its topic.
+    seed:
+        Determinism seed.
+    """
+
+    def __init__(
+        self,
+        dataset: QADataset,
+        events: list[TrendEvent] | None = None,
+        duration: float = 600.0,
+        base_rate: float = 1.0,
+        followup_probability: float = 0.35,
+        seed: int = 0,
+    ) -> None:
+        if duration <= 0 or base_rate < 0:
+            raise ValueError("duration must be > 0 and base_rate >= 0")
+        if not 0.0 <= followup_probability <= 1.0:
+            raise ValueError("followup_probability must be in [0, 1]")
+        self.dataset = dataset
+        self.duration = duration
+        self.base_rate = base_rate
+        self.followup_probability = followup_probability
+        self.events = events if events is not None else default_events(dataset, duration)
+        self.seed = seed
+        self._rng = np.random.default_rng(derive_seed(seed, f"trend:{dataset.name}"))
+        self._background = ZipfSampler(len(dataset.universe), dataset.profile.zipf_s)
+        self._topic_facts = {
+            topic: dataset.universe.facts_for_topic(topic)
+            for topic in dataset.universe.topics()
+        }
+        # Within a surging topic, interest is itself skewed.
+        self._topic_samplers = {
+            topic: ZipfSampler(len(facts), 0.8)
+            for topic, facts in self._topic_facts.items()
+            if facts
+        }
+        # Deterministic follow-up: each fact maps to the next fact of its
+        # topic, so burst sessions repeat the same A -> B transitions.
+        self._followup: dict[str, str] = {}
+        for facts in self._topic_facts.values():
+            if len(facts) < 2:
+                continue
+            for index, fact in enumerate(facts):
+                self._followup[fact.fact_id] = facts[(index + 1) % len(facts)].fact_id
+
+    def rate_at(self, t: float) -> float:
+        """Total arrival rate at time ``t``."""
+        return self.base_rate + sum(event.rate_at(t) for event in self.events)
+
+    def _topic_rates_at(self, t: float) -> dict[str, float]:
+        rates: dict[str, float] = {}
+        for event in self.events:
+            rate = event.rate_at(t)
+            if rate <= 0:
+                continue
+            related_mass = sum(weight for _, weight in event.related)
+            rates[event.topic] = rates.get(event.topic, 0.0) + rate * (
+                1.0 - min(1.0, related_mass)
+            )
+            for topic, weight in event.related:
+                rates[topic] = rates.get(topic, 0.0) + rate * weight
+        return rates
+
+    def _sample_query_at(self, t: float) -> tuple[Query, bool]:
+        """One arrival; the bool marks event-driven (surge) traffic."""
+        topic_rates = self._topic_rates_at(t)
+        surge = sum(topic_rates.values())
+        total = self.base_rate + surge
+        surged = bool(total > 0 and self._rng.random() < surge / total)
+        if surged:
+            topics = sorted(topic_rates)
+            weights = np.array([topic_rates[topic] for topic in topics])
+            topic = topics[
+                int(self._rng.choice(len(topics), p=weights / weights.sum()))
+            ]
+            facts = self._topic_facts.get(topic) or self.dataset.universe.facts
+            if topic in self._topic_samplers:
+                fact = facts[self._topic_samplers[topic].sample(self._rng)]
+            else:
+                fact = facts[int(self._rng.integers(len(facts)))]
+        else:
+            fact = self.dataset.universe.by_rank(self._background.sample(self._rng))
+        variant = int(self._rng.integers(self.dataset.paraphraser.variants))
+        return self.dataset.query_for(fact, variant), surged
+
+    def timed_queries(self, bin_width: float = 1.0) -> list[tuple[float, Query]]:
+        """The full trace: (arrival_time, query) pairs, time-ordered.
+
+        Arrivals are Poisson within each ``bin_width`` window at the
+        window's instantaneous rate.
+        """
+        if bin_width <= 0:
+            raise ValueError("bin_width must be > 0")
+        arrivals: list[tuple[float, Query]] = []
+        t = 0.0
+        while t < self.duration:
+            rate = self.rate_at(t)
+            count = int(self._rng.poisson(rate * bin_width))
+            for _ in range(count):
+                at = t + float(self._rng.uniform(0.0, bin_width))
+                if at >= self.duration:
+                    continue
+                query, surged = self._sample_query_at(at)
+                if (
+                    surged
+                    and self._rng.random() < self.followup_probability
+                    and query.fact_id in self._followup
+                ):
+                    # A correlated two-query session; both carry the same
+                    # session tag so the prefetcher sees the transition.
+                    session = f"trend-session-{len(arrivals)}"
+                    fact = self.dataset.universe.get(query.fact_id)
+                    variant = int(
+                        self._rng.integers(self.dataset.paraphraser.variants)
+                    )
+                    query = self.dataset.query_for(fact, variant, session=session)
+                    arrivals.append((at, query))
+                    follow_at = at + float(self._rng.exponential(3.0))
+                    if follow_at < self.duration:
+                        follow_fact = self.dataset.universe.get(
+                            self._followup[query.fact_id]
+                        )
+                        follow_variant = int(
+                            self._rng.integers(self.dataset.paraphraser.variants)
+                        )
+                        arrivals.append(
+                            (
+                                follow_at,
+                                self.dataset.query_for(
+                                    follow_fact, follow_variant, session=session
+                                ),
+                            )
+                        )
+                else:
+                    arrivals.append((at, query))
+            t += bin_width
+        arrivals.sort(key=lambda pair: pair[0])
+        return arrivals
+
+    def __repr__(self) -> str:
+        return (
+            f"TrendWorkload({self.dataset.name!r}, duration={self.duration}, "
+            f"events={len(self.events)})"
+        )

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ann import FlatIndex
+from repro.core import AsteriaCache, AsteriaConfig, AsteriaEngine, Sine
+from repro.embedding import HashingEmbedder
+from repro.judger import SimulatedJudger
+from repro.network import RemoteDataService
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def embedder() -> HashingEmbedder:
+    return HashingEmbedder(seed=7)
+
+
+@pytest.fixture
+def judger() -> SimulatedJudger:
+    return SimulatedJudger(seed=3)
+
+
+@pytest.fixture
+def sine(embedder, judger) -> Sine:
+    return Sine(embedder, FlatIndex(embedder.dim), judger)
+
+
+@pytest.fixture
+def cache(sine) -> AsteriaCache:
+    return AsteriaCache(sine, capacity_items=64)
+
+
+@pytest.fixture
+def remote() -> RemoteDataService:
+    return RemoteDataService(latency=0.4)
+
+
+@pytest.fixture
+def engine(cache, remote) -> AsteriaEngine:
+    return AsteriaEngine(cache, remote, AsteriaConfig())

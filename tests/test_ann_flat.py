@@ -1,0 +1,147 @@
+"""Tests for the exact flat index."""
+
+import numpy as np
+import pytest
+
+from repro.ann import FlatIndex
+
+
+def unit(rng, dim=16):
+    vector = rng.standard_normal(dim).astype(np.float32)
+    return vector / np.linalg.norm(vector)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFlatIndexBasics:
+    def test_empty_search_returns_nothing(self):
+        assert FlatIndex(8).search(np.ones(8), k=3) == []
+
+    def test_add_and_find_self(self, rng):
+        index = FlatIndex(16)
+        vector = unit(rng)
+        index.add(1, vector)
+        hits = index.search(vector, k=1)
+        assert hits[0].key == 1
+        assert hits[0].score == pytest.approx(1.0, abs=1e-5)
+
+    def test_duplicate_key_rejected(self, rng):
+        index = FlatIndex(16)
+        index.add(1, unit(rng))
+        with pytest.raises(KeyError):
+            index.add(1, unit(rng))
+
+    def test_wrong_dim_rejected(self, rng):
+        index = FlatIndex(16)
+        with pytest.raises(ValueError):
+            index.add(1, np.ones(8))
+
+    def test_contains_and_len(self, rng):
+        index = FlatIndex(16)
+        index.add(5, unit(rng))
+        assert 5 in index and 6 not in index
+        assert len(index) == 1
+
+    def test_remove(self, rng):
+        index = FlatIndex(16)
+        index.add(1, unit(rng))
+        index.remove(1)
+        assert len(index) == 0
+        assert index.search(unit(rng), k=1) == []
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(KeyError):
+            FlatIndex(16).remove(99)
+
+    def test_k_must_be_positive(self, rng):
+        index = FlatIndex(16)
+        index.add(1, unit(rng))
+        with pytest.raises(ValueError):
+            index.search(unit(rng), k=0)
+
+    def test_vector_roundtrip(self, rng):
+        index = FlatIndex(16)
+        vector = unit(rng)
+        index.add(1, vector)
+        assert np.allclose(index.vector(1), vector, atol=1e-6)
+
+    def test_vectors_normalised_on_insert(self):
+        index = FlatIndex(4)
+        index.add(1, np.array([2.0, 0.0, 0.0, 0.0]))
+        assert np.allclose(index.vector(1), [1.0, 0.0, 0.0, 0.0])
+
+
+class TestFlatIndexSearch:
+    def test_results_sorted_by_score(self, rng):
+        index = FlatIndex(16)
+        for key in range(20):
+            index.add(key, unit(rng))
+        hits = index.search(unit(rng), k=10)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_matches_brute_force(self, rng):
+        dim = 16
+        vectors = {key: unit(rng, dim) for key in range(100)}
+        index = FlatIndex(dim)
+        for key, vector in vectors.items():
+            index.add(key, vector)
+        query = unit(rng, dim)
+        expected = sorted(
+            vectors, key=lambda key: -float(np.dot(vectors[key], query))
+        )[:5]
+        got = [hit.key for hit in index.search(query, k=5)]
+        assert got == expected
+
+    def test_k_larger_than_population(self, rng):
+        index = FlatIndex(16)
+        for key in range(3):
+            index.add(key, unit(rng))
+        assert len(index.search(unit(rng), k=10)) == 3
+
+    def test_slot_reuse_after_remove(self, rng):
+        index = FlatIndex(16, initial_capacity=2)
+        index.add(1, unit(rng))
+        index.add(2, unit(rng))
+        index.remove(1)
+        vector = unit(rng)
+        index.add(3, vector)
+        hits = index.search(vector, k=1)
+        assert hits[0].key == 3
+
+    def test_growth_beyond_initial_capacity(self, rng):
+        index = FlatIndex(16, initial_capacity=2)
+        for key in range(50):
+            index.add(key, unit(rng))
+        assert len(index) == 50
+        assert len(index.search(unit(rng), k=50)) == 50
+
+    def test_removed_keys_never_returned(self, rng):
+        index = FlatIndex(16)
+        vectors = {key: unit(rng) for key in range(30)}
+        for key, vector in vectors.items():
+            index.add(key, vector)
+        for key in range(0, 30, 2):
+            index.remove(key)
+        hits = index.search(unit(rng), k=30)
+        assert all(hit.key % 2 == 1 for hit in hits)
+
+    def test_churn_consistency(self, rng):
+        """Interleaved add/remove keeps exact top-1 behaviour."""
+        index = FlatIndex(8)
+        live = {}
+        for step in range(300):
+            if live and step % 3 == 0:
+                victim = sorted(live)[step % len(live)]
+                index.remove(victim)
+                del live[victim]
+            else:
+                vector = unit(rng, 8)
+                index.add(step, vector)
+                live[step] = vector
+        query = unit(rng, 8)
+        expected = max(live, key=lambda key: float(np.dot(live[key], query)))
+        assert index.search(query, k=1)[0].key == expected

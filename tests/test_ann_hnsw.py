@@ -1,0 +1,152 @@
+"""Tests for the from-scratch HNSW index."""
+
+import numpy as np
+import pytest
+
+from repro.ann import FlatIndex, HNSWIndex
+
+
+def unit_vectors(rng, n, dim=32):
+    vectors = rng.standard_normal((n, dim)).astype(np.float32)
+    return vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestHNSWBasics:
+    def test_empty_search(self):
+        assert HNSWIndex(16).search(np.ones(16), k=3) == []
+
+    def test_single_item(self, rng):
+        index = HNSWIndex(32, seed=1)
+        vector = unit_vectors(rng, 1)[0]
+        index.add(1, vector)
+        hits = index.search(vector, k=1)
+        assert hits[0].key == 1
+        assert hits[0].score == pytest.approx(1.0, abs=1e-5)
+
+    def test_duplicate_key_rejected(self, rng):
+        index = HNSWIndex(32, seed=1)
+        index.add(1, unit_vectors(rng, 1)[0])
+        with pytest.raises(KeyError):
+            index.add(1, unit_vectors(rng, 1)[0])
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(ValueError):
+            HNSWIndex(32).add(1, np.ones(8))
+
+    def test_invalid_construction_params(self):
+        with pytest.raises(ValueError):
+            HNSWIndex(32, m=1)
+        with pytest.raises(ValueError):
+            HNSWIndex(32, m=16, ef_construction=4)
+        with pytest.raises(ValueError):
+            HNSWIndex(32, compaction_ratio=0.0)
+
+    def test_len_and_contains(self, rng):
+        index = HNSWIndex(32, seed=1)
+        vectors = unit_vectors(rng, 5)
+        for key, vector in enumerate(vectors):
+            index.add(key, vector)
+        assert len(index) == 5
+        assert 3 in index and 9 not in index
+
+
+class TestHNSWRecall:
+    def test_high_recall_vs_flat(self, rng):
+        vectors = unit_vectors(rng, 400)
+        hnsw = HNSWIndex(32, seed=2, ef_search=64)
+        flat = FlatIndex(32)
+        for key, vector in enumerate(vectors):
+            hnsw.add(key, vector)
+            flat.add(key, vector)
+        recall_sum = 0.0
+        queries = unit_vectors(rng, 40)
+        for query in queries:
+            truth = {h.key for h in flat.search(query, 10)}
+            got = {h.key for h in hnsw.search(query, 10)}
+            recall_sum += len(truth & got) / 10
+        assert recall_sum / len(queries) > 0.9
+
+    def test_results_sorted_best_first(self, rng):
+        index = HNSWIndex(32, seed=2)
+        for key, vector in enumerate(unit_vectors(rng, 100)):
+            index.add(key, vector)
+        hits = index.search(unit_vectors(rng, 1)[0], k=10)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic_given_seed(self, rng):
+        vectors = unit_vectors(rng, 100)
+        query = unit_vectors(rng, 1)[0]
+
+        def build():
+            index = HNSWIndex(32, seed=3)
+            for key, vector in enumerate(vectors):
+                index.add(key, vector)
+            return [hit.key for hit in index.search(query, 10)]
+
+        assert build() == build()
+
+
+class TestHNSWDeletion:
+    def test_tombstoned_item_not_returned(self, rng):
+        index = HNSWIndex(32, seed=2)
+        vectors = unit_vectors(rng, 50)
+        for key, vector in enumerate(vectors):
+            index.add(key, vector)
+        index.remove(7)
+        assert 7 not in index
+        hits = index.search(vectors[7], k=10)
+        assert all(hit.key != 7 for hit in hits)
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(KeyError):
+            HNSWIndex(32).remove(1)
+
+    def test_double_remove_rejected(self, rng):
+        index = HNSWIndex(32, seed=2)
+        index.add(1, unit_vectors(rng, 1)[0])
+        index.remove(1)
+        with pytest.raises(KeyError):
+            index.remove(1)
+
+    def test_entry_point_replaced_on_removal(self, rng):
+        index = HNSWIndex(32, seed=2)
+        vectors = unit_vectors(rng, 20)
+        for key, vector in enumerate(vectors):
+            index.add(key, vector)
+        # Remove items one by one; the index must stay searchable throughout.
+        for key in range(19):
+            index.remove(key)
+            survivor_hits = index.search(vectors[19], k=1)
+            assert survivor_hits, f"index unsearchable after removing {key}"
+        assert index.search(vectors[19], k=1)[0].key == 19
+
+    def test_compaction_keeps_recall(self, rng):
+        index = HNSWIndex(32, seed=2, compaction_ratio=0.3)
+        flat = FlatIndex(32)
+        vectors = unit_vectors(rng, 200)
+        for key, vector in enumerate(vectors):
+            index.add(key, vector)
+            flat.add(key, vector)
+        for key in range(150):
+            index.remove(key)
+            flat.remove(key)
+        # Compaction has certainly run by now.
+        assert index.tombstones / max(1, len(index) + index.tombstones) <= 0.5
+        query = unit_vectors(rng, 1)[0]
+        truth = {h.key for h in flat.search(query, 10)}
+        got = {h.key for h in index.search(query, 10)}
+        assert len(truth & got) >= 8
+
+    def test_key_resurrection_uses_new_vector(self, rng):
+        index = HNSWIndex(32, seed=2)
+        old, new = unit_vectors(rng, 2)
+        index.add(1, old)
+        index.remove(1)
+        index.add(1, new)
+        assert index.search(new, k=1)[0].score == pytest.approx(1.0, abs=1e-5)

@@ -1,0 +1,126 @@
+"""Tests for the IVF index."""
+
+import numpy as np
+import pytest
+
+from repro.ann import FlatIndex, IVFIndex
+
+
+def clustered_vectors(rng, n_clusters=8, per_cluster=30, dim=32):
+    """Unit vectors with genuine cluster structure (IVF's good case)."""
+    centers = rng.standard_normal((n_clusters, dim))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    vectors = []
+    for center in centers:
+        noisy = center + 0.15 * rng.standard_normal((per_cluster, dim))
+        noisy /= np.linalg.norm(noisy, axis=1, keepdims=True)
+        vectors.append(noisy)
+    return np.vstack(vectors).astype(np.float32)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestIVFLifecycle:
+    def test_untrained_below_threshold(self, rng):
+        index = IVFIndex(32, nlist=4, train_threshold=100)
+        for key in range(10):
+            index.add(key, rng.standard_normal(32))
+        assert not index.is_trained
+
+    def test_trains_at_threshold(self, rng):
+        index = IVFIndex(32, nlist=4, train_threshold=16)
+        for key in range(16):
+            index.add(key, rng.standard_normal(32))
+        assert index.is_trained
+
+    def test_untrained_search_is_exact(self, rng):
+        index = IVFIndex(32, nlist=4, train_threshold=1000)
+        flat = FlatIndex(32)
+        for key in range(50):
+            vector = rng.standard_normal(32)
+            index.add(key, vector)
+            flat.add(key, vector)
+        query = rng.standard_normal(32)
+        assert [h.key for h in index.search(query, 5)] == [
+            h.key for h in flat.search(query, 5)
+        ]
+
+    def test_duplicate_key_rejected(self, rng):
+        index = IVFIndex(32)
+        index.add(1, rng.standard_normal(32))
+        with pytest.raises(KeyError):
+            index.add(1, rng.standard_normal(32))
+
+    def test_remove_before_and_after_training(self, rng):
+        index = IVFIndex(32, nlist=4, train_threshold=20)
+        for key in range(30):
+            index.add(key, rng.standard_normal(32))
+        index.remove(0)
+        index.remove(29)
+        assert len(index) == 28
+        assert 0 not in index and 29 not in index
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(KeyError):
+            IVFIndex(32).remove(1)
+
+    def test_retrain_refits(self, rng):
+        index = IVFIndex(32, nlist=4, train_threshold=20)
+        for key in range(40):
+            index.add(key, rng.standard_normal(32))
+        for key in range(30):
+            index.remove(key)
+        index.retrain()
+        assert index.is_trained
+        assert len(index) == 10
+
+
+class TestIVFRecall:
+    def test_high_recall_on_clustered_data(self, rng):
+        vectors = clustered_vectors(rng)
+        index = IVFIndex(32, nlist=8, nprobe=3, train_threshold=64, seed=1)
+        flat = FlatIndex(32)
+        for key, vector in enumerate(vectors):
+            index.add(key, vector)
+            flat.add(key, vector)
+        recall_sum = 0.0
+        queries = 30
+        for _ in range(queries):
+            base = vectors[rng.integers(len(vectors))]
+            query = base + 0.05 * rng.standard_normal(32)
+            truth = {h.key for h in flat.search(query, 10)}
+            got = {h.key for h in index.search(query, 10)}
+            recall_sum += len(truth & got) / 10
+        assert recall_sum / queries > 0.8
+
+    def test_full_probe_equals_exact(self, rng):
+        vectors = clustered_vectors(rng, n_clusters=4, per_cluster=20)
+        index = IVFIndex(32, nlist=4, nprobe=4, train_threshold=50, seed=1)
+        flat = FlatIndex(32)
+        for key, vector in enumerate(vectors):
+            index.add(key, vector)
+            flat.add(key, vector)
+        query = vectors[7]
+        assert [h.key for h in index.search(query, 5)] == [
+            h.key for h in flat.search(query, 5)
+        ]
+
+    def test_deleted_items_not_returned(self, rng):
+        vectors = clustered_vectors(rng, n_clusters=4, per_cluster=20)
+        index = IVFIndex(32, nlist=4, train_threshold=50, seed=1)
+        for key, vector in enumerate(vectors):
+            index.add(key, vector)
+        index.remove(7)
+        hits = index.search(vectors[7], 10)
+        assert all(hit.key != 7 for hit in hits)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            IVFIndex(0)
+        with pytest.raises(ValueError):
+            IVFIndex(32, nlist=0)
+        with pytest.raises(ValueError):
+            IVFIndex(32, nprobe=0)

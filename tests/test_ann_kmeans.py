@@ -1,0 +1,67 @@
+"""Tests for the from-scratch k-means."""
+
+import numpy as np
+import pytest
+
+from repro.ann import kmeans
+
+
+@pytest.fixture
+def clustered_data():
+    rng = np.random.default_rng(1)
+    centers = np.array([[5.0, 0.0], [-5.0, 0.0], [0.0, 5.0]])
+    points = np.vstack(
+        [center + rng.normal(0, 0.3, size=(40, 2)) for center in centers]
+    )
+    return points.astype(np.float32)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_clusters(self, clustered_data):
+        centroids, assignments = kmeans(clustered_data, k=3, seed=0)
+        assert centroids.shape == (3, 2)
+        # Each true cluster of 40 points maps to exactly one label.
+        for start in (0, 40, 80):
+            labels = set(assignments[start : start + 40].tolist())
+            assert len(labels) == 1
+        assert len(set(assignments.tolist())) == 3
+
+    def test_centroids_near_true_centers(self, clustered_data):
+        centroids, _ = kmeans(clustered_data, k=3, seed=0)
+        found = sorted(tuple(np.round(c).astype(int)) for c in centroids)
+        assert found == [(-5, 0), (0, 5), (5, 0)]
+
+    def test_deterministic_for_seed(self, clustered_data):
+        a = kmeans(clustered_data, k=3, seed=7)
+        b = kmeans(clustered_data, k=3, seed=7)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_k_equals_n(self):
+        data = np.eye(4, dtype=np.float32)
+        centroids, assignments = kmeans(data, k=4, seed=0)
+        assert sorted(assignments.tolist()) == [0, 1, 2, 3]
+
+    def test_k_one(self, clustered_data):
+        centroids, assignments = kmeans(clustered_data, k=1)
+        assert set(assignments.tolist()) == {0}
+        assert np.allclose(centroids[0], clustered_data.mean(axis=0), atol=1e-3)
+
+    def test_no_empty_clusters(self):
+        # Pathological data: all points identical except one.
+        data = np.zeros((20, 3), dtype=np.float32)
+        data[-1] = 10.0
+        _, assignments = kmeans(data, k=2, seed=0)
+        assert len(set(assignments.tolist())) == 2
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((2, 3), dtype=np.float32), k=5)
+
+    def test_invalid_k_rejected(self, clustered_data):
+        with pytest.raises(ValueError):
+            kmeans(clustered_data, k=0)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(10, dtype=np.float32), k=2)

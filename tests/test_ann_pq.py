@@ -1,0 +1,145 @@
+"""Tests for product quantization."""
+
+import numpy as np
+import pytest
+
+from repro.ann import FlatIndex, PQIndex, ProductQuantizer
+
+
+def unit_vectors(rng, n, dim=32):
+    vectors = rng.standard_normal((n, dim)).astype(np.float32)
+    return vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestProductQuantizer:
+    def test_dim_must_divide(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(dim=30, m=8)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(dim=0, m=1)
+        with pytest.raises(ValueError):
+            ProductQuantizer(dim=32, m=8, k=1)
+
+    def test_untrained_operations_rejected(self, rng):
+        quantizer = ProductQuantizer(dim=32, m=4)
+        with pytest.raises(RuntimeError):
+            quantizer.encode(unit_vectors(rng, 1)[0])
+        with pytest.raises(RuntimeError):
+            quantizer.adc_tables(unit_vectors(rng, 1)[0])
+
+    def test_encode_shape_and_range(self, rng):
+        quantizer = ProductQuantizer(dim=32, m=4, k=16)
+        quantizer.train(unit_vectors(rng, 200))
+        code = quantizer.encode(unit_vectors(rng, 1)[0])
+        assert code.shape == (4,)
+        assert code.max() < 16
+
+    def test_roundtrip_error_bounded(self, rng):
+        quantizer = ProductQuantizer(dim=32, m=8, k=64)
+        data = unit_vectors(rng, 500)
+        quantizer.train(data)
+        errors = [
+            float(np.linalg.norm(vector - quantizer.decode(quantizer.encode(vector))))
+            for vector in data[:50]
+        ]
+        # Unit vectors have norm 1; reconstruction should be much closer
+        # than a random vector (expected distance ~sqrt(2)).
+        assert np.mean(errors) < 0.8
+
+    def test_adc_approximates_inner_product(self, rng):
+        quantizer = ProductQuantizer(dim=32, m=8, k=64)
+        data = unit_vectors(rng, 500)
+        quantizer.train(data)
+        query = unit_vectors(rng, 1)[0]
+        tables = quantizer.adc_tables(query)
+        for vector in data[:20]:
+            code = quantizer.encode(vector)
+            adc = sum(tables[s, int(code[s])] for s in range(quantizer.m))
+            exact = float(np.dot(vector, query))
+            assert abs(adc - exact) < 0.35
+
+    def test_training_deterministic(self, rng):
+        data = unit_vectors(rng, 300)
+        a = ProductQuantizer(dim=32, m=4, k=16, seed=3)
+        b = ProductQuantizer(dim=32, m=4, k=16, seed=3)
+        a.train(data)
+        b.train(data)
+        assert np.array_equal(a.encode(data[0]), b.encode(data[0]))
+
+
+class TestPQIndex:
+    def test_exact_before_training(self, rng):
+        index = PQIndex(32, train_threshold=1000, k=64)
+        flat = FlatIndex(32)
+        for key, vector in enumerate(unit_vectors(rng, 50)):
+            index.add(key, vector)
+            flat.add(key, vector)
+        query = unit_vectors(rng, 1)[0]
+        assert [h.key for h in index.search(query, 5)] == [
+            h.key for h in flat.search(query, 5)
+        ]
+        assert not index.is_trained
+
+    def test_trains_at_threshold_and_drops_floats(self, rng):
+        index = PQIndex(32, train_threshold=128, k=32)
+        for key, vector in enumerate(unit_vectors(rng, 128)):
+            index.add(key, vector)
+        assert index.is_trained
+        assert len(index._raw) == 0
+        assert len(index) == 128
+
+    def test_recall_after_training(self, rng):
+        vectors = unit_vectors(rng, 400)
+        index = PQIndex(32, m=8, k=64, train_threshold=256, seed=1)
+        flat = FlatIndex(32)
+        for key, vector in enumerate(vectors):
+            index.add(key, vector)
+            flat.add(key, vector)
+        recall_sum = 0.0
+        queries = 25
+        for q in range(queries):
+            query = vectors[rng.integers(len(vectors))]
+            truth = {h.key for h in flat.search(query, 10)}
+            got = {h.key for h in index.search(query, 10)}
+            recall_sum += len(truth & got) / 10
+        assert recall_sum / queries > 0.5  # compressed: coarse but useful
+
+    def test_remove_in_both_phases(self, rng):
+        index = PQIndex(32, train_threshold=64, k=16)
+        vectors = unit_vectors(rng, 100)
+        for key, vector in enumerate(vectors[:50]):
+            index.add(key, vector)
+        index.remove(0)  # raw phase
+        for key, vector in enumerate(vectors[50:], start=50):
+            index.add(key, vector)
+        index.remove(99)  # trained phase
+        assert len(index) == 98
+        assert 0 not in index and 99 not in index
+
+    def test_duplicate_and_missing_keys(self, rng):
+        index = PQIndex(32, k=16)
+        index.add(1, unit_vectors(rng, 1)[0])
+        with pytest.raises(KeyError):
+            index.add(1, unit_vectors(rng, 1)[0])
+        with pytest.raises(KeyError):
+            index.remove(2)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            PQIndex(32, k=64, train_threshold=32)
+
+    def test_works_inside_full_engine(self, rng):
+        from repro.core import Query
+        from repro.factory import build_asteria_engine, build_remote
+
+        engine = build_asteria_engine(build_remote(), index_kind="pq", seed=1)
+        engine.handle(Query("who painted the mona lisa", fact_id="F"), 0.0)
+        response = engine.handle(Query("mona lisa painter ok", fact_id="F"), 1.0)
+        assert response.served_from_cache

@@ -1,0 +1,89 @@
+"""Meta-tests on the public API: docstrings, exports, and importability."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.embedding",
+    "repro.ann",
+    "repro.judger",
+    "repro.core",
+    "repro.network",
+    "repro.serving",
+    "repro.agent",
+    "repro.workloads",
+    "repro.experiments",
+]
+
+
+def _all_modules():
+    modules = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        modules.append(package)
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name == "__main__":
+                continue  # importing it would run the CLI
+            modules.append(
+                importlib.import_module(f"{package_name}.{info.name}")
+            )
+    return modules
+
+
+class TestImportability:
+    def test_every_module_imports(self):
+        assert len(_all_modules()) > 50
+
+    def test_all_exports_resolve(self):
+        for package_name in PACKAGES:
+            package = importlib.import_module(package_name)
+            for name in getattr(package, "__all__", []):
+                assert hasattr(package, name), f"{package_name}.{name}"
+
+
+class TestDocstrings:
+    def test_every_module_has_a_docstring(self):
+        for module in _all_modules():
+            assert module.__doc__, module.__name__
+
+    def test_every_public_export_documented(self):
+        for package_name in PACKAGES:
+            package = importlib.import_module(package_name)
+            for name in getattr(package, "__all__", []):
+                item = getattr(package, name)
+                if inspect.isclass(item) or inspect.isfunction(item):
+                    assert item.__doc__, f"{package_name}.{name} lacks a docstring"
+
+    def test_public_methods_documented(self):
+        """Every public method of every exported class carries a docstring."""
+        missing = []
+        for package_name in PACKAGES:
+            package = importlib.import_module(package_name)
+            for name in getattr(package, "__all__", []):
+                item = getattr(package, name)
+                if not inspect.isclass(item):
+                    continue
+                for method_name, method in inspect.getmembers(
+                    item, inspect.isfunction
+                ):
+                    if method_name.startswith("_"):
+                        continue
+                    if method.__qualname__.split(".")[0] != item.__name__:
+                        continue  # inherited from elsewhere
+                    if not method.__doc__:
+                        missing.append(f"{package_name}.{name}.{method_name}")
+        assert not missing, f"undocumented public methods: {missing}"
+
+
+class TestVersioning:
+    def test_version_exposed(self):
+        assert repro.__version__
+        major = int(repro.__version__.split(".")[0])
+        assert major >= 1

@@ -1,0 +1,68 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, QUICK_OVERRIDES, _parse_overrides, main
+
+
+class TestParseOverrides:
+    def test_literals(self):
+        overrides = _parse_overrides(["n_tasks=300", "cache_ratio=0.4"])
+        assert overrides == {"n_tasks": 300, "cache_ratio": 0.4}
+
+    def test_tuples_and_strings(self):
+        overrides = _parse_overrides(
+            ['dataset_names=("musique",)', "dataset_name=musique"]
+        )
+        assert overrides["dataset_names"] == ("musique",)
+        assert overrides["dataset_name"] == "musique"
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_overrides(["oops"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_with_overrides(self, capsys):
+        code = main(
+            ["run", "fig2", "--set", 'window_draws=(("24h", 1000),)',
+             "--set", "n_topics=100"]
+        )
+        assert code == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_run_drift_quick(self, capsys):
+        code = main(["run", "drift", "--set", "phase_tasks=100"])
+        assert code == 0
+        assert "drift" in capsys.readouterr().out.lower()
+
+
+class TestRegistry:
+    def test_every_quick_override_targets_a_real_experiment(self):
+        assert set(QUICK_OVERRIDES) <= set(EXPERIMENTS)
+
+    def test_registry_covers_all_paper_artefacts(self):
+        for artefact in (
+            "fig1c", "fig2", "fig3", "table2", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "table4", "table5", "fig13",
+            "table6", "table7",
+        ):
+            assert artefact in EXPERIMENTS
+
+    def test_quick_overrides_are_valid_kwargs(self):
+        import inspect
+
+        for name, overrides in QUICK_OVERRIDES.items():
+            runner, _ = EXPERIMENTS[name]
+            parameters = inspect.signature(runner).parameters
+            for key in overrides:
+                assert key in parameters, f"{name}: bad override {key}"

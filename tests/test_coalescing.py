@@ -1,0 +1,95 @@
+"""Tests for miss coalescing (thundering-herd suppression)."""
+
+import pytest
+
+from repro.core import AsteriaConfig, Query
+from repro.factory import build_asteria_engine, build_remote
+from repro.sim import Simulator
+
+
+def make_engine(coalesce=True, latency=0.4):
+    remote = build_remote(latency=latency)
+    config = AsteriaConfig(coalesce_misses=coalesce)
+    return build_asteria_engine(remote, config, seed=1)
+
+
+def run_concurrent(engine, queries):
+    sim = Simulator()
+    processes = []
+    for query in queries:
+        processes.append(sim.process(engine.process(sim, query)))
+    sim.run()
+    return [process.value for process in processes]
+
+
+class TestCoalescing:
+    def test_concurrent_identical_misses_share_one_fetch(self):
+        engine = make_engine(coalesce=True)
+        queries = [Query("height of everest", fact_id="F") for _ in range(4)]
+        responses = run_concurrent(engine, queries)
+        assert engine.remote.calls == 1
+        assert engine.metrics.coalesced_misses == 3
+        results = {response.result for response in responses}
+        assert len(results) == 1  # everyone got the leader's result
+
+    def test_paraphrases_coalesce_too(self):
+        engine = make_engine(coalesce=True)
+        queries = [
+            Query("height of everest", fact_id="F"),
+            Query("tell me the height of everest", fact_id="F"),
+            Query("everest height please", fact_id="F"),
+        ]
+        run_concurrent(engine, queries)
+        assert engine.remote.calls == 1
+
+    def test_distinct_facts_do_not_coalesce(self):
+        engine = make_engine(coalesce=True)
+        queries = [
+            Query("height of everest", fact_id="F"),
+            Query("population of lagos", fact_id="G"),
+        ]
+        run_concurrent(engine, queries)
+        assert engine.remote.calls == 2
+        assert engine.metrics.coalesced_misses == 0
+
+    def test_disabled_by_default(self):
+        engine = make_engine(coalesce=False)
+        queries = [Query("height of everest", fact_id="F") for _ in range(4)]
+        run_concurrent(engine, queries)
+        assert engine.remote.calls == 4
+        assert engine.metrics.coalesced_misses == 0
+
+    def test_only_leader_inserts(self):
+        engine = make_engine(coalesce=True)
+        queries = [Query("height of everest", fact_id="F") for _ in range(4)]
+        run_concurrent(engine, queries)
+        assert len(engine.cache) == 1
+
+    def test_followers_wait_for_leader_latency(self):
+        engine = make_engine(coalesce=True, latency=0.4)
+        queries = [Query("height of everest", fact_id="F") for _ in range(3)]
+        responses = run_concurrent(engine, queries)
+        # Followers resolve when the leader's fetch lands (~0.4s + checks).
+        for response in responses:
+            assert 0.3 < response.latency < 0.7
+
+    def test_sequential_requests_after_inflight_clears_hit_cache(self):
+        engine = make_engine(coalesce=True)
+        sim = Simulator()
+        process = sim.process(
+            engine.process(sim, Query("height of everest", fact_id="F"))
+        )
+        sim.run()
+        assert not process.value.served_from_cache
+        later = sim.process(
+            engine.process(sim, Query("everest height ok", fact_id="F"))
+        )
+        sim.run()
+        assert later.value.served_from_cache
+        assert not engine._inflight_fetches  # map drained
+
+    def test_coalesced_counted_in_summary(self):
+        engine = make_engine(coalesce=True)
+        queries = [Query("height of everest", fact_id="F") for _ in range(2)]
+        run_concurrent(engine, queries)
+        assert engine.metrics.summary()["coalesced_misses"] == 1

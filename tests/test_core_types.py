@@ -1,0 +1,80 @@
+"""Tests for leaf datatypes: Query, FetchResult, CacheLookup."""
+
+import pytest
+
+from repro.core.types import CacheLookup, FetchResult, Query, estimate_tokens
+
+
+class TestQuery:
+    def test_minimal_construction(self):
+        query = Query("who painted the mona lisa")
+        assert query.tool == "search"
+        assert query.fact_id is None
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            Query("")
+
+    def test_invalid_staticity_rejected(self):
+        with pytest.raises(ValueError):
+            Query("x", staticity=0)
+        with pytest.raises(ValueError):
+            Query("x", staticity=11)
+
+    def test_metadata_is_read_only(self):
+        query = Query("x", metadata={"latency_scale": 2.0})
+        assert query.metadata["latency_scale"] == 2.0
+        with pytest.raises(TypeError):
+            query.metadata["latency_scale"] = 3.0  # type: ignore[index]
+
+    def test_metadata_snapshot_isolated_from_source(self):
+        source = {"a": 1}
+        query = Query("x", metadata=source)
+        source["a"] = 2
+        assert query.metadata["a"] == 1
+
+    def test_frozen(self):
+        query = Query("x")
+        with pytest.raises(AttributeError):
+            query.text = "y"  # type: ignore[misc]
+
+
+class TestFetchResult:
+    def test_valid_construction(self):
+        result = FetchResult(
+            result="data", latency=0.5, service_latency=0.4, cost=0.005
+        )
+        assert result.retries == 0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            FetchResult(result="x", latency=-1.0, service_latency=0.1, cost=0.0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            FetchResult(
+                result="x", latency=0.1, service_latency=0.1, cost=0.0, retries=-1
+            )
+
+
+class TestCacheLookup:
+    def test_hit_flag(self):
+        lookup = CacheLookup(status="hit", result="r", latency=0.05)
+        assert lookup.is_hit
+
+    def test_miss_flag(self):
+        lookup = CacheLookup(status="miss", result=None, latency=0.05)
+        assert not lookup.is_hit
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLookup(status="maybe", result=None, latency=0.0)
+
+
+class TestEstimateTokens:
+    def test_roughly_four_chars_per_token(self):
+        assert estimate_tokens("a" * 400) == 100
+
+    def test_minimum_one(self):
+        assert estimate_tokens("") == 1
+        assert estimate_tokens("ab") == 1

@@ -1,0 +1,56 @@
+"""Tests for cost accounting."""
+
+import pytest
+
+from repro.network import CostMeter, PRICE_GOOGLE_SEARCH_PER_CALL, PRICE_H100_PER_HOUR
+
+
+class TestCostMeter:
+    def test_api_charges_accumulate(self):
+        meter = CostMeter()
+        meter.charge_api_call(0.005)
+        meter.charge_api_call(0.010, tool="web")
+        assert meter.api_cost == pytest.approx(0.015)
+        assert meter.api_calls == 2
+
+    def test_by_tool_breakdown(self):
+        meter = CostMeter()
+        meter.charge_api_call(0.005, tool="search")
+        meter.charge_api_call(0.005, tool="search")
+        meter.charge_api_call(0.010, tool="rag")
+        breakdown = meter.by_tool()
+        assert breakdown["search"] == pytest.approx(0.010)
+        assert breakdown["rag"] == pytest.approx(0.010)
+
+    def test_gpu_cost_uses_hourly_rate(self):
+        meter = CostMeter(gpu_hourly_rate=1.49)
+        meter.charge_gpu_time(3600.0)
+        assert meter.gpu_cost == pytest.approx(1.49)
+
+    def test_total_combines_api_and_gpu(self):
+        meter = CostMeter(gpu_hourly_rate=1.0)
+        meter.charge_api_call(1.0)
+        meter.charge_gpu_time(1800.0)
+        assert meter.total_cost == pytest.approx(1.5)
+
+    def test_merge(self):
+        a = CostMeter()
+        a.charge_api_call(0.005, tool="search")
+        a.charge_gpu_time(60.0)
+        b = CostMeter()
+        b.charge_api_call(0.010, tool="rag")
+        a.merge(b)
+        assert a.api_calls == 2
+        assert a.by_tool() == {"search": 0.005, "rag": 0.010}
+
+    def test_negative_charges_rejected(self):
+        meter = CostMeter()
+        with pytest.raises(ValueError):
+            meter.charge_api_call(-0.01)
+        with pytest.raises(ValueError):
+            meter.charge_gpu_time(-1.0)
+
+    def test_paper_constants(self):
+        # Table 1 / §2.2 figures used throughout the cost analysis.
+        assert PRICE_GOOGLE_SEARCH_PER_CALL == 0.005
+        assert PRICE_H100_PER_HOUR == 1.49

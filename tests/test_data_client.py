@@ -1,0 +1,114 @@
+"""Tests for the data client and tolerant parsing."""
+
+import pytest
+
+from repro.agent import extract_blocks
+from repro.agent.data_client import DataClient
+from repro.agent.parser import TagFormatError
+from repro.factory import build_asteria_engine, build_remote
+
+GENERATION = (
+    "<think> I need to find out who painted the Mona Lisa. </think>\n"
+    "<search> who painted the mona lisa </search>"
+)
+
+
+def client(strict=False):
+    engine = build_asteria_engine(build_remote(), seed=1)
+    return DataClient(engine, strict=strict)
+
+
+class TestTolerantParsing:
+    def test_strict_still_raises(self):
+        with pytest.raises(TagFormatError):
+            extract_blocks("<think> truncated", strict=True)
+
+    def test_trailing_unclosed_block_recovered(self):
+        blocks = extract_blocks("<search> cut off mid", strict=False)
+        assert blocks == [type(blocks[0])(tag="search", content="cut off mid")]
+
+    def test_unknown_tags_skipped(self):
+        blocks = extract_blocks(
+            "<scratch> x </scratch> <search> q </search>", strict=False
+        )
+        assert [block.tag for block in blocks] == ["search"]
+
+    def test_nested_open_closes_outer(self):
+        blocks = extract_blocks(
+            "<think> reasoning <search> q </search>", strict=False
+        )
+        assert [block.tag for block in blocks] == ["think", "search"]
+        assert blocks[0].content == "reasoning"
+
+    def test_stray_close_ignored(self):
+        blocks = extract_blocks("</info> <search> q </search>", strict=False)
+        assert [block.tag for block in blocks] == ["search"]
+
+    def test_well_formed_identical_in_both_modes(self):
+        text = "<think> a </think> <search> b </search> <answer> c </answer>"
+        assert extract_blocks(text, strict=True) == extract_blocks(
+            text, strict=False
+        )
+
+
+class TestDataClient:
+    def test_intercepts_search_and_returns_info(self):
+        data_client = client()
+        result = data_client.intercept(GENERATION, now=0.0)
+        assert result.acted
+        assert len(result.queries) == 1
+        assert result.queries[0].tool == "search"
+        assert result.info_text.startswith("<info>")
+        assert result.responses[0].result in result.info_text
+
+    def test_generation_without_action_is_noop(self):
+        data_client = client()
+        result = data_client.intercept("<think> just reasoning </think>")
+        assert not result.acted
+        assert result.info_text == ""
+        assert result.latency == 0.0
+
+    def test_semantic_hit_through_the_client(self):
+        data_client = client()
+        data_client.intercept(GENERATION, now=0.0)
+        rephrased = "<search> tell me who painted mona lisa </search>"
+        result = data_client.intercept(rephrased, now=2.0)
+        assert result.responses[0].served_from_cache
+
+    def test_multiple_actions_resolved_sequentially(self):
+        data_client = client()
+        generation = (
+            "<search> height of everest </search>\n"
+            "<file> src core parser py </file>"
+        )
+        result = data_client.intercept(generation, now=0.0)
+        assert [query.tool for query in result.queries] == ["search", "file"]
+        assert result.latency == pytest.approx(
+            sum(response.latency for response in result.responses)
+        )
+
+    def test_malformed_generation_still_served(self):
+        data_client = client(strict=False)
+        result = data_client.intercept("<search> truncated question", now=0.0)
+        assert result.acted
+
+    def test_strict_client_raises_on_malformed(self):
+        data_client = client(strict=True)
+        with pytest.raises(TagFormatError):
+            data_client.intercept("<search> truncated question", now=0.0)
+
+    def test_session_tag_propagates(self):
+        data_client = client()
+        result = data_client.intercept(GENERATION, session="conv-1")
+        assert result.queries[0].metadata["session"] == "conv-1"
+
+    def test_intercept_counter(self):
+        data_client = client()
+        data_client.intercept(GENERATION)
+        data_client.intercept(GENERATION)
+        assert data_client.intercepted == 2
+
+    def test_empty_action_content_skipped(self):
+        data_client = client()
+        result = data_client.intercept("<search>  </search>")
+        assert not result.acted

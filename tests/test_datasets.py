@@ -1,0 +1,102 @@
+"""Tests for the synthetic QA dataset builders."""
+
+import pytest
+
+from repro.workloads import build_dataset
+from repro.workloads.datasets import DATASET_NAMES, PROFILES
+
+
+class TestBuildDataset:
+    def test_all_profiles_build(self):
+        for name in PROFILES:
+            dataset = build_dataset(name)
+            assert len(dataset.universe) == dataset.profile.n_facts
+            assert dataset.chains
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_dataset("nonexistent")
+
+    def test_deterministic_per_seed(self):
+        a = build_dataset("musique", seed=4)
+        b = build_dataset("musique", seed=4)
+        assert [f.fact_id for f in a.universe] == [f.fact_id for f in b.universe]
+        assert [f.core for f in a.universe] == [f.core for f in b.universe]
+        assert a.chains == b.chains
+
+    def test_seed_changes_universe(self):
+        a = build_dataset("musique", seed=1)
+        b = build_dataset("musique", seed=2)
+        assert [f.core for f in a.universe] != [f.core for f in b.universe]
+
+    def test_dataset_names_excludes_accuracy_set(self):
+        assert "strategyqa" not in DATASET_NAMES
+        assert set(DATASET_NAMES) == {"zilliz_gpt", "hotpotqa", "musique", "two_wiki"}
+
+    def test_profile_overrides(self):
+        dataset = build_dataset("hotpotqa", premium_latency_scale=4.0, n_facts=30)
+        assert len(dataset.universe) == 30
+        premium = [f for f in dataset.universe if f.latency_scale == 4.0]
+        assert premium
+
+    def test_confusable_fraction_respected(self):
+        dataset = build_dataset("musique")
+        confusable = [f for f in dataset.universe if f.confusable_group]
+        expected = dataset.profile.confusable_fraction * len(dataset.universe)
+        assert abs(len(confusable) - expected) <= 2
+
+    def test_confusable_pairs_share_all_but_one_token(self):
+        dataset = build_dataset("musique")
+        groups = {}
+        for fact in dataset.universe:
+            if fact.confusable_group:
+                groups.setdefault(fact.confusable_group, []).append(fact)
+        assert groups
+        for members in groups.values():
+            assert len(members) == 2
+            a_tokens = set(members[0].core.split())
+            b_tokens = set(members[1].core.split())
+            assert len(a_tokens ^ b_tokens) == 2  # exactly the qualifiers
+
+    def test_premium_facts_have_cost_and_latency(self):
+        dataset = build_dataset("hotpotqa")
+        premium = [f for f in dataset.universe if f.cost is not None]
+        assert premium
+        assert all(f.latency_scale > 1.0 for f in premium)
+
+    def test_chain_hops_within_profile_bounds(self):
+        dataset = build_dataset("musique")
+        for chain in dataset.chains:
+            assert (
+                dataset.profile.min_hops <= len(chain) <= dataset.profile.max_hops
+            )
+
+    def test_chains_reference_real_facts(self):
+        dataset = build_dataset("two_wiki")
+        for chain in dataset.chains:
+            for fact_id in chain:
+                assert fact_id in dataset.universe
+
+    def test_query_for_carries_annotations(self):
+        dataset = build_dataset("hotpotqa")
+        fact = dataset.universe.by_rank(0)
+        query = dataset.query_for(fact, variant=3)
+        assert query.fact_id == fact.fact_id
+        assert query.staticity == fact.staticity
+        assert fact.core.split()[0] in query.text or fact.core.split()[-1] in query.text
+
+    def test_capacity_for_uses_nominal_questions(self):
+        dataset = build_dataset("musique")
+        assert dataset.capacity_for(0.4) == int(0.4 * 250)
+        assert dataset.capacity_for(0.001) == 1
+        with pytest.raises(ValueError):
+            dataset.capacity_for(0.0)
+
+    def test_base_em_per_profile(self):
+        assert build_dataset("strategyqa").base_em == 0.79
+        assert build_dataset("musique").base_em < build_dataset("zilliz_gpt").base_em
+
+    def test_distinct_cores(self):
+        dataset = build_dataset("hotpotqa")
+        cores = [f.core for f in dataset.universe]
+        assert len(set(cores)) == len(cores)

@@ -1,0 +1,134 @@
+"""Tests for the hashing embedder and its cache wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import CachedEmbedder, HashingEmbedder, cosine_similarity
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        vector = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(vector, vector) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(0.0)
+
+    def test_zero_vector_gives_zero(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+
+class TestHashingEmbedder:
+    def test_unit_norm(self):
+        embedder = HashingEmbedder(seed=1)
+        vector = embedder.embed("who painted the mona lisa")
+        assert np.linalg.norm(vector) == pytest.approx(1.0, abs=1e-5)
+
+    def test_deterministic(self):
+        a = HashingEmbedder(seed=1).embed("hello world")
+        b = HashingEmbedder(seed=1).embed("hello world")
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_embedding(self):
+        a = HashingEmbedder(seed=1).embed("hello world")
+        b = HashingEmbedder(seed=2).embed("hello world")
+        assert not np.array_equal(a, b)
+
+    def test_dim_property(self):
+        assert HashingEmbedder(dim=128).dim == 128
+
+    def test_tiny_dim_rejected(self):
+        with pytest.raises(ValueError):
+            HashingEmbedder(dim=4)
+
+    def test_empty_text_gives_zero_vector(self):
+        embedder = HashingEmbedder()
+        assert np.linalg.norm(embedder.embed("")) == 0.0
+
+    def test_paraphrases_are_close(self):
+        embedder = HashingEmbedder(seed=7)
+        base = embedder.embed("who painted the mona lisa")
+        for paraphrase in (
+            "mona lisa painter",
+            "tell me who painted mona lisa please",
+            "the mona lisa was painted by whom",
+        ):
+            assert cosine_similarity(base, embedder.embed(paraphrase)) > 0.9
+
+    def test_unrelated_queries_are_far(self):
+        embedder = HashingEmbedder(seed=7)
+        a = embedder.embed("who painted the mona lisa")
+        b = embedder.embed("current weather in paris france")
+        assert cosine_similarity(a, b) < 0.3
+
+    def test_confusables_land_in_the_middle(self):
+        embedder = HashingEmbedder(seed=7)
+        a = embedder.embed("who won the world cup 2018")
+        b = embedder.embed("who won the world cup 2022")
+        similarity = cosine_similarity(a, b)
+        assert 0.5 < similarity < 0.95
+
+    def test_word_order_matters_slightly(self):
+        embedder = HashingEmbedder(seed=7)
+        a = embedder.embed("everest height meters")
+        b = embedder.embed("meters height everest")
+        similarity = cosine_similarity(a, b)
+        assert 0.8 < similarity < 1.0
+
+    def test_zero_bigram_weight_makes_order_irrelevant(self):
+        embedder = HashingEmbedder(seed=7, bigram_weight=0.0)
+        a = embedder.embed("everest height meters")
+        b = embedder.embed("meters height everest")
+        assert cosine_similarity(a, b) == pytest.approx(1.0, abs=1e-5)
+
+    def test_embed_batch_shape(self):
+        embedder = HashingEmbedder(dim=64)
+        matrix = embedder.embed_batch(["a b c", "d e f", "g h i"])
+        assert matrix.shape == (3, 64)
+
+    def test_embed_batch_empty(self):
+        assert HashingEmbedder(dim=64).embed_batch([]).shape == (0, 64)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            HashingEmbedder(stopword_weight=-0.1)
+
+
+class TestCachedEmbedder:
+    def test_hits_and_misses_counted(self):
+        cached = CachedEmbedder(HashingEmbedder(seed=1))
+        cached.embed("hello")
+        cached.embed("hello")
+        cached.embed("world")
+        assert cached.hits == 1
+        assert cached.misses == 2
+
+    def test_returns_same_result_as_inner(self):
+        inner = HashingEmbedder(seed=1)
+        cached = CachedEmbedder(HashingEmbedder(seed=1))
+        assert np.array_equal(cached.embed("query"), inner.embed("query"))
+
+    def test_lru_eviction_bounds_size(self):
+        cached = CachedEmbedder(HashingEmbedder(seed=1), max_entries=2)
+        cached.embed("a")
+        cached.embed("b")
+        cached.embed("c")
+        assert "a" not in cached
+        assert "b" in cached and "c" in cached
+
+    def test_recently_used_survives(self):
+        cached = CachedEmbedder(HashingEmbedder(seed=1), max_entries=2)
+        cached.embed("a")
+        cached.embed("b")
+        cached.embed("a")  # refresh "a"
+        cached.embed("c")  # evicts "b"
+        assert "a" in cached and "b" not in cached
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CachedEmbedder(HashingEmbedder(), max_entries=0)
+
+    def test_dim_delegates(self):
+        assert CachedEmbedder(HashingEmbedder(dim=32)).dim == 32

@@ -1,0 +1,173 @@
+"""Tests for the engines in analytic mode."""
+
+import pytest
+
+from repro.ann import FlatIndex
+from repro.core import (
+    AsteriaCache,
+    AsteriaConfig,
+    AsteriaEngine,
+    ExactCache,
+    ExactEngine,
+    Query,
+    Sine,
+    VanillaEngine,
+)
+from repro.core.prefetch import MarkovPrefetcher
+from repro.embedding import HashingEmbedder
+from repro.judger import SimulatedJudger
+from repro.network import RemoteDataService
+
+
+def make_asteria(config=None, **remote_kwargs):
+    embedder = HashingEmbedder(seed=7)
+    sine = Sine(embedder, FlatIndex(embedder.dim), SimulatedJudger(seed=3))
+    cache = AsteriaCache(sine, capacity_items=64)
+    remote = RemoteDataService(latency=0.4, **remote_kwargs)
+    return AsteriaEngine(cache, remote, config or AsteriaConfig())
+
+
+class TestVanillaEngine:
+    def test_every_request_goes_remote(self):
+        engine = VanillaEngine(RemoteDataService(latency=0.4))
+        for index in range(5):
+            response = engine.handle(Query(f"q{index}"), now=float(index))
+            assert response.fetch is not None
+        assert engine.remote.calls == 5
+        assert engine.metrics.hit_rate == 0.0
+
+    def test_latency_equals_fetch_latency(self):
+        engine = VanillaEngine(RemoteDataService(latency=0.4))
+        response = engine.handle(Query("q"))
+        assert response.latency == pytest.approx(response.fetch.latency)
+
+
+class TestExactEngine:
+    def test_identical_repeat_hits(self):
+        engine = ExactEngine(ExactCache(), RemoteDataService(latency=0.4))
+        engine.handle(Query("same text"), 0.0)
+        response = engine.handle(Query("same text"), 1.0)
+        assert response.served_from_cache
+        assert response.latency == pytest.approx(engine.lookup_latency)
+
+    def test_paraphrase_misses(self):
+        engine = ExactEngine(ExactCache(), RemoteDataService(latency=0.4))
+        engine.handle(Query("who painted the mona lisa"), 0.0)
+        response = engine.handle(Query("mona lisa painter"), 1.0)
+        assert not response.served_from_cache
+
+
+class TestAsteriaEngineAnalytic:
+    def test_miss_then_semantic_hit(self):
+        engine = make_asteria()
+        first = engine.handle(Query("who painted the mona lisa", fact_id="F"), 0.0)
+        assert not first.served_from_cache
+        second = engine.handle(
+            Query("tell me who painted mona lisa", fact_id="F"), 2.0
+        )
+        assert second.served_from_cache
+        assert second.result == first.result
+
+    def test_hit_latency_matches_config(self):
+        engine = make_asteria()
+        engine.handle(Query("who painted the mona lisa", fact_id="F"), 0.0)
+        hit = engine.handle(Query("mona lisa painter ok", fact_id="F"), 2.0)
+        assert hit.latency == pytest.approx(
+            engine.config.cache_check_latency(hit.lookup.judged)
+        )
+
+    def test_miss_latency_includes_cache_check_and_fetch(self):
+        engine = make_asteria()
+        response = engine.handle(Query("fresh unique topic", fact_id="F"), 0.0)
+        assert response.latency == pytest.approx(
+            response.lookup.latency + response.fetch.latency
+        )
+
+    def test_confusable_miss_preserves_correctness(self):
+        engine = make_asteria()
+        engine.handle(Query("who won the world cup 2018", fact_id="A"), 0.0)
+        response = engine.handle(Query("who won the world cup 2022", fact_id="B"), 1.0)
+        assert not response.served_from_cache
+        assert engine.metrics.served_incorrect == 0
+
+    def test_ann_only_serves_confusable_and_counts_incorrect(self):
+        engine = make_asteria(config=AsteriaConfig(ann_only=True))
+        engine.handle(Query("who won the world cup 2018", fact_id="A"), 0.0)
+        response = engine.handle(Query("who won the world cup 2022", fact_id="B"), 1.0)
+        assert response.served_from_cache
+        assert response.lookup.truth_match is False
+        assert engine.metrics.served_incorrect == 1
+
+    def test_admit_on_miss_false_never_populates(self):
+        engine = make_asteria(config=AsteriaConfig(admit_on_miss=False))
+        engine.handle(Query("some topic", fact_id="F"), 0.0)
+        assert len(engine.cache) == 0
+
+    def test_eval_log_populated_on_hits(self):
+        engine = make_asteria()
+        engine.handle(Query("height of everest", fact_id="F"), 0.0)
+        engine.handle(Query("everest height please", fact_id="F"), 1.0)
+        assert len(engine._eval_log) == 1
+
+    def test_config_thresholds_pushed_into_sine(self):
+        engine = make_asteria(config=AsteriaConfig(tau_sim=0.8, tau_lsm=0.95))
+        assert engine.cache.sine.tau_sim == 0.8
+        assert engine.cache.sine.tau_lsm == 0.95
+
+
+class TestAsteriaPrefetchAnalytic:
+    def test_prefetch_inserts_predicted_successor(self):
+        config = AsteriaConfig(prefetch_enabled=True, prefetch_confidence=0.5)
+        engine = make_asteria(config=config)
+        engine.prefetcher = MarkovPrefetcher(confidence=0.5, max_per_event=2)
+        a = Query("alpha unique topic", fact_id="A")
+        b = Query("beta unique topic", fact_id="B")
+        for _ in range(2):
+            engine.handle(a, 0.0)
+            engine.handle(b, 1.0)
+        # Cache now holds both; evict B to create a prefetch opportunity.
+        b_elements = [
+            element_id
+            for element_id, element in engine.cache.elements.items()
+            if element.truth_key == "B"
+        ]
+        for element_id in b_elements:
+            engine.cache.remove(element_id)
+        engine.handle(a, 10.0)
+        assert engine.metrics.prefetches_issued >= 1
+        assert engine.cache.contains_semantic(b)
+
+    def test_prefetch_skips_cached_targets(self):
+        config = AsteriaConfig(prefetch_enabled=True, prefetch_confidence=0.5)
+        engine = make_asteria(config=config)
+        a = Query("alpha unique topic", fact_id="A")
+        b = Query("beta unique topic", fact_id="B")
+        for _ in range(2):
+            engine.handle(a, 0.0)
+            engine.handle(b, 1.0)
+        engine.handle(a, 10.0)  # b is already cached: no prefetch.
+        assert engine.metrics.prefetches_issued == 0
+
+
+class TestAsteriaRecalibrationAnalytic:
+    def test_recalibration_rounds_run_on_schedule(self):
+        config = AsteriaConfig(
+            recalibration_enabled=True, recalibration_interval=10.0
+        )
+        engine = make_asteria(config=config)
+        engine.handle(Query("topic one here", fact_id="A"), 0.0)
+        engine.handle(Query("topic one here ok", fact_id="A"), 11.0)
+        engine.handle(Query("topic one please", fact_id="A"), 22.0)
+        assert engine.metrics.recalibrations >= 1
+
+    def test_ground_truth_fetches_charged(self):
+        config = AsteriaConfig(
+            recalibration_enabled=True, recalibration_interval=5.0,
+        )
+        engine = make_asteria(config=config)
+        # Build hits so the eval log is non-empty, then cross the interval.
+        engine.handle(Query("topic one here", fact_id="A"), 0.0)
+        for step in range(1, 8):
+            engine.handle(Query("topic one here ok", fact_id="A"), float(step))
+        engine.handle(Query("topic one please", fact_id="A"), 20.0)
+        assert engine.remote.cost_meter.by_tool().get("ground-truth", 0) > 0

@@ -1,0 +1,66 @@
+"""Tests for the exact-match baseline cache."""
+
+import pytest
+
+from repro.core import ExactCache, Query
+from repro.core.types import FetchResult
+
+
+def fetch(result="answer"):
+    return FetchResult(
+        result=result, latency=0.4, service_latency=0.4, cost=0.005, size_tokens=8
+    )
+
+
+class TestExactCache:
+    def test_identical_text_hits(self):
+        cache = ExactCache()
+        cache.insert(Query("who painted the mona lisa"), fetch(), 0.0)
+        element = cache.lookup(Query("who painted the mona lisa"), 1.0)
+        assert element is not None
+        assert element.frequency == 1
+
+    def test_canonicalisation_ignores_case_and_spacing(self):
+        cache = ExactCache()
+        cache.insert(Query("Who Painted   the Mona Lisa"), fetch(), 0.0)
+        assert cache.lookup(Query("who painted the mona lisa"), 1.0) is not None
+
+    def test_paraphrase_misses(self):
+        cache = ExactCache()
+        cache.insert(Query("who painted the mona lisa"), fetch(), 0.0)
+        assert cache.lookup(Query("mona lisa painter"), 1.0) is None
+
+    def test_expired_entry_misses_and_purges(self):
+        cache = ExactCache(default_ttl=10.0)
+        cache.insert(Query("q"), fetch(), 0.0)
+        assert cache.lookup(Query("q"), 11.0) is None
+        assert len(cache) == 0
+        assert cache.stats.expirations == 1
+
+    def test_reinsert_same_key_refreshes(self):
+        cache = ExactCache()
+        cache.insert(Query("q"), fetch("old"), 0.0)
+        cache.insert(Query("q"), fetch("new"), 5.0)
+        element = cache.lookup(Query("q"), 6.0)
+        assert element is not None and element.value.startswith("new")
+        assert len(cache) == 1
+        assert cache.stats.rejected_duplicates == 1
+
+    def test_lru_eviction_default(self):
+        cache = ExactCache(capacity_items=2)
+        cache.insert(Query("a"), fetch(), 0.0)
+        cache.insert(Query("b"), fetch(), 1.0)
+        cache.lookup(Query("a"), 2.0)  # refresh a
+        cache.insert(Query("c"), fetch(), 3.0)
+        assert cache.lookup(Query("a"), 4.0) is not None
+        assert cache.lookup(Query("b"), 4.0) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ExactCache(capacity_items=0)
+
+    def test_usage_counts_entries(self):
+        cache = ExactCache()
+        cache.insert(Query("a"), fetch(), 0.0)
+        cache.insert(Query("b"), fetch(), 0.0)
+        assert cache.usage() == 2

@@ -1,0 +1,180 @@
+"""Smoke tests: every experiment runner executes at reduced scale and
+produces rows with the paper's qualitative shape."""
+
+import pytest
+
+from repro.experiments import (
+    fig1c_breakdown,
+    fig2_zipf,
+    fig3_bursts,
+    fig7_skewed,
+    fig8_trend,
+    fig9_swebench,
+    fig10_concurrency,
+    fig11_breakdown,
+    fig12_api_calls,
+    fig13_accuracy,
+    recalibration_overhead,
+    table2_file_freq,
+    table4_ratelimit,
+    table5_cost,
+    table6_lcfu,
+    table7_colocation,
+    tau_sweep,
+)
+
+
+def by(result, **criteria):
+    rows = result.filter(**criteria)
+    assert rows, f"no rows matching {criteria}"
+    return rows[0]
+
+
+class TestCharacterisation:
+    def test_fig1c_retrieval_share_in_paper_band(self):
+        result = fig1c_breakdown.run(n_tasks=40)
+        retrieval = by(result, component="external_retrieval")
+        assert 0.30 < retrieval["fraction"] < 0.55
+
+    def test_fig2_head_dominates(self):
+        result = fig2_zipf.run(window_draws=(("24h", 5000),), n_topics=500)
+        total = by(result, topic_rank="top5_total")
+        assert total["share"] > 0.15
+        assert -1.5 < total["fitted_slope"] < -0.6
+
+    def test_fig3_bursts_and_correlation(self):
+        result = fig3_bursts.run(duration=240.0)
+        assert all(row["burst_ratio"] > 1.5 for row in result.rows)
+        assert all(
+            row.get("related_burst_ratio", 2.0) > 1.0 for row in result.rows
+        )
+
+    def test_table2_matches_paper_frequencies(self):
+        result = table2_file_freq.run(n_issues=400)
+        for row in result.rows:
+            assert row["measured_freq"] == pytest.approx(
+                row["paper_freq"], abs=0.08
+            )
+
+
+class TestEndToEnd:
+    def test_fig7_system_ordering(self):
+        result = fig7_skewed.run(
+            dataset_names=("musique",), cache_ratios=(0.4,), n_tasks=300
+        )
+        vanilla = by(result, system="vanilla")
+        exact = by(result, system="exact")
+        asteria = by(result, system="asteria")
+        assert asteria["hit_rate"] > 0.75
+        assert exact["hit_rate"] < 0.2
+        assert asteria["throughput_rps"] > 1.5 * vanilla["throughput_rps"]
+        assert asteria["api_calls"] < 0.4 * vanilla["api_calls"]
+
+    def test_fig8_trend_shape(self):
+        result = fig8_trend.run(cache_ratios=(0.4,), duration=200.0)
+        vanilla = by(result, system="vanilla")
+        asteria = by(result, system="asteria")
+        assert asteria["hit_rate"] > 0.8
+        assert asteria["throughput_rps"] > 1.5 * vanilla["throughput_rps"]
+
+    def test_fig9_swebench_shape(self):
+        result = fig9_swebench.run(cache_ratios=(0.6,), n_issues=120)
+        vanilla = by(result, system="vanilla")
+        asteria = by(result, system="asteria")
+        assert 0.25 < asteria["hit_rate"] < 0.85
+        assert asteria["throughput_rps"] > vanilla["throughput_rps"]
+
+    def test_fig10_asteria_scales_baselines_saturate(self):
+        result = fig10_concurrency.run(
+            concurrency_levels=(1, 8), n_tasks=300
+        )
+        asteria_1 = by(result, system="asteria", concurrency=1)
+        asteria_8 = by(result, system="asteria", concurrency=8)
+        vanilla_8 = by(result, system="vanilla", concurrency=8)
+        assert asteria_8["throughput_rps"] > 4 * asteria_1["throughput_rps"]
+        assert asteria_8["throughput_rps"] > 2 * vanilla_8["throughput_rps"]
+
+    def test_fig11_breakdown_shape(self):
+        result = fig11_breakdown.run(n_requests=120)
+        vanilla = by(result, system="vanilla")
+        asteria = by(result, system="asteria")
+        assert vanilla["total_s"] == pytest.approx(1.05, abs=0.15)
+        assert asteria["total_s"] < 0.8
+        assert asteria["cache_check_s"] == pytest.approx(0.02, abs=0.005)
+        assert 0.0 < asteria["judger_s"] < 0.05
+
+    def test_fig12_call_reduction(self):
+        result = fig12_api_calls.run(n_tasks=400)
+        asteria = by(result, system="asteria")
+        vanilla = by(result, system="vanilla")
+        assert asteria["call_reduction"] > 0.7
+        assert asteria["retry_ratio"] < 0.05 < vanilla["retry_ratio"]
+
+
+class TestTables:
+    def test_table4_rate_limit_amplifies_gain(self):
+        result = table4_ratelimit.run(n_tasks=300)
+        without = by(result, rate_limit="without", system="asteria")
+        with_limit = by(result, rate_limit="with", system="asteria")
+        assert 1.1 < without["normalized"] < 2.5
+        assert with_limit["normalized"] > without["normalized"]
+
+    def test_table5_cost_ordering(self):
+        result = table5_cost.run(n_tasks=200)
+        vanilla = by(result, configuration="vanilla")
+        wo_sharing = by(result, configuration="asteria_wo_sharing")
+        asteria = by(result, configuration="asteria")
+        assert wo_sharing["total_cost_usd"] > vanilla["total_cost_usd"]
+        assert asteria["total_cost_usd"] < wo_sharing["total_cost_usd"]
+        assert asteria["thpt_per_dollar"] > 2 * vanilla["thpt_per_dollar"]
+
+    def test_table6_lcfu_trade(self):
+        result = table6_lcfu.run(n_tasks=400)
+        lru = by(result, policy="lru")
+        lcfu = by(result, policy="lcfu")
+        assert lcfu["throughput_rps"] >= lru["throughput_rps"]
+        assert lcfu["api_cost_usd"] <= lru["api_cost_usd"]
+
+    def test_table7_colocation_retention(self):
+        result = table7_colocation.run(n_tasks=200)
+        colocated = by(result, configuration="Co-located (MPS 80/20)")
+        assert 0.85 < colocated["throughput_retention"] < 1.0
+        assert colocated["p99_inflation"] > 0.0
+        assert colocated["gpus"] == 1
+
+
+class TestDeepDives:
+    def test_fig13_accuracy_ordering(self):
+        result = fig13_accuracy.run(
+            dataset_names=("strategyqa",), n_tasks=150
+        )
+        vanilla = by(result, system="vanilla")
+        asteria = by(result, system="asteria")
+        ann_only = by(result, system="ann_only")
+        assert asteria["em_score"] == pytest.approx(vanilla["em_score"], abs=0.02)
+        assert ann_only["em_score"] < vanilla["em_score"] - 0.03
+
+    def test_recalibration_overhead_small(self):
+        result = recalibration_overhead.run(n_tasks=300)
+        off = by(result, recalibration="off")
+        on = by(result, recalibration="on")
+        assert on["rounds"] >= 1
+        assert on["throughput_rps"] > 0.9 * off["throughput_rps"]
+
+    def test_tau_sweep_gradients(self):
+        result = tau_sweep.run(
+            tau_sim_values=(0.7, 0.99),
+            tau_lsm_values=(0.02, 0.9),
+            n_queries=300,
+        )
+        loose = by(result, tau_sim=0.7, tau_lsm=0.9)
+        strict_sim = by(result, tau_sim=0.99, tau_lsm=0.9)
+        assert loose["hit_rate"] > strict_sim["hit_rate"]
+        loose_lsm = by(result, tau_sim=0.7, tau_lsm=0.02)
+        assert loose_lsm["hit_precision"] <= 1.0
+        assert loose_lsm["hit_rate"] >= loose["hit_rate"]
+
+    def test_format_table_renders(self):
+        result = fig2_zipf.run(window_draws=(("24h", 1000),), n_topics=100)
+        text = result.format_table()
+        assert "Figure 2" in text and "|" in text

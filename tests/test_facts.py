@@ -1,0 +1,83 @@
+"""Tests for facts and fact universes."""
+
+import pytest
+
+from repro.core import Query
+from repro.workloads import Fact, FactUniverse
+
+
+def fact(fact_id="F1", core="height everest", **overrides):
+    defaults = dict(fact_id=fact_id, core=core, answer="8849 m")
+    defaults.update(overrides)
+    return Fact(**defaults)
+
+
+class TestFact:
+    def test_defaults(self):
+        item = fact()
+        assert item.staticity == 6
+        assert item.cost is None
+        assert item.latency_scale == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fact(fact_id="")
+        with pytest.raises(ValueError):
+            fact(staticity=0)
+        with pytest.raises(ValueError):
+            fact(latency_scale=0.0)
+        with pytest.raises(ValueError):
+            fact(answer_tokens=0)
+
+
+class TestFactUniverse:
+    def test_lookup_by_id_and_rank(self):
+        universe = FactUniverse("u", [fact("A"), fact("B", core="other thing")])
+        assert universe.get("A").fact_id == "A"
+        assert universe.by_rank(1).fact_id == "B"
+        assert "A" in universe and "C" not in universe
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            FactUniverse("u", [fact("A"), fact("A")])
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            FactUniverse("u", [])
+
+    def test_unknown_id_rejected(self):
+        universe = FactUniverse("u", [fact("A")])
+        with pytest.raises(KeyError):
+            universe.get("Z")
+
+    def test_topics_in_first_appearance_order(self):
+        universe = FactUniverse(
+            "u",
+            [
+                fact("A", topic="sports"),
+                fact("B", core="b", topic="art"),
+                fact("C", core="c", topic="sports"),
+            ],
+        )
+        assert universe.topics() == ["sports", "art"]
+        assert [f.fact_id for f in universe.facts_for_topic("sports")] == ["A", "C"]
+
+    def test_resolver_answers_known_fact(self):
+        universe = FactUniverse("u", [fact("A", answer="the answer")])
+        result = universe.resolve(Query("whatever", fact_id="A"))
+        assert result.startswith("the answer")
+
+    def test_resolver_pads_to_answer_tokens(self):
+        universe = FactUniverse("u", [fact("A", answer_tokens=100)])
+        result = universe.resolve(Query("q", fact_id="A"))
+        assert len(result) // 4 >= 80  # Roughly the requested token size.
+
+    def test_resolver_fallback_for_unknown_fact(self):
+        universe = FactUniverse("u", [fact("A")])
+        result = universe.resolve(Query("mystery question", fact_id="ZZZ"))
+        assert "mystery question" in result
+
+    def test_resolver_deterministic(self):
+        universe = FactUniverse("u", [fact("A")])
+        query = Query("q", fact_id="A")
+        assert universe.resolve(query) == universe.resolve(query)

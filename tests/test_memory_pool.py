@@ -1,0 +1,84 @@
+"""Tests for the KV memory pool."""
+
+import pytest
+
+from repro.serving import KVMemoryPool
+
+
+@pytest.fixture
+def pool():
+    return KVMemoryPool(80.0, {"agent": 56.0, "judger": 4.0})
+
+
+class TestKVMemoryPool:
+    def test_dynamic_region_is_remainder(self, pool):
+        assert pool.dynamic_gb == pytest.approx(20.0)
+        assert pool.dynamic_free == pytest.approx(20.0)
+
+    def test_allocate_uses_static_first(self, pool):
+        assert pool.allocate("agent", 10.0)
+        assert pool.static_free("agent") == pytest.approx(46.0)
+        assert pool.dynamic_free == pytest.approx(20.0)
+
+    def test_spill_into_dynamic(self, pool):
+        assert pool.allocate("agent", 60.0)
+        assert pool.static_free("agent") == 0.0
+        assert pool.dynamic_free == pytest.approx(16.0)
+
+    def test_allocation_fails_when_exhausted(self, pool):
+        assert pool.allocate("agent", 76.0)  # 56 static + 20 dynamic
+        assert not pool.allocate("agent", 0.1)
+        assert not pool.allocate("judger", 4.1)
+        assert pool.allocate("judger", 4.0)
+
+    def test_failed_allocation_changes_nothing(self, pool):
+        pool.allocate("agent", 70.0)
+        before = pool.used_by("agent")
+        assert not pool.allocate("agent", 50.0)
+        assert pool.used_by("agent") == before
+
+    def test_release_repays_dynamic_first(self, pool):
+        pool.allocate("agent", 60.0)  # 56 static + 4 dynamic
+        pool.release("agent", 5.0)
+        assert pool.dynamic_free == pytest.approx(20.0)
+        assert pool.static_free("agent") == pytest.approx(1.0)
+
+    def test_release_more_than_held_rejected(self, pool):
+        pool.allocate("agent", 1.0)
+        with pytest.raises(ValueError):
+            pool.release("agent", 2.0)
+
+    def test_conservation_under_churn(self, pool):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        held = {"agent": 0.0, "judger": 0.0}
+        for _ in range(500):
+            workload = "agent" if rng.random() < 0.7 else "judger"
+            if rng.random() < 0.6:
+                amount = float(rng.uniform(0.1, 5.0))
+                if pool.allocate(workload, amount):
+                    held[workload] += amount
+            elif held[workload] > 0:
+                amount = float(rng.uniform(0.0, held[workload]))
+                pool.release(workload, amount)
+                held[workload] -= amount
+        for workload, amount in held.items():
+            assert pool.used_by(workload) == pytest.approx(amount, abs=1e-6)
+        total_used = sum(held.values())
+        total_free = (
+            pool.static_free("agent") + pool.static_free("judger") + pool.dynamic_free
+        )
+        assert total_used + total_free == pytest.approx(80.0, abs=1e-6)
+
+    def test_unknown_workload_rejected(self, pool):
+        with pytest.raises(KeyError):
+            pool.allocate("phantom", 1.0)
+
+    def test_overcommitted_static_rejected(self):
+        with pytest.raises(ValueError):
+            KVMemoryPool(10.0, {"agent": 8.0, "judger": 4.0})
+
+    def test_can_allocate_is_side_effect_free(self, pool):
+        assert pool.can_allocate("agent", 70.0)
+        assert pool.used_by("agent") == 0.0

@@ -1,0 +1,86 @@
+"""Tests for latency stats and engine metrics."""
+
+import pytest
+
+from repro.core import EngineMetrics, LatencyStats
+
+
+class TestLatencyStats:
+    def test_empty_stats_are_zero(self):
+        stats = LatencyStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.p99 == 0.0
+        assert stats.max == 0.0
+
+    def test_mean_and_total(self):
+        stats = LatencyStats()
+        for value in (1.0, 2.0, 3.0):
+            stats.add(value)
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.total == pytest.approx(6.0)
+
+    def test_percentiles(self):
+        stats = LatencyStats()
+        for value in range(1, 101):
+            stats.add(float(value))
+        assert stats.p50 == pytest.approx(50.5)
+        assert stats.percentile(99) == pytest.approx(99.01)
+        assert stats.max == 100.0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().add(-0.1)
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().percentile(101)
+
+    def test_samples_copy_is_isolated(self):
+        stats = LatencyStats()
+        stats.add(1.0)
+        samples = stats.samples()
+        samples.append(99.0)
+        assert stats.count == 1
+
+
+class TestEngineMetrics:
+    def test_hit_rate_excludes_bypasses(self):
+        metrics = EngineMetrics()
+        metrics.record_lookup("hit")
+        metrics.record_lookup("miss")
+        metrics.record_lookup("bypass")
+        assert metrics.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty_is_zero(self):
+        assert EngineMetrics().hit_rate == 0.0
+
+    def test_accuracy(self):
+        metrics = EngineMetrics()
+        metrics.served_correct = 9
+        metrics.served_incorrect = 1
+        assert metrics.accuracy == pytest.approx(0.9)
+
+    def test_accuracy_empty_is_one(self):
+        assert EngineMetrics().accuracy == 1.0
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError):
+            EngineMetrics().record_lookup("unknown")
+
+    def test_reset_zeros_everything(self):
+        metrics = EngineMetrics()
+        metrics.record_lookup("hit")
+        metrics.total_latency.add(1.0)
+        metrics.reset()
+        assert metrics.requests == 0
+        assert metrics.total_latency.count == 0
+
+    def test_summary_round_trips_key_fields(self):
+        metrics = EngineMetrics()
+        metrics.record_lookup("hit")
+        metrics.total_latency.add(0.5)
+        summary = metrics.summary()
+        assert summary["requests"] == 1
+        assert summary["hit_rate"] == 1.0
+        assert summary["mean_latency"] == 0.5

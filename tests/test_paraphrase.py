@@ -1,0 +1,74 @@
+"""Tests for the paraphrase generator."""
+
+import pytest
+
+from repro.embedding import HashingEmbedder, SimpleTokenizer, cosine_similarity
+from repro.workloads import Paraphraser
+from repro.workloads.paraphrase import DEFAULT_FILLERS, DEFAULT_TEMPLATES
+
+
+class TestParaphraser:
+    def test_variant_space_is_template_times_filler(self):
+        paraphraser = Paraphraser()
+        assert paraphraser.variants == len(DEFAULT_TEMPLATES) * len(DEFAULT_FILLERS)
+
+    def test_deterministic(self):
+        paraphraser = Paraphraser()
+        assert paraphraser.phrase("height everest", 5) == paraphraser.phrase(
+            "height everest", 5
+        )
+
+    def test_all_variants_distinct(self):
+        paraphraser = Paraphraser()
+        phrases = paraphraser.all_phrases("height everest")
+        assert len(set(phrases)) == len(phrases)
+
+    def test_variant_wraps_modulo(self):
+        paraphraser = Paraphraser()
+        assert paraphraser.phrase("x y", 0) == paraphraser.phrase(
+            "x y", paraphraser.variants
+        )
+
+    def test_core_tokens_always_present(self):
+        paraphraser = Paraphraser()
+        for phrase in paraphraser.all_phrases("height everest"):
+            assert "height" in phrase and "everest" in phrase
+
+    def test_some_variant_reverses_word_order(self):
+        paraphraser = Paraphraser()
+        phrases = paraphraser.all_phrases("alpha beta")
+        assert any("beta alpha" in phrase for phrase in phrases)
+
+    def test_filler_words_are_all_stopwords(self):
+        """The load-bearing invariant: filler must not perturb content."""
+        tokenizer = SimpleTokenizer()
+        paraphraser = Paraphraser()
+        core_stems = set(tokenizer.content_tokens("placeholder core"))
+        for phrase in paraphraser.all_phrases("placeholder core"):
+            assert set(tokenizer.content_tokens(phrase)) == core_stems, phrase
+
+    def test_variants_embed_above_coarse_threshold(self):
+        embedder = HashingEmbedder(seed=7)
+        paraphraser = Paraphraser()
+        base = embedder.embed(paraphraser.phrase("height mount everest", 0))
+        for variant in range(1, paraphraser.variants):
+            other = embedder.embed(paraphraser.phrase("height mount everest", variant))
+            assert cosine_similarity(base, other) >= 0.75, variant
+
+    def test_empty_core_rejected(self):
+        with pytest.raises(ValueError):
+            Paraphraser().phrase("", 0)
+
+    def test_template_without_slot_rejected(self):
+        with pytest.raises(ValueError):
+            Paraphraser(templates=("no slot here",))
+
+    def test_variant_count_override(self):
+        paraphraser = Paraphraser(variants=3)
+        assert len(paraphraser.all_phrases("x y")) == 3
+
+    def test_invalid_variant_count_rejected(self):
+        with pytest.raises(ValueError):
+            Paraphraser(variants=0)
+        with pytest.raises(ValueError):
+            Paraphraser(variants=10_000)

@@ -1,0 +1,172 @@
+"""Tests for cache snapshot/restore."""
+
+import pytest
+
+from repro.ann import FlatIndex
+from repro.core import AsteriaCache, CacheSnapshot, Query, Sine
+from repro.core.types import FetchResult
+from repro.embedding import HashingEmbedder
+from repro.judger import SimulatedJudger
+
+
+def fetch(result="answer", latency=0.4, cost=0.005, tokens=16):
+    return FetchResult(
+        result=result, latency=latency, service_latency=latency, cost=cost,
+        size_tokens=tokens,
+    )
+
+
+def make_cache(ttl=3600.0, capacity=None):
+    embedder = HashingEmbedder(seed=7)
+    sine = Sine(embedder, FlatIndex(embedder.dim), SimulatedJudger(seed=3))
+    return AsteriaCache(sine, capacity_items=capacity, default_ttl=ttl)
+
+
+def populate(cache, n=5):
+    for index in range(n):
+        element = cache.insert(
+            Query(f"distinct topic {index} kangaroo", fact_id=f"F{index}",
+                  staticity=8),
+            fetch(result=f"answer-{index}", cost=0.01 * (index + 1)),
+            now=float(index * 10),
+        )
+        for hit in range(index):
+            element.record_hit(float(index * 10 + hit + 1))
+    return cache
+
+
+class TestSnapshotRoundtrip:
+    def test_json_roundtrip(self):
+        snapshot = CacheSnapshot.of(populate(make_cache()))
+        restored = CacheSnapshot.from_json(snapshot.to_json())
+        assert restored.records == snapshot.records
+        assert restored.taken_at == snapshot.taken_at
+
+    def test_file_roundtrip(self, tmp_path):
+        snapshot = CacheSnapshot.of(populate(make_cache()))
+        path = tmp_path / "cache.json"
+        snapshot.save(path)
+        assert CacheSnapshot.load(path).records == snapshot.records
+
+    def test_unknown_version_rejected(self):
+        snapshot = CacheSnapshot.of(populate(make_cache()))
+        payload = snapshot.to_json().replace('"version": 1', '"version": 99')
+        with pytest.raises(ValueError):
+            CacheSnapshot.from_json(payload)
+
+    def test_infinite_ttl_encoded_as_null(self):
+        cache = make_cache(ttl=None)
+        populate(cache, n=1)
+        snapshot = CacheSnapshot.of(cache)
+        assert snapshot.records[0]["expires_at"] is None
+        assert '"expires_at": null' in snapshot.to_json()
+
+
+class TestRestore:
+    def test_restore_preserves_contents_and_metadata(self):
+        original = populate(make_cache())
+        snapshot = CacheSnapshot.of(original)
+        fresh = make_cache()
+        restored = snapshot.restore_into(fresh, now=snapshot.taken_at)
+        assert restored == len(original)
+        by_truth = {
+            element.truth_key: element for element in fresh.elements.values()
+        }
+        for element in original.elements.values():
+            twin = by_truth[element.truth_key]
+            assert twin.value == element.value
+            assert twin.frequency == element.frequency
+            assert twin.staticity == element.staticity
+            assert twin.retrieval_cost == element.retrieval_cost
+
+    def test_restored_cache_serves_semantic_hits(self):
+        original = make_cache()
+        original.insert(
+            Query("who painted the mona lisa", fact_id="F"), fetch(), 0.0
+        )
+        snapshot = CacheSnapshot.of(original)
+        fresh = make_cache()
+        snapshot.restore_into(fresh, now=0.0)
+        result = fresh.lookup(Query("mona lisa painter ok", fact_id="F"), 1.0)
+        assert result.match is not None
+
+    def test_restore_shifts_timestamps(self):
+        original = make_cache(ttl=100.0)
+        original.insert(Query("topic one", fact_id="F"), fetch(), now=50.0)
+        snapshot = CacheSnapshot.of(original, now=60.0)
+        fresh = make_cache(ttl=100.0)
+        snapshot.restore_into(fresh, now=1000.0)
+        element = next(iter(fresh.elements.values()))
+        # Entry was 10 s old with 90 s of TTL left; both ages preserved.
+        assert element.created_at == pytest.approx(990.0)
+        assert element.expires_at == pytest.approx(1090.0)
+
+    def test_expired_entries_dropped_on_restore(self):
+        original = make_cache(ttl=10.0)
+        original.insert(Query("topic one", fact_id="A"), fetch(), now=0.0)
+        original.insert(Query("topic two", fact_id="B"), fetch(), now=100.0)
+        snapshot = CacheSnapshot.of(original, now=105.0)  # A already dead
+        fresh = make_cache(ttl=10.0)
+        restored = snapshot.restore_into(fresh, now=105.0)
+        assert restored == 1
+        assert next(iter(fresh.elements.values())).truth_key == "B"
+
+    def test_restore_into_nonempty_cache_rejected(self):
+        snapshot = CacheSnapshot.of(populate(make_cache()))
+        target = populate(make_cache(), n=1)
+        with pytest.raises(ValueError):
+            snapshot.restore_into(target)
+
+    def test_restore_respects_capacity(self):
+        snapshot = CacheSnapshot.of(populate(make_cache(), n=8))
+        small = make_cache(capacity=3)
+        snapshot.restore_into(small, now=snapshot.taken_at)
+        assert len(small) <= 3
+
+
+class TestStaticityTTL:
+    def test_scaling_shortens_ephemeral_life(self):
+        cache = make_cache(ttl=1000.0)
+        cache.staticity_ttl_scaling = True
+        stable = cache.insert(
+            Query("history of rome empire", fact_id="A", staticity=10),
+            fetch(), 0.0,
+        )
+        ephemeral = cache.insert(
+            Query("price of copper futures", fact_id="B", staticity=2),
+            fetch(), 0.0,
+        )
+        assert stable.expires_at > ephemeral.expires_at
+        assert ephemeral.expires_at <= 0.0 + 1000.0 * 0.3 + 1e-9
+
+    def test_disabled_by_default(self):
+        cache = make_cache(ttl=1000.0)
+        element = cache.insert(
+            Query("price of copper futures", fact_id="B", staticity=2),
+            fetch(), 0.0,
+        )
+        assert element.expires_at == pytest.approx(1000.0)
+
+
+class TestInvalidate:
+    def test_predicate_invalidation(self):
+        cache = populate(make_cache())
+        removed = cache.invalidate(lambda element: element.retrieval_cost > 0.025)
+        assert removed == 3  # F2, F3, F4 at costs 0.03, 0.04, 0.05
+        assert all(
+            element.retrieval_cost <= 0.025 for element in cache.elements.values()
+        )
+
+    def test_invalidated_entries_unfindable(self):
+        cache = make_cache()
+        cache.insert(Query("who painted the mona lisa", fact_id="F"), fetch(), 0.0)
+        cache.invalidate(lambda element: element.truth_key == "F")
+        assert not cache.contains_semantic(
+            Query("mona lisa painter", fact_id="F")
+        )
+
+    def test_no_match_removes_nothing(self):
+        cache = populate(make_cache())
+        before = len(cache)
+        assert cache.invalidate(lambda element: False) == 0
+        assert len(cache) == before

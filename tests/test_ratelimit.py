@@ -1,0 +1,107 @@
+"""Tests for rate limiters."""
+
+import pytest
+
+from repro.network import FixedWindowLimiter, TokenBucket, UnlimitedLimiter
+
+
+class TestTokenBucket:
+    def test_burst_grants_immediately(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert all(bucket.try_acquire(0.0) for _ in range(3))
+        assert not bucket.try_acquire(0.0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.5)  # 0.5 s * 2/s = 1 token back
+
+    def test_next_available_exact(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        bucket.try_acquire(0.0)
+        assert bucket.next_available(0.0) == pytest.approx(0.5)
+
+    def test_next_available_now_when_token_ready(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        assert bucket.next_available(0.0) == 0.0
+
+    def test_tokens_capped_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2)
+        bucket.try_acquire(0.0)
+        bucket.try_acquire(0.0)
+        # Long idle: still only `burst` tokens available.
+        assert bucket.try_acquire(100.0)
+        assert bucket.try_acquire(100.0)
+        assert not bucket.try_acquire(100.0)
+
+    def test_per_minute_constructor(self):
+        bucket = TokenBucket.per_minute(100)
+        assert bucket.rate == pytest.approx(100 / 60)
+        assert bucket.burst == 100
+
+    def test_steady_state_rate_enforced(self):
+        bucket = TokenBucket.per_minute(60, burst=1)  # 1/s
+        granted = sum(bucket.try_acquire(t * 0.5) for t in range(240))
+        # 120 s of half-second attempts at 1/s: about 120 grants.
+        assert 118 <= granted <= 122
+
+    def test_time_going_backwards_rejected(self):
+        bucket = TokenBucket(rate=1.0)
+        bucket.try_acquire(5.0)
+        with pytest.raises(ValueError):
+            bucket.try_acquire(4.0)
+
+    def test_counters(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        bucket.try_acquire(0.0)
+        bucket.try_acquire(0.0)
+        assert bucket.granted == 1
+        assert bucket.rejected == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+        with pytest.raises(ValueError):
+            TokenBucket.per_minute(0)
+
+
+class TestFixedWindowLimiter:
+    def test_limit_within_window(self):
+        limiter = FixedWindowLimiter(limit=2, window=60.0)
+        assert limiter.try_acquire(0.0)
+        assert limiter.try_acquire(10.0)
+        assert not limiter.try_acquire(20.0)
+
+    def test_window_roll_resets_count(self):
+        limiter = FixedWindowLimiter(limit=1, window=60.0)
+        assert limiter.try_acquire(0.0)
+        assert not limiter.try_acquire(59.0)
+        assert limiter.try_acquire(60.0)
+
+    def test_next_available_is_window_boundary(self):
+        limiter = FixedWindowLimiter(limit=1, window=60.0)
+        limiter.try_acquire(5.0)
+        assert limiter.next_available(10.0) == 60.0
+
+    def test_boundary_burst_possible(self):
+        # The classic fixed-window artefact: 2x limit around a boundary.
+        limiter = FixedWindowLimiter(limit=5, window=60.0)
+        late = sum(limiter.try_acquire(59.0) for _ in range(5))
+        early = sum(limiter.try_acquire(60.0) for _ in range(5))
+        assert late == 5 and early == 5
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FixedWindowLimiter(limit=0)
+        with pytest.raises(ValueError):
+            FixedWindowLimiter(limit=1, window=0.0)
+
+
+class TestUnlimitedLimiter:
+    def test_always_grants(self):
+        limiter = UnlimitedLimiter()
+        assert all(limiter.try_acquire(0.0) for _ in range(1000))
+        assert limiter.next_available(5.0) == 5.0

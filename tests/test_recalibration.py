@@ -1,0 +1,135 @@
+"""Tests for precision curves and threshold recalibration (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EvalRecord, ThresholdRecalibrator, find_threshold, precision_curve
+
+
+class TestPrecisionCurve:
+    def test_empty_log_gives_empty_curve(self):
+        assert precision_curve([]) == []
+
+    def test_perfect_judger_flat_at_one(self):
+        records = [EvalRecord(score=s, correct=True) for s in (0.5, 0.7, 0.9)]
+        curve = precision_curve(records)
+        assert all(precision == 1.0 for _, precision in curve)
+
+    def test_known_mixture(self):
+        records = [
+            EvalRecord(0.2, False),
+            EvalRecord(0.4, False),
+            EvalRecord(0.6, True),
+            EvalRecord(0.8, True),
+        ]
+        curve = dict(precision_curve(records))
+        assert curve[0.2] == pytest.approx(0.5)   # all 4 accepted, 2 correct
+        assert curve[0.6] == pytest.approx(1.0)   # top 2 accepted, both correct
+
+    def test_duplicate_scores_collapsed(self):
+        records = [EvalRecord(0.5, True), EvalRecord(0.5, False)]
+        curve = precision_curve(records)
+        assert len(curve) == 1
+        assert curve[0][1] == pytest.approx(0.5)
+
+    def test_thresholds_ascending(self):
+        rng = np.random.default_rng(0)
+        records = [
+            EvalRecord(float(score), bool(rng.random() < score))
+            for score in rng.random(200)
+        ]
+        curve = precision_curve(records)
+        thresholds = [threshold for threshold, _ in curve]
+        assert thresholds == sorted(thresholds)
+
+    def test_invalid_score_rejected(self):
+        with pytest.raises(ValueError):
+            EvalRecord(score=1.2, correct=True)
+
+
+class TestFindThreshold:
+    def test_picks_smallest_satisfying_threshold(self):
+        curve = [(0.2, 0.5), (0.5, 0.8), (0.8, 0.99), (0.9, 1.0)]
+        assert find_threshold(curve, target_precision=0.99) == 0.8
+
+    def test_falls_back_when_unreachable(self):
+        curve = [(0.2, 0.5), (0.9, 0.7)]
+        assert find_threshold(curve, target_precision=0.99, fallback=0.95) == 0.95
+
+    def test_empty_curve_falls_back(self):
+        assert find_threshold([], 0.9, fallback=0.9) == 0.9
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            find_threshold([], target_precision=0.0)
+
+
+class TestThresholdRecalibrator:
+    def _records(self, n, good_judger=True, seed=0):
+        """(query_text, score, served_truth, fact_id) tuples."""
+        rng = np.random.default_rng(seed)
+        records = []
+        for index in range(n):
+            correct = bool(rng.random() < 0.8)
+            if good_judger:
+                score = float(rng.beta(20, 1)) if correct else float(rng.beta(1, 20))
+            else:
+                score = float(rng.random())
+            truth = "F" if correct else "G"
+            records.append((f"q{index}", score, truth, "F"))
+        return records
+
+    def test_ingest_respects_sample_size(self):
+        recalibrator = ThresholdRecalibrator(sample_size=5)
+        labelled = recalibrator.ingest(self._records(100))
+        assert labelled == 5
+        assert recalibrator.validation_size == 5
+
+    def test_no_change_below_min_records(self):
+        recalibrator = ThresholdRecalibrator(sample_size=5, min_records=50)
+        recalibrator.ingest(self._records(20))
+        assert recalibrator.recalibrate(current_threshold=0.9) == 0.9
+
+    def test_good_judger_allows_moderate_threshold(self):
+        recalibrator = ThresholdRecalibrator(
+            target_precision=0.95, sample_size=100, min_records=50,
+            rng=np.random.default_rng(1),
+        )
+        recalibrator.ingest(self._records(200, good_judger=True))
+        threshold = recalibrator.recalibrate(current_threshold=0.9)
+        assert threshold < 0.9  # Scores are well separated; relax safely.
+
+    def test_bad_judger_forces_high_threshold(self):
+        recalibrator = ThresholdRecalibrator(
+            target_precision=0.99, sample_size=100, min_records=50,
+            rng=np.random.default_rng(1),
+        )
+        recalibrator.ingest(self._records(200, good_judger=False))
+        threshold = recalibrator.recalibrate(current_threshold=0.5)
+        assert threshold > 0.5  # Random scores: only the top slice is pure.
+
+    def test_default_ground_truth_compares_fact_ids(self):
+        recalibrator = ThresholdRecalibrator(sample_size=2, min_records=1)
+        recalibrator.ingest([("q", 0.95, "F", "F"), ("q2", 0.9, "F", "G")])
+        records = recalibrator._validation_set
+        assert [record.correct for record in records] == [True, False]
+
+    def test_custom_ground_truth_used(self):
+        always_wrong = lambda text, served, fact: False
+        recalibrator = ThresholdRecalibrator(
+            sample_size=1, min_records=1, ground_truth=always_wrong
+        )
+        recalibrator.ingest([("q", 0.99, "F", "F")])
+        assert recalibrator._validation_set[0].correct is False
+
+    def test_rounds_counted(self):
+        recalibrator = ThresholdRecalibrator()
+        recalibrator.recalibrate(0.9)
+        recalibrator.recalibrate(0.9)
+        assert recalibrator.rounds == 2
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdRecalibrator(sample_size=0)
+        with pytest.raises(ValueError):
+            ThresholdRecalibrator(min_records=0)

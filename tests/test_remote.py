@@ -1,0 +1,148 @@
+"""Tests for the remote data service."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Query
+from repro.network import (
+    RateLimitExceeded,
+    RemoteDataService,
+    RetryPolicy,
+    TokenBucket,
+)
+from repro.sim import Simulator
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(base=0.5, multiplier=2.0, max_delay=4.0, jitter=0.0)
+        rng = np.random.default_rng(0)
+        delays = [policy.delay(k, rng) for k in range(5)]
+        assert delays == [0.5, 1.0, 2.0, 4.0, 4.0]
+
+    def test_jitter_added(self):
+        policy = RetryPolicy(base=1.0, jitter=0.5)
+        rng = np.random.default_rng(0)
+        delay = policy.delay(0, rng)
+        assert 1.0 <= delay <= 1.5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay=0.1, base=0.5)
+
+
+class TestAnalyticFetch:
+    def test_unthrottled_fetch_is_service_time_only(self):
+        service = RemoteDataService(latency=0.4)
+        result = service.fetch_at(Query("q"), now=0.0)
+        assert result.latency == pytest.approx(0.4)
+        assert result.retries == 0
+        assert not result.rate_limited
+
+    def test_fee_charged_per_successful_call(self):
+        service = RemoteDataService(latency=0.4, cost_per_call=0.005)
+        service.fetch_at(Query("a"))
+        service.fetch_at(Query("b"))
+        assert service.cost_meter.api_cost == pytest.approx(0.010)
+        assert service.calls == 2
+
+    def test_query_cost_overrides_service_fee(self):
+        service = RemoteDataService(latency=0.4, cost_per_call=0.005)
+        result = service.fetch_at(Query("a", cost=0.02))
+        assert result.cost == 0.02
+
+    def test_latency_scale_metadata_respected(self):
+        service = RemoteDataService(latency=0.4)
+        scaled = service.fetch_at(Query("a", metadata={"latency_scale": 3.0}))
+        assert scaled.service_latency == pytest.approx(1.2)
+
+    def test_throttled_fetch_counts_retries(self):
+        service = RemoteDataService(
+            latency=0.1,
+            rate_limiter=TokenBucket(rate=1.0, burst=1),
+            retry_policy=RetryPolicy(jitter=0.0),
+        )
+        service.fetch_at(Query("a"), now=0.0)
+        result = service.fetch_at(Query("b"), now=0.0)
+        assert result.rate_limited
+        assert result.retries >= 1
+        assert result.latency > 0.1
+        assert service.retry_ratio > 0.0
+
+    def test_retry_budget_exhaustion_raises(self):
+        # Analytic fetches jump to the limiter's next availability, so
+        # exhaustion needs real contention: two simulated clients racing for
+        # one slow-refilling token with a zero retry budget.
+        sim = Simulator()
+        service = RemoteDataService(
+            latency=0.1,
+            rate_limiter=TokenBucket(rate=0.001, burst=1),
+            retry_policy=RetryPolicy(jitter=0.0, max_retries=0),
+        )
+
+        def client(index):
+            yield from service.fetch(sim, Query(f"q{index}"))
+
+        sim.process(client(0))
+        sim.process(client(1))
+        with pytest.raises(RateLimitExceeded):
+            sim.run()
+
+    def test_default_resolver_deterministic(self):
+        service = RemoteDataService(latency=0.1)
+        a = service.fetch_at(Query("q", fact_id="F")).result
+        b = service.fetch_at(Query("q", fact_id="F")).result
+        assert a == b
+
+    def test_custom_resolver_used(self):
+        service = RemoteDataService(latency=0.1, resolver=lambda q: f"<<{q.text}>>")
+        assert service.fetch_at(Query("hello")).result == "<<hello>>"
+
+
+class TestProcessFetch:
+    def test_process_fetch_advances_sim_clock(self):
+        sim = Simulator()
+        service = RemoteDataService(latency=0.4)
+        holder = {}
+
+        def client():
+            holder["result"] = yield from service.fetch(sim, Query("q"))
+
+        sim.process(client())
+        sim.run()
+        assert sim.now == pytest.approx(0.4)
+        assert holder["result"].latency == pytest.approx(0.4)
+
+    def test_shared_limiter_serialises_concurrent_clients(self):
+        sim = Simulator()
+        service = RemoteDataService(
+            latency=0.1, rate_limiter=TokenBucket(rate=1.0, burst=1)
+        )
+        finish_times = []
+
+        def client(index):
+            yield from service.fetch(sim, Query(f"q{index}"))
+            finish_times.append(sim.now)
+
+        for index in range(3):
+            sim.process(client(index))
+        sim.run()
+        # Three fetches through a 1/s bucket must spread over >= 2 seconds.
+        assert max(finish_times) - min(finish_times) > 1.5
+        assert service.retries > 0
+
+    def test_analytic_and_process_agree_without_throttle(self):
+        analytic = RemoteDataService(latency=0.3, rng=np.random.default_rng(1))
+        process_mode = RemoteDataService(latency=0.3, rng=np.random.default_rng(1))
+        a = analytic.fetch_at(Query("q"))
+        sim = Simulator()
+        holder = {}
+
+        def client():
+            holder["result"] = yield from process_mode.fetch(sim, Query("q"))
+
+        sim.process(client())
+        sim.run()
+        assert holder["result"].latency == pytest.approx(a.latency)

@@ -1,0 +1,55 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.sim import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_custom_time(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.now == 3.0
+
+    def test_advance_by_zero_is_allowed(self):
+        clock = SimClock(1.0)
+        assert clock.advance(0.0) == 1.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to_jumps(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock(4.0)
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.9)
+
+    def test_repr_contains_time(self):
+        assert "1.5" in repr(SimClock(1.5))

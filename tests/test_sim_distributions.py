@@ -1,0 +1,127 @@
+"""Tests for latency distributions and the config-spec builder."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    Constant,
+    Empirical,
+    Exponential,
+    LogNormal,
+    TruncatedNormal,
+    Uniform,
+    distribution_from_spec,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConstant:
+    def test_always_returns_value(self, rng):
+        dist = Constant(0.3)
+        assert all(dist.sample(rng) == 0.3 for _ in range(10))
+        assert dist.mean() == 0.3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Constant(-0.1)
+
+
+class TestUniform:
+    def test_samples_within_bounds(self, rng):
+        dist = Uniform(0.3, 0.5)
+        samples = [dist.sample(rng) for _ in range(200)]
+        assert all(0.3 <= s <= 0.5 for s in samples)
+
+    def test_mean(self):
+        assert Uniform(0.3, 0.5).mean() == pytest.approx(0.4)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform(0.5, 0.3)
+
+
+class TestExponential:
+    def test_empirical_mean_close(self, rng):
+        dist = Exponential(2.0)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+
+class TestTruncatedNormal:
+    def test_floor_enforced(self, rng):
+        dist = TruncatedNormal(mu=0.1, sigma=1.0, floor=0.05)
+        samples = [dist.sample(rng) for _ in range(500)]
+        assert min(samples) >= 0.05
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            TruncatedNormal(mu=1.0, sigma=-0.1)
+
+
+class TestLogNormal:
+    def test_from_mean_cv_hits_target_mean(self, rng):
+        dist = LogNormal.from_mean_cv(mean=0.4, cv=0.3)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(0.4, rel=0.05)
+        assert dist.mean() == pytest.approx(0.4, rel=1e-6)
+
+    def test_all_samples_positive(self, rng):
+        dist = LogNormal.from_mean_cv(mean=1.0, cv=1.0)
+        assert all(dist.sample(rng) > 0 for _ in range(100))
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormal.from_mean_cv(mean=0.0, cv=0.5)
+
+
+class TestEmpirical:
+    def test_resamples_observed_values(self, rng):
+        dist = Empirical([0.1, 0.2, 0.3])
+        assert all(dist.sample(rng) in (0.1, 0.2, 0.3) for _ in range(50))
+
+    def test_mean(self):
+        assert Empirical([1.0, 2.0, 3.0]).mean() == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            Empirical([0.1, -0.2])
+
+
+class TestSpecBuilder:
+    def test_passthrough_distribution(self):
+        dist = Constant(1.0)
+        assert distribution_from_spec(dist) is dist
+
+    def test_bare_number_becomes_constant(self):
+        dist = distribution_from_spec(0.3)
+        assert isinstance(dist, Constant)
+        assert dist.value == 0.3
+
+    def test_uniform_spec(self):
+        dist = distribution_from_spec({"kind": "uniform", "low": 0.3, "high": 0.5})
+        assert isinstance(dist, Uniform)
+
+    def test_lognormal_mean_cv_spec(self):
+        dist = distribution_from_spec({"kind": "lognormal", "mean": 0.4, "cv": 0.2})
+        assert isinstance(dist, LogNormal)
+        assert dist.mean() == pytest.approx(0.4, rel=1e-6)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_from_spec({"kind": "zeta"})
+
+    def test_non_spec_type_rejected(self):
+        with pytest.raises(TypeError):
+            distribution_from_spec("0.3")

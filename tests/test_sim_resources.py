@@ -1,0 +1,142 @@
+"""Tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_grants_up_to_capacity_immediately(self, sim):
+        resource = Resource(sim, capacity=2)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        sim.run()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert resource.in_use == 2
+        assert resource.queue_length == 1
+
+    def test_release_admits_next_waiter(self, sim):
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def holder(name, hold):
+            request = resource.request()
+            yield request
+            order.append((sim.now, name))
+            yield sim.timeout(hold)
+            resource.release(request)
+
+        sim.process(holder("a", 1.0))
+        sim.process(holder("b", 1.0))
+        sim.run()
+        assert order == [(0.0, "a"), (1.0, "b")]
+
+    def test_priority_order(self, sim):
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def holder(name, priority):
+            yield sim.timeout(0.1)  # Let the blocker grab the slot first.
+            request = resource.request(priority=priority)
+            yield request
+            order.append(name)
+            resource.release(request)
+
+        def blocker():
+            request = resource.request()
+            yield request
+            yield sim.timeout(1.0)
+            resource.release(request)
+
+        sim.process(blocker())
+        sim.process(holder("low", priority=5))
+        sim.process(holder("high", priority=1))
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_release_ungranted_request_rejected(self, sim):
+        resource = Resource(sim, capacity=1)
+        resource.request()
+        waiting = resource.request()
+        with pytest.raises(RuntimeError):
+            resource.release(waiting)
+
+    def test_cancel_removes_from_queue(self, sim):
+        resource = Resource(sim, capacity=1)
+        held = resource.request()
+        waiting = resource.request()
+        waiting.cancel()
+        resource.release(held)
+        sim.run()
+        assert not waiting.triggered
+        assert resource.in_use == 0
+
+    def test_cancel_granted_request_rejected(self, sim):
+        resource = Resource(sim, capacity=1)
+        granted = resource.request()
+        with pytest.raises(RuntimeError):
+            granted.cancel()
+
+
+class TestStore:
+    def test_put_then_get_returns_fifo(self, sim):
+        store = Store(sim)
+        store.put("first")
+        store.put("second")
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        sim.process(consumer())
+        sim.run()
+        assert got == ["first", "second"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(2.0)
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(2.0, "late")]
+
+    def test_waiting_getters_served_in_order(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        def producer():
+            yield sim.timeout(1.0)
+            store.put(1)
+            store.put(2)
+
+        sim.process(consumer("a"))
+        sim.process(consumer("b"))
+        sim.process(producer())
+        sim.run()
+        assert got == [("a", 1), ("b", 2)]
+
+    def test_len_counts_buffered_items(self, sim):
+        store = Store(sim)
+        assert len(store) == 0
+        store.put("x")
+        assert len(store) == 1

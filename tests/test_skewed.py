@@ -1,0 +1,70 @@
+"""Tests for the skewed workload generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads import SkewedWorkload, build_dataset
+
+
+@pytest.fixture
+def dataset():
+    return build_dataset("musique", seed=1)
+
+
+class TestSkewedWorkload:
+    def test_queries_carry_fact_ids(self, dataset):
+        workload = SkewedWorkload(dataset, seed=2)
+        for query in workload.queries(20):
+            assert query.fact_id in dataset.universe
+
+    def test_popularity_skew_present(self, dataset):
+        workload = SkewedWorkload(dataset, seed=2)
+        counts = Counter(query.fact_id for query in workload.queries(3000))
+        top_fact = dataset.universe.by_rank(0).fact_id
+        tail_fact = dataset.universe.by_rank(len(dataset.universe) - 1).fact_id
+        assert counts[top_fact] > 20 * max(1, counts.get(tail_fact, 1))
+
+    def test_surface_forms_vary(self, dataset):
+        workload = SkewedWorkload(dataset, seed=2)
+        texts = [query.text for query in workload.queries(500)]
+        # Agent-style rephrasing: few exact repeats.
+        assert len(set(texts)) > 0.7 * len(texts)
+
+    def test_deterministic_per_seed(self, dataset):
+        a = SkewedWorkload(dataset, seed=2).queries(50)
+        b = SkewedWorkload(dataset, seed=2).queries(50)
+        assert [q.text for q in a] == [q.text for q in b]
+
+    def test_seed_changes_stream(self, dataset):
+        a = SkewedWorkload(dataset, seed=2).queries(50)
+        b = SkewedWorkload(dataset, seed=3).queries(50)
+        assert [q.text for q in a] != [q.text for q in b]
+
+    def test_tasks_follow_chains(self, dataset):
+        workload = SkewedWorkload(dataset, seed=2)
+        chains = {tuple(chain) for chain in dataset.chains}
+        for task in workload.tasks(20):
+            fact_chain = tuple(query.fact_id for query in task.queries)
+            assert fact_chain in chains
+
+    def test_single_hop_tasks_have_one_query(self, dataset):
+        workload = SkewedWorkload(dataset, seed=2)
+        for task in workload.single_hop_tasks(10):
+            assert task.hops == 1
+            assert task.answer_fact == task.queries[0].fact_id
+
+    def test_premium_queries_carry_latency_scale(self, dataset):
+        workload = SkewedWorkload(dataset, seed=2)
+        scales = {
+            query.metadata.get("latency_scale")
+            for query in workload.queries(2000)
+        }
+        assert dataset.profile.premium_latency_scale in scales
+
+    def test_negative_counts_rejected(self, dataset):
+        workload = SkewedWorkload(dataset, seed=2)
+        with pytest.raises(ValueError):
+            workload.queries(-1)
+        with pytest.raises(ValueError):
+            workload.tasks(-1)

@@ -1,0 +1,49 @@
+"""Tests for the staticity scorer."""
+
+import pytest
+
+from repro.judger import StaticityScorer
+
+
+class TestStaticityScorer:
+    def test_annotated_score_with_zero_noise_is_exact(self):
+        scorer = StaticityScorer(noise=0)
+        assert scorer.score("anything", true_staticity=7) == 7
+
+    def test_noise_stays_within_bounds(self):
+        scorer = StaticityScorer(seed=1, noise=1)
+        for i in range(100):
+            score = scorer.score(f"query {i}", true_staticity=5)
+            assert 4 <= score <= 6
+
+    def test_noise_clipped_to_scale(self):
+        scorer = StaticityScorer(seed=1, noise=3)
+        for i in range(100):
+            assert 1 <= scorer.score(f"q{i}", true_staticity=10) <= 10
+            assert 1 <= scorer.score(f"p{i}", true_staticity=1) <= 10
+
+    def test_deterministic_per_text(self):
+        scorer = StaticityScorer(seed=1)
+        assert scorer.score("x", 5) == scorer.score("x", 5)
+
+    def test_keyword_fallback_ephemeral(self):
+        scorer = StaticityScorer()
+        assert scorer.score("weather in paris today") <= 3
+
+    def test_keyword_fallback_stable(self):
+        scorer = StaticityScorer()
+        assert scorer.score("who painted the sistine chapel history") >= 8
+
+    def test_keyword_fallback_default(self):
+        scorer = StaticityScorer(default=6)
+        assert scorer.score("random gibberish zxqw") == 6
+
+    def test_invalid_true_staticity_rejected(self):
+        with pytest.raises(ValueError):
+            StaticityScorer().score("x", true_staticity=11)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            StaticityScorer(noise=-1)
+        with pytest.raises(ValueError):
+            StaticityScorer(default=0)

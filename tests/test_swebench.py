@@ -1,0 +1,84 @@
+"""Tests for the SWE-bench-style coding workload."""
+
+import pytest
+
+from repro.workloads import SWEBenchWorkload, TABLE2_ACCESS_FREQUENCIES
+from repro.workloads.swebench import _HEAD_FILES, build_repo_universe
+
+
+class TestRepoUniverse:
+    def test_head_and_tail_files_present(self):
+        universe = build_repo_universe(n_tail_files=40)
+        assert len(universe) == len(_HEAD_FILES) + 40
+        for path in _HEAD_FILES:
+            assert path in universe
+
+    def test_files_are_free_to_fetch(self):
+        universe = build_repo_universe()
+        assert all(fact.cost == 0.0 for fact in universe)
+
+    def test_file_sizes_realistic(self):
+        universe = build_repo_universe(mean_file_tokens=400)
+        sizes = [fact.answer_tokens for fact in universe]
+        assert min(sizes) >= 50
+        assert 200 < sum(sizes) / len(sizes) < 600
+
+    def test_deterministic(self):
+        a = build_repo_universe(seed=1)
+        b = build_repo_universe(seed=1)
+        assert [f.answer_tokens for f in a] == [f.answer_tokens for f in b]
+
+
+class TestSWEBenchWorkload:
+    def test_every_issue_reads_the_core_file(self):
+        workload = SWEBenchWorkload(seed=3)
+        issues = workload.issues(100)
+        core = _HEAD_FILES[0]
+        touched = sum(
+            any(query.fact_id == core for query in issue.queries) for issue in issues
+        )
+        assert touched / len(issues) > 0.95
+
+    def test_frequencies_match_table2(self):
+        workload = SWEBenchWorkload(seed=3)
+        issues = workload.issues(800)
+        frequencies = workload.empirical_file_frequencies(issues)
+        for path, expected in zip(_HEAD_FILES, TABLE2_ACCESS_FREQUENCIES):
+            measured = frequencies.get(path, 0.0)
+            assert measured == pytest.approx(expected, abs=0.06), path
+
+    def test_issues_bounded_in_size(self):
+        workload = SWEBenchWorkload(seed=3, max_files_per_issue=4)
+        for issue in workload.issues(50):
+            assert 1 <= issue.hops <= 4
+
+    def test_file_queries_use_file_tool(self):
+        workload = SWEBenchWorkload(seed=3)
+        issue = workload.next_issue(0)
+        assert all(query.tool == "file" for query in issue.queries)
+
+    def test_query_phrasing_varies(self):
+        workload = SWEBenchWorkload(seed=3)
+        core = _HEAD_FILES[0]
+        texts = set()
+        for issue in workload.issues(60):
+            for query in issue.queries:
+                if query.fact_id == core:
+                    texts.add(query.text)
+        assert len(texts) > 3  # Same file, many phrasings.
+
+    def test_deterministic(self):
+        a = SWEBenchWorkload(seed=3).issues(10)
+        b = SWEBenchWorkload(seed=3).issues(10)
+        assert [
+            [query.text for query in issue.queries] for issue in a
+        ] == [[query.text for query in issue.queries] for issue in b]
+
+    def test_empty_frequency_map_for_no_issues(self):
+        assert SWEBenchWorkload(seed=3).empirical_file_frequencies([]) == {}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SWEBenchWorkload(max_files_per_issue=0)
+        with pytest.raises(ValueError):
+            SWEBenchWorkload(seed=3).issues(-1)

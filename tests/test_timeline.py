@@ -1,0 +1,95 @@
+"""Tests for the metrics timeline and cache truthiness."""
+
+import pytest
+
+from repro.core.timeline import MetricsTimeline
+
+
+class TestMetricsTimeline:
+    def test_windows_bucket_by_time(self):
+        timeline = MetricsTimeline(window=60.0)
+        timeline.observe(now=10.0, hit=True, latency=0.05)
+        timeline.observe(now=59.9, hit=False, latency=0.45)
+        timeline.observe(now=60.0, hit=True, latency=0.05)
+        assert len(timeline) == 2
+        first, second = timeline.windows()
+        assert first.requests == 2 and second.requests == 1
+        assert first.start == 0.0 and second.start == 60.0
+
+    def test_hit_rate_series(self):
+        timeline = MetricsTimeline(window=10.0)
+        timeline.observe(now=1.0, hit=True, latency=0.1)
+        timeline.observe(now=2.0, hit=False, latency=0.1)
+        timeline.observe(now=15.0, hit=True, latency=0.1)
+        assert timeline.series("hit_rate") == [(0.0, 0.5), (10.0, 1.0)]
+
+    def test_latency_statistics(self):
+        timeline = MetricsTimeline(window=10.0)
+        for latency in (0.1, 0.2, 0.3, 10.0):
+            timeline.observe(now=1.0, hit=True, latency=latency)
+        window = timeline.windows()[0]
+        assert window.mean_latency == pytest.approx(2.65)
+        assert window.p95_latency == 10.0
+
+    def test_api_calls_counted(self):
+        timeline = MetricsTimeline(window=10.0)
+        timeline.observe(now=1.0, hit=False, latency=0.4, api_call=True)
+        timeline.observe(now=2.0, hit=True, latency=0.05)
+        assert timeline.series("api_calls") == [(0.0, 1.0)]
+
+    def test_empty_windows_skipped(self):
+        timeline = MetricsTimeline(window=10.0)
+        timeline.observe(now=1.0, hit=True, latency=0.1)
+        timeline.observe(now=95.0, hit=True, latency=0.1)
+        starts = [start for start, _ in timeline.series("requests")]
+        assert starts == [0.0, 90.0]
+
+    def test_observe_response(self):
+        from repro.core import Query
+        from repro.factory import build_asteria_engine, build_remote
+
+        engine = build_asteria_engine(build_remote(), seed=1)
+        timeline = MetricsTimeline(window=60.0)
+        response = engine.handle(Query("some topic", fact_id="F"), 0.0)
+        timeline.observe_response(0.0, response)
+        window = timeline.windows()[0]
+        assert window.requests == 1
+        assert window.api_calls == 1  # miss fetched remotely
+
+    def test_sparkline_shape(self):
+        timeline = MetricsTimeline(window=10.0)
+        for window_index, hits in enumerate((1, 2, 4)):
+            for _ in range(hits):
+                timeline.observe(now=window_index * 10.0 + 1, hit=True, latency=0.1)
+        art = timeline.sparkline("requests")
+        assert len(art) == 3
+        assert art[-1] == "█"
+
+    def test_empty_sparkline(self):
+        assert MetricsTimeline().sparkline() == ""
+
+    def test_unknown_metric_rejected(self):
+        timeline = MetricsTimeline()
+        timeline.observe(now=0.0, hit=True, latency=0.1)
+        with pytest.raises(ValueError):
+            timeline.series("qps")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetricsTimeline(window=0.0)
+        timeline = MetricsTimeline()
+        with pytest.raises(ValueError):
+            timeline.observe(now=-1.0, hit=True, latency=0.1)
+        with pytest.raises(ValueError):
+            timeline.observe(now=1.0, hit=True, latency=-0.1)
+
+
+class TestCacheTruthiness:
+    def test_empty_caches_are_truthy(self):
+        from repro.core import AsteriaConfig, ExactCache
+        from repro.factory import build_semantic_cache
+
+        cache = build_semantic_cache(AsteriaConfig())
+        assert len(cache) == 0
+        assert bool(cache)  # `shared or fresh()` must not rebuild
+        assert bool(ExactCache())

@@ -1,0 +1,80 @@
+"""Tests for the tokenizer and light stemmer."""
+
+import pytest
+
+from repro.embedding import STOPWORDS, SimpleTokenizer
+from repro.embedding.tokenizer import light_stem
+
+
+class TestLightStem:
+    def test_merges_common_inflections(self):
+        assert light_stem("painted") == light_stem("painter")
+        assert light_stem("running") == light_stem("runs")
+
+    def test_short_tokens_untouched(self):
+        assert light_stem("is") == "is"
+        assert light_stem("bed") == "bed"
+
+    def test_never_produces_tiny_stems(self):
+        # "used" - "ed" would leave "us" (2 chars) — must stay intact.
+        assert light_stem("used") == "used"
+
+    def test_numbers_untouched(self):
+        assert light_stem("2018") == "2018"
+
+
+class TestSimpleTokenizer:
+    def test_lowercases_and_splits(self):
+        tokenizer = SimpleTokenizer(stem=False)
+        assert tokenizer.tokenize("Who Painted THE Mona-Lisa?") == [
+            "who", "painted", "the", "mona", "lisa",
+        ]
+
+    def test_stemming_applied_to_content_words(self):
+        tokenizer = SimpleTokenizer()
+        assert "paint" in tokenizer.tokenize("painted")
+
+    def test_stopwords_not_stemmed(self):
+        tokenizer = SimpleTokenizer()
+        # "does" is a stopword and must not become "do" via stemming.
+        assert "does" in tokenizer.tokenize("does it work")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            SimpleTokenizer().tokenize(42)  # type: ignore[arg-type]
+
+    def test_empty_string_gives_no_tokens(self):
+        assert SimpleTokenizer().tokenize("") == []
+
+    def test_content_tokens_drop_stopwords(self):
+        tokenizer = SimpleTokenizer()
+        tokens = tokenizer.content_tokens("who painted the mona lisa")
+        assert "who" not in tokens and "the" not in tokens
+        assert "mona" in tokens and "lisa" in tokens
+
+    def test_is_stopword(self):
+        tokenizer = SimpleTokenizer()
+        assert tokenizer.is_stopword("the")
+        assert not tokenizer.is_stopword("everest")
+
+    def test_custom_stopwords(self):
+        tokenizer = SimpleTokenizer(stopwords={"foo"})
+        assert tokenizer.is_stopword("foo")
+        assert not tokenizer.is_stopword("the")
+
+    def test_bigrams(self):
+        tokenizer = SimpleTokenizer()
+        assert tokenizer.bigrams(["a", "b", "c"]) == ["a_b", "b_c"]
+
+    def test_bigrams_of_single_token_empty(self):
+        assert SimpleTokenizer().bigrams(["solo"]) == []
+
+
+class TestStopwordList:
+    def test_interjections_are_stopwords(self):
+        for word in ("ok", "hey", "well", "um", "now"):
+            assert word in STOPWORDS
+
+    def test_query_filler_verbs_are_stopwords(self):
+        for word in ("tell", "know", "find", "give", "show"):
+            assert word in STOPWORDS

@@ -1,0 +1,57 @@
+"""Tests for the region topology."""
+
+import numpy as np
+import pytest
+
+from repro.network import RegionTopology, default_topology
+from repro.sim.distributions import Constant
+
+
+class TestRegionTopology:
+    def test_symmetric_links_registered_both_ways(self):
+        topology = RegionTopology()
+        topology.connect("a", "b", Constant(0.1))
+        assert topology.latency_distribution("a", "b").mean() == 0.1
+        assert topology.latency_distribution("b", "a").mean() == 0.1
+
+    def test_asymmetric_link(self):
+        topology = RegionTopology()
+        topology.connect("a", "b", Constant(0.1), symmetric=False)
+        with pytest.raises(KeyError):
+            topology.latency_distribution("b", "a")
+
+    def test_intra_region_uses_local_latency(self):
+        topology = RegionTopology(local_latency=0.002)
+        assert topology.latency_distribution("a", "a").mean() == 0.002
+
+    def test_self_link_rejected(self):
+        topology = RegionTopology()
+        with pytest.raises(ValueError):
+            topology.connect("a", "a", Constant(0.1))
+
+    def test_missing_link_rejected(self):
+        with pytest.raises(KeyError):
+            RegionTopology().latency_distribution("x", "y")
+
+    def test_regions_collected(self):
+        topology = RegionTopology()
+        topology.connect("a", "b", Constant(0.1))
+        topology.connect("b", "c", Constant(0.1))
+        assert topology.regions == {"a", "b", "c"}
+
+    def test_sample_latency(self):
+        topology = RegionTopology()
+        topology.connect("a", "b", Constant(0.25))
+        rng = np.random.default_rng(0)
+        assert topology.sample_latency("a", "b", rng) == 0.25
+
+
+class TestDefaultTopology:
+    def test_paper_deployment_shape(self):
+        topology = default_topology()
+        cross = topology.latency_distribution("agent", "remote")
+        rng = np.random.default_rng(0)
+        samples = [cross.sample(rng) for _ in range(100)]
+        assert all(0.10 <= sample <= 0.30 for sample in samples)
+        local = topology.latency_distribution("agent", "local-dc")
+        assert local.mean() == pytest.approx(0.002)

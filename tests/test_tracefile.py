@@ -1,0 +1,102 @@
+"""Tests for workload trace files."""
+
+import json
+
+import pytest
+
+from repro.workloads import SkewedWorkload, TrendWorkload, build_dataset
+from repro.workloads.tracefile import (
+    load_tasks,
+    load_timed_queries,
+    save_tasks,
+    save_timed_queries,
+)
+
+
+@pytest.fixture
+def dataset():
+    return build_dataset("hotpotqa", seed=1)
+
+
+class TestTimedQueryTraces:
+    def test_roundtrip_preserves_everything(self, dataset, tmp_path):
+        arrivals = TrendWorkload(dataset, duration=30.0, seed=2).timed_queries()
+        path = tmp_path / "trace.jsonl"
+        save_timed_queries(arrivals, path)
+        loaded = load_timed_queries(path)
+        assert len(loaded) == len(arrivals)
+        for (at_a, query_a), (at_b, query_b) in zip(arrivals, loaded):
+            assert at_a == at_b
+            assert query_a.text == query_b.text
+            assert query_a.fact_id == query_b.fact_id
+            assert query_a.staticity == query_b.staticity
+            assert dict(query_a.metadata) == dict(query_b.metadata)
+
+    def test_replay_gives_identical_engine_behaviour(self, dataset, tmp_path):
+        from repro.factory import build_asteria_engine, build_remote
+        from repro.sim import Simulator
+        from repro.workloads import run_open_loop
+
+        arrivals = TrendWorkload(dataset, duration=30.0, seed=2).timed_queries()
+        path = tmp_path / "trace.jsonl"
+        save_timed_queries(arrivals, path)
+
+        def run(trace):
+            engine = build_asteria_engine(
+                build_remote(dataset.universe, seed=3), seed=5
+            )
+            sim = Simulator()
+            run_open_loop(sim, engine, trace)
+            return engine.metrics.hits, engine.metrics.misses
+
+        assert run(arrivals) == run(load_timed_queries(path))
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_timed_queries([], path)
+        assert load_timed_queries(path) == []
+
+
+class TestTaskTraces:
+    def test_roundtrip(self, dataset, tmp_path):
+        tasks = SkewedWorkload(dataset, seed=2).tasks(20)
+        path = tmp_path / "tasks.jsonl"
+        save_tasks(tasks, path)
+        loaded = load_tasks(path)
+        assert len(loaded) == 20
+        for original, copy in zip(tasks, loaded):
+            assert original.task_id == copy.task_id
+            assert [q.text for q in original.queries] == [
+                q.text for q in copy.queries
+            ]
+            assert original.answer_fact == copy.answer_fact
+
+    def test_session_metadata_survives(self, dataset, tmp_path):
+        tasks = SkewedWorkload(dataset, seed=2).tasks(3)
+        path = tmp_path / "tasks.jsonl"
+        save_tasks(tasks, path)
+        loaded = load_tasks(path)
+        for task in loaded:
+            for query in task.queries:
+                assert query.metadata.get("session") == task.task_id
+
+
+class TestHeaders:
+    def test_wrong_kind_rejected(self, dataset, tmp_path):
+        tasks = SkewedWorkload(dataset, seed=2).tasks(2)
+        path = tmp_path / "tasks.jsonl"
+        save_tasks(tasks, path)
+        with pytest.raises(ValueError, match="kind"):
+            load_timed_queries(path)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "random.jsonl"
+        path.write_text(json.dumps({"hello": "world"}) + "\n")
+        with pytest.raises(ValueError, match="format"):
+            load_tasks(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "zero.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_tasks(path)

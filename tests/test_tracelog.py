@@ -1,0 +1,84 @@
+"""Tests for structured request tracing."""
+
+import pytest
+
+from repro.core import Query, TraceLog
+from repro.factory import build_asteria_engine, build_remote
+
+
+def traced_engine():
+    engine = build_asteria_engine(build_remote(), seed=1)
+    engine.trace = TraceLog()
+    return engine
+
+
+class TestTraceRecording:
+    def test_records_miss_then_hit(self):
+        engine = traced_engine()
+        engine.handle(Query("height of everest", fact_id="F"), 0.0)
+        engine.handle(Query("everest height please", fact_id="F"), 5.0)
+        records = engine.trace.records()
+        assert [record["status"] for record in records] == ["miss", "hit"]
+        assert records[0]["cost"] > 0 and records[1]["cost"] == 0.0
+        assert records[1]["judged"] >= 1
+        assert records[1]["now"] == 5.0
+
+    def test_no_trace_attached_is_free(self):
+        engine = build_asteria_engine(build_remote(), seed=1)
+        engine.handle(Query("q", fact_id="F"), 0.0)
+        assert engine.trace is None
+
+    def test_bound_drops_oldest(self):
+        log = TraceLog(max_records=2)
+        engine = build_asteria_engine(build_remote(), seed=1)
+        engine.trace = log
+        for index in range(4):
+            engine.handle(Query(f"topic {index} unique zz", fact_id=f"T{index}"), 0.0)
+        assert len(log) == 2
+        assert log.dropped == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceLog(max_records=0)
+        with pytest.raises(ValueError):
+            TraceLog().slowest(0)
+
+
+class TestTracePersistence:
+    def test_jsonl_roundtrip(self, tmp_path):
+        engine = traced_engine()
+        engine.handle(Query("height of everest", fact_id="F"), 0.0)
+        engine.handle(Query("everest height ok", fact_id="F"), 1.0)
+        path = tmp_path / "trace.jsonl"
+        engine.trace.save_jsonl(path)
+        loaded = TraceLog.load_jsonl(path)
+        assert loaded.records() == engine.trace.records()
+
+    def test_empty_log_roundtrip(self, tmp_path):
+        log = TraceLog()
+        path = tmp_path / "empty.jsonl"
+        log.save_jsonl(path)
+        assert len(TraceLog.load_jsonl(path)) == 0
+
+
+class TestTraceAnalysis:
+    def test_summary(self):
+        engine = traced_engine()
+        engine.handle(Query("height of everest", fact_id="F"), 0.0)
+        engine.handle(Query("everest height ok", fact_id="F"), 1.0)
+        summary = engine.trace.summary()
+        assert summary["requests"] == 2
+        assert summary["by_status"] == {"miss": 1, "hit": 1}
+        assert summary["hit_rate"] == 0.5
+        assert summary["wrong_servings"] == 0
+        assert summary["total_cost"] > 0
+
+    def test_empty_summary(self):
+        assert TraceLog().summary() == {"requests": 0}
+
+    def test_slowest_orders_by_latency(self):
+        engine = traced_engine()
+        engine.handle(Query("alpha unique topic", fact_id="A"), 0.0)  # remote
+        engine.handle(Query("alpha topic unique ok", fact_id="A"), 1.0)  # hit
+        slowest = engine.trace.slowest(1)
+        assert slowest[0]["status"] == "miss"

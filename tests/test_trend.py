@@ -1,0 +1,104 @@
+"""Tests for the trend-driven workload generator."""
+
+import pytest
+
+from repro.workloads import TrendEvent, TrendWorkload, build_dataset
+
+
+@pytest.fixture
+def dataset():
+    return build_dataset("hotpotqa", seed=1)
+
+
+class TestTrendEvent:
+    def test_rate_zero_before_start(self):
+        event = TrendEvent(topic="t", start=100.0, magnitude=5.0)
+        assert event.rate_at(99.0) == 0.0
+
+    def test_rate_peaks_at_start_and_decays(self):
+        event = TrendEvent(topic="t", start=100.0, magnitude=5.0, decay=50.0)
+        assert event.rate_at(100.0) == pytest.approx(5.0)
+        assert event.rate_at(150.0) == pytest.approx(5.0 / 2.718281828, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrendEvent(topic="t", start=-1.0, magnitude=1.0)
+        with pytest.raises(ValueError):
+            TrendEvent(topic="t", start=0.0, magnitude=1.0, decay=0.0)
+
+
+class TestTrendWorkload:
+    def test_arrivals_time_ordered_and_bounded(self, dataset):
+        workload = TrendWorkload(dataset, duration=120.0, base_rate=0.5, seed=2)
+        arrivals = workload.timed_queries()
+        times = [at for at, _ in arrivals]
+        assert times == sorted(times)
+        assert all(0 <= at < 120.0 for at in times)
+
+    def test_deterministic(self, dataset):
+        a = TrendWorkload(dataset, duration=60.0, seed=2).timed_queries()
+        b = TrendWorkload(dataset, duration=60.0, seed=2).timed_queries()
+        assert [(t, q.text) for t, q in a] == [(t, q.text) for t, q in b]
+
+    def test_rate_includes_events(self, dataset):
+        event = TrendEvent(topic=dataset.universe.topics()[0], start=10.0, magnitude=4.0)
+        workload = TrendWorkload(
+            dataset, events=[event], duration=60.0, base_rate=1.0, seed=2
+        )
+        assert workload.rate_at(5.0) == pytest.approx(1.0)
+        assert workload.rate_at(10.0) == pytest.approx(5.0)
+
+    def test_event_surges_its_topic(self, dataset):
+        topic = dataset.universe.topics()[0]
+        event = TrendEvent(topic=topic, start=30.0, magnitude=8.0, decay=30.0)
+        workload = TrendWorkload(
+            dataset, events=[event], duration=90.0, base_rate=0.5, seed=2
+        )
+        arrivals = workload.timed_queries()
+        fact_topic = {fact.fact_id: fact.topic for fact in dataset.universe}
+        before = sum(
+            1 for at, q in arrivals if at < 30.0 and fact_topic[q.fact_id] == topic
+        )
+        after = sum(
+            1
+            for at, q in arrivals
+            if 30.0 <= at < 60.0 and fact_topic[q.fact_id] == topic
+        )
+        assert after > 3 * max(1, before)
+
+    def test_related_topic_surges_in_sympathy(self, dataset):
+        topics = dataset.universe.topics()
+        event = TrendEvent(
+            topic=topics[0],
+            start=30.0,
+            magnitude=8.0,
+            decay=30.0,
+            related=((topics[1], 0.4),),
+        )
+        workload = TrendWorkload(
+            dataset, events=[event], duration=90.0, base_rate=0.2, seed=2
+        )
+        arrivals = workload.timed_queries()
+        fact_topic = {fact.fact_id: fact.topic for fact in dataset.universe}
+        related_after = sum(
+            1
+            for at, q in arrivals
+            if 30.0 <= at < 60.0 and fact_topic[q.fact_id] == topics[1]
+        )
+        related_before = sum(
+            1 for at, q in arrivals if at < 30.0 and fact_topic[q.fact_id] == topics[1]
+        )
+        assert related_after > related_before
+
+    def test_default_events_built_from_dataset_topics(self, dataset):
+        workload = TrendWorkload(dataset, duration=600.0, seed=2)
+        topics = set(dataset.universe.topics())
+        assert len(workload.events) == 4
+        assert all(event.topic in topics for event in workload.events)
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            TrendWorkload(dataset, duration=0.0)
+        workload = TrendWorkload(dataset, duration=10.0, seed=2)
+        with pytest.raises(ValueError):
+            workload.timed_queries(bin_width=0.0)
