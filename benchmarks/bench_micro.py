@@ -56,6 +56,58 @@ def test_micro_hnsw_insert(benchmark, unit_vectors):
     benchmark(insert)
 
 
+def test_micro_embed_64_scalar(benchmark):
+    """Baseline for the batch speedup: 64 scalar embed calls."""
+    embedder = HashingEmbedder(seed=1)
+    texts = [f"what is recorded fact number {i} of the knowledge base" for i in range(64)]
+    embedder.embed_batch(texts)  # warm token directions + feature memo
+
+    def scalar():
+        for text in texts:
+            embedder.embed(text)
+
+    benchmark(scalar)
+
+
+def test_micro_embed_batch_64(benchmark):
+    embedder = HashingEmbedder(seed=1)
+    texts = [f"what is recorded fact number {i} of the knowledge base" for i in range(64)]
+    embedder.embed_batch(texts)
+    benchmark(embedder.embed_batch, texts)
+
+
+def test_micro_flat_search_64_scalar(benchmark, unit_vectors):
+    """Baseline for the batch speedup: 64 scalar searches over 2k vectors."""
+    index = FlatIndex(256)
+    for key, vector in enumerate(unit_vectors):
+        index.add(key, vector)
+    queries = unit_vectors[:64]
+
+    def scalar():
+        for query in queries:
+            index.search(query, 4)
+
+    benchmark(scalar)
+
+
+def test_micro_flat_search_batch_64(benchmark, unit_vectors):
+    index = FlatIndex(256)
+    for key, vector in enumerate(unit_vectors):
+        index.add(key, vector)
+    queries = unit_vectors[:64]
+    benchmark(index.search_batch, queries, 4)
+
+
+def test_micro_searchhit_alloc(benchmark):
+    """SearchHit is slotted; this tracks per-hit allocation cost."""
+    from repro.ann.base import SearchHit
+
+    def alloc():
+        return [SearchHit(score=0.5, key=i) for i in range(256)]
+
+    benchmark(alloc)
+
+
 def test_micro_judger_verdict(benchmark):
     judger = SimulatedJudger(seed=1)
     request = JudgeRequest(
@@ -80,6 +132,44 @@ def test_micro_engine_hit_path(benchmark):
         engine.handle(query, 1.0 + 0.01 * next(counter))
 
     benchmark(hit)
+
+
+def _warm_engine_with_fleet(n: int = 64):
+    engine = build_asteria_engine(build_remote(), seed=1)
+    for index in range(n):
+        engine.handle(
+            Query(f"height of mountain number {index}", fact_id=f"F{index}"), 0.0
+        )
+    queries = [
+        Query(f"ok the height of mountain number {index} please", fact_id=f"F{index}")
+        for index in range(n)
+    ]
+    return engine, queries
+
+
+def test_micro_handle_64_scalar(benchmark):
+    """Baseline for the batch speedup: a 64-agent fleet served one by one."""
+    import itertools
+
+    engine, queries = _warm_engine_with_fleet()
+    counter = itertools.count(1)
+
+    def scalar():
+        now = 1.0 + 0.01 * next(counter)
+        for query in queries:
+            engine.handle(query, now)
+
+    benchmark(scalar)
+
+
+def test_micro_handle_batch_64(benchmark):
+    """The same 64-agent fleet through the shared embed/ANN fast path."""
+    import itertools
+
+    engine, queries = _warm_engine_with_fleet()
+    counter = itertools.count(1)
+
+    benchmark(lambda: engine.handle_batch(queries, 1.0 + 0.01 * next(counter)))
 
 
 def test_micro_engine_miss_insert_evict_path(benchmark):

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Run the micro-benchmarks and record the results at the repo root.
+
+Executes ``bench_micro.py`` under pytest-benchmark with ``--benchmark-json``,
+then augments the JSON with the batch-vs-scalar speedup ratios the project
+tracks PR-over-PR and writes it to ``BENCH_micro.json``.
+
+Usage::
+
+    python benchmarks/run_micro.py [extra pytest args...]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_micro.json"
+
+#: speedup name -> (scalar benchmark, batch benchmark)
+SPEEDUP_PAIRS = {
+    "embed_batch_64": ("test_micro_embed_64_scalar", "test_micro_embed_batch_64"),
+    "flat_search_batch_64": (
+        "test_micro_flat_search_64_scalar",
+        "test_micro_flat_search_batch_64",
+    ),
+    "handle_batch_64": ("test_micro_handle_64_scalar", "test_micro_handle_batch_64"),
+}
+
+
+def main(argv: list[str]) -> int:
+    env_path = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(REPO_ROOT / "benchmarks" / "bench_micro.py"),
+            f"--benchmark-json={OUTPUT}",
+            "-q",
+            *argv,
+        ],
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": env_path},
+    )
+    if result.returncode != 0:
+        return result.returncode
+
+    data = json.loads(OUTPUT.read_text())
+    means = {
+        bench["name"]: bench["stats"]["mean"] for bench in data.get("benchmarks", [])
+    }
+    speedups = {}
+    for label, (scalar_name, batch_name) in SPEEDUP_PAIRS.items():
+        scalar_mean = means.get(scalar_name)
+        batch_mean = means.get(batch_name)
+        if scalar_mean and batch_mean:
+            speedups[label] = scalar_mean / batch_mean
+    data["speedups"] = speedups
+    OUTPUT.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+
+    print(f"\nwrote {OUTPUT}")
+    for label, ratio in speedups.items():
+        print(f"  {label}: {ratio:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

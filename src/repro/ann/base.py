@@ -8,11 +8,13 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class SearchHit:
     """One search result: an item key and its cosine similarity to the query.
 
     Ordered by ``(score, key)`` so lists of hits sort deterministically.
+    Slotted: lookups allocate several of these per query, so the per-instance
+    ``__dict__`` is worth eliding.
     """
 
     score: float
@@ -28,6 +30,23 @@ def normalize(vector: np.ndarray) -> np.ndarray:
     if norm > 0:
         vector = vector / norm
     return vector
+
+
+def normalize_batch(vectors: np.ndarray) -> np.ndarray:
+    """Row-normalise an (n, dim) matrix to float32; zero rows pass through."""
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if vectors.ndim != 2:
+        raise ValueError(f"expected an (n, dim) matrix, got shape {vectors.shape}")
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors / np.where(norms == 0, np.float32(1.0), norms)
+
+
+def search_batch_fallback(index: "VectorIndex", queries: np.ndarray, k: int) -> list[list[SearchHit]]:
+    """Per-query loop implementing ``search_batch`` for sequential indexes."""
+    queries = np.asarray(queries, dtype=np.float32)
+    if queries.ndim != 2:
+        raise ValueError(f"expected (n, dim) queries, got shape {queries.shape}")
+    return [index.search(query, k) for query in queries]
 
 
 @runtime_checkable
@@ -54,6 +73,15 @@ class VectorIndex(Protocol):
 
     def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
         """Top-``k`` most similar items, best first."""
+        ...
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchHit]]:
+        """Top-``k`` per row of ``queries`` (n, dim); one hit list per query.
+
+        Each per-query result must equal the corresponding ``search`` call;
+        implementations are free to share work across the batch (matrix-matrix
+        scoring, shared traversal state) but not to change results.
+        """
         ...
 
     def __len__(self) -> int:

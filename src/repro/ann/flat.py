@@ -1,16 +1,21 @@
 """Exact brute-force vector index.
 
 Stores vectors in a dynamically grown matrix and scores queries with a single
-matrix-vector product. This is the recall=1.0 baseline the approximate
-indexes are measured against, and the default index for the cache (cache
-populations are small enough that exact search is also the fastest option).
+matrix product. This is the recall=1.0 baseline the approximate indexes are
+measured against, and the default index for the cache (cache populations are
+small enough that exact search is also the fastest option).
+
+Scoring is sliced to a *high-water mark* — the highest slot ever occupied —
+so a sparsely filled index never pays for its reserved capacity, and
+:meth:`FlatIndex.search_batch` scores a whole batch of queries with one
+matrix-matrix product.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.ann.base import SearchHit, normalize
+from repro.ann.base import SearchHit, normalize_batch
 
 
 class FlatIndex:
@@ -26,6 +31,8 @@ class FlatIndex:
         self._key_to_slot: dict[int, int] = {}
         self._slot_to_key: dict[int, int] = {}
         self._free_slots: list[int] = list(range(initial_capacity - 1, -1, -1))
+        #: 1 + highest occupied slot; searches slice the matrix to this.
+        self._high_water = 0
 
     @property
     def dim(self) -> int:
@@ -41,15 +48,18 @@ class FlatIndex:
         """Insert ``vector`` (normalised) under ``key``."""
         if key in self._key_to_slot:
             raise KeyError(f"key {key} already present")
-        vector = normalize(vector)
-        if vector.shape[0] != self._dim:
-            raise ValueError(f"expected dim {self._dim}, got {vector.shape[0]}")
+        vector = np.asarray(vector, dtype=np.float32)
+        if vector.ndim != 1 or vector.shape[0] != self._dim:
+            raise ValueError(f"expected dim {self._dim}, got shape {vector.shape}")
+        vector = normalize_batch(vector[None, :])[0]
         if not self._free_slots:
             self._grow()
         slot = self._free_slots.pop()
         self._matrix[slot] = vector
         self._key_to_slot[key] = slot
         self._slot_to_key[slot] = key
+        if slot >= self._high_water:
+            self._high_water = slot + 1
 
     def remove(self, key: int) -> None:
         """Delete ``key``; its slot is recycled."""
@@ -59,6 +69,9 @@ class FlatIndex:
         del self._slot_to_key[slot]
         self._matrix[slot] = 0.0
         self._free_slots.append(slot)
+        # Let the high-water mark sink past a trailing run of freed slots.
+        while self._high_water > 0 and (self._high_water - 1) not in self._slot_to_key:
+            self._high_water -= 1
 
     def vector(self, key: int) -> np.ndarray:
         """The stored (normalised) vector for ``key``."""
@@ -69,23 +82,46 @@ class FlatIndex:
 
     def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
         """Exact top-``k`` by cosine similarity, best first."""
+        query = np.asarray(query, dtype=np.float32)
+        if query.ndim != 1 or query.shape[0] != self._dim:
+            raise ValueError(f"expected dim {self._dim}, got shape {query.shape}")
+        return self.search_batch(query[None, :], k)[0]
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchHit]]:
+        """Exact top-``k`` per query row, scored with one matrix product."""
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        if not self._key_to_slot:
-            return []
-        query = normalize(query)
-        occupied = len(self._key_to_slot) + len(self._free_slots)
-        scores = self._matrix[:occupied] @ query
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim != 2 or queries.shape[1] != self._dim:
+            raise ValueError(
+                f"expected (n, {self._dim}) queries, got shape {queries.shape}"
+            )
+        n = queries.shape[0]
+        if n == 0 or not self._key_to_slot:
+            return [[] for _ in range(n)]
+        queries = normalize_batch(queries)
         live_slots = np.fromiter(self._slot_to_key, dtype=np.int64)
-        live_scores = scores[live_slots]
-        top = min(k, live_scores.shape[0])
-        order = np.argpartition(-live_scores, top - 1)[:top]
-        hits = [
-            SearchHit(score=float(live_scores[i]), key=self._slot_to_key[int(live_slots[i])])
-            for i in order
-        ]
-        hits.sort(key=lambda hit: (-hit.score, hit.key))
-        return hits
+        scores = queries @ self._matrix[: self._high_water].T
+        live_scores = scores[:, live_slots]
+        top = min(k, live_scores.shape[1])
+        if top < live_scores.shape[1]:
+            chosen = np.argpartition(-live_scores, top - 1, axis=1)[:, :top]
+        else:
+            chosen = np.broadcast_to(
+                np.arange(live_scores.shape[1]), (n, live_scores.shape[1])
+            )
+        results: list[list[SearchHit]] = []
+        for row in range(n):
+            hits = [
+                SearchHit(
+                    score=float(live_scores[row, i]),
+                    key=self._slot_to_key[int(live_slots[i])],
+                )
+                for i in chosen[row]
+            ]
+            hits.sort(key=lambda hit: (-hit.score, hit.key))
+            results.append(hits)
+        return results
 
     def _grow(self) -> None:
         old_capacity = self._matrix.shape[0]

@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from repro.ann.base import SearchHit, normalize
+from repro.ann.base import SearchHit, normalize, search_batch_fallback
 
 
 class _Node:
@@ -293,6 +293,16 @@ class HNSWIndex:
         hits = self._search_layer(query, [current], ef, 0)
         live_hits = [hit for hit in hits if not self._nodes[hit.key].deleted]
         return live_hits[:k]
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchHit]]:
+        """Top-``k`` per query row; each result equals the ``search`` call.
+
+        Graph traversal is data-dependent per query (greedy descent + beam),
+        so the batch runs one traversal per query; the win over N caller-side
+        calls is amortised validation and a single normalised view of the
+        batch upstream (embedding and scoring), not shared graph work.
+        """
+        return search_batch_fallback(self, queries, k)
 
     def __repr__(self) -> str:
         return (

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ann.base import SearchHit, normalize
+from repro.ann.base import SearchHit, normalize, search_batch_fallback
 from repro.ann.kmeans import kmeans
 
 
@@ -124,6 +124,10 @@ class IVFIndex:
         ]
         hits.sort(key=lambda hit: (-hit.score, hit.key))
         return hits[:k]
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchHit]]:
+        """Top-``k`` per query row; per-query probing (cells are data-dependent)."""
+        return search_batch_fallback(self, queries, k)
 
     def _train(self) -> None:
         keys = sorted(self._vectors)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ann.base import SearchHit, normalize
+from repro.ann.base import SearchHit, normalize, search_batch_fallback
 from repro.ann.kmeans import kmeans
 
 
@@ -206,6 +206,10 @@ class PQIndex:
                 hits.append(SearchHit(score=score, key=key))
         hits.sort(key=lambda hit: (-hit.score, hit.key))
         return hits[:k]
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[list[SearchHit]]:
+        """Top-``k`` per query row; ADC tables are per-query by construction."""
+        return search_batch_fallback(self, queries, k)
 
     def __repr__(self) -> str:
         return (

@@ -15,11 +15,14 @@ with the same capacity/TTL machinery but a plain text-keyed dict.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from repro.ann.base import SearchHit
 from repro.core.element import SemanticElement
 from repro.core.eviction import EvictionPolicy, LCFUPolicy, LRUPolicy
 from repro.core.sine import Sine, SineResult
@@ -88,6 +91,13 @@ class AsteriaCache:
         self._elements: dict[int, SemanticElement] = {}
         self._ids = itertools.count(1)
         self.stats = CacheStats()
+        #: Lazy min-heap of (retention score, element_id, version) used by
+        #: capacity eviction. Entries whose version no longer matches
+        #: ``_score_version`` are garbage and skipped on pop, so score
+        #: updates (hits, TTL changes) are O(log n) pushes instead of
+        #: full-population rescans.
+        self._heap: list[tuple[float, int, int]] = []
+        self._score_version: dict[int, int] = {}
 
     # -- introspection ---------------------------------------------------------
     def __len__(self) -> int:
@@ -122,12 +132,52 @@ class AsteriaCache:
         """
         self.remove_expired(now)
         result = self.sine.retrieve(query, self._elements, ann_only=ann_only)
-        if result.match is not None:
-            result.match.record_hit(now)
-            if result.match.prefetched and result.match.frequency == 1:
-                # First validated use of a speculative entry.
-                result.match.metadata["prefetch_confirmed_at"] = now
+        self._note_hit(result, now)
         return result
+
+    def lookup_prepared(
+        self,
+        query: Query,
+        raw_hits: list[SearchHit],
+        now: float,
+        ann_only: bool = False,
+    ) -> SineResult:
+        """Lookup over pre-computed ANN hits (no expiry purge — the batch
+        caller runs :meth:`remove_expired` once for the whole batch).
+
+        Hit bookkeeping (frequency, prefetch confirmation) is identical to
+        :meth:`lookup`.
+        """
+        result = self.sine.retrieve_prepared(
+            query, raw_hits, self._elements, ann_only=ann_only
+        )
+        self._note_hit(result, now)
+        return result
+
+    def lookup_batch(
+        self, queries: Sequence[Query], now: float, ann_only: bool = False
+    ) -> list[SineResult]:
+        """Batched lookups sharing one embed-batch and one ANN-batch call.
+
+        Equivalent to N :meth:`lookup` calls at the same ``now``: the expiry
+        purge runs once (repeat purges at one timestamp are no-ops), retrieval
+        reads no per-element hit state, and hit bookkeeping replays in query
+        order.
+        """
+        self.remove_expired(now)
+        results = self.sine.lookup_batch(queries, self._elements, ann_only=ann_only)
+        for result in results:
+            self._note_hit(result, now)
+        return results
+
+    def _note_hit(self, result: SineResult, now: float) -> None:
+        if result.match is None:
+            return
+        result.match.record_hit(now)
+        if result.match.prefetched and result.match.frequency == 1:
+            # First validated use of a speculative entry.
+            result.match.metadata["prefetch_confirmed_at"] = now
+        self._heap_update(result.match, now)
 
     def contains_semantic(self, query: Query) -> bool:
         """Stage-1-only membership probe (used by the prefetcher's guard)."""
@@ -175,6 +225,11 @@ class AsteriaCache:
         self.stats.inserts += 1
         if prefetched:
             self.stats.prefetch_inserts += 1
+        if self.capacity_items is not None:
+            self._score_version[element_id] = 0
+            heapq.heappush(
+                self._heap, (self.policy.score(element, now), element_id, 0)
+            )
         self._enforce_capacity(now, protect=element.element_id)
         return element
 
@@ -184,6 +239,8 @@ class AsteriaCache:
         if element is None:
             raise KeyError(f"element {element_id} not in cache")
         self.sine.remove(element_id)
+        # Heap entries for this id become garbage (version map is the truth).
+        self._score_version.pop(element_id, None)
         return element
 
     def invalidate(self, predicate) -> int:
@@ -215,24 +272,80 @@ class AsteriaCache:
         self.stats.expirations += len(expired)
         return len(expired)
 
+    # -- capacity eviction (lazy min-heap) -----------------------------------
+    def _heap_update(self, element: SemanticElement, now: float) -> None:
+        """Re-score ``element`` after a state change (hit, TTL refresh).
+
+        The old heap entry is invalidated by bumping the element's version;
+        a fresh ``(score, id, version)`` entry is pushed. O(log n), vs the
+        O(n) full rescan the heap replaces.
+        """
+        if self.capacity_items is None:
+            return
+        version = self._score_version.get(element.element_id)
+        if version is None:
+            return
+        version += 1
+        self._score_version[element.element_id] = version
+        heapq.heappush(
+            self._heap,
+            (self.policy.score(element, now), element.element_id, version),
+        )
+
+    def _rebuild_heap(self, now: float) -> None:
+        """Re-score the whole population (restores after out-of-band changes:
+        persistence restore, policy swap, direct element mutation)."""
+        self._score_version = {element_id: 0 for element_id in self._elements}
+        self._heap = [
+            (self.policy.score(element, now), element_id, 0)
+            for element_id, element in self._elements.items()
+        ]
+        heapq.heapify(self._heap)
+
     def _enforce_capacity(self, now: float, protect: int | None = None) -> None:
         if self.capacity_items is None or self.usage() <= self.capacity_items:
             return
         self.remove_expired(now)
         if self.usage() <= self.capacity_items:
             return
-        scored = sorted(
-            (
-                (self.policy.score(element, now), element_id)
-                for element_id, element in self._elements.items()
-                if element_id != protect
-            ),
-        )
-        for _, element_id in scored:
-            if self.usage() <= self.capacity_items:
-                break
+        # Re-sync if elements arrived outside insert() (persistence restore)
+        # or the heap has accumulated too much garbage.
+        if len(self._score_version) != len(self._elements) or len(self._heap) > 2 * len(
+            self._elements
+        ) + 64:
+            self._rebuild_heap(now)
+        rebuilt = False
+        deferred: list[tuple[float, int, int]] = []
+        while self.usage() > self.capacity_items:
+            if not self._heap:
+                if rebuilt:
+                    break
+                self._rebuild_heap(now)
+                rebuilt = True
+                deferred.clear()
+                continue
+            score, element_id, version = heapq.heappop(self._heap)
+            if self._score_version.get(element_id) != version:
+                continue  # garbage from an invalidated score
+            element = self._elements.get(element_id)
+            if element is None:
+                continue
+            fresh = self.policy.score(element, now)
+            if fresh != score and not rebuilt:
+                # A score changed without notice (policy swapped, element
+                # mutated directly): rebuild once so pop order matches a
+                # full rescan exactly, then resume.
+                self._rebuild_heap(now)
+                rebuilt = True
+                deferred.clear()
+                continue
+            if element_id == protect:
+                deferred.append((score, element_id, version))
+                continue
             self.remove(element_id)
             self.stats.evictions += 1
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
 
     def __repr__(self) -> str:
         return (

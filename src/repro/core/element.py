@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class SemanticElement:
     """One cached (query, result) pair with performance-aware metadata.
 

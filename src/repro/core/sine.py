@@ -15,16 +15,16 @@ Sine is *retrieval only* — it neither admits, evicts, nor mutates frequency;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
-from repro.ann.base import SearchHit, VectorIndex
+from repro.ann.base import SearchHit, VectorIndex, search_batch_fallback
 from repro.core.element import SemanticElement
 from repro.core.types import Query
 from repro.embedding.model import EmbeddingModel
 from repro.judger.base import JudgeRequest, Judger, JudgeVerdict
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SineResult:
     """Outcome of one two-stage retrieval.
 
@@ -130,6 +130,21 @@ class Sine:
         """
         embedding = self.embedder.embed(query.text)
         raw_hits = self.index.search(embedding, self.max_candidates)
+        return self.retrieve_prepared(query, raw_hits, elements, ann_only=ann_only)
+
+    def retrieve_prepared(
+        self,
+        query: Query,
+        raw_hits: list[SearchHit],
+        elements: Mapping[int, SemanticElement],
+        ann_only: bool = False,
+    ) -> SineResult:
+        """Stage 2 on pre-computed ANN hits (the batch path supplies them).
+
+        Thresholding, judging, and result construction are exactly the tail
+        of :meth:`retrieve`, so batched and scalar lookups agree whenever the
+        supplied ``raw_hits`` equal what a fresh ANN search would return.
+        """
         candidates = [hit for hit in raw_hits if hit.score >= self.tau_sim]
 
         if ann_only:
@@ -177,3 +192,32 @@ class Sine:
             verdicts=verdicts,
             ann_considered=len(raw_hits),
         )
+
+    def lookup_batch(
+        self,
+        queries: Sequence[Query],
+        elements: Mapping[int, SemanticElement],
+        ann_only: bool = False,
+    ) -> list[SineResult]:
+        """Batched two-stage retrieval: one embed-batch + one ANN-batch call.
+
+        Stage 1 is shared across the batch (a single ``embed_batch`` and a
+        single ``search_batch``); stage 2 judges each query independently in
+        input order, so every result equals the corresponding
+        :meth:`retrieve` call against the same index state.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        embeddings = self.embedder.embed_batch([query.text for query in queries])
+        search_batch = getattr(self.index, "search_batch", None)
+        if search_batch is not None:
+            batch_hits = search_batch(embeddings, self.max_candidates)
+        else:
+            batch_hits = search_batch_fallback(
+                self.index, embeddings, self.max_candidates
+            )
+        return [
+            self.retrieve_prepared(query, raw_hits, elements, ann_only=ann_only)
+            for query, raw_hits in zip(queries, batch_hits)
+        ]

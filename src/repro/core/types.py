@@ -16,7 +16,7 @@ TOOL_RAG = "rag"
 TOOL_FILE = "file"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Query:
     """One tool-call query emitted by an agent.
 
@@ -47,7 +47,7 @@ class Query:
         object.__setattr__(self, "metadata", MappingProxyType(dict(self.metadata)))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FetchResult:
     """Outcome of one remote fetch, including everything the SE records.
 
@@ -71,7 +71,7 @@ class FetchResult:
             raise ValueError("retries must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheLookup:
     """Outcome of one cache lookup, as reported by the engine.
 

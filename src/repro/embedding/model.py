@@ -2,6 +2,15 @@
 
 See the package docstring for why a hashing embedder is a faithful stand-in
 for the paper's Qwen3-Embedding-0.6B at the *system* level.
+
+The hashing embedder is a hot path (every cache lookup embeds its query), so
+it is built for vectorized execution: token directions live in one growable
+``(tokens, dim)`` matrix, each text reduces to a cached ``(rows, weights)``
+feature pair, and the batch entry point
+:meth:`HashingEmbedder.embed_batch` computes a whole batch of embeddings as
+one sparse matrix product over the token directions. The scalar
+:meth:`HashingEmbedder.embed` is the one-row case of the same code path, so
+batch and scalar results agree to float32 summation order.
 """
 
 from __future__ import annotations
@@ -13,6 +22,13 @@ import numpy as np
 
 from repro.sim.random import derive_seed
 from repro.embedding.tokenizer import SimpleTokenizer
+
+try:  # pragma: no cover - exercised implicitly on scipy-equipped hosts
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+
+    _csr_matvecs = getattr(_scipy_sparsetools, "csr_matvecs", None)
+except ImportError:  # pragma: no cover
+    _csr_matvecs = None
 
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
@@ -55,6 +71,11 @@ class HashingEmbedder:
     lightly weighted bigram directions for word-order sensitivity, finally
     L2-normalised.
 
+    Token directions are stored as rows of one growable matrix and each
+    text's tokenisation is memoised as ``(row_indices, weights)`` arrays, so
+    an embedding is a single gather + weighted reduction instead of a
+    per-token Python loop.
+
     Parameters
     ----------
     dim:
@@ -68,6 +89,9 @@ class HashingEmbedder:
         Relative weight of adjacent-token bigram features (default 0.25).
         Set to 0 for a pure bag-of-words model.
     """
+
+    #: Memoised (rows, weights) feature pairs kept per embedder.
+    FEATURE_CACHE_MAX = 65536
 
     def __init__(
         self,
@@ -86,46 +110,131 @@ class HashingEmbedder:
         self.stopword_weight = stopword_weight
         self.bigram_weight = bigram_weight
         self.tokenizer = tokenizer or SimpleTokenizer()
-        self._token_vectors: dict[str, np.ndarray] = {}
+        #: token -> row in the direction matrix
+        self._token_rows: dict[str, int] = {}
+        self._matrix = np.zeros((256, dim), dtype=np.float32)
+        #: text -> (row indices, weights), LRU-bounded
+        self._features: OrderedDict[str, tuple[np.ndarray, np.ndarray]] = (
+            OrderedDict()
+        )
 
     @property
     def dim(self) -> int:
         return self._dim
 
-    def _vector_for(self, token: str) -> np.ndarray:
-        vector = self._token_vectors.get(token)
-        if vector is None:
+    def _row_for(self, token: str) -> int:
+        row = self._token_rows.get(token)
+        if row is None:
+            row = len(self._token_rows)
+            if row >= self._matrix.shape[0]:
+                grown = np.zeros(
+                    (self._matrix.shape[0] * 2, self._dim), dtype=np.float32
+                )
+                grown[: self._matrix.shape[0]] = self._matrix
+                self._matrix = grown
             rng = np.random.default_rng(derive_seed(self.seed, f"tok:{token}"))
             vector = rng.standard_normal(self._dim).astype(np.float32)
             vector /= np.linalg.norm(vector)
-            self._token_vectors[token] = vector
-        return vector
+            self._matrix[row] = vector
+            self._token_rows[token] = row
+        return row
 
-    def embed(self, text: str) -> np.ndarray:
-        """Embed ``text``; empty/stopword-only text returns a zero vector."""
+    def _vector_for(self, token: str) -> np.ndarray:
+        """The unit direction of one token (kept for tests/introspection)."""
+        return self._matrix[self._row_for(token)].copy()
+
+    def _features_for(self, text: str) -> tuple[np.ndarray, np.ndarray]:
+        """Memoised (row indices, weights) of ``text``'s weighted features."""
+        cached = self._features.get(text)
+        if cached is not None:
+            self._features.move_to_end(text)
+            return cached
         tokens = self.tokenizer.tokenize(text)
-        accumulator = np.zeros(self._dim, dtype=np.float32)
+        rows: list[int] = []
+        weights: list[float] = []
         for token in tokens:
             weight = (
                 self.stopword_weight if self.tokenizer.is_stopword(token) else 1.0
             )
             if weight > 0:
-                accumulator += weight * self._vector_for(token)
+                rows.append(self._row_for(token))
+                weights.append(weight)
         if self.bigram_weight > 0:
             content = [t for t in tokens if not self.tokenizer.is_stopword(t)]
             for bigram in self.tokenizer.bigrams(content):
-                accumulator += self.bigram_weight * self._vector_for(bigram)
-        norm = float(np.linalg.norm(accumulator))
-        if norm > 0:
-            accumulator /= norm
-        return accumulator
+                rows.append(self._row_for(bigram))
+                weights.append(self.bigram_weight)
+        # int32 rows double as CSR indices in embed_batch's sparse product.
+        features = (
+            np.asarray(rows, dtype=np.int32),
+            np.asarray(weights, dtype=np.float32),
+        )
+        self._features[text] = features
+        if len(self._features) > self.FEATURE_CACHE_MAX:
+            self._features.popitem(last=False)
+        return features
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed ``text``; empty/stopword-only text returns a zero vector."""
+        return self.embed_batch((text,))[0]
 
     def embed_batch(self, texts: Iterable[str]) -> np.ndarray:
-        """Embed many texts into an (n, dim) float32 array."""
-        rows = [self.embed(text) for text in texts]
-        if not rows:
-            return np.zeros((0, self._dim), dtype=np.float32)
-        return np.stack(rows)
+        """Embed many texts into an (n, dim) float32 array.
+
+        The whole batch is one sparse-matrix product: each text is a CSR row
+        of feature weights over the token-direction matrix, multiplied
+        through scipy's ``csr_matvecs`` kernel (falling back to a dense
+        coefficient GEMM when scipy is absent), then row-normalised.
+        Results match :meth:`embed` up to float32 summation order; every
+        downstream decision compares against thresholds, so batch and scalar
+        lookups still agree exactly.
+        """
+        features = [self._features_for(text) for text in texts]
+        n = len(features)
+        out = np.zeros((n, self._dim), dtype=np.float32)
+        if n == 0:
+            return out
+        if n == 1:
+            # Scalar fast path: skip the CSR assembly.
+            rows, weights = features[0]
+            if rows.size:
+                out[0] = weights @ self._matrix[rows]
+                norm = np.sqrt(np.sum(np.square(out[0])))
+                if norm > 0:
+                    out[0] /= norm
+            return out
+        lengths = np.fromiter(
+            (rows.size for rows, _ in features), count=n, dtype=np.int32
+        )
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        np.cumsum(lengths, out=indptr[1:])
+        if indptr[-1]:
+            rows = np.concatenate([f[0] for f in features])
+            weights = np.concatenate([f[1] for f in features])
+            if _csr_matvecs is not None:
+                tokens = len(self._token_rows)
+                _csr_matvecs(
+                    n,
+                    tokens,
+                    self._dim,
+                    indptr,
+                    rows,
+                    weights,
+                    self._matrix[:tokens].ravel(),
+                    out.ravel(),
+                )
+            else:
+                unique_rows, inverse = np.unique(rows, return_inverse=True)
+                segments = np.repeat(np.arange(n, dtype=np.intp), lengths)
+                coefficients = np.zeros(
+                    (n, unique_rows.size), dtype=np.float32
+                )
+                # add.at, not assignment: a token can repeat within one text.
+                np.add.at(coefficients, (segments, inverse), weights)
+                out[:] = coefficients @ self._matrix[unique_rows]
+        norms = np.sqrt(np.sum(np.square(out), axis=1, keepdims=True))
+        np.divide(out, norms, out=out, where=norms > 0)
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -171,10 +280,41 @@ class CachedEmbedder:
         return vector
 
     def embed_batch(self, texts: Iterable[str]) -> np.ndarray:
-        """Embed many texts (each individually memoised)."""
-        rows = [self.embed(text) for text in texts]
-        if not rows:
+        """Embed many texts with one inner batch call for the misses.
+
+        Hit/miss counters and the final LRU state match a sequence of
+        :meth:`embed` calls: repeats of a missing text within the batch count
+        as hits (the first occurrence would have populated the memo).
+        """
+        texts = list(texts)
+        if not texts:
             return np.zeros((0, self.dim), dtype=np.float32)
+        missing: list[str] = []
+        seen: set[str] = set()
+        for text in texts:
+            if text not in self._cache and text not in seen:
+                missing.append(text)
+                seen.add(text)
+        batch = self.inner.embed_batch(missing) if missing else None
+        fresh = {text: batch[i] for i, text in enumerate(missing)} if batch is not None else {}
+        rows: list[np.ndarray] = []
+        for text in texts:
+            cached = self._cache.get(text)
+            if cached is not None:
+                self._cache.move_to_end(text)
+                self.hits += 1
+                rows.append(cached)
+                continue
+            self.misses += 1
+            vector = fresh.get(text)
+            if vector is None:
+                # A mid-batch LRU eviction dropped a text we expected to hit;
+                # recompute it scalar (rare, keeps replay exact).
+                vector = self.inner.embed(text)
+            self._cache[text] = vector
+            if len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+            rows.append(vector)
         return np.stack(rows)
 
     def __contains__(self, text: str) -> bool:

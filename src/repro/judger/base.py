@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JudgeRequest:
     """One validation task: does ``cached_result`` answer ``query_text``?
 
@@ -23,7 +23,7 @@ class JudgeRequest:
     cached_truth: str | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JudgeVerdict:
     """The judger's output for one candidate.
 

@@ -29,6 +29,7 @@ class SchedulerStats:
     agent_dispatched: int = 0
     judger_dispatched: int = 0
     judger_deferred: int = 0
+    judger_batches: int = 0
     agent_wait: LatencyStats = field(default_factory=LatencyStats)
     judger_wait: LatencyStats = field(default_factory=LatencyStats)
 
@@ -63,6 +64,12 @@ class PriorityAwareScheduler:
         True when both partitions share one device (co-location): judger
         admission then defers to the agent queue. False for the dedicated
         two-GPU baseline, where the judger admits independently.
+    judger_batch_max:
+        Maximum waiting judger submissions coalesced into one partition
+        execution (default 1 = no coalescing, the paper's per-lookup
+        dispatch). Judger validation is prefill-only single-token inference,
+        so a fleet's concurrent lookups batch naturally; coalescing spends
+        one batch slot for the whole group.
     """
 
     def __init__(
@@ -74,9 +81,12 @@ class PriorityAwareScheduler:
         agent_kv_gb: float = 1.0,
         judger_kv_gb: float = 0.05,
         shared: bool = True,
+        judger_batch_max: int = 1,
     ) -> None:
         if agent_kv_gb < 0 or judger_kv_gb < 0:
             raise ValueError("memory footprints must be >= 0")
+        if judger_batch_max < 1:
+            raise ValueError("judger_batch_max must be >= 1")
         self.sim = sim
         self.agent_partition = agent_partition
         self.judger_partition = judger_partition
@@ -84,6 +94,7 @@ class PriorityAwareScheduler:
         self.agent_kv_gb = agent_kv_gb
         self.judger_kv_gb = judger_kv_gb
         self.shared = shared
+        self.judger_batch_max = judger_batch_max
         self.stats = SchedulerStats()
         self._agent_waiting: list[_Pending] = []
         self._judger_waiting: list[_Pending] = []
@@ -168,18 +179,30 @@ class PriorityAwareScheduler:
         return True
 
     def _try_admit_judger(self) -> bool:
-        pending = self._judger_waiting[0]
+        """Admit up to ``judger_batch_max`` waiting judger submissions.
+
+        The batch occupies one partition slot and executes as one combined
+        run (judger work is additive prefill compute); memory is allocated
+        per submission, so the batch shrinks to whatever fits.
+        """
         if self._judger_active >= self.judger_partition.slots:
             return False
-        if self.memory is not None and not self.memory.allocate(
-            "judger", pending.memory_gb
-        ):
+        batch: list[_Pending] = []
+        for pending in self._judger_waiting[: self.judger_batch_max]:
+            if self.memory is not None and not self.memory.allocate(
+                "judger", pending.memory_gb
+            ):
+                break
+            batch.append(pending)
+        if not batch:
             return False
-        self._judger_waiting.pop(0)
+        del self._judger_waiting[: len(batch)]
         self._judger_active += 1
-        self.stats.judger_dispatched += 1
-        self.stats.judger_wait.add(self.sim.now - pending.enqueued_at)
-        self.sim.process(self._run(pending, self.judger_partition, "judger"))
+        self.stats.judger_dispatched += len(batch)
+        self.stats.judger_batches += 1
+        for pending in batch:
+            self.stats.judger_wait.add(self.sim.now - pending.enqueued_at)
+        self.sim.process(self._run_judger_batch(batch))
         return True
 
     def _run(
@@ -195,6 +218,20 @@ class PriorityAwareScheduler:
             else:
                 self._judger_active -= 1
         pending.done.succeed(duration)
+        self._dispatch()
+
+    def _run_judger_batch(self, batch: list[_Pending]) -> Generator:
+        try:
+            duration = yield from self.judger_partition.execute(
+                sum(pending.work for pending in batch)
+            )
+        finally:
+            if self.memory is not None:
+                for pending in batch:
+                    self.memory.release("judger", pending.memory_gb)
+            self._judger_active -= 1
+        for pending in batch:
+            pending.done.succeed(duration)
         self._dispatch()
 
     def __repr__(self) -> str:

@@ -1,0 +1,418 @@
+"""Batch paths must be indistinguishable from N scalar calls.
+
+The batched fast path (``embed_batch`` → ``search_batch`` → ``lookup_batch``
+→ ``handle_batch``) exists purely for throughput; these tests pin the
+contract that it changes *nothing* observable: same embeddings, same hits,
+same matches and verdicts, same metrics deltas. Heap-based eviction is
+likewise pinned to the eviction order of the old full-scan implementation.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.ann import FlatIndex, HNSWIndex, IVFIndex, PQIndex
+from repro.core import AsteriaConfig, Query
+from repro.core.eviction import LCFUPolicy, LFUPolicy, LRUPolicy
+from repro.embedding import CachedEmbedder, HashingEmbedder
+from repro.factory import build_asteria_engine, build_remote
+
+
+def _unit_vectors(n: int, dim: int = 64, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n, dim)).astype(np.float32)
+    return vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+
+
+TEXTS = [
+    "height of mount everest",
+    "what is the height of mount everest",
+    "population of iceland today",
+    "",
+    "gdp of france in 2024",
+    "height of mount everest",  # duplicate on purpose
+    "the the the",  # stopwords only
+    "boiling point of water at sea level",
+]
+
+
+# -- embedding ---------------------------------------------------------------
+
+
+def test_embed_batch_matches_scalar():
+    batch_embedder = HashingEmbedder(seed=3)
+    scalar_embedder = HashingEmbedder(seed=3)
+    batch = batch_embedder.embed_batch(TEXTS)
+    singles = np.stack([scalar_embedder.embed(text) for text in TEXTS])
+    assert batch.dtype == np.float32
+    assert batch.shape == (len(TEXTS), batch_embedder.dim)
+    # Rows agree to float32 summation order (the batch GEMM may associate
+    # additions differently than the one-row kernel); unit norm is exact.
+    assert np.allclose(batch, singles, atol=1e-6)
+    norms = np.linalg.norm(batch, axis=1)
+    assert np.allclose(norms[norms > 0], 1.0, atol=1e-6)
+
+
+def test_embed_batch_edge_cases():
+    embedder = HashingEmbedder(seed=3)
+    empty = embedder.embed_batch([])
+    assert empty.shape == (0, embedder.dim)
+    single = embedder.embed_batch(["one lonely text"])
+    assert np.array_equal(single[0], embedder.embed("one lonely text"))
+
+
+def test_cached_embed_batch_matches_scalar_replay():
+    inner_a = HashingEmbedder(seed=3)
+    inner_b = HashingEmbedder(seed=3)
+    batched = CachedEmbedder(inner_a)
+    scalar = CachedEmbedder(inner_b)
+    # Pre-populate one entry so the batch mixes hits and misses.
+    batched.embed(TEXTS[0])
+    scalar.embed(TEXTS[0])
+
+    batch = batched.embed_batch(TEXTS)
+    singles = np.stack([scalar.embed(text) for text in TEXTS])
+
+    assert np.allclose(batch, singles, atol=1e-6)
+    assert batched.hits == scalar.hits
+    assert batched.misses == scalar.misses
+    assert list(batched._cache) == list(scalar._cache)  # LRU order too
+
+
+def test_cached_embed_batch_respects_lru_capacity():
+    batched = CachedEmbedder(HashingEmbedder(seed=3), max_entries=3)
+    scalar = CachedEmbedder(HashingEmbedder(seed=3), max_entries=3)
+    texts = [f"text number {i}" for i in range(6)]
+    batch = batched.embed_batch(texts)
+    singles = np.stack([scalar.embed(text) for text in texts])
+    assert np.allclose(batch, singles, atol=1e-6)
+    assert list(batched._cache) == list(scalar._cache)
+    assert (batched.hits, batched.misses) == (scalar.hits, scalar.misses)
+
+
+# -- ANN search --------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "make_index",
+    [
+        lambda: FlatIndex(64),
+        lambda: HNSWIndex(64, seed=5, ef_search=16),
+        lambda: IVFIndex(64, nlist=4, nprobe=2, seed=5),
+        lambda: PQIndex(64, m=8, k=16, train_threshold=64, seed=5),
+    ],
+    ids=["flat", "hnsw", "ivf", "pq"],
+)
+def test_search_batch_equals_scalar_searches(make_index):
+    index = make_index()
+    vectors = _unit_vectors(300, seed=11)
+    for key, vector in enumerate(vectors):
+        index.add(key, vector)
+    queries = _unit_vectors(17, seed=12)
+
+    batch = index.search_batch(queries, 5)
+    assert len(batch) == len(queries)
+    for query, batch_hits in zip(queries, batch):
+        scalar_hits = index.search(query, 5)
+        assert [hit.key for hit in batch_hits] == [hit.key for hit in scalar_hits]
+        assert np.allclose(
+            [hit.score for hit in batch_hits],
+            [hit.score for hit in scalar_hits],
+            atol=1e-6,
+        )
+
+
+def test_search_batch_edge_cases():
+    index = FlatIndex(64)
+    queries = _unit_vectors(4, seed=1)
+    # Empty batch and empty index both yield empty per-query lists.
+    assert index.search_batch(np.zeros((0, 64), dtype=np.float32), 3) == []
+    assert index.search_batch(queries, 3) == [[], [], [], []]
+    index.add(9, queries[0])
+    single = index.search_batch(queries[:1], 3)
+    assert len(single) == 1 and single[0][0].key == 9
+    with pytest.raises(ValueError):
+        index.search_batch(queries[0], 3)  # 1-D input is a bug, not a batch
+    with pytest.raises(ValueError):
+        index.search_batch(queries, 0)
+
+
+def test_flat_search_sliced_to_high_water_mark():
+    """The scalar path must score live rows only, not reserved capacity."""
+    index = FlatIndex(8, initial_capacity=1024)
+    assert index._high_water == 0
+    vectors = _unit_vectors(6, dim=8, seed=2)
+    for key, vector in enumerate(vectors):
+        index.add(key, vector)
+    assert index._high_water == 6
+    index.remove(5)
+    index.remove(4)
+    assert index._high_water == 4  # mark sinks past trailing free slots
+    index.remove(0)
+    assert index._high_water == 4  # interior hole does not lower it
+    hits = index.search(vectors[1], 10)
+    assert sorted(hit.key for hit in hits) == [1, 2, 3]
+    index.add(40, vectors[4])  # reuses the lowest free slot
+    assert index._high_water == 4
+
+
+# -- sine / cache / engine ---------------------------------------------------
+
+
+def _fleet_queries(n: int) -> list[Query]:
+    return [
+        Query(f"ok the height of mountain number {i % (n // 2)} please", fact_id=f"F{i % (n // 2)}")
+        for i in range(n)
+    ]
+
+
+def _warm_engine(seed: int = 7, config: AsteriaConfig | None = None):
+    engine = build_asteria_engine(build_remote(), config, seed=seed)
+    for i in range(8):
+        engine.handle(
+            Query(f"height of mountain number {i}", fact_id=f"F{i}"), 0.0
+        )
+    return engine
+
+
+def test_sine_lookup_batch_equals_scalar_retrieve():
+    engine = _warm_engine()
+    cache = engine.cache
+    sine = cache.sine
+    queries = _fleet_queries(10)
+    batch = sine.lookup_batch(queries, cache.elements)
+    for query, batch_result in zip(queries, batch):
+        scalar_result = sine.retrieve(query, cache.elements)
+        match_id = batch_result.match.element_id if batch_result.match else None
+        scalar_id = scalar_result.match.element_id if scalar_result.match else None
+        assert match_id == scalar_id
+        assert [hit.key for hit in batch_result.candidates] == [
+            hit.key for hit in scalar_result.candidates
+        ]
+        assert [verdict.score for verdict in batch_result.verdicts] == [
+            verdict.score for verdict in scalar_result.verdicts
+        ]
+        assert batch_result.ann_considered == scalar_result.ann_considered
+    assert sine.lookup_batch([], cache.elements) == []
+
+
+def test_cache_lookup_batch_equals_scalar_lookups():
+    engine_a = _warm_engine()
+    engine_b = _warm_engine()
+    queries = _fleet_queries(10)
+
+    batch = engine_a.cache.lookup_batch(queries, now=5.0)
+    singles = [engine_b.cache.lookup(query, now=5.0) for query in queries]
+
+    for batch_result, scalar_result in zip(batch, singles):
+        batch_id = batch_result.match.element_id if batch_result.match else None
+        scalar_id = scalar_result.match.element_id if scalar_result.match else None
+        assert batch_id == scalar_id
+    # Hit bookkeeping (frequency, recency) replayed identically.
+    freq_a = {e.key: e.frequency for e in engine_a.cache.elements.values()}
+    freq_b = {e.key: e.frequency for e in engine_b.cache.elements.values()}
+    assert freq_a == freq_b
+
+
+def _snapshot_metrics(engine):
+    metrics = engine.metrics
+    return {
+        "requests": metrics.requests,
+        "hits": metrics.hits,
+        "misses": metrics.misses,
+        "bypasses": metrics.bypasses,
+        "served_correct": metrics.served_correct,
+        "served_incorrect": metrics.served_incorrect,
+        "evictions": metrics.evictions,
+        "expirations": metrics.expirations,
+        "prefetch_hits": metrics.prefetch_hits,
+        "total_latency_sum": metrics.total_latency.total,
+        "hit_latency_sum": metrics.hit_latency.total,
+        "miss_latency_sum": metrics.miss_latency.total,
+        "check_latency_sum": metrics.cache_check_latency.total,
+    }
+
+
+def _responses_equal(batch_responses, scalar_responses):
+    assert len(batch_responses) == len(scalar_responses)
+    for batch_response, scalar_response in zip(batch_responses, scalar_responses):
+        assert batch_response.result == scalar_response.result
+        assert batch_response.latency == scalar_response.latency
+        assert batch_response.lookup.status == scalar_response.lookup.status
+        assert batch_response.lookup.judged == scalar_response.lookup.judged
+        assert (
+            batch_response.lookup.candidates == scalar_response.lookup.candidates
+        )
+        assert (
+            batch_response.lookup.element_id == scalar_response.lookup.element_id
+        )
+
+
+@pytest.mark.parametrize("config", [None, AsteriaConfig(ann_only=True)], ids=["full", "ann_only"])
+def test_handle_batch_equals_scalar_handles_hits(config):
+    engine_a = _warm_engine(config=copy.deepcopy(config))
+    engine_b = _warm_engine(config=copy.deepcopy(config))
+    queries = _fleet_queries(12)
+
+    batch_responses = engine_a.handle_batch(queries, now=5.0)
+    scalar_responses = [engine_b.handle(query, now=5.0) for query in queries]
+
+    _responses_equal(batch_responses, scalar_responses)
+    assert _snapshot_metrics(engine_a) == _snapshot_metrics(engine_b)
+
+
+def test_handle_batch_with_mid_batch_misses_and_inserts():
+    """Misses admit new elements mid-batch; later duplicates must hit the
+    fresh entry exactly as the scalar sequence would."""
+    engine_a = _warm_engine(seed=9)
+    engine_b = _warm_engine(seed=9)
+    queries = []
+    for i in range(4):
+        queries.append(Query(f"brand new topic number {i} kangaroo", fact_id=f"N{i}"))
+        queries.append(Query(f"brand new topic number {i} kangaroo", fact_id=f"N{i}"))
+
+    batch_responses = engine_a.handle_batch(queries, now=10.0)
+    scalar_responses = [engine_b.handle(query, now=10.0) for query in queries]
+
+    _responses_equal(batch_responses, scalar_responses)
+    assert _snapshot_metrics(engine_a) == _snapshot_metrics(engine_b)
+    assert engine_a.cache.stats.inserts == engine_b.cache.stats.inserts
+
+
+def test_handle_batch_with_capacity_evictions():
+    config = AsteriaConfig(capacity_items=6)
+    engine_a = _warm_engine(seed=4, config=copy.deepcopy(config))
+    engine_b = _warm_engine(seed=4, config=copy.deepcopy(config))
+    queries = [
+        Query(f"unseen churny topic number {i} wombat", fact_id=f"C{i}")
+        for i in range(10)
+    ]
+    batch_responses = engine_a.handle_batch(queries, now=20.0)
+    scalar_responses = [engine_b.handle(query, now=20.0) for query in queries]
+    _responses_equal(batch_responses, scalar_responses)
+    assert _snapshot_metrics(engine_a) == _snapshot_metrics(engine_b)
+    assert sorted(e.key for e in engine_a.cache.elements.values()) == sorted(
+        e.key for e in engine_b.cache.elements.values()
+    )
+
+
+def test_handle_batch_edge_cases_and_bypass():
+    config = AsteriaConfig(cacheable_tools=("search",))
+    engine_a = _warm_engine(config=copy.deepcopy(config))
+    engine_b = _warm_engine(config=copy.deepcopy(config))
+    assert engine_a.handle_batch([], now=3.0) == []
+    queries = [
+        Query("ok the height of mountain number 1 please", fact_id="F1"),
+        Query("read the deployment config file", tool="file", fact_id="X1"),
+    ]
+    batch_responses = engine_a.handle_batch(queries, now=3.0)
+    scalar_responses = [engine_b.handle(query, now=3.0) for query in queries]
+    assert batch_responses[1].lookup.status == "bypass"
+    _responses_equal(batch_responses, scalar_responses)
+    assert _snapshot_metrics(engine_a) == _snapshot_metrics(engine_b)
+    single = engine_a.handle_batch(
+        [Query("ok the height of mountain number 2 please", fact_id="F2")], now=4.0
+    )
+    scalar = engine_b.handle(
+        Query("ok the height of mountain number 2 please", fact_id="F2"), now=4.0
+    )
+    _responses_equal(single, [scalar])
+
+
+# -- heap eviction order -----------------------------------------------------
+
+
+def _scan_eviction_order(cache, now):
+    """The old full-scan order: ascending (score, element_id)."""
+    return [
+        element_id
+        for _, element_id in sorted(
+            (cache.policy.score(element, now), element_id)
+            for element_id, element in cache.elements.items()
+        )
+    ]
+
+
+@pytest.mark.parametrize(
+    "policy", [LCFUPolicy(), LRUPolicy(), LFUPolicy()], ids=["lcfu", "lru", "lfu"]
+)
+def test_heap_eviction_matches_scan_order(policy):
+    engine = build_asteria_engine(build_remote(), seed=13)
+    cache = engine.cache
+    cache.policy = policy
+    # Build a population with varied frequency/recency/cost profiles.
+    for i in range(12):
+        engine.handle(Query(f"seed topic number {i} platypus", fact_id=f"S{i}"), float(i))
+    for i in range(6):
+        for _ in range(i % 4):
+            engine.handle(
+                Query(f"ok seed topic number {i} platypus", fact_id=f"S{i}"),
+                30.0 + i,
+            )
+    now = 50.0
+    expected = _scan_eviction_order(cache, now)
+
+    cache.capacity_items = 4
+    victims = []
+    original_remove = cache.remove
+
+    def tracking_remove(element_id):
+        victims.append(element_id)
+        return original_remove(element_id)
+
+    cache.remove = tracking_remove
+    cache._enforce_capacity(now)
+    cache.remove = original_remove
+
+    survivors = len(cache.elements)
+    assert survivors == 4
+    assert victims == expected[: len(victims)]
+
+
+def test_heap_eviction_survives_policy_swap_and_restore():
+    """Out-of-band score changes (policy swap) must not corrupt order."""
+    engine = build_asteria_engine(build_remote(), AsteriaConfig(capacity_items=50), seed=13)
+    cache = engine.cache
+    for i in range(12):
+        engine.handle(Query(f"seed topic number {i} walrus", fact_id=f"W{i}"), float(i))
+    cache.policy = LRUPolicy()  # heap entries now hold stale LCFU scores
+    now = 40.0
+    expected = _scan_eviction_order(cache, now)
+    cache.capacity_items = 3
+    victims = []
+    original_remove = cache.remove
+
+    def tracking_remove(element_id):
+        victims.append(element_id)
+        return original_remove(element_id)
+
+    cache.remove = tracking_remove
+    cache._enforce_capacity(now)
+    cache.remove = original_remove
+    assert victims == expected[: len(victims)]
+    assert len(cache.elements) == 3
+
+
+# -- __slots__ ---------------------------------------------------------------
+
+
+def test_hot_dataclasses_are_slotted():
+    from repro.ann.base import SearchHit
+    from repro.core.engine import EngineResponse
+    from repro.core.sine import SineResult
+    from repro.core.types import CacheLookup, FetchResult
+    from repro.judger.base import JudgeRequest, JudgeVerdict
+
+    hit = SearchHit(score=0.5, key=1)
+    verdict = JudgeVerdict(score=0.5)
+    request = JudgeRequest(query_text="a", cached_query="b")
+    fetch = FetchResult(result="r", latency=0.1, service_latency=0.1, cost=0.0)
+    lookup = CacheLookup(status="miss", result=None, latency=0.0)
+    response = EngineResponse(result="r", latency=0.1, lookup=lookup)
+    result = SineResult(match=None)
+    query = Query("q")
+    for instance in (hit, verdict, request, fetch, lookup, response, result, query):
+        assert not hasattr(instance, "__dict__"), type(instance).__name__

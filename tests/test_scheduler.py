@@ -138,3 +138,66 @@ class TestJudgerDeferral:
         process = sim.process(bad_job())
         with pytest.raises(ValueError):
             sim.run()
+
+
+class TestJudgerBatching:
+    def test_default_batch_max_is_one(self, sim):
+        scheduler = build(sim, judger_slots=1)
+        done = []
+
+        def judger_job(name):
+            yield from scheduler.submit_judger(0.002)
+            done.append((round(sim.now, 4), name))
+
+        for name in ("a", "b", "c"):
+            sim.process(judger_job(name))
+        sim.run()
+        # One slot, no coalescing: strictly serial, one dispatch per job.
+        assert scheduler.stats.judger_batches == 3
+        assert scheduler.stats.judger_dispatched == 3
+        assert done[0][0] < done[1][0] < done[2][0]
+
+    def test_coalesced_batch_shares_one_slot(self, sim):
+        gpu_scheduler = build(sim, judger_slots=1)
+        gpu_scheduler.judger_batch_max = 4
+        done = []
+
+        def judger_job(name):
+            duration = yield from gpu_scheduler.submit_judger(0.002)
+            done.append((round(sim.now, 4), name, round(duration, 4)))
+
+        for name in ("a", "b", "c", "d"):
+            sim.process(judger_job(name))
+        sim.run()
+        # "a" admits immediately as a batch of one; "b"/"c"/"d" arrive while
+        # the slot is busy and coalesce into one combined execution.
+        assert gpu_scheduler.stats.judger_batches == 2
+        assert gpu_scheduler.stats.judger_dispatched == 4
+        tail = [entry for entry in done if entry[1] != "a"]
+        assert len({entry[0] for entry in tail}) == 1  # same finish time
+        assert len({entry[2] for entry in tail}) == 1  # same batch duration
+        assert {entry[1] for entry in tail} == {"b", "c", "d"}
+
+    def test_batch_shrinks_to_memory(self, sim):
+        scheduler = build(sim, judger_slots=2)
+        scheduler.judger_batch_max = 8
+        scheduler.judger_kv_gb = 3.0  # Only one 3 GB grant fits in the 4 GB share.
+        done = []
+
+        def judger_job(name):
+            yield from scheduler.submit_judger(0.002)
+            done.append(name)
+
+        for name in ("a", "b"):
+            sim.process(judger_job(name))
+        sim.run()
+        # The first admission takes only "a"; "b" waits for the release.
+        assert scheduler.stats.judger_batches == 2
+        assert done == ["a", "b"]
+
+    def test_invalid_batch_max_rejected(self, sim):
+        gpu = GpuDevice(sim, "g")
+        agent = gpu.partition("agent", 0.8, slots=1)
+        judger = gpu.partition("judger", 0.2, slots=1)
+        with pytest.raises(ValueError):
+            PriorityAwareScheduler(sim, agent, judger, judger_batch_max=0)
