@@ -1,0 +1,76 @@
+"""Concurrency benchmarks: closed-loop throughput vs worker count.
+
+The wall-clock companion to the simulator's Fig. 10 study: a Zipf-skewed
+workload served by the real-thread stack (sharded cache + single-flight +
+worker pool), measured at several worker counts on one fixed configuration.
+
+``io_pause_scale`` turns each simulated remote fetch latency into a real
+GIL-releasing sleep, so misses block a worker the way a network round-trip
+would — that blocked time is what extra workers overlap. Hits stay pure
+compute. Throughput therefore scales with workers until the miss tail is
+fully hidden, then flattens against the compute (GIL) floor.
+
+Run via ``python benchmarks/run_concurrency.py`` to record
+``BENCH_concurrency.json`` at the repo root.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Query
+from repro.factory import build_concurrent_engine, build_remote
+
+#: Requests per closed-loop round (kept in sync with run_concurrency.py).
+N_QUERIES = 800
+#: Distinct facts in the Zipf population.
+POPULATION = 256
+#: Zipf skew (1.3 mirrors the stress CLI default).
+ZIPF_S = 1.3
+#: Real seconds slept per simulated remote-latency second.
+IO_PAUSE_SCALE = 0.02
+#: Worker counts swept (4-vs-1 is the tracked speedup).
+WORKER_COUNTS = (1, 2, 4, 8)
+#: Cache shards (fixed so only the worker axis varies).
+SHARDS = 4
+
+
+def _workload() -> list[Query]:
+    rng = np.random.default_rng(0)
+    ranks = np.minimum(rng.zipf(ZIPF_S, size=N_QUERIES), POPULATION)
+    return [
+        Query(f"stress fact number {rank} of the universe", fact_id=f"F{rank}")
+        for rank in ranks
+    ]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _workload()
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_closed_loop_throughput(benchmark, workload, workers):
+    """One cold-start closed-loop run of the full workload per round."""
+
+    def setup():
+        engine = build_concurrent_engine(
+            build_remote(seed=0),
+            seed=0,
+            shards=SHARDS,
+            workers=workers,
+            io_pause_scale=IO_PAUSE_SCALE,
+        )
+        return (engine,), {}
+
+    def run(engine):
+        report = engine.run_closed_loop(workload, time_step=0.01)
+        engine.close()
+        return report
+
+    report = benchmark.pedantic(run, setup=setup, rounds=3, warmup_rounds=0)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["requests"] = report.requests
+    benchmark.extra_info["hit_rate"] = round(report.hit_rate, 4)
+    benchmark.extra_info["coalesced_misses"] = report.coalesced_misses
+    benchmark.extra_info["remote_calls"] = report.remote_calls
+    assert report.requests == N_QUERIES

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark runner scripts."""
+
+from __future__ import annotations
+
+
+def cap_samples(data: dict, keep: int = 20) -> dict:
+    """Trim each benchmark's raw per-round sample list to ``keep`` entries.
+
+    pytest-benchmark stores every timing sample under ``stats.data``; at
+    thousands of rounds per benchmark that dominates the JSON artefact
+    (tens of thousands of lines) without adding information — the summary
+    statistics (mean/stddev/median/iqr/...) are already computed over the
+    full sample set and are left untouched. Mutates and returns ``data``.
+    """
+    for bench in data.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        samples = stats.get("data")
+        if isinstance(samples, list) and len(samples) > keep:
+            stats["data"] = samples[:keep]
+    data["sample_cap"] = keep
+    return data

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Run the concurrency benchmarks and record the results at the repo root.
+
+Executes ``bench_concurrency.py`` under pytest-benchmark with
+``--benchmark-json``, derives closed-loop throughput (requests per wall
+second) for each worker count plus the worker-scaling speedups the project
+tracks PR-over-PR, caps the stored raw samples, and writes
+``BENCH_concurrency.json``.
+
+Usage::
+
+    python benchmarks/run_concurrency.py [extra pytest args...]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from bench_util import cap_samples
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_concurrency.json"
+
+
+def main(argv: list[str]) -> int:
+    env_path = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(REPO_ROOT / "benchmarks" / "bench_concurrency.py"),
+            f"--benchmark-json={OUTPUT}",
+            "-q",
+            *argv,
+        ],
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": env_path},
+    )
+    if result.returncode != 0:
+        return result.returncode
+
+    data = json.loads(OUTPUT.read_text())
+    throughput: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        info = bench.get("extra_info", {})
+        workers = info.get("workers")
+        requests = info.get("requests")
+        if workers is None or not requests:
+            continue
+        throughput[str(workers)] = requests / bench["stats"]["mean"]
+    speedups = {}
+    base = throughput.get("1")
+    if base:
+        for workers, rps in sorted(throughput.items(), key=lambda kv: int(kv[0])):
+            speedups[f"speedup_{workers}w"] = rps / base
+    data["throughput_rps"] = {k: round(v, 2) for k, v in throughput.items()}
+    data["speedups"] = {k: round(v, 3) for k, v in speedups.items()}
+    cap_samples(data)
+    OUTPUT.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+
+    print(f"\nwrote {OUTPUT}")
+    for workers, rps in sorted(throughput.items(), key=lambda kv: int(kv[0])):
+        ratio = speedups.get(f"speedup_{workers}w", 1.0)
+        print(f"  workers={workers}: {rps:.1f} req/s ({ratio:.2f}x vs 1 worker)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -3,7 +3,8 @@
 
 Executes ``bench_micro.py`` under pytest-benchmark with ``--benchmark-json``,
 then augments the JSON with the batch-vs-scalar speedup ratios the project
-tracks PR-over-PR and writes it to ``BENCH_micro.json``.
+tracks PR-over-PR, caps the stored raw samples (the summary statistics keep
+full precision), and writes it to ``BENCH_micro.json``.
 
 Usage::
 
@@ -17,6 +18,8 @@ import os
 import pathlib
 import subprocess
 import sys
+
+from bench_util import cap_samples
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_micro.json"
@@ -61,6 +64,7 @@ def main(argv: list[str]) -> int:
         if scalar_mean and batch_mean:
             speedups[label] = scalar_mean / batch_mean
     data["speedups"] = speedups
+    cap_samples(data)
     OUTPUT.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
 
     print(f"\nwrote {OUTPUT}")

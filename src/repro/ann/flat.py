@@ -100,28 +100,31 @@ class FlatIndex:
         if n == 0 or not self._key_to_slot:
             return [[] for _ in range(n)]
         queries = normalize_batch(queries)
-        live_slots = np.fromiter(self._slot_to_key, dtype=np.int64)
+        count = len(self._slot_to_key)
+        live_slots = np.fromiter(self._slot_to_key.keys(), dtype=np.int64, count=count)
+        live_keys = np.fromiter(self._slot_to_key.values(), dtype=np.int64, count=count)
         scores = queries @ self._matrix[: self._high_water].T
         live_scores = scores[:, live_slots]
-        top = min(k, live_scores.shape[1])
-        if top < live_scores.shape[1]:
+        top = min(k, count)
+        if top < count:
             chosen = np.argpartition(-live_scores, top - 1, axis=1)[:, :top]
+            chosen_scores = np.take_along_axis(live_scores, chosen, axis=1)
+            chosen_keys = live_keys[chosen]
         else:
-            chosen = np.broadcast_to(
-                np.arange(live_scores.shape[1]), (n, live_scores.shape[1])
-            )
-        results: list[list[SearchHit]] = []
-        for row in range(n):
-            hits = [
-                SearchHit(
-                    score=float(live_scores[row, i]),
-                    key=self._slot_to_key[int(live_slots[i])],
-                )
-                for i in chosen[row]
+            chosen_scores = live_scores
+            chosen_keys = np.broadcast_to(live_keys, (n, count))
+        # Rank the chosen slice per row: score descending, key ascending on
+        # ties (lexsort's primary key is the last one given).
+        order = np.lexsort((chosen_keys, -chosen_scores), axis=1)
+        sorted_scores = np.take_along_axis(chosen_scores, order, axis=1)
+        sorted_keys = np.take_along_axis(chosen_keys, order, axis=1)
+        return [
+            [
+                SearchHit(score=float(score), key=int(key))
+                for score, key in zip(score_row, key_row)
             ]
-            hits.sort(key=lambda hit: (-hit.score, hit.key))
-            results.append(hits)
-        return results
+            for score_row, key_row in zip(sorted_scores, sorted_keys)
+        ]
 
     def _grow(self) -> None:
         old_capacity = self._matrix.shape[0]

@@ -25,7 +25,7 @@ from repro.core.admission import (
     DoorkeeperAdmission,
     SizeThresholdAdmission,
 )
-from repro.core.cache import AsteriaCache, CacheStats, ExactCache
+from repro.core.cache import AsteriaCache, CacheStats, ExactCache, canonical_text
 from repro.core.config import AsteriaConfig, DEFAULT_TAU_LSM, DEFAULT_TAU_SIM
 from repro.core.element import SemanticElement
 from repro.core.engine import (
@@ -54,6 +54,7 @@ from repro.core.recalibration import (
     find_threshold,
     precision_curve,
 )
+from repro.core.sharding import ShardedAsteriaCache, shard_index_for
 from repro.core.sine import Sine, SineResult
 from repro.core.tiered import TieredEngine
 from repro.core.tracelog import TraceLog
@@ -92,6 +93,7 @@ __all__ = [
     "Query",
     "QuerySignature",
     "SemanticElement",
+    "ShardedAsteriaCache",
     "Sine",
     "SineResult",
     "SizeAwareLFUPolicy",
@@ -101,7 +103,9 @@ __all__ = [
     "TraceLog",
     "VanillaEngine",
     "WindowStats",
+    "canonical_text",
     "estimate_tokens",
+    "shard_index_for",
     "find_threshold",
     "policy_by_name",
     "precision_curve",

@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.ann.base import SearchHit
+from repro.ann.base import SearchHit, search_batch_fallback
 from repro.core.element import SemanticElement
 from repro.core.eviction import EvictionPolicy, LCFUPolicy, LRUPolicy
 from repro.core.sine import Sine, SineResult
@@ -30,9 +30,14 @@ from repro.core.types import FetchResult, Query
 from repro.judger.staticity import StaticityScorer
 
 
-def _canonical(text: str) -> str:
-    """Normalisation used for exact-match keys (case/whitespace-insensitive)."""
+def canonical_text(text: str) -> str:
+    """Normalisation used for exact-match and shard-routing keys
+    (case/whitespace-insensitive)."""
     return " ".join(text.lower().split())
+
+
+#: Backwards-compatible private alias (pre-sharding name).
+_canonical = canonical_text
 
 
 @dataclass
@@ -169,6 +174,23 @@ class AsteriaCache:
         for result in results:
             self._note_hit(result, now)
         return results
+
+    def prepare_batch(self, texts: Sequence[str]) -> list[list[SearchHit]]:
+        """Stage-1 work for a batch: one embed-batch + one ANN-batch call.
+
+        Returns raw (unthresholded) ANN hits per text, suitable for
+        :meth:`lookup_prepared`. Factored out of the engine's batch path so a
+        sharded cache can supply its own per-shard grouping.
+        """
+        if not texts:
+            return []
+        embeddings = self.sine.embedder.embed_batch(texts)
+        index = self.sine.index
+        search_batch = getattr(index, "search_batch", None)
+        k = self.sine.max_candidates
+        if search_batch is not None:
+            return search_batch(embeddings, k)
+        return search_batch_fallback(index, embeddings, k)
 
     def _note_hit(self, result: SineResult, now: float) -> None:
         if result.match is None:

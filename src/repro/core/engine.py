@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Protocol, Sequence, runtime_checkable
 
-from repro.ann.base import search_batch_fallback
 from repro.core.admission import AdmissionPolicy, AlwaysAdmit
 from repro.core.cache import AsteriaCache, ExactCache
 from repro.core.config import AsteriaConfig
@@ -376,14 +375,9 @@ class AsteriaEngine:
         snapshot_stamp = None
         if texts:
             self.cache.remove_expired(now)
-            embeddings = self.cache.sine.embedder.embed_batch(texts)
-            index = self.cache.sine.index
-            search_batch = getattr(index, "search_batch", None)
-            k = self.cache.sine.max_candidates
-            if search_batch is not None:
-                batch_hits = search_batch(embeddings, k)
-            else:
-                batch_hits = search_batch_fallback(index, embeddings, k)
+            # The cache owns the stage-1 batching (a sharded cache groups the
+            # texts so each shard still gets one embed+ANN pass).
+            batch_hits = self.cache.prepare_batch(texts)
             snapshot_stamp = self._mutation_stamp()
         responses: list[EngineResponse] = []
         for position, query in enumerate(queries):

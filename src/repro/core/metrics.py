@@ -63,6 +63,11 @@ class LatencyStats:
         """A copy of all recorded samples."""
         return list(self._samples)
 
+    def merge(self, other: "LatencyStats") -> None:
+        """Fold another reservoir's samples into this one (order-insensitive
+        for every statistic exposed here)."""
+        self._samples.extend(other._samples)
+
     def __repr__(self) -> str:
         return (
             f"LatencyStats(n={self.count}, mean={self.mean:.4f}, "
@@ -130,6 +135,39 @@ class EngineMetrics:
         """Zero every counter and reservoir (e.g. after a warm-up phase)."""
         fresh = EngineMetrics()
         self.__dict__.update(fresh.__dict__)
+
+    def merge(self, other: "EngineMetrics") -> None:
+        """Fold another instance's counters and reservoirs into this one.
+
+        Used by concurrent serving to combine per-worker accumulators, and by
+        fleet experiments to total per-node engines. Gauge-style counters
+        synced from cache stats (``evictions``, ``expirations``) take the
+        max rather than the sum, since per-worker views of one shared cache
+        would otherwise double-count.
+        """
+        for name in (
+            "requests",
+            "hits",
+            "misses",
+            "bypasses",
+            "served_correct",
+            "served_incorrect",
+            "prefetches_issued",
+            "prefetch_hits",
+            "coalesced_misses",
+            "recalibrations",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.evictions = max(self.evictions, other.evictions)
+        self.expirations = max(self.expirations, other.expirations)
+        for name in (
+            "total_latency",
+            "hit_latency",
+            "miss_latency",
+            "cache_check_latency",
+            "remote_latency",
+        ):
+            getattr(self, name).merge(getattr(other, name))
 
     def summary(self) -> dict:
         """A plain-dict snapshot for printing and serialisation."""

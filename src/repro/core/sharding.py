@@ -1,0 +1,312 @@
+"""Sharded, thread-safe semantic cache for concurrent serving (§4.4).
+
+:class:`ShardedAsteriaCache` partitions the cache into N independent
+:class:`~repro.core.cache.AsteriaCache` shards — each with its own Sine
+pipeline (embedder, ANN index, judger) and its own ``threading.RLock`` — and
+routes every query to one shard by a *stable* hash of its canonicalised text.
+Because the embedder, judger, and staticity scorer are all deterministic
+per-text (content-seeded, no sequential RNG stream), N shards built with one
+seed behave, each on its own query subset, exactly like an unsharded cache
+would; with one shard the whole object replays an unsharded trace decision
+for decision.
+
+Why this shape:
+
+* **Parallelism** — lookups on different shards proceed concurrently; the
+  numpy-heavy stage-1 work (embed + ANN matrix product) releases the GIL, so
+  real threads scale it across cores.
+* **No cross-shard locking** — whole-cache operations (expiry purge, stats,
+  invalidation) visit shards one at a time and never hold two shard locks at
+  once, so no lock-ordering deadlocks are possible.
+* **Hit-rate trade-off** — routing by canonical text guarantees exact
+  repeats (the Zipf-dominant pattern) always co-shard, but a *paraphrase*
+  may hash to a different shard than its original and miss there. Shard
+  count therefore trades a little semantic hit rate for lookup parallelism;
+  the concurrency bench quantifies it.
+
+Capacity, TTL purge, eviction, and stats stay per-shard; :attr:`stats`
+aggregates the per-shard counters into one
+:class:`~repro.core.cache.CacheStats` view whose fields are exact sums.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import zlib
+from typing import Callable, Sequence
+
+from repro.ann.base import SearchHit
+from repro.core.cache import AsteriaCache, CacheStats, canonical_text
+from repro.core.element import SemanticElement
+from repro.core.sine import SineResult
+from repro.core.types import FetchResult, Query
+
+
+def shard_index_for(text: str, n_shards: int) -> int:
+    """Stable shard id for ``text``: crc32 of the canonical form, mod N.
+
+    crc32 (unlike ``hash``) is stable across processes and Python versions,
+    so a persisted or distributed deployment routes identically everywhere.
+    """
+    return zlib.crc32(canonical_text(text).encode("utf-8")) % n_shards
+
+
+class _SineBroadcast:
+    """Engine-facing view over the per-shard Sine pipelines.
+
+    :class:`~repro.core.engine.AsteriaEngine` configures its cache through
+    ``cache.sine`` (thresholds, candidate count) and the recalibrator reads
+    and writes ``tau_lsm`` at runtime. Reads come from shard 0 (all shards
+    are kept in lockstep); writes broadcast to every shard.
+    """
+
+    def __init__(self, shards: Sequence[AsteriaCache]) -> None:
+        self._shards = shards
+
+    @property
+    def tau_sim(self) -> float:
+        return self._shards[0].sine.tau_sim
+
+    @tau_sim.setter
+    def tau_sim(self, value: float) -> None:
+        for shard in self._shards:
+            shard.sine.tau_sim = value
+
+    @property
+    def tau_lsm(self) -> float:
+        return self._shards[0].sine.tau_lsm
+
+    @tau_lsm.setter
+    def tau_lsm(self, value: float) -> None:
+        for shard in self._shards:
+            shard.sine.tau_lsm = value
+
+    @property
+    def max_candidates(self) -> int:
+        return self._shards[0].sine.max_candidates
+
+    @max_candidates.setter
+    def max_candidates(self, value: int) -> None:
+        for shard in self._shards:
+            shard.sine.max_candidates = value
+
+    @property
+    def embedder(self):
+        """Shard 0's embedder (all shards share one seed, so any shard's
+        embedder computes identical vectors)."""
+        return self._shards[0].sine.embedder
+
+    @property
+    def judger(self):
+        """Shard 0's judger (recalibration fine-tuning over a sharded cache
+        only adjusts this instance; thresholds still broadcast)."""
+        return self._shards[0].sine.judger
+
+    def __len__(self) -> int:
+        return sum(len(shard.sine) for shard in self._shards)
+
+
+class ShardedAsteriaCache:
+    """N thread-safe :class:`AsteriaCache` shards behind one cache interface.
+
+    Parameters
+    ----------
+    shards:
+        Pre-built shard caches (use the same seed for each so all shards
+        share embedding/judging behaviour — see
+        :func:`repro.factory.build_sharded_cache`).
+
+    The public surface mirrors :class:`AsteriaCache` closely enough that
+    :class:`~repro.core.engine.AsteriaEngine` runs over either transparently:
+    ``lookup`` / ``lookup_prepared`` / ``lookup_batch`` / ``prepare_batch`` /
+    ``insert`` / ``contains_semantic`` / ``remove_expired`` / ``invalidate``
+    / ``stats`` / ``usage``. Every method is thread-safe; each takes only the
+    target shard's re-entrant lock (whole-cache sweeps take one shard lock at
+    a time).
+    """
+
+    #: Marker consumed by ConcurrentEngine's safety check.
+    thread_safe = True
+
+    def __init__(self, shards: Sequence[AsteriaCache]) -> None:
+        shards = list(shards)
+        if not shards:
+            raise ValueError("need at least one shard")
+        self._shards = shards
+        self._locks = [threading.RLock() for _ in shards]
+        self.sine = _SineBroadcast(self._shards)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> list[AsteriaCache]:
+        """The shard caches (index-aligned with :meth:`shard_index`)."""
+        return list(self._shards)
+
+    def shard_index(self, text: str) -> int:
+        """The shard id serving queries with this text."""
+        return shard_index_for(text, len(self._shards))
+
+    def __len__(self) -> int:
+        return sum(self.usage_per_shard())
+
+    def __bool__(self) -> bool:
+        """Always truthy; see :meth:`AsteriaCache.__bool__`."""
+        return True
+
+    def usage(self) -> int:
+        """Current occupancy in elements across all shards."""
+        return len(self)
+
+    def usage_per_shard(self) -> list[int]:
+        """Occupancy of each shard, index-aligned with :attr:`shards`."""
+        counts = []
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                counts.append(len(shard))
+        return counts
+
+    @property
+    def capacity_items(self) -> int | None:
+        """Total capacity across shards (None when any shard is unbounded)."""
+        total = 0
+        for shard in self._shards:
+            if shard.capacity_items is None:
+                return None
+            total += shard.capacity_items
+        return total
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated counters: every field is the exact per-shard sum."""
+        totals = CacheStats()
+        for stats in self.stats_per_shard():
+            for field in dataclasses.fields(CacheStats):
+                setattr(
+                    totals,
+                    field.name,
+                    getattr(totals, field.name) + getattr(stats, field.name),
+                )
+        return totals
+
+    def stats_per_shard(self) -> list[CacheStats]:
+        """A consistent snapshot of each shard's counters."""
+        snapshots = []
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                snapshots.append(dataclasses.replace(shard.stats))
+        return snapshots
+
+    # -- lookup -----------------------------------------------------------------
+    def lookup(self, query: Query, now: float, ann_only: bool = False) -> SineResult:
+        """Two-stage lookup on the query's shard, under that shard's lock."""
+        i = self.shard_index(query.text)
+        with self._locks[i]:
+            return self._shards[i].lookup(query, now, ann_only=ann_only)
+
+    def lookup_prepared(
+        self,
+        query: Query,
+        raw_hits: list[SearchHit],
+        now: float,
+        ann_only: bool = False,
+    ) -> SineResult:
+        """Lookup over pre-computed ANN hits (which must come from this
+        query's shard — pair with :meth:`prepare_batch`)."""
+        i = self.shard_index(query.text)
+        with self._locks[i]:
+            return self._shards[i].lookup_prepared(
+                query, raw_hits, now, ann_only=ann_only
+            )
+
+    def lookup_batch(
+        self, queries: Sequence[Query], now: float, ann_only: bool = False
+    ) -> list[SineResult]:
+        """Batched lookups grouped by shard: each shard gets exactly one
+        embed-batch + ANN-batch pass over its own sub-batch, under its own
+        lock. Results return in input order.
+        """
+        queries = list(queries)
+        groups = self._group_positions(query.text for query in queries)
+        results: list[SineResult | None] = [None] * len(queries)
+        for i, positions in enumerate(groups):
+            if not positions:
+                continue
+            with self._locks[i]:
+                shard_results = self._shards[i].lookup_batch(
+                    [queries[p] for p in positions], now, ann_only=ann_only
+                )
+            for position, result in zip(positions, shard_results):
+                results[position] = result
+        return results  # type: ignore[return-value]
+
+    def prepare_batch(self, texts: Sequence[str]) -> list[list[SearchHit]]:
+        """Stage-1 work grouped by shard (one embed+ANN pass per shard)."""
+        texts = list(texts)
+        groups = self._group_positions(texts)
+        batch_hits: list[list[SearchHit]] = [[] for _ in texts]
+        for i, positions in enumerate(groups):
+            if not positions:
+                continue
+            with self._locks[i]:
+                shard_hits = self._shards[i].prepare_batch(
+                    [texts[p] for p in positions]
+                )
+            for position, hits in zip(positions, shard_hits):
+                batch_hits[position] = hits
+        return batch_hits
+
+    def _group_positions(self, texts) -> list[list[int]]:
+        """Input positions grouped by shard id, preserving input order."""
+        groups: list[list[int]] = [[] for _ in self._shards]
+        for position, text in enumerate(texts):
+            groups[self.shard_index(text)].append(position)
+        return groups
+
+    def contains_semantic(self, query: Query) -> bool:
+        """Stage-1-only membership probe on the query's shard."""
+        i = self.shard_index(query.text)
+        with self._locks[i]:
+            return self._shards[i].contains_semantic(query)
+
+    # -- admission / lifecycle ---------------------------------------------------
+    def insert(
+        self,
+        query: Query,
+        fetch: FetchResult,
+        now: float,
+        prefetched: bool = False,
+        ttl: float | None = None,
+    ) -> SemanticElement:
+        """Admit a fetched result into the query's shard."""
+        i = self.shard_index(query.text)
+        with self._locks[i]:
+            return self._shards[i].insert(
+                query, fetch, now, prefetched=prefetched, ttl=ttl
+            )
+
+    def remove_expired(self, now: float) -> int:
+        """TTL purge on every shard; returns the total removed."""
+        removed = 0
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                removed += shard.remove_expired(now)
+        return removed
+
+    def invalidate(self, predicate: Callable[[SemanticElement], bool]) -> int:
+        """Remove matching elements from every shard; returns the count."""
+        removed = 0
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                removed += shard.invalidate(predicate)
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedAsteriaCache(shards={self.n_shards}, items={len(self)}, "
+            f"capacity={self.capacity_items})"
+        )

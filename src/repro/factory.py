@@ -9,6 +9,8 @@ than plumbing.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.ann import FlatIndex, HNSWIndex, IVFIndex, PQIndex
@@ -19,11 +21,13 @@ from repro.core import (
     AsteriaEngine,
     ExactCache,
     ExactEngine,
+    ShardedAsteriaCache,
     Sine,
     VanillaEngine,
 )
 from repro.core.eviction import EvictionPolicy, policy_by_name
 from repro.core.tiered import TieredEngine
+from repro.serving.concurrent import ConcurrentEngine
 from repro.embedding import CachedEmbedder, HashingEmbedder
 from repro.judger import SimulatedJudger
 from repro.judger.staticity import StaticityScorer
@@ -172,6 +176,73 @@ def build_semantic_cache(
         staticity_scorer=StaticityScorer(seed=derive_seed(seed, "staticity")),
         staticity_ttl_scaling=config.staticity_ttl_scaling,
     )
+
+
+def build_sharded_cache(
+    config: AsteriaConfig | None = None,
+    seed: int = 0,
+    shards: int = 4,
+    index_kind: str = "flat",
+    policy: "EvictionPolicy | str" = "lcfu",
+) -> ShardedAsteriaCache:
+    """A thread-safe sharded semantic cache for concurrent serving.
+
+    Every shard is built with the *same* ``seed`` so all shards share
+    embedding/judging behaviour (those substrates are deterministic
+    per-text); with ``shards=1`` the result replays an unsharded
+    :func:`build_semantic_cache` decision for decision. A bounded
+    ``config.capacity_items`` is split evenly across shards (rounded up, so
+    the total may exceed the request by up to ``shards - 1``).
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    config = config if config is not None else AsteriaConfig()
+    shard_config = config
+    if config.capacity_items is not None and shards > 1:
+        shard_config = replace(
+            config, capacity_items=-(-config.capacity_items // shards)
+        )
+    return ShardedAsteriaCache(
+        [
+            build_semantic_cache(
+                shard_config, seed=seed, index_kind=index_kind, policy=policy
+            )
+            for _ in range(shards)
+        ]
+    )
+
+
+def build_concurrent_engine(
+    remote: RemoteDataService,
+    config: AsteriaConfig | None = None,
+    seed: int = 0,
+    shards: int = 4,
+    workers: int = 4,
+    index_kind: str = "flat",
+    policy: "EvictionPolicy | str" = "lcfu",
+    io_pause_scale: float = 0.0,
+    name: str = "asteria-concurrent",
+) -> ConcurrentEngine:
+    """The full concurrent serving stack: sharded cache + worker-pool engine.
+
+    ``shards`` partitions the cache (stable-hash routing on canonical query
+    text, one lock per shard); ``workers`` sizes the serving thread pool and
+    closed-loop load generator. ``io_pause_scale`` > 0 turns each simulated
+    remote fetch latency into a real wall-clock pause so worker pools
+    overlap remote I/O the way a deployed system would — see
+    :class:`~repro.serving.concurrent.ConcurrentEngine`.
+    """
+    config = config if config is not None else AsteriaConfig()
+    if config.prefetch_enabled or config.recalibration_enabled:
+        raise ValueError(
+            "concurrent serving requires prefetch_enabled and "
+            "recalibration_enabled off; run those studies sequentially"
+        )
+    cache = build_sharded_cache(
+        config, seed=seed, shards=shards, index_kind=index_kind, policy=policy
+    )
+    engine = AsteriaEngine(cache, remote, config, name=name)
+    return ConcurrentEngine(engine, workers=workers, io_pause_scale=io_pause_scale)
 
 
 def build_tiered_engine(

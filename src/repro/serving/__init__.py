@@ -19,18 +19,33 @@ discrete-event simulator:
 ``FixedLatencyExecutor`` / ``PartitionJudgeExecutor``
     :class:`~repro.core.engine.JudgeExecutor` implementations wiring cache
     validation onto (co-located or dedicated) GPU partitions.
+
+Alongside the simulated substrate, the package hosts the *real-thread*
+serving layer (see ``concurrent`` and ``singleflight``):
+
+``ConcurrentEngine``
+    A thread-pool front-end over :class:`~repro.core.engine.AsteriaEngine`
+    with a closed-loop multi-worker load generator.
+``SingleFlight``
+    Thundering-herd suppression for concurrent misses — the real-thread
+    twin of the simulator's miss-coalescing study.
 """
 
+from repro.serving.concurrent import ConcurrentEngine, LoadReport
 from repro.serving.executor import FixedLatencyExecutor, PartitionJudgeExecutor
 from repro.serving.gpu import GpuDevice, GpuPartition
 from repro.serving.memory import KVMemoryPool
 from repro.serving.scheduler import PriorityAwareScheduler
+from repro.serving.singleflight import SingleFlight
 
 __all__ = [
+    "ConcurrentEngine",
     "FixedLatencyExecutor",
     "GpuDevice",
     "GpuPartition",
     "KVMemoryPool",
+    "LoadReport",
     "PartitionJudgeExecutor",
     "PriorityAwareScheduler",
+    "SingleFlight",
 ]

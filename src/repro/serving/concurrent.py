@@ -1,0 +1,310 @@
+"""Real-thread concurrent serving over the Asteria engine (§4.4, Fig. 10).
+
+:class:`ConcurrentEngine` is a thread-pool front-end over
+:class:`~repro.core.engine.AsteriaEngine` for serving many agents at once
+with *real* parallelism (the simulator's Fig. 10 study models the same
+phenomenon in virtual time):
+
+* Cache lookups run concurrently on a thread-safe
+  :class:`~repro.core.sharding.ShardedAsteriaCache`; the numpy-heavy stage-1
+  work (embed + ANN scoring) releases the GIL, so lookups on different
+  shards overlap on real cores.
+* Concurrent misses on the same canonical key share one remote fetch via
+  :class:`~repro.serving.singleflight.SingleFlight` — the leader fetches and
+  admits, followers block and reuse the result (counted in
+  ``metrics.coalesced_misses``).
+* :class:`~repro.core.metrics.EngineMetrics` updates happen under one small
+  record lock, so counters and latency reservoirs are exact under any
+  interleaving; :meth:`EngineMetrics.merge` additionally supports per-worker
+  accumulation for callers that want lock-free recording.
+
+``io_pause_scale`` maps each fetch's *simulated* remote latency to a real
+wall-clock pause (``time.sleep`` releases the GIL, exactly like the socket
+wait it stands in for). With it, the closed-loop load generator measures the
+paper's serving claim for real: worker pools overlap remote I/O, so
+throughput scales with workers until compute saturates the cores.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cache import canonical_text
+from repro.core.engine import AsteriaEngine, EngineResponse
+from repro.core.metrics import EngineMetrics
+from repro.core.types import FetchResult, Query
+from repro.serving.singleflight import SingleFlight
+
+
+@dataclass(frozen=True, slots=True)
+class LoadReport:
+    """Outcome of one closed-loop load run (wall-clock, not virtual time)."""
+
+    workers: int
+    requests: int
+    wall_seconds: float
+    throughput_rps: float
+    hits: int
+    misses: int
+    hit_rate: float
+    coalesced_misses: int
+    remote_calls: int
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot for serialisation."""
+        return {
+            "workers": self.workers,
+            "requests": self.requests,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "coalesced_misses": self.coalesced_misses,
+            "remote_calls": self.remote_calls,
+        }
+
+
+class ConcurrentEngine:
+    """Thread-pool serving front-end over an :class:`AsteriaEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The wrapped engine. With ``workers > 1`` its cache must be
+        thread-safe (a :class:`~repro.core.sharding.ShardedAsteriaCache`);
+        prefetching and recalibration must be disabled — both mutate
+        engine-global state on the request path and belong to the sequential
+        and simulated modes.
+    workers:
+        Thread-pool size for :meth:`handle_concurrent` and the worker count
+        for :meth:`run_closed_loop`.
+    singleflight:
+        The miss-coalescing layer (a private one is created by default;
+        share one instance to coalesce across several front-ends).
+    io_pause_scale:
+        When > 0, every remote fetch sleeps ``fetch.latency * scale`` real
+        seconds — the wall-clock stand-in for the network round-trip the
+        simulated latency describes. 0 (default) keeps fetches purely
+        analytic.
+
+    Thread-safety map: the sharded cache locks per shard; the remote service
+    (sequential RNG + counters) is serialised by ``_remote_lock``; metrics,
+    the eval log, and admission decisions by ``_record_lock``. The I/O pause
+    happens *outside* all locks, so workers genuinely overlap remote waits.
+    """
+
+    def __init__(
+        self,
+        engine: AsteriaEngine,
+        workers: int = 4,
+        singleflight: SingleFlight | None = None,
+        io_pause_scale: float = 0.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if io_pause_scale < 0:
+            raise ValueError(f"io_pause_scale must be >= 0, got {io_pause_scale}")
+        if engine.prefetcher is not None or engine.recalibrator is not None:
+            raise ValueError(
+                "ConcurrentEngine requires prefetching and recalibration "
+                "disabled (both mutate engine-global state on the request "
+                "path); run those studies through the sequential engine"
+            )
+        if workers > 1 and not getattr(engine.cache, "thread_safe", False):
+            raise ValueError(
+                "workers > 1 needs a thread-safe cache; wrap the shards in "
+                "ShardedAsteriaCache (factory.build_concurrent_engine does)"
+            )
+        self.engine = engine
+        self.workers = workers
+        self.singleflight = singleflight if singleflight is not None else SingleFlight()
+        self.io_pause_scale = io_pause_scale
+        self._remote_lock = threading.Lock()
+        self._record_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+
+    # -- KnowledgeEngine-compatible surface ------------------------------------
+    @property
+    def name(self) -> str:
+        return self.engine.name
+
+    @property
+    def metrics(self) -> EngineMetrics:
+        return self.engine.metrics
+
+    @property
+    def cache(self):
+        return self.engine.cache
+
+    @property
+    def remote(self):
+        return self.engine.remote
+
+    def handle(self, query: Query, now: float = 0.0) -> EngineResponse:
+        """Resolve one query on the calling thread (thread-safe)."""
+        return self._serve(query, now)
+
+    def handle_concurrent(
+        self, queries: Sequence[Query], now: float = 0.0
+    ) -> list[EngineResponse]:
+        """Resolve a batch across the worker pool; responses in input order."""
+        queries = list(queries)
+        if not queries:
+            return []
+        if self.workers == 1:
+            return [self._serve(query, now) for query in queries]
+        pool = self._ensure_pool()
+        futures = [pool.submit(self._serve, query, now) for query in queries]
+        return [future.result() for future in futures]
+
+    # -- the request path --------------------------------------------------------
+    def _serve(self, query: Query, now: float) -> EngineResponse:
+        engine = self.engine
+        if not engine._is_cacheable(query):
+            fetch = self._fetch(query, now)
+            response = engine._bypass_response(fetch, fetch.latency)
+            self._record(response, query, now, shared=False)
+            return response
+        sine_result = engine.cache.lookup(query, now, ann_only=engine.config.ann_only)
+        with self._record_lock:
+            lookup, _ = engine._lookup_record(query, sine_result)
+        if lookup.is_hit:
+            response = EngineResponse(
+                result=lookup.result or "", latency=lookup.latency, lookup=lookup
+            )
+            self._record(response, query, now, shared=False)
+            return response
+        start = now + lookup.latency
+        key = (query.tool, canonical_text(query.text))
+        fetch, shared = self.singleflight.run(
+            key, lambda: self._fetch_and_admit(query, start)
+        )
+        response = EngineResponse(
+            result=fetch.result,
+            latency=lookup.latency + fetch.latency,
+            lookup=lookup,
+            fetch=fetch,
+        )
+        self._record(response, query, now, shared=shared)
+        return response
+
+    def _fetch_and_admit(self, query: Query, start: float) -> FetchResult:
+        """Leader path: remote fetch, then admission into the query's shard."""
+        engine = self.engine
+        fetch = self._fetch(query, start)
+        arrival = start + fetch.latency
+        with self._record_lock:
+            admit = engine._should_admit(query, fetch, arrival)
+        if admit:
+            engine.cache.insert(query, fetch, arrival)
+        return fetch
+
+    def _fetch(self, query: Query, start: float) -> FetchResult:
+        with self._remote_lock:
+            fetch = self.engine.remote.fetch_at(query, start)
+        if self.io_pause_scale > 0:
+            # Real blocking I/O stand-in; sleeps release the GIL, so other
+            # workers keep serving while this fetch is "on the wire".
+            time.sleep(fetch.latency * self.io_pause_scale)
+        return fetch
+
+    def _record(
+        self, response: EngineResponse, query: Query, now: float, shared: bool
+    ) -> None:
+        with self._record_lock:
+            if shared:
+                self.engine.metrics.coalesced_misses += 1
+            self.engine._record_response(response, query, now)
+
+    # -- closed-loop load generation ---------------------------------------------
+    def run_closed_loop(
+        self,
+        queries: Sequence[Query],
+        time_step: float = 0.0,
+        start: float = 0.0,
+    ) -> LoadReport:
+        """Drive ``queries`` through ``self.workers`` closed-loop workers.
+
+        Each worker repeatedly claims the next query from a shared cursor and
+        serves it to completion before claiming another (a closed loop: load
+        applied equals worker count). Query *i* is served at simulated time
+        ``start + i * time_step``; wall-clock time is measured around the
+        whole run and throughput reported as requests per real second.
+        """
+        queries = list(queries)
+        cursor = itertools.count()
+        n = len(queries)
+        errors: list[BaseException] = []
+
+        def worker() -> None:
+            while True:
+                i = next(cursor)  # atomic in CPython
+                if i >= n:
+                    return
+                try:
+                    self._serve(queries[i], start + i * time_step)
+                except BaseException as exc:  # surface, don't hang the join
+                    errors.append(exc)
+                    return
+
+        before = self.metrics.summary()
+        remote_before = self.remote.calls
+        threads = [
+            threading.Thread(target=worker, name=f"load-worker-{w}", daemon=True)
+            for w in range(self.workers)
+        ]
+        begin = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - begin
+        if errors:
+            raise errors[0]
+        after = self.metrics.summary()
+        hits = after["hits"] - before["hits"]
+        misses = after["misses"] - before["misses"]
+        cacheable = hits + misses
+        return LoadReport(
+            workers=self.workers,
+            requests=n,
+            wall_seconds=wall,
+            throughput_rps=n / wall if wall > 0 else float("inf"),
+            hits=hits,
+            misses=misses,
+            hit_rate=hits / cacheable if cacheable else 0.0,
+            coalesced_misses=after["coalesced_misses"] - before["coalesced_misses"],
+            remote_calls=self.remote.calls - remote_before,
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix=f"{self.name}-worker"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ConcurrentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ConcurrentEngine(name={self.name!r}, workers={self.workers}, "
+            f"singleflight={self.singleflight!r})"
+        )

@@ -1,0 +1,90 @@
+"""Single-flight suppression of duplicate in-flight work (real threads).
+
+The discrete-event simulator's coalescing study (``coalescing_study``,
+``AsteriaConfig.coalesce_misses``) showed that under a flash crowd, misses
+for the same knowledge should share one remote fetch instead of each paying
+for their own. :class:`SingleFlight` is the real-thread twin of that
+mechanism: the first thread to miss on a key becomes the *leader* and
+executes the fetch; threads that miss on the same key while it is in flight
+become *followers*, block on an ``Event``, and reuse the leader's result
+(including its exception, if the fetch failed).
+
+The pattern is Go's ``golang.org/x/sync/singleflight``, reduced to what the
+cache's miss path needs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable, TypeVar
+
+T = TypeVar("T")
+
+
+class _Call:
+    """One in-flight execution: a completion event plus its outcome."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: object = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Per-key duplicate-call suppression across threads.
+
+    ``run(key, fn)`` returns ``(result, shared)``: ``shared`` is False for
+    the leader that actually executed ``fn`` and True for followers that
+    reused its in-flight result. Calls that arrive *after* a flight
+    completes start a fresh one — suppression applies only to overlap in
+    time, so a cache retry after a failed fetch is never poisoned by stale
+    results.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _Call] = {}
+        #: Flights led (each one real unit of work).
+        self.leaders = 0
+        #: Calls served by someone else's flight (work saved).
+        self.shared = 0
+
+    def run(self, key: Hashable, fn: Callable[[], T]) -> tuple[T, bool]:
+        """Execute ``fn`` once per concurrent ``key``; see class docstring."""
+        with self._lock:
+            call = self._inflight.get(key)
+            if call is None:
+                call = _Call()
+                self._inflight[key] = call
+                self.leaders += 1
+                leading = True
+            else:
+                self.shared += 1
+                leading = False
+        if leading:
+            try:
+                call.result = fn()
+            except BaseException as exc:
+                call.error = exc
+                raise
+            finally:
+                # Unregister before waking followers so that a caller arriving
+                # now starts a fresh flight rather than joining a finished one.
+                with self._lock:
+                    self._inflight.pop(key, None)
+                call.event.set()
+            return call.result, False  # type: ignore[return-value]
+        call.event.wait()
+        if call.error is not None:
+            raise call.error
+        return call.result, True  # type: ignore[return-value]
+
+    def inflight(self) -> int:
+        """Number of keys currently being fetched."""
+        with self._lock:
+            return len(self._inflight)
+
+    def __repr__(self) -> str:
+        return f"SingleFlight(leaders={self.leaders}, shared={self.shared})"

@@ -145,3 +145,105 @@ class TestFlatIndexSearch:
         query = unit(rng, 8)
         expected = max(live, key=lambda key: float(np.dot(live[key], query)))
         assert index.search(query, k=1)[0].key == expected
+
+    def test_tie_break_prefers_smaller_key(self):
+        """Equal scores rank by key ascending, scalar and batch alike."""
+        index = FlatIndex(4)
+        shared = np.array([1.0, 0.0, 0.0, 0.0], dtype=np.float32)
+        for key in (9, 3, 7):
+            index.add(key, shared)
+        assert [hit.key for hit in index.search(shared, k=3)] == [3, 7, 9]
+        assert [
+            hit.key for hit in index.search_batch(shared[None, :], 3)[0]
+        ] == [3, 7, 9]
+
+
+class TestFlatIndexRemoveRecycling:
+    """Slot recycling and high-water-mark behaviour under churn."""
+
+    def _assert_free_list_integrity(self, index):
+        """Free slots + live slots partition the matrix capacity exactly."""
+        capacity = index._matrix.shape[0]
+        free = index._free_slots
+        live = set(index._slot_to_key)
+        assert len(free) == len(set(free)), "duplicate slots in the free list"
+        assert not (set(free) & live), "a slot is both free and live"
+        assert len(free) + len(live) == capacity
+        assert all(slot < index._high_water for slot in live)
+        # Freed slots must be zeroed so they can never score above 0.
+        for slot in free:
+            assert not index._matrix[slot].any()
+
+    def test_high_water_sinks_past_trailing_removes(self, rng):
+        index = FlatIndex(16)
+        vectors = {key: unit(rng) for key in range(10)}
+        for key, vector in vectors.items():
+            index.add(key, vector)
+        assert index._high_water == 10
+        for key in (9, 8, 7):  # a trailing run of slots
+            index.remove(key)
+        assert index._high_water == 7
+        self._assert_free_list_integrity(index)
+        # Search still exact over the survivors.
+        query = unit(rng)
+        expected = sorted(
+            (key for key in vectors if key < 7),
+            key=lambda key: (-float(np.dot(vectors[key], query)), key),
+        )[:3]
+        assert [hit.key for hit in index.search(query, k=3)] == expected
+
+    def test_readd_after_trailing_remove_matches_brute_force(self, rng):
+        """Remove a trailing run, re-add fresh keys, and scores stay exact."""
+        index = FlatIndex(16, initial_capacity=4)
+        vectors = {key: unit(rng) for key in range(12)}  # forces _grow twice
+        for key, vector in vectors.items():
+            index.add(key, vector)
+        for key in (11, 10, 9, 8):
+            index.remove(key)
+            del vectors[key]
+        assert index._high_water == 8
+        for key in range(100, 106):  # recycle the freed trailing slots
+            vectors[key] = unit(rng)
+            index.add(key, vectors[key])
+        self._assert_free_list_integrity(index)
+        queries = np.stack([unit(rng) for _ in range(5)])
+        got = index.search_batch(queries, 4)
+        for row, query in enumerate(queries):
+            expected = sorted(
+                vectors,
+                key=lambda key: (-float(np.dot(vectors[key], query)), key),
+            )[:4]
+            assert [hit.key for hit in got[row]] == expected
+            for hit in got[row]:
+                assert hit.score == pytest.approx(
+                    float(np.dot(vectors[hit.key], query)), abs=1e-5
+                )
+
+    def test_interleaved_churn_with_search_batch(self, rng):
+        """add/remove/search_batch interleaved: free list and results stay
+        consistent through grows, recycles, and high-water sinking."""
+        index = FlatIndex(8, initial_capacity=2)
+        live = {}
+        next_key = 0
+        for step in range(40):
+            for _ in range(3):
+                vector = unit(rng, 8)
+                index.add(next_key, vector)
+                live[next_key] = vector
+                next_key += 1
+            if step % 2 == 1:
+                victims = sorted(live)[-2:]  # bias toward trailing slots
+                for victim in victims:
+                    index.remove(victim)
+                    del live[victim]
+            self._assert_free_list_integrity(index)
+            queries = np.stack([unit(rng, 8), unit(rng, 8)])
+            for row, hits in enumerate(index.search_batch(queries, 3)):
+                expected = sorted(
+                    live,
+                    key=lambda key: (
+                        -float(np.dot(live[key], queries[row])),
+                        key,
+                    ),
+                )[: min(3, len(live))]
+                assert [hit.key for hit in hits] == expected

@@ -1,0 +1,266 @@
+"""Tests for the real-thread concurrent serving layer."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import AsteriaConfig, AsteriaEngine, Query
+from repro.factory import (
+    build_asteria_engine,
+    build_concurrent_engine,
+    build_remote,
+    build_sharded_cache,
+)
+from repro.serving import ConcurrentEngine, SingleFlight
+
+
+def zipf_queries(n: int = 400, population: int = 64, seed: int = 0) -> list[Query]:
+    rng = np.random.default_rng(seed)
+    ranks = np.minimum(rng.zipf(1.3, size=n), population)
+    return [
+        Query(f"stress fact number {rank} of the universe", fact_id=f"F{rank}")
+        for rank in ranks
+    ]
+
+
+class TestSingleFlight:
+    def test_sequential_calls_each_lead(self):
+        flight = SingleFlight()
+        for i in range(3):
+            result, shared = flight.run("k", lambda i=i: i)
+            assert (result, shared) == (i, False)
+        assert flight.leaders == 3
+        assert flight.shared == 0
+        assert flight.inflight() == 0
+
+    def test_concurrent_same_key_shares_one_execution(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+        executions = []
+
+        def slow_fn():
+            executions.append(threading.current_thread().name)
+            gate.wait(timeout=10)
+            return "value"
+
+        results = []
+
+        def call():
+            results.append(flight.run("k", slow_fn))
+
+        threads = [threading.Thread(target=call) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        # Wait until the leader is inside slow_fn, then release it.
+        for _ in range(200):
+            if executions and flight.shared == 4:
+                break
+            time.sleep(0.01)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        assert len(executions) == 1  # exactly one real execution
+        assert sorted(shared for _, shared in results) == [
+            False,
+            True,
+            True,
+            True,
+            True,
+        ]
+        assert all(result == "value" for result, _ in results)
+        assert flight.leaders == 1 and flight.shared == 4
+
+    def test_distinct_keys_do_not_coalesce(self):
+        flight = SingleFlight()
+        a, shared_a = flight.run("a", lambda: 1)
+        b, shared_b = flight.run("b", lambda: 2)
+        assert (a, b) == (1, 2)
+        assert not shared_a and not shared_b
+        assert flight.leaders == 2 and flight.shared == 0
+
+    def test_leader_exception_propagates_to_followers(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+
+        def failing():
+            gate.wait(timeout=10)
+            raise RuntimeError("remote down")
+
+        outcomes = []
+
+        def call():
+            try:
+                flight.run("k", failing)
+            except RuntimeError as exc:
+                outcomes.append(str(exc))
+
+        threads = [threading.Thread(target=call) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for _ in range(200):
+            if flight.shared == 2:
+                break
+            time.sleep(0.01)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        assert outcomes == ["remote down"] * 3
+        assert flight.inflight() == 0
+
+    def test_fresh_flight_after_completion_even_after_failure(self):
+        flight = SingleFlight()
+        with pytest.raises(RuntimeError):
+            flight.run("k", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        result, shared = flight.run("k", lambda: "recovered")
+        assert (result, shared) == ("recovered", False)
+
+
+class TestConcurrentEngineGuards:
+    def test_rejects_non_thread_safe_cache_with_workers(self):
+        engine = build_asteria_engine(build_remote())
+        with pytest.raises(ValueError, match="thread-safe"):
+            ConcurrentEngine(engine, workers=4)
+        # A single worker over an unsharded cache is fine (no concurrency).
+        ConcurrentEngine(engine, workers=1)
+
+    def test_rejects_prefetch_and_recalibration(self):
+        engine = build_asteria_engine(
+            build_remote(), AsteriaConfig(prefetch_enabled=True)
+        )
+        with pytest.raises(ValueError, match="prefetch"):
+            ConcurrentEngine(engine, workers=1)
+        with pytest.raises(ValueError, match="prefetch"):
+            build_concurrent_engine(
+                build_remote(), AsteriaConfig(recalibration_enabled=True)
+            )
+
+    def test_rejects_bad_sizes(self):
+        engine = build_asteria_engine(build_remote())
+        with pytest.raises(ValueError):
+            ConcurrentEngine(engine, workers=0)
+        with pytest.raises(ValueError):
+            ConcurrentEngine(engine, workers=1, io_pause_scale=-0.1)
+
+
+class TestConcurrentServing:
+    def test_handle_matches_sequential_engine_when_single_worker(self):
+        config = AsteriaConfig()
+        sequential = build_asteria_engine(build_remote(seed=7), config, seed=3)
+        concurrent = build_concurrent_engine(
+            build_remote(seed=7), config, seed=3, shards=1, workers=1
+        )
+        for i, query in enumerate(zipf_queries(150)):
+            now = 0.3 * i
+            a = sequential.handle(query, now)
+            b = concurrent.handle(query, now)
+            assert a.lookup.status == b.lookup.status, f"diverged at {i}"
+            assert a.result == b.result
+        assert sequential.metrics.summary() == concurrent.metrics.summary()
+
+    def test_handle_concurrent_preserves_input_order(self):
+        concurrent = build_concurrent_engine(
+            build_remote(), shards=4, workers=4
+        )
+        queries = [
+            Query(f"distinct topic {i} albatross", fact_id=f"T{i}")
+            for i in range(40)
+        ]
+        with concurrent:
+            responses = concurrent.handle_concurrent(queries, 0.0)
+        assert len(responses) == 40
+        for query, response in zip(queries, responses):
+            assert query.fact_id.lstrip("T") in response.result or response.result
+
+    def test_accounting_invariants_under_concurrency(self):
+        queries = zipf_queries(400)
+        concurrent = build_concurrent_engine(
+            build_remote(), shards=4, workers=4, io_pause_scale=0.002
+        )
+        with concurrent:
+            report = concurrent.run_closed_loop(queries, time_step=0.01)
+        metrics = concurrent.metrics
+        assert metrics.requests == 400
+        assert metrics.hits + metrics.misses + metrics.bypasses == 400
+        # Every non-coalesced miss is one leader flight = one remote call.
+        assert report.remote_calls == concurrent.singleflight.leaders
+        assert report.coalesced_misses == concurrent.singleflight.shared
+        assert report.misses == report.remote_calls + report.coalesced_misses
+        # No lost updates: every admitted fetch is visible in some shard.
+        assert concurrent.cache.stats.inserts == report.remote_calls
+        assert len(concurrent.cache) == sum(concurrent.cache.usage_per_shard())
+
+
+class TestEightThreadStress:
+    """The ISSUE's stress gate: 8 threads on one sharded cache."""
+
+    def test_stress_no_lost_updates_no_deadlock(self):
+        queries = zipf_queries(800, population=96, seed=1)
+        concurrent = build_concurrent_engine(
+            build_remote(seed=1), seed=1, shards=4, workers=8,
+            io_pause_scale=0.002,
+        )
+        done = threading.Event()
+        holder = {}
+
+        def drive():
+            with concurrent:
+                holder["report"] = concurrent.run_closed_loop(
+                    queries, time_step=0.005
+                )
+            done.set()
+
+        driver = threading.Thread(target=drive, daemon=True)
+        driver.start()
+        assert done.wait(timeout=120), "deadlock: stress run never finished"
+        report = holder["report"]
+        metrics = concurrent.metrics
+
+        # Conservation: every request is exactly one of hit/miss/bypass.
+        assert report.requests == 800
+        assert metrics.requests == 800
+        assert metrics.hits + metrics.misses + metrics.bypasses == 800
+        assert report.hits + report.misses == 800
+
+        # No lost updates: every leader fetch was admitted into a shard and
+        # per-shard stats sum exactly to the aggregate view.
+        stats = concurrent.cache.stats
+        assert stats.inserts == concurrent.singleflight.leaders
+        per_shard = concurrent.cache.stats_per_shard()
+        assert sum(s.inserts for s in per_shard) == stats.inserts
+        assert sum(s.evictions for s in per_shard) == stats.evictions
+        assert len(concurrent.cache) == stats.inserts - stats.evictions - stats.expirations
+
+    def test_stress_hit_rate_within_tolerance_of_sequential_replay(self):
+        queries = zipf_queries(600, population=64, seed=2)
+        concurrent = build_concurrent_engine(
+            build_remote(seed=2), seed=2, shards=4, workers=8,
+            io_pause_scale=0.002,
+        )
+        with concurrent:
+            report = concurrent.run_closed_loop(queries, time_step=0.01)
+
+        # Sequential replay on an identically-seeded sharded engine: same
+        # shards, same routing, no races — the reference hit rate.
+        reference_cache = build_sharded_cache(seed=2, shards=4)
+        reference = AsteriaEngine(
+            reference_cache, build_remote(seed=2), AsteriaConfig()
+        )
+        for i, query in enumerate(queries):
+            reference.handle(query, 0.01 * i)
+        sequential_rate = reference.metrics.hit_rate
+
+        # Concurrency can only *lose* hits to in-flight races (a follower
+        # arriving before the leader admits counts as a coalesced miss), and
+        # single-flight bounds that loss. Allow a modest tolerance.
+        assert report.hit_rate <= sequential_rate + 1e-9
+        assert report.hit_rate >= sequential_rate - 0.05
+        # Hits lost to racing either coalesced onto an in-flight fetch or
+        # (rarely) re-fetched when the flight finished between the lookup
+        # and the single-flight join; every lost hit becomes an extra miss.
+        lost = reference.metrics.hits - report.hits
+        assert lost == report.misses - reference.metrics.misses
+        assert lost >= 0
