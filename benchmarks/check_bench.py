@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Sanity-check the committed ``BENCH_*.json`` artefacts (CI gate).
+
+Checks, for every ``BENCH_*.json`` at the repo root:
+
+* the file parses as JSON;
+* files with registered schemas contain their required top-level keys;
+* no array anywhere in the document exceeds ``MAX_ARRAY`` entries — the
+  benchmark runners cap raw sample lists so artefacts stay reviewable
+  (~1k lines per array at most), and this catches a runner regressing to
+  dumping every sample again.
+
+Pure stdlib; run as ``python benchmarks/check_bench.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Required top-level keys per artefact. Files not listed here still get the
+#: parse and array-cap checks.
+REQUIRED_KEYS = {
+    "BENCH_micro.json": ("machine_info", "benchmarks", "speedups", "sample_cap"),
+    "BENCH_concurrency.json": (
+        "machine_info",
+        "benchmarks",
+        "throughput_rps",
+        "speedups",
+        "sample_cap",
+    ),
+    "BENCH_async.json": ("config", "results", "headline"),
+}
+
+MAX_ARRAY = 1024
+
+
+def oversized_arrays(node, path="$"):
+    """Yield (path, length) for every list longer than MAX_ARRAY."""
+    if isinstance(node, list):
+        if len(node) > MAX_ARRAY:
+            yield path, len(node)
+        for i, item in enumerate(node):
+            yield from oversized_arrays(item, f"{path}[{i}]")
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            yield from oversized_arrays(value, f"{path}.{key}")
+
+
+def check(path: pathlib.Path) -> list[str]:
+    errors = []
+    try:
+        data = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        return [f"{path.name}: does not parse: {exc}"]
+    required = REQUIRED_KEYS.get(path.name, ())
+    missing = [key for key in required if key not in data]
+    if missing:
+        errors.append(f"{path.name}: missing top-level keys {missing}")
+    for where, length in oversized_arrays(data):
+        errors.append(
+            f"{path.name}: array at {where} has {length} entries "
+            f"(cap is {MAX_ARRAY}; cap samples in the runner)"
+        )
+    return errors
+
+
+def main() -> int:
+    files = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json artefacts found", file=sys.stderr)
+        return 1
+    failures = []
+    for path in files:
+        errors = check(path)
+        if errors:
+            failures.extend(errors)
+        else:
+            keys = REQUIRED_KEYS.get(path.name)
+            note = f"required keys {list(keys)}" if keys else "generic checks"
+            print(f"ok: {path.name} ({note})")
+    for error in failures:
+        print(f"FAIL: {error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

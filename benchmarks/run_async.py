@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""Async vs thread-pool serving benchmark; records ``BENCH_async.json``.
+
+Runs the same Zipf-skewed workload through both real serving stacks —
+the thread-pool :class:`ConcurrentEngine` (closed loop, ``workers=K``) and
+the asyncio :class:`AsyncAsteriaEngine` (closed loop, ``concurrency=K``) —
+across matched outstanding-request counts and ``io_pause_scale`` settings,
+then drives the async engine open-loop at fixed arrival rates to exercise
+backpressure and deadlines. Every engine starts cold; each configuration
+runs ``ROUNDS`` times and the best round is kept.
+
+Usage::
+
+    python benchmarks/run_async.py [--quick]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import Query  # noqa: E402
+from repro.factory import (  # noqa: E402
+    build_async_engine,
+    build_concurrent_engine,
+    build_remote,
+)
+from repro.serving.aio import run_closed_loop, run_open_loop  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_async.json"
+
+N_QUERIES = 600
+POPULATION = 256
+ZIPF_S = 1.3
+TIME_STEP = 0.01
+SEED = 0
+ROUNDS = 2
+IO_SCALES = (0.0, 0.02)
+THREAD_WORKERS = (1, 2, 4, 8)
+ASYNC_CONCURRENCY = (1, 4, 16, 64)
+OPEN_LOOP_RUNS = (
+    # (rate req/s, deadline s, max_inflight) — the second run drives the
+    # engine past its depth so overload/deadline outcomes actually occur.
+    (500.0, None, 256),
+    (4000.0, 0.02, 24),
+)
+
+
+def workload() -> list[Query]:
+    rng = np.random.default_rng(SEED)
+    ranks = np.minimum(rng.zipf(ZIPF_S, size=N_QUERIES), POPULATION)
+    return [
+        Query(f"stress fact number {rank} of the universe", fact_id=f"F{rank}")
+        for rank in ranks
+    ]
+
+
+def run_threads(queries, io_scale: float, workers: int) -> dict:
+    best = None
+    for _ in range(ROUNDS):
+        engine = build_concurrent_engine(
+            build_remote(seed=SEED),
+            seed=SEED,
+            shards=4,
+            workers=workers,
+            io_pause_scale=io_scale,
+        )
+        with engine:
+            report = engine.run_closed_loop(queries, time_step=TIME_STEP)
+        if best is None or report.throughput_rps > best.throughput_rps:
+            best = report
+    row = best.summary()
+    row.update(engine="threads", mode="closed", io_pause_scale=io_scale)
+    return row
+
+
+def run_async_closed(queries, io_scale: float, concurrency: int, **engine_kw) -> dict:
+    best = None
+    for _ in range(ROUNDS):
+        engine = build_async_engine(
+            build_remote(seed=SEED),
+            seed=SEED,
+            shards=4,
+            io_pause_scale=io_scale,
+            max_inflight=max(256, concurrency),
+            **engine_kw,
+        )
+        report = asyncio.run(
+            run_closed_loop(engine, queries, concurrency, time_step=TIME_STEP)
+        )
+        if best is None or report.throughput_rps > best.throughput_rps:
+            best = report
+    row = best.summary()
+    row.update(engine="async", io_pause_scale=io_scale, **engine_kw)
+    return row
+
+
+def run_async_open(queries, io_scale, rate, deadline, max_inflight) -> dict:
+    engine = build_async_engine(
+        build_remote(seed=SEED),
+        seed=SEED,
+        shards=4,
+        io_pause_scale=io_scale,
+        max_inflight=max_inflight,
+        default_deadline=deadline,
+    )
+    report = asyncio.run(run_open_loop(engine, queries, rate, time_step=TIME_STEP))
+    row = report.summary()
+    row.update(
+        engine="async",
+        io_pause_scale=io_scale,
+        deadline=deadline,
+        max_inflight=max_inflight,
+        peak_inflight_fetches=engine.remote.max_inflight,
+    )
+    return row
+
+
+def main(argv: list[str]) -> int:
+    global ROUNDS, THREAD_WORKERS, ASYNC_CONCURRENCY
+    if "--quick" in argv:
+        ROUNDS = 1
+        THREAD_WORKERS = (1, 4)
+        ASYNC_CONCURRENCY = (1, 64)
+    queries = workload()
+    results: list[dict] = []
+    for io_scale in IO_SCALES:
+        for workers in THREAD_WORKERS:
+            row = run_threads(queries, io_scale, workers)
+            results.append(row)
+            print(
+                f"threads  io={io_scale:<5} K={workers:<3} "
+                f"{row['throughput_rps']:>8.1f} req/s"
+            )
+        for concurrency in ASYNC_CONCURRENCY:
+            row = run_async_closed(queries, io_scale, concurrency)
+            results.append(row)
+            print(
+                f"async    io={io_scale:<5} K={concurrency:<3} "
+                f"{row['throughput_rps']:>8.1f} req/s"
+            )
+    # One hedged configuration: cut the latency tail of cold misses.
+    hedged = run_async_closed(
+        queries, 0.02, 16, hedge_percentile=90.0, hedge_min_samples=10
+    )
+    results.append(hedged)
+    print(
+        f"async    io=0.02  K=16  {hedged['throughput_rps']:>8.1f} req/s "
+        f"(hedged={hedged['hedged_fetches']})"
+    )
+    for rate, deadline, max_inflight in OPEN_LOOP_RUNS:
+        row = run_async_open(queries, 0.02, rate, deadline, max_inflight)
+        results.append(row)
+        print(
+            f"async    io=0.02  open rate={rate:<6.0f} "
+            f"{row['throughput_rps']:>8.1f} req/s "
+            f"(overloaded={row['overloaded']} "
+            f"deadline_exceeded={row['deadline_exceeded']})"
+        )
+
+    def rps(engine, io_scale, key, value):
+        for row in results:
+            if (
+                row["engine"] == engine
+                and row["io_pause_scale"] == io_scale
+                and row.get(key) == value
+                and row["mode"] == "closed"
+                and "hedge_percentile" not in row
+            ):
+                return row["throughput_rps"]
+        return None
+
+    threads_4 = rps("threads", 0.02, "workers", 4)
+    async_1 = rps("async", 0.02, "concurrency", 1)
+    async_64 = rps("async", 0.02, "concurrency", 64)
+    headline = {
+        "io_bound_scale": 0.02,
+        "threads_4_workers_rps": threads_4,
+        "async_concurrency_1_rps": async_1,
+        "async_concurrency_64_rps": async_64,
+        "async_64_vs_threads_4": (
+            round(async_64 / threads_4, 3) if threads_4 and async_64 else None
+        ),
+    }
+    data = {
+        "config": {
+            "n_queries": N_QUERIES,
+            "population": POPULATION,
+            "zipf_s": ZIPF_S,
+            "time_step": TIME_STEP,
+            "seed": SEED,
+            "rounds": ROUNDS,
+            "io_pause_scales": list(IO_SCALES),
+            "thread_workers": list(THREAD_WORKERS),
+            "async_concurrency": list(ASYNC_CONCURRENCY),
+            "open_loop_runs": [list(run) for run in OPEN_LOOP_RUNS],
+        },
+        "results": results,
+        "headline": headline,
+    }
+    OUTPUT.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    print(f"  headline: {headline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

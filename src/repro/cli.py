@@ -7,14 +7,17 @@ Usage::
     python -m repro run table5
     python -m repro run-all --quick
     python -m repro stress --shards 4 --workers 8 --queries 2000
+    python -m repro stress --engine async --rate 800 --deadline 0.2
 
 ``--set key=value`` pairs are parsed with ``ast.literal_eval`` (falling back
 to a plain string), so ints, floats, tuples, and booleans all work.
 
-``stress`` exercises the *real-thread* concurrent serving layer (sharded
-cache + worker pool + single-flight) against a skewed synthetic workload and
-prints wall-clock throughput — unlike the experiments, which run on the
-virtual clock.
+``stress`` exercises the real serving layers against a skewed synthetic
+workload and prints wall-clock throughput — unlike the experiments, which
+run on the virtual clock. ``--engine threads`` (default) drives the
+closed-loop worker pool; ``--engine async`` drives the asyncio front-end
+with an *open-loop* fixed arrival rate, so backpressure (``overloaded``)
+and deadlines (``deadline_exceeded``) are measured honestly.
 """
 
 from __future__ import annotations
@@ -142,12 +145,10 @@ def _command_run(name: str, overrides: dict) -> int:
     return 0
 
 
-def _command_stress(arguments) -> int:
-    """Closed-loop wall-clock stress of the concurrent serving layer."""
+def _stress_queries(arguments) -> list:
     import numpy as np
 
     from repro.core import Query
-    from repro.factory import build_concurrent_engine, build_remote
 
     rng = np.random.default_rng(arguments.seed)
     # Zipf-skewed draws over a fixed fact population: the repeats that make
@@ -155,10 +156,19 @@ def _command_stress(arguments) -> int:
     ranks = np.minimum(
         rng.zipf(arguments.zipf_s, size=arguments.queries), arguments.population
     )
-    queries = [
+    return [
         Query(f"stress fact number {rank} of the universe", fact_id=f"F{rank}")
         for rank in ranks
     ]
+
+
+def _command_stress(arguments) -> int:
+    """Wall-clock stress: thread pool (closed loop) or asyncio (open loop)."""
+    if arguments.engine == "async":
+        return _stress_async(arguments)
+    from repro.factory import build_concurrent_engine, build_remote
+
+    queries = _stress_queries(arguments)
     engine = build_concurrent_engine(
         build_remote(seed=arguments.seed),
         seed=arguments.seed,
@@ -169,7 +179,7 @@ def _command_stress(arguments) -> int:
     with engine:
         report = engine.run_closed_loop(queries, time_step=0.01)
     print(
-        f"workers={report.workers} shards={arguments.shards} "
+        f"engine=threads workers={report.workers} shards={arguments.shards} "
         f"requests={report.requests}"
     )
     print(
@@ -184,6 +194,51 @@ def _command_stress(arguments) -> int:
     per_shard = engine.cache.stats_per_shard()
     inserts = [stats.inserts for stats in per_shard]
     print(f"  per-shard inserts={inserts} (total={sum(inserts)})")
+    return 0
+
+
+def _stress_async(arguments) -> int:
+    """Open-loop (fixed arrival rate) stress of the asyncio serving layer."""
+    import asyncio
+
+    from repro.factory import build_async_engine, build_remote
+    from repro.serving.aio import run_open_loop
+
+    queries = _stress_queries(arguments)
+    engine = build_async_engine(
+        build_remote(seed=arguments.seed),
+        seed=arguments.seed,
+        shards=arguments.shards,
+        io_pause_scale=arguments.io_scale,
+        max_inflight=arguments.max_inflight,
+        default_deadline=arguments.deadline,
+    )
+    report = asyncio.run(
+        run_open_loop(engine, queries, rate=arguments.rate, time_step=0.01)
+    )
+    metrics = engine.metrics
+    print(
+        f"engine=async rate={arguments.rate:.0f}/s shards={arguments.shards} "
+        f"requests={report.requests} max_inflight={arguments.max_inflight}"
+    )
+    print(
+        f"  wall={report.wall_seconds:.3f}s "
+        f"throughput={report.throughput_rps:.1f} req/s "
+        f"peak_inflight_fetches={engine.remote.max_inflight}"
+    )
+    print(
+        f"  completed={report.completed} overloaded={report.overloaded} "
+        f"deadline_exceeded={report.deadline_exceeded}"
+    )
+    print(
+        f"  hit_rate={report.hit_rate:.3f} hits={report.hits} "
+        f"misses={report.misses} coalesced={report.coalesced_misses} "
+        f"remote_calls={report.remote_calls} hedged={metrics.hedged_fetches}"
+    )
+    print(
+        f"  p50_wall={report.p50_wall * 1000:.2f}ms "
+        f"p99_wall={report.p99_wall * 1000:.2f}ms"
+    )
     return 0
 
 
@@ -220,10 +275,36 @@ def main(argv: list[str] | None = None) -> int:
         "stress", help="wall-clock stress of the concurrent serving layer"
     )
     stress_parser.add_argument(
+        "--engine",
+        choices=("threads", "async"),
+        default="threads",
+        help="threads: closed-loop worker pool; async: open-loop asyncio "
+        "front-end (default threads)",
+    )
+    stress_parser.add_argument(
         "--shards", type=int, default=4, help="cache shard count (default 4)"
     )
     stress_parser.add_argument(
         "--workers", type=int, default=8, help="serving worker threads (default 8)"
+    )
+    stress_parser.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="async open-loop arrival rate, requests/s (default 500)",
+    )
+    stress_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="async admission-queue depth before overload rejection "
+        "(default 256)",
+    )
+    stress_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="async per-request deadline in wall seconds (default none)",
     )
     stress_parser.add_argument(
         "--queries", type=int, default=2000, help="requests to serve (default 2000)"

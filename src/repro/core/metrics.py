@@ -97,6 +97,16 @@ class EngineMetrics:
     evictions: int = 0
     expirations: int = 0
     recalibrations: int = 0
+    #: Requests rejected by serving-layer backpressure (never reached the
+    #: cache, so they are *not* part of ``requests``).
+    overloaded: int = 0
+    #: Requests whose deadline expired mid-miss (response degraded; the
+    #: background fetch may still have admitted — also not in ``requests``).
+    deadline_exceeded: int = 0
+    #: Fetches that launched a hedged second request past the latency
+    #: percentile, and how many of those hedges won the race.
+    hedged_fetches: int = 0
+    hedge_wins: int = 0
     total_latency: LatencyStats = field(default_factory=LatencyStats)
     hit_latency: LatencyStats = field(default_factory=LatencyStats)
     miss_latency: LatencyStats = field(default_factory=LatencyStats)
@@ -156,6 +166,10 @@ class EngineMetrics:
             "prefetch_hits",
             "coalesced_misses",
             "recalibrations",
+            "overloaded",
+            "deadline_exceeded",
+            "hedged_fetches",
+            "hedge_wins",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.evictions = max(self.evictions, other.evictions)
@@ -185,4 +199,8 @@ class EngineMetrics:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "recalibrations": self.recalibrations,
+            "overloaded": self.overloaded,
+            "deadline_exceeded": self.deadline_exceeded,
+            "hedged_fetches": self.hedged_fetches,
+            "hedge_wins": self.hedge_wins,
         }

@@ -27,6 +27,10 @@ from repro.core import (
 )
 from repro.core.eviction import EvictionPolicy, policy_by_name
 from repro.core.tiered import TieredEngine
+from repro.serving.aio import (
+    AsyncAsteriaEngine,
+    AsyncRemoteService,
+)
 from repro.serving.concurrent import ConcurrentEngine
 from repro.embedding import CachedEmbedder, HashingEmbedder
 from repro.judger import SimulatedJudger
@@ -221,6 +225,7 @@ def build_concurrent_engine(
     index_kind: str = "flat",
     policy: "EvictionPolicy | str" = "lcfu",
     io_pause_scale: float = 0.0,
+    follower_timeout: float | None = None,
     name: str = "asteria-concurrent",
 ) -> ConcurrentEngine:
     """The full concurrent serving stack: sharded cache + worker-pool engine.
@@ -242,7 +247,58 @@ def build_concurrent_engine(
         config, seed=seed, shards=shards, index_kind=index_kind, policy=policy
     )
     engine = AsteriaEngine(cache, remote, config, name=name)
-    return ConcurrentEngine(engine, workers=workers, io_pause_scale=io_pause_scale)
+    return ConcurrentEngine(
+        engine,
+        workers=workers,
+        io_pause_scale=io_pause_scale,
+        follower_timeout=follower_timeout,
+    )
+
+
+def build_async_engine(
+    remote: RemoteDataService,
+    config: AsteriaConfig | None = None,
+    seed: int = 0,
+    shards: int = 4,
+    io_pause_scale: float = 0.0,
+    max_inflight: int = 256,
+    default_deadline: float | None = None,
+    follower_timeout: float | None = None,
+    hedge_percentile: float | None = None,
+    hedge_min_samples: int = 20,
+    index_kind: str = "flat",
+    policy: "EvictionPolicy | str" = "lcfu",
+    name: str = "asteria-async",
+) -> AsyncAsteriaEngine:
+    """The full asyncio serving stack: sharded cache + event-loop engine.
+
+    Single-threaded, so the cache needs no locks — the sharded shape is
+    kept anyway so async and thread-pool runs share one stack (and one
+    paraphrase-routing behaviour) and differ only in how they overlap
+    remote waits. ``io_pause_scale`` is the same knob as the thread pool's;
+    ``max_inflight`` / ``default_deadline`` / ``hedge_percentile`` configure
+    backpressure, deadlines, and hedging — see
+    :class:`~repro.serving.aio.AsyncAsteriaEngine`.
+    """
+    config = config if config is not None else AsteriaConfig()
+    if config.prefetch_enabled or config.recalibration_enabled:
+        raise ValueError(
+            "async serving requires prefetch_enabled and "
+            "recalibration_enabled off; run those studies sequentially"
+        )
+    cache = build_sharded_cache(
+        config, seed=seed, shards=shards, index_kind=index_kind, policy=policy
+    )
+    engine = AsteriaEngine(cache, remote, config, name=name)
+    return AsyncAsteriaEngine(
+        engine,
+        remote=AsyncRemoteService(remote, io_pause_scale=io_pause_scale),
+        max_inflight=max_inflight,
+        default_deadline=default_deadline,
+        follower_timeout=follower_timeout,
+        hedge_percentile=hedge_percentile,
+        hedge_min_samples=hedge_min_samples,
+    )
 
 
 def build_tiered_engine(

@@ -29,8 +29,26 @@ serving layer (see ``concurrent`` and ``singleflight``):
 ``SingleFlight``
     Thundering-herd suppression for concurrent misses — the real-thread
     twin of the simulator's miss-coalescing study.
+
+The ``aio`` subpackage is the event-loop counterpart of the thread layer:
+
+``AsyncAsteriaEngine`` / ``AsyncRemoteService`` / ``AsyncSingleFlight``
+    Await-based serving with bounded admission (``overloaded``),
+    per-request deadlines (``deadline_exceeded``), hedged fetches, and
+    single-flight misses that followers ``await`` instead of blocking on.
+``run_open_loop`` / ``run_closed_loop``
+    Fixed-arrival-rate and matched-concurrency async load generators.
 """
 
+from repro.serving.aio import (
+    AsyncAsteriaEngine,
+    AsyncLoadReport,
+    AsyncOutcome,
+    AsyncRemoteService,
+    AsyncSingleFlight,
+    run_closed_loop,
+    run_open_loop,
+)
 from repro.serving.concurrent import ConcurrentEngine, LoadReport
 from repro.serving.executor import FixedLatencyExecutor, PartitionJudgeExecutor
 from repro.serving.gpu import GpuDevice, GpuPartition
@@ -39,6 +57,11 @@ from repro.serving.scheduler import PriorityAwareScheduler
 from repro.serving.singleflight import SingleFlight
 
 __all__ = [
+    "AsyncAsteriaEngine",
+    "AsyncLoadReport",
+    "AsyncOutcome",
+    "AsyncRemoteService",
+    "AsyncSingleFlight",
     "ConcurrentEngine",
     "FixedLatencyExecutor",
     "GpuDevice",
@@ -48,4 +71,6 @@ __all__ = [
     "PartitionJudgeExecutor",
     "PriorityAwareScheduler",
     "SingleFlight",
+    "run_closed_loop",
+    "run_open_loop",
 ]

@@ -1,0 +1,331 @@
+"""Asyncio serving front-end over the Asteria engine.
+
+:class:`AsyncAsteriaEngine` is the event-loop twin of
+:class:`~repro.serving.concurrent.ConcurrentEngine`: it drives the same
+lookup → judge → admit path over the same cache, but remote waits are
+``await``-points instead of blocked threads, so one OS thread sustains
+thousands of in-flight fetches. On top of the shared path it adds the three
+controls a production gateway needs:
+
+**Backpressure** — at most ``max_inflight`` requests may be in the serving
+section at once; a request arriving beyond that depth is rejected
+immediately with an ``overloaded`` outcome (counted in
+``metrics.overloaded``) rather than queued without bound. Rejected requests
+touch neither the cache nor the hit/miss counters.
+
+**Deadlines** — each request may carry a deadline (seconds of wall clock,
+``default_deadline`` otherwise). The miss path runs under
+``asyncio.timeout``: on expiry the caller gets a ``deadline_exceeded``
+outcome instead of hanging, while the underlying single-flight fetch keeps
+running in the background and still admits its result — the deadline
+degrades the *response*, never the cache.
+
+**Hedging** — optionally, a miss whose fetch is still pending after the
+``hedge_percentile``-th percentile of observed fetch latencies launches a
+second, independent fetch and serves whichever completes first (the
+tail-latency trick from "The Tail at Scale"). Hedges are counted in
+``metrics.hedged_fetches`` / ``metrics.hedge_wins``.
+
+Single-threaded by design: cache and metrics mutations happen between await
+points, so no locks are taken anywhere. The cache therefore does *not* need
+to be thread-safe — a plain :class:`~repro.core.cache.AsteriaCache` works —
+but the factory builds the same :class:`ShardedAsteriaCache` shape as the
+thread-pool stack so the two are directly comparable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cache import canonical_text
+from repro.core.engine import AsteriaEngine, EngineResponse
+from repro.core.metrics import EngineMetrics
+from repro.core.types import FetchResult, Query
+from repro.serving.aio.remote import AsyncRemoteService
+from repro.serving.aio.singleflight import AsyncSingleFlight
+
+#: Outcome statuses (the response carries payload only when "ok").
+STATUS_OK = "ok"
+STATUS_OVERLOADED = "overloaded"
+STATUS_DEADLINE = "deadline_exceeded"
+
+
+@dataclass(frozen=True, slots=True)
+class AsyncOutcome:
+    """What one ``serve`` call resolved to.
+
+    ``response`` is populated only when ``status == "ok"``; degraded
+    outcomes carry no payload. ``wall_latency`` is real seconds spent in
+    ``serve`` (for an overload rejection, effectively zero).
+    """
+
+    status: str
+    response: EngineResponse | None = None
+    wall_latency: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class AsyncAsteriaEngine:
+    """Asyncio front-end over an :class:`AsteriaEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The wrapped engine. Prefetching and recalibration must be disabled —
+        both mutate engine-global state on the request path and belong to
+        the sequential and simulated modes (same rule as the thread pool).
+    remote:
+        The awaitable remote service; built over ``engine.remote`` with
+        ``io_pause_scale=0`` when omitted.
+    singleflight:
+        The await-based miss-coalescing layer (private by default).
+    max_inflight:
+        Admission-queue depth: requests in the serving section beyond this
+        are rejected with an ``overloaded`` outcome.
+    default_deadline:
+        Per-request wall-clock deadline in seconds applied when ``serve`` is
+        not given an explicit one; None means no deadline.
+    follower_timeout:
+        Bound on a coalesced follower's wait behind a leader before it falls
+        back to a private fetch (see :class:`AsyncSingleFlight`).
+    hedge_percentile:
+        When set (0 < p <= 100), a pending fetch older than this percentile
+        of observed fetch latencies triggers a hedged second fetch. Needs
+        ``io_pause_scale > 0`` to be meaningful (with analytic fetches there
+        is no wall-clock tail to cut).
+    hedge_min_samples:
+        Observed-fetch count required before hedging activates.
+    """
+
+    #: Observed-latency reservoir cap (recent fetches dominate the estimate).
+    _HEDGE_WINDOW = 512
+
+    def __init__(
+        self,
+        engine: AsteriaEngine,
+        remote: AsyncRemoteService | None = None,
+        singleflight: AsyncSingleFlight | None = None,
+        max_inflight: int = 256,
+        default_deadline: float | None = None,
+        follower_timeout: float | None = None,
+        hedge_percentile: float | None = None,
+        hedge_min_samples: int = 20,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError(f"default_deadline must be > 0, got {default_deadline}")
+        if follower_timeout is not None and follower_timeout <= 0:
+            raise ValueError(f"follower_timeout must be > 0, got {follower_timeout}")
+        if hedge_percentile is not None and not 0 < hedge_percentile <= 100:
+            raise ValueError(
+                f"hedge_percentile must be in (0, 100], got {hedge_percentile}"
+            )
+        if hedge_min_samples < 1:
+            raise ValueError(f"hedge_min_samples must be >= 1, got {hedge_min_samples}")
+        if engine.prefetcher is not None or engine.recalibrator is not None:
+            raise ValueError(
+                "AsyncAsteriaEngine requires prefetching and recalibration "
+                "disabled (both mutate engine-global state on the request "
+                "path); run those studies through the sequential engine"
+            )
+        self.engine = engine
+        self.remote = (
+            remote if remote is not None else AsyncRemoteService(engine.remote)
+        )
+        self.singleflight = (
+            singleflight if singleflight is not None else AsyncSingleFlight()
+        )
+        self.max_inflight = max_inflight
+        self.default_deadline = default_deadline
+        self.follower_timeout = follower_timeout
+        self.hedge_percentile = hedge_percentile
+        self.hedge_min_samples = hedge_min_samples
+        self._inflight = 0
+        self._latency_samples: list[float] = []
+
+    # -- KnowledgeEngine-compatible surface ------------------------------------
+    @property
+    def name(self) -> str:
+        return self.engine.name
+
+    @property
+    def metrics(self) -> EngineMetrics:
+        return self.engine.metrics
+
+    @property
+    def cache(self):
+        return self.engine.cache
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently inside the serving section."""
+        return self._inflight
+
+    # -- the request path --------------------------------------------------------
+    async def serve(
+        self, query: Query, now: float = 0.0, deadline: float | None = None
+    ) -> AsyncOutcome:
+        """Resolve one query; always returns an outcome, never hangs.
+
+        ``now`` is the simulated clock (drives TTLs and latency accounting,
+        exactly as in the sequential engine); ``deadline`` is *wall* seconds
+        and overrides ``default_deadline`` for this request.
+        """
+        begin = time.perf_counter()
+        if self._inflight >= self.max_inflight:
+            self.metrics.overloaded += 1
+            return AsyncOutcome(
+                STATUS_OVERLOADED, wall_latency=time.perf_counter() - begin
+            )
+        self._inflight += 1
+        try:
+            limit = deadline if deadline is not None else self.default_deadline
+            try:
+                if limit is None:
+                    response = await self._serve(query, now)
+                else:
+                    async with asyncio.timeout(limit):
+                        response = await self._serve(query, now)
+            except TimeoutError:
+                self.metrics.deadline_exceeded += 1
+                return AsyncOutcome(
+                    STATUS_DEADLINE, wall_latency=time.perf_counter() - begin
+                )
+            return AsyncOutcome(
+                STATUS_OK, response, wall_latency=time.perf_counter() - begin
+            )
+        finally:
+            self._inflight -= 1
+
+    async def _serve(self, query: Query, now: float) -> EngineResponse:
+        engine = self.engine
+        if not engine._is_cacheable(query):
+            fetch = await self._fetch(query, now)
+            response = engine._bypass_response(fetch, fetch.latency)
+            self._record(response, query, now, shared=False)
+            return response
+        sine_result = engine.cache.lookup(query, now, ann_only=engine.config.ann_only)
+        lookup, _ = engine._lookup_record(query, sine_result)
+        if lookup.is_hit:
+            response = EngineResponse(
+                result=lookup.result or "", latency=lookup.latency, lookup=lookup
+            )
+            self._record(response, query, now, shared=False)
+            return response
+        start = now + lookup.latency
+        key = (query.tool, canonical_text(query.text))
+        fetch, shared = await self.singleflight.run(
+            key,
+            lambda: self._fetch_and_admit(query, start),
+            timeout=self.follower_timeout,
+        )
+        response = EngineResponse(
+            result=fetch.result,
+            latency=lookup.latency + fetch.latency,
+            lookup=lookup,
+            fetch=fetch,
+        )
+        self._record(response, query, now, shared=shared)
+        return response
+
+    async def _fetch_and_admit(self, query: Query, start: float) -> FetchResult:
+        """Leader flight: remote fetch (possibly hedged), then admission.
+
+        Runs as its own task inside the single-flight layer, so it completes
+        and admits even when every caller's deadline has already fired.
+        """
+        engine = self.engine
+        fetch = await self._fetch(query, start)
+        arrival = start + fetch.latency
+        if engine._should_admit(query, fetch, arrival):
+            engine.cache.insert(query, fetch, arrival)
+        return fetch
+
+    async def _fetch(self, query: Query, start: float) -> FetchResult:
+        threshold = self._hedge_after()
+        primary = asyncio.ensure_future(self.remote.fetch(query, start))
+        if threshold is None:
+            fetch = await primary
+            self._observe(fetch.latency)
+            return fetch
+        done, _ = await asyncio.wait({primary}, timeout=threshold)
+        if primary in done:
+            fetch = primary.result()
+            self._observe(fetch.latency)
+            return fetch
+        # Primary is past the latency percentile: hedge with a second,
+        # independent fetch and take whichever lands first. The loser's
+        # request already went out (cost and call counters stand), exactly
+        # like a real hedged RPC.
+        self.metrics.hedged_fetches += 1
+        hedge_delay_sim = threshold / self.remote.io_pause_scale
+        backup = asyncio.ensure_future(
+            self.remote.fetch(query, start + hedge_delay_sim)
+        )
+        done, pending = await asyncio.wait(
+            {primary, backup}, return_when=asyncio.FIRST_COMPLETED
+        )
+        winner = primary if primary in done else backup
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        fetch = winner.result()
+        self._observe(fetch.latency)
+        if winner is backup:
+            self.metrics.hedge_wins += 1
+            # The caller experienced the hedge delay plus the backup's own
+            # fetch time; report that end-to-end simulated latency.
+            fetch = dataclasses.replace(
+                fetch, latency=hedge_delay_sim + fetch.latency
+            )
+        return fetch
+
+    def _hedge_after(self) -> float | None:
+        """Wall seconds to wait before hedging, or None when disabled."""
+        if (
+            self.hedge_percentile is None
+            or self.remote.io_pause_scale <= 0
+            or len(self._latency_samples) < self.hedge_min_samples
+        ):
+            return None
+        simulated = float(
+            np.percentile(self._latency_samples, self.hedge_percentile)
+        )
+        threshold = simulated * self.remote.io_pause_scale
+        return threshold if threshold > 0 else None
+
+    def _observe(self, latency: float) -> None:
+        self._latency_samples.append(latency)
+        if len(self._latency_samples) > self._HEDGE_WINDOW:
+            del self._latency_samples[: -self._HEDGE_WINDOW]
+
+    def _record(
+        self, response: EngineResponse, query: Query, now: float, shared: bool
+    ) -> None:
+        if shared:
+            self.engine.metrics.coalesced_misses += 1
+        self.engine._record_response(response, query, now)
+
+    # -- lifecycle ----------------------------------------------------------------
+    async def drain(self) -> None:
+        """Wait for background single-flight fetches to settle (admissions
+        land in the cache); call before tearing down the event loop."""
+        await self.singleflight.drain()
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncAsteriaEngine(name={self.name!r}, "
+            f"max_inflight={self.max_inflight}, inflight={self._inflight}, "
+            f"deadline={self.default_deadline}, "
+            f"singleflight={self.singleflight!r})"
+        )

@@ -1,0 +1,199 @@
+"""Load generation for the asyncio serving front-end.
+
+Two shapes, matching how serving systems are actually measured:
+
+``run_open_loop``
+    Arrivals on a fixed schedule (``rate`` requests per wall second),
+    independent of completions — the generator never slows down because the
+    server is struggling, so overload shows up as ``overloaded`` /
+    ``deadline_exceeded`` outcomes instead of silently stretched
+    inter-arrival gaps (the coordinated-omission trap of closed loops).
+``run_closed_loop``
+    ``concurrency`` virtual clients, each serving one request to completion
+    before claiming the next — the async twin of
+    :meth:`ConcurrentEngine.run_closed_loop`, kept for apples-to-apples
+    throughput comparisons at matched outstanding-request counts.
+
+Both run every request through :meth:`AsyncAsteriaEngine.serve` and report
+deltas, so warm engines can be measured across several runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import Query
+from repro.serving.aio.engine import AsyncAsteriaEngine, AsyncOutcome
+
+
+@dataclass(frozen=True, slots=True)
+class AsyncLoadReport:
+    """Outcome of one async load run (wall-clock, not virtual time)."""
+
+    mode: str
+    requests: int
+    completed: int
+    overloaded: int
+    deadline_exceeded: int
+    wall_seconds: float
+    throughput_rps: float
+    hits: int
+    misses: int
+    hit_rate: float
+    coalesced_misses: int
+    remote_calls: int
+    hedged_fetches: int
+    p50_wall: float
+    p99_wall: float
+    rate: float | None = None
+    concurrency: int | None = None
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot for serialisation."""
+        out = {
+            "mode": self.mode,
+            "requests": self.requests,
+            "completed": self.completed,
+            "overloaded": self.overloaded,
+            "deadline_exceeded": self.deadline_exceeded,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "coalesced_misses": self.coalesced_misses,
+            "remote_calls": self.remote_calls,
+            "hedged_fetches": self.hedged_fetches,
+            "p50_wall": round(self.p50_wall, 5),
+            "p99_wall": round(self.p99_wall, 5),
+        }
+        if self.rate is not None:
+            out["rate"] = self.rate
+        if self.concurrency is not None:
+            out["concurrency"] = self.concurrency
+        return out
+
+
+def _report(
+    engine: AsyncAsteriaEngine,
+    outcomes: Sequence[AsyncOutcome],
+    wall: float,
+    before: dict,
+    remote_before: int,
+    mode: str,
+    rate: float | None = None,
+    concurrency: int | None = None,
+) -> AsyncLoadReport:
+    after = engine.metrics.summary()
+    completed = sum(1 for outcome in outcomes if outcome.ok)
+    walls = [outcome.wall_latency for outcome in outcomes if outcome.ok]
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    cacheable = hits + misses
+    return AsyncLoadReport(
+        mode=mode,
+        requests=len(outcomes),
+        completed=completed,
+        overloaded=after["overloaded"] - before["overloaded"],
+        deadline_exceeded=after["deadline_exceeded"] - before["deadline_exceeded"],
+        wall_seconds=wall,
+        throughput_rps=completed / wall if wall > 0 else float("inf"),
+        hits=hits,
+        misses=misses,
+        hit_rate=hits / cacheable if cacheable else 0.0,
+        coalesced_misses=after["coalesced_misses"] - before["coalesced_misses"],
+        remote_calls=engine.remote.calls - remote_before,
+        hedged_fetches=after["hedged_fetches"] - before["hedged_fetches"],
+        p50_wall=float(np.percentile(walls, 50)) if walls else 0.0,
+        p99_wall=float(np.percentile(walls, 99)) if walls else 0.0,
+        rate=rate,
+        concurrency=concurrency,
+    )
+
+
+async def run_open_loop(
+    engine: AsyncAsteriaEngine,
+    queries: Sequence[Query],
+    rate: float,
+    time_step: float = 0.0,
+    deadline: float | None = None,
+    start: float = 0.0,
+) -> AsyncLoadReport:
+    """Serve ``queries`` at a fixed arrival rate (requests per wall second).
+
+    Request *i* is launched at wall offset ``i / rate`` whether or not
+    earlier requests have completed; backpressure and deadlines decide what
+    happens when the server cannot keep up. Query *i* carries simulated
+    time ``start + i * time_step``.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    queries = list(queries)
+    before = engine.metrics.summary()
+    remote_before = engine.remote.calls
+    tasks: list[asyncio.Task] = []
+    begin = time.perf_counter()
+    for i, query in enumerate(queries):
+        delay = (begin + i / rate) - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            asyncio.ensure_future(
+                engine.serve(query, start + i * time_step, deadline=deadline)
+            )
+        )
+    outcomes = await asyncio.gather(*tasks)
+    await engine.drain()
+    wall = time.perf_counter() - begin
+    return _report(
+        engine, outcomes, wall, before, remote_before, mode="open", rate=rate
+    )
+
+
+async def run_closed_loop(
+    engine: AsyncAsteriaEngine,
+    queries: Sequence[Query],
+    concurrency: int,
+    time_step: float = 0.0,
+    deadline: float | None = None,
+    start: float = 0.0,
+) -> AsyncLoadReport:
+    """Serve ``queries`` with ``concurrency`` closed-loop virtual clients.
+
+    Each client claims the next query from a shared cursor and serves it to
+    completion before claiming another, so at most ``concurrency`` requests
+    are outstanding — the direct counterpart of the thread pool's
+    ``run_closed_loop`` at ``workers=concurrency``.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    queries = list(queries)
+    outcomes: list[AsyncOutcome | None] = [None] * len(queries)
+    cursor = iter(range(len(queries)))
+
+    async def client() -> None:
+        for i in cursor:  # next(cursor) is atomic: no await between claims
+            outcomes[i] = await engine.serve(
+                queries[i], start + i * time_step, deadline=deadline
+            )
+
+    before = engine.metrics.summary()
+    remote_before = engine.remote.calls
+    begin = time.perf_counter()
+    await asyncio.gather(*(client() for _ in range(concurrency)))
+    await engine.drain()
+    wall = time.perf_counter() - begin
+    return _report(
+        engine,
+        outcomes,  # type: ignore[arg-type] — every slot is filled above
+        wall,
+        before,
+        remote_before,
+        mode="closed",
+        concurrency=concurrency,
+    )

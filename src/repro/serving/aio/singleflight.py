@@ -1,0 +1,105 @@
+"""Await-based single-flight suppression of duplicate in-flight work.
+
+The asyncio twin of :class:`repro.serving.singleflight.SingleFlight`: the
+first task to miss on a key becomes the *leader* and executes the fetch;
+tasks that miss on the same key while it is in flight become *followers* and
+``await`` the leader's outcome instead of blocking a thread.
+
+Two deliberate differences from the thread version, both driven by
+cancellation (which threads do not have):
+
+* The leader's coroutine runs as its **own task**, and every caller —
+  leader included — awaits it through :func:`asyncio.shield`. A caller whose
+  per-request deadline fires is cancelled *at the shield*, not inside the
+  fetch, so the flight keeps running in the background, completes, and (in
+  the engine's case) still admits its result into the cache. One impatient
+  caller can never poison the flight for the others.
+* ``run(..., timeout=...)`` gives followers a bounded wait: a follower that
+  times out behind a stuck leader stops waiting and leads its own private
+  fetch (counted in :attr:`timeouts`), mirroring the thread version's
+  ``event.wait(timeout)`` fallback semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Hashable, TypeVar
+
+T = TypeVar("T")
+
+
+def _retrieve(task: "asyncio.Task") -> None:
+    """Mark a flight's exception as retrieved (all awaiters may have been
+    cancelled by their deadlines, and an unobserved exception would log)."""
+    if not task.cancelled():
+        task.exception()
+
+
+class AsyncSingleFlight:
+    """Per-key duplicate-call suppression across asyncio tasks.
+
+    ``await run(key, fn)`` returns ``(result, shared)``: ``shared`` is False
+    for the leader whose flight actually executed ``fn()`` and True for
+    followers that reused its in-flight result. Calls arriving after a
+    flight completes start a fresh one — suppression applies only to overlap
+    in time, so a retry after a failed fetch is never poisoned by stale
+    results. Not thread-safe: one instance belongs to one event loop.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[Hashable, asyncio.Task] = {}
+        #: Flights led (each one real unit of work).
+        self.leaders = 0
+        #: Calls served by someone else's flight (work saved).
+        self.shared = 0
+        #: Followers that gave up waiting and led their own private fetch.
+        self.timeouts = 0
+
+    async def run(
+        self,
+        key: Hashable,
+        fn: Callable[[], Awaitable[T]],
+        timeout: float | None = None,
+    ) -> tuple[T, bool]:
+        """Execute ``fn`` once per concurrent ``key``; see class docstring.
+
+        ``timeout`` bounds only a *follower's* wait on the leader: on expiry
+        the follower runs ``fn()`` itself (a private fetch — later arrivals
+        still join the original flight) and returns ``(result, False)``.
+        """
+        task = self._inflight.get(key)
+        if task is None:
+            self.leaders += 1
+            task = asyncio.ensure_future(fn())
+            task.add_done_callback(_retrieve)
+            task.add_done_callback(lambda _t: self._inflight.pop(key, None))
+            self._inflight[key] = task
+            return await asyncio.shield(task), False
+        self.shared += 1
+        if timeout is None:
+            return await asyncio.shield(task), True
+        try:
+            return await asyncio.wait_for(asyncio.shield(task), timeout), True
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            return await fn(), False
+
+    def inflight(self) -> int:
+        """Number of keys currently being fetched."""
+        return len(self._inflight)
+
+    async def drain(self) -> None:
+        """Wait for every in-flight flight to settle (exceptions swallowed —
+        each flight's own awaiters observe them). Call before tearing down
+        the loop so background admissions land and no tasks are destroyed
+        pending."""
+        while self._inflight:
+            await asyncio.gather(
+                *list(self._inflight.values()), return_exceptions=True
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncSingleFlight(leaders={self.leaders}, shared={self.shared}, "
+            f"timeouts={self.timeouts})"
+        )

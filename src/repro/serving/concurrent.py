@@ -92,6 +92,11 @@ class ConcurrentEngine:
         seconds — the wall-clock stand-in for the network round-trip the
         simulated latency describes. 0 (default) keeps fetches purely
         analytic.
+    follower_timeout:
+        Optional bound (seconds) on how long a coalesced miss waits behind
+        its leader's in-flight fetch before falling back to a private fetch
+        of its own (see :meth:`SingleFlight.run`). None (default) waits
+        indefinitely.
 
     Thread-safety map: the sharded cache locks per shard; the remote service
     (sequential RNG + counters) is serialised by ``_remote_lock``; metrics,
@@ -105,11 +110,16 @@ class ConcurrentEngine:
         workers: int = 4,
         singleflight: SingleFlight | None = None,
         io_pause_scale: float = 0.0,
+        follower_timeout: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if io_pause_scale < 0:
             raise ValueError(f"io_pause_scale must be >= 0, got {io_pause_scale}")
+        if follower_timeout is not None and follower_timeout <= 0:
+            raise ValueError(
+                f"follower_timeout must be > 0, got {follower_timeout}"
+            )
         if engine.prefetcher is not None or engine.recalibrator is not None:
             raise ValueError(
                 "ConcurrentEngine requires prefetching and recalibration "
@@ -125,6 +135,7 @@ class ConcurrentEngine:
         self.workers = workers
         self.singleflight = singleflight if singleflight is not None else SingleFlight()
         self.io_pause_scale = io_pause_scale
+        self.follower_timeout = follower_timeout
         self._remote_lock = threading.Lock()
         self._record_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
@@ -183,7 +194,9 @@ class ConcurrentEngine:
         start = now + lookup.latency
         key = (query.tool, canonical_text(query.text))
         fetch, shared = self.singleflight.run(
-            key, lambda: self._fetch_and_admit(query, start)
+            key,
+            lambda: self._fetch_and_admit(query, start),
+            timeout=self.follower_timeout,
         )
         response = EngineResponse(
             result=fetch.result,

@@ -41,6 +41,11 @@ class SingleFlight:
     completes start a fresh one — suppression applies only to overlap in
     time, so a cache retry after a failed fetch is never poisoned by stale
     results.
+
+    ``run(..., timeout=...)`` bounds a follower's wait: a follower stuck
+    behind a slow or wedged leader for more than ``timeout`` seconds stops
+    waiting and executes ``fn`` itself (a private fetch — later arrivals
+    still join the original flight), counted in :attr:`timeouts`.
     """
 
     def __init__(self) -> None:
@@ -50,8 +55,12 @@ class SingleFlight:
         self.leaders = 0
         #: Calls served by someone else's flight (work saved).
         self.shared = 0
+        #: Followers that gave up waiting and executed a private fetch.
+        self.timeouts = 0
 
-    def run(self, key: Hashable, fn: Callable[[], T]) -> tuple[T, bool]:
+    def run(
+        self, key: Hashable, fn: Callable[[], T], timeout: float | None = None
+    ) -> tuple[T, bool]:
         """Execute ``fn`` once per concurrent ``key``; see class docstring."""
         with self._lock:
             call = self._inflight.get(key)
@@ -76,7 +85,12 @@ class SingleFlight:
                     self._inflight.pop(key, None)
                 call.event.set()
             return call.result, False  # type: ignore[return-value]
-        call.event.wait()
+        if not call.event.wait(timeout):
+            # Leader still in flight past the follower's patience: lead a
+            # private fetch instead of hanging forever behind it.
+            with self._lock:
+                self.timeouts += 1
+            return fn(), False
         if call.error is not None:
             raise call.error
         return call.result, True  # type: ignore[return-value]

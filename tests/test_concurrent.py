@@ -118,6 +118,32 @@ class TestSingleFlight:
         result, shared = flight.run("k", lambda: "recovered")
         assert (result, shared) == ("recovered", False)
 
+    def test_follower_timeout_leads_private_fetch(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+        leader_result = []
+
+        def stuck_leader():
+            leader_result.append(flight.run("k", lambda: gate.wait(timeout=10)))
+
+        leader = threading.Thread(target=stuck_leader)
+        leader.start()
+        for _ in range(200):
+            if flight.inflight() == 1:
+                break
+            time.sleep(0.01)
+        # Follower gives up after 50 ms and fetches on its own instead of
+        # waiting indefinitely behind a wedged leader.
+        result, shared = flight.run("k", lambda: "private", timeout=0.05)
+        assert (result, shared) == ("private", False)
+        assert flight.timeouts == 1
+        # The stuck leader is unaffected and completes once unwedged.
+        gate.set()
+        leader.join(timeout=10)
+        assert not leader.is_alive()
+        assert leader_result == [(True, False)]
+        assert flight.inflight() == 0
+
 
 class TestConcurrentEngineGuards:
     def test_rejects_non_thread_safe_cache_with_workers(self):
@@ -264,3 +290,51 @@ class TestEightThreadStress:
         lost = reference.metrics.hits - report.hits
         assert lost == report.misses - reference.metrics.misses
         assert lost >= 0
+
+
+class TestShardLockScope:
+    """The simulated remote sleep must run outside any shard lock."""
+
+    def test_slow_fetch_does_not_block_same_shard_hits(self):
+        # One shard, so the pending miss and the cache hit contend for the
+        # same lock if (and only if) the fetch sleeps while holding it.
+        engine = build_concurrent_engine(
+            build_remote(latency=0.5), shards=1, workers=2, io_pause_scale=1.0
+        )
+        # Prime the hot entry with a near-instant fetch (latency_scale
+        # shrinks the simulated — and therefore the real — remote pause).
+        prime = Query(
+            "popular fact about tides", fact_id="P1",
+            metadata={"latency_scale": 0.001},
+        )
+        engine.handle(prime, 0.0)
+        hot = Query("popular fact about tides", fact_id="P1")
+        miss = Query("cold fact about comets", fact_id="C1")
+
+        miss_done = threading.Event()
+
+        def fetch_miss():
+            engine.handle(miss, 1.0)  # ~0.5 s of real remote pause
+            miss_done.set()
+
+        pending = threading.Thread(target=fetch_miss)
+        pending.start()
+        time.sleep(0.1)  # let the miss enter its remote sleep
+        started = time.perf_counter()
+        response = engine.handle(hot, 1.0)
+        elapsed = time.perf_counter() - started
+        # The hit returned while the same-shard miss was still in flight.
+        assert pending.is_alive()
+        assert not miss_done.is_set()
+        assert response.served_from_cache
+        assert elapsed < 0.2
+        pending.join(timeout=10)
+        assert not pending.is_alive()
+        assert miss_done.is_set()
+
+    def test_engine_follower_timeout_is_validated_and_wired(self):
+        remote = build_remote()
+        with pytest.raises(ValueError, match="follower_timeout"):
+            build_concurrent_engine(remote, follower_timeout=0.0)
+        engine = build_concurrent_engine(remote, follower_timeout=0.5)
+        assert engine.follower_timeout == 0.5

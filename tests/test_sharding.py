@@ -251,3 +251,52 @@ class TestShardedThreadSafety:
         assert len(cache) == n_threads * per_thread
         assert cache.stats.inserts == n_threads * per_thread
         assert sum(s.inserts for s in cache.stats_per_shard()) == cache.stats.inserts
+
+
+class TestStatsParityAfterChurn:
+    """Aggregate sharded stats stay exact through TTL purges and evictions."""
+
+    def test_single_shard_parity_with_unsharded_cache(self):
+        # Small capacity forces LCFU evictions; a short TTL plus periodic
+        # remove_expired sweeps forces purges. Both engines see identical
+        # traffic, so every stats counter must come out identical.
+        config = AsteriaConfig(capacity_items=12, default_ttl=40.0)
+        plain = build_asteria_engine(build_remote(seed=7), config, seed=3)
+        sharded_cache = build_sharded_cache(config, seed=3, shards=1)
+        sharded = AsteriaEngine(
+            sharded_cache, build_remote(seed=7), config, name="sharded"
+        )
+        for i, query in enumerate(trace(240, population=40)):
+            now = 0.5 * i
+            plain.handle(query, now)
+            sharded.handle(query, now)
+            if i % 40 == 39:
+                assert plain.cache.remove_expired(now) == (
+                    sharded_cache.remove_expired(now)
+                )
+        assert plain.metrics.summary() == sharded.metrics.summary()
+        assert dataclasses.asdict(plain.cache.stats) == dataclasses.asdict(
+            sharded_cache.stats
+        )
+        assert plain.cache.stats.evictions > 0
+        assert plain.cache.stats.expirations > 0
+        assert len(plain.cache) == len(sharded_cache)
+
+    def test_aggregate_stats_exact_sums_after_churn(self):
+        config = AsteriaConfig(capacity_items=16, default_ttl=40.0)
+        cache = build_sharded_cache(config, seed=3, shards=4)
+        engine = AsteriaEngine(cache, build_remote(seed=7), config)
+        for i, query in enumerate(trace(240, population=40)):
+            now = 0.5 * i
+            engine.handle(query, now)
+            if i % 40 == 39:
+                cache.remove_expired(now)
+        aggregate = cache.stats
+        per_shard = cache.stats_per_shard()
+        for field in dataclasses.fields(type(aggregate)):
+            assert getattr(aggregate, field.name) == sum(
+                getattr(stats, field.name) for stats in per_shard
+            ), field.name
+        assert aggregate.evictions > 0
+        assert aggregate.expirations > 0
+        assert len(cache) == sum(len(shard) for shard in cache.shards)
