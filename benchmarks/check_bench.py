@@ -33,6 +33,7 @@ REQUIRED_KEYS = {
         "sample_cap",
     ),
     "BENCH_async.json": ("config", "results", "headline"),
+    "BENCH_chaos.json": ("config", "results", "headline"),
 }
 
 MAX_ARRAY = 1024

@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Chaos benchmark: availability under injected faults; ``BENCH_chaos.json``.
+
+Drives the thread-pool and asyncio serving stacks through a Zipf-skewed
+workload while a seeded :class:`~repro.network.faults.FaultInjector` fails
+30 % of remote fetches (2/3 transient errors, 1/3 timeouts) and blacks out
+the backend entirely for a 4-simulated-second window. Each stack runs
+twice — with stale serving on (stale-while-revalidate from the
+last-known-good store) and off — so the artefact shows what the
+degradation path buys: the headline compares served fractions and p99
+wall latency across the two modes, and asserts that no fault ever escaped
+``handle()`` / ``serve()`` as an unhandled exception.
+
+Usage::
+
+    python benchmarks/run_chaos.py [--quick]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import AsteriaConfig, Query  # noqa: E402
+from repro.core.resilience import CircuitBreaker, ResilienceManager  # noqa: E402
+from repro.factory import (  # noqa: E402
+    build_async_engine,
+    build_concurrent_engine,
+    build_remote,
+)
+from repro.network import FaultInjector  # noqa: E402
+from repro.serving.aio import run_closed_loop  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_chaos.json"
+
+N_QUERIES = 1600
+POPULATION = 128
+ZIPF_S = 1.3
+TIME_STEP = 0.01
+SEED = 0
+IO_SCALE = 0.001
+WORKERS = 8
+CONCURRENCY = 16
+DEFAULT_TTL = 2.0  # short TTL so blackout-era lookups actually go stale
+FAULT_RATE = 0.3  # split 2/3 transient errors + 1/3 timeouts
+BLACKOUT = (6.0, 10.0)  # simulated seconds; ~25% of the run's time span
+
+
+def workload(n_queries: int) -> list[Query]:
+    rng = np.random.default_rng(SEED)
+    ranks = np.minimum(rng.zipf(ZIPF_S, size=n_queries), POPULATION)
+    return [
+        Query(f"stress fact number {rank} of the universe", fact_id=f"F{rank}")
+        for rank in ranks
+    ]
+
+
+def build_chaos(stale_serve: bool):
+    """One (fault_injector, resilience) pair; fresh per run for determinism."""
+    injector = FaultInjector(
+        error_rate=FAULT_RATE * 2.0 / 3.0,
+        timeout_rate=FAULT_RATE / 3.0,
+        blackouts=(BLACKOUT,),
+        seed=SEED,
+    )
+    resilience = ResilienceManager(
+        breaker=CircuitBreaker(window=16, min_samples=8, open_seconds=0.5),
+        negative_ttl=0.3,
+        stale_serve=stale_serve,
+        seed=SEED,
+    )
+    return injector, resilience
+
+
+def degraded_counters(metrics) -> dict:
+    return {
+        "stale_hits": metrics.stale_hits,
+        "breaker_open_rejects": metrics.breaker_open_rejects,
+        "negative_cache_hits": metrics.negative_cache_hits,
+        "background_refreshes": metrics.background_refreshes,
+        "fetch_failures": metrics.fetch_failures,
+        "breaker_opens": None,  # filled by caller from the engine's breaker
+    }
+
+
+def run_threads(queries, stale_serve: bool) -> dict:
+    injector, resilience = build_chaos(stale_serve)
+    engine = build_concurrent_engine(
+        build_remote(seed=SEED, fault_injector=injector),
+        config=AsteriaConfig(default_ttl=DEFAULT_TTL),
+        seed=SEED,
+        shards=4,
+        workers=WORKERS,
+        io_pause_scale=IO_SCALE,
+        resilience=resilience,
+    )
+    unhandled = 0
+    try:
+        with engine:
+            report = engine.run_closed_loop(queries, time_step=TIME_STEP)
+    except Exception:  # any escape from handle() is the bug we're gating on
+        unhandled = 1
+        raise
+    row = report.summary()
+    counters = degraded_counters(engine.metrics)
+    counters["breaker_opens"] = resilience.breaker.opens
+    row.update(
+        engine="threads",
+        stale_serve=stale_serve,
+        unhandled_exceptions=unhandled,
+        total_faults=injector.total_faults,
+        p99_sim=round(engine.metrics.total_latency.percentile(99), 5),
+        p99_degraded_sim=round(
+            engine.metrics.degraded_latency.percentile(99), 5
+        ),
+        **counters,
+    )
+    return row
+
+
+def run_async(queries, stale_serve: bool) -> dict:
+    injector, resilience = build_chaos(stale_serve)
+    engine = build_async_engine(
+        build_remote(seed=SEED, fault_injector=injector),
+        config=AsteriaConfig(default_ttl=DEFAULT_TTL),
+        seed=SEED,
+        shards=4,
+        io_pause_scale=IO_SCALE,
+        resilience=resilience,
+    )
+    unhandled = 0
+    try:
+        report = asyncio.run(
+            run_closed_loop(engine, queries, CONCURRENCY, time_step=TIME_STEP)
+        )
+    except Exception:
+        unhandled = 1
+        raise
+    row = report.summary()
+    counters = degraded_counters(engine.metrics)
+    counters["breaker_opens"] = resilience.breaker.opens
+    row.update(
+        engine="async",
+        stale_serve=stale_serve,
+        unhandled_exceptions=unhandled,
+        total_faults=injector.total_faults,
+        p99_sim=round(engine.metrics.total_latency.percentile(99), 5),
+        p99_degraded_sim=round(
+            engine.metrics.degraded_latency.percentile(99), 5
+        ),
+        **counters,
+    )
+    return row
+
+
+def main(argv: list[str]) -> int:
+    n_queries = N_QUERIES // 4 if "--quick" in argv else N_QUERIES
+    queries = workload(n_queries)
+    results = []
+    for runner, label in ((run_threads, "threads"), (run_async, "async")):
+        for stale_serve in (True, False):
+            row = runner(queries, stale_serve)
+            results.append(row)
+            print(
+                f"{label:<7} stale={'on ' if stale_serve else 'off'} "
+                f"served={row['served_fraction']:.4f} "
+                f"stale_served={row['stale_served']:<4} "
+                f"failed={row['failed']:<4} "
+                f"breaker_opens={row['breaker_opens']} "
+                f"p99_sim={row['p99_sim'] * 1000:.1f}ms"
+            )
+
+    def pick(engine, stale_serve):
+        for row in results:
+            if row["engine"] == engine and row["stale_serve"] is stale_serve:
+                return row
+        return None
+
+    headline = {
+        "fault_rate": FAULT_RATE,
+        "blackout": list(BLACKOUT),
+        "threads_stale_on_served_fraction": pick("threads", True)[
+            "served_fraction"
+        ],
+        "threads_stale_off_served_fraction": pick("threads", False)[
+            "served_fraction"
+        ],
+        "async_stale_on_served_fraction": pick("async", True)["served_fraction"],
+        "async_stale_off_served_fraction": pick("async", False)[
+            "served_fraction"
+        ],
+        "threads_stale_on_p99_sim": pick("threads", True)["p99_sim"],
+        "threads_stale_off_p99_sim": pick("threads", False)["p99_sim"],
+        "async_stale_on_p99_sim": pick("async", True)["p99_sim"],
+        "async_stale_off_p99_sim": pick("async", False)["p99_sim"],
+        "async_stale_on_p99_wall": pick("async", True)["p99_wall"],
+        "unhandled_exceptions": sum(r["unhandled_exceptions"] for r in results),
+    }
+    data = {
+        "config": {
+            "n_queries": n_queries,
+            "population": POPULATION,
+            "zipf_s": ZIPF_S,
+            "time_step": TIME_STEP,
+            "seed": SEED,
+            "io_pause_scale": IO_SCALE,
+            "workers": WORKERS,
+            "concurrency": CONCURRENCY,
+            "default_ttl": DEFAULT_TTL,
+            "fault_rate": FAULT_RATE,
+            "blackout": list(BLACKOUT),
+            "breaker": {
+                "window": 16,
+                "min_samples": 8,
+                "open_seconds": 0.5,
+            },
+            "negative_ttl": 0.3,
+        },
+        "results": results,
+        "headline": headline,
+    }
+    OUTPUT.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    print(f"  headline: {headline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -8,6 +8,7 @@ Usage::
     python -m repro run-all --quick
     python -m repro stress --shards 4 --workers 8 --queries 2000
     python -m repro stress --engine async --rate 800 --deadline 0.2
+    python -m repro stress --chaos --fault-rate 0.3 --blackout 6:10
 
 ``--set key=value`` pairs are parsed with ``ast.literal_eval`` (falling back
 to a plain string), so ints, floats, tuples, and booleans all work.
@@ -162,6 +163,58 @@ def _stress_queries(arguments) -> list:
     ]
 
 
+def _parse_blackouts(specs: list[str]) -> list[tuple[float, float]]:
+    """Parse repeated ``--blackout START:END`` windows (simulated seconds)."""
+    windows = []
+    for spec in specs:
+        start_raw, sep, end_raw = spec.partition(":")
+        if not sep:
+            raise SystemExit(f"--blackout expects START:END, got {spec!r}")
+        try:
+            windows.append((float(start_raw), float(end_raw)))
+        except ValueError:
+            raise SystemExit(f"--blackout expects numbers, got {spec!r}") from None
+    return windows
+
+
+def _chaos_setup(arguments):
+    """Build the (fault_injector, resilience) pair for ``stress --chaos``.
+
+    Returns ``(None, None)`` when chaos is off so the stress path stays
+    byte-identical to the pre-fault-tolerance behaviour. The fault rate is
+    split 2/3 transient errors + 1/3 timeouts, matching the chaos benchmark.
+    """
+    if not arguments.chaos:
+        return None, None
+    from repro.core.resilience import CircuitBreaker, ResilienceManager
+    from repro.network import FaultInjector
+
+    injector = FaultInjector(
+        error_rate=arguments.fault_rate * 2.0 / 3.0,
+        timeout_rate=arguments.fault_rate / 3.0,
+        blackouts=_parse_blackouts(arguments.blackout),
+        seed=arguments.seed,
+    )
+    resilience = ResilienceManager(
+        breaker=CircuitBreaker(window=16, min_samples=8, open_seconds=0.5),
+        negative_ttl=0.3,
+        stale_serve=not arguments.no_stale,
+        seed=arguments.seed,
+    )
+    return injector, resilience
+
+
+def _print_degraded(metrics) -> None:
+    """One line of fault-tolerance counters (shared by both engines)."""
+    print(
+        f"  stale_hits={metrics.stale_hits} "
+        f"breaker_open_rejects={metrics.breaker_open_rejects} "
+        f"negative_cache_hits={metrics.negative_cache_hits} "
+        f"background_refreshes={metrics.background_refreshes} "
+        f"failed={metrics.failed_requests}"
+    )
+
+
 def _command_stress(arguments) -> int:
     """Wall-clock stress: thread pool (closed loop) or asyncio (open loop)."""
     if arguments.engine == "async":
@@ -169,12 +222,14 @@ def _command_stress(arguments) -> int:
     from repro.factory import build_concurrent_engine, build_remote
 
     queries = _stress_queries(arguments)
+    injector, resilience = _chaos_setup(arguments)
     engine = build_concurrent_engine(
-        build_remote(seed=arguments.seed),
+        build_remote(seed=arguments.seed, fault_injector=injector),
         seed=arguments.seed,
         shards=arguments.shards,
         workers=arguments.workers,
         io_pause_scale=arguments.io_scale,
+        resilience=resilience,
     )
     with engine:
         report = engine.run_closed_loop(queries, time_step=0.01)
@@ -191,6 +246,12 @@ def _command_stress(arguments) -> int:
         f"misses={report.misses} coalesced={report.coalesced_misses} "
         f"remote_calls={report.remote_calls}"
     )
+    if arguments.chaos:
+        print(
+            f"  served_fraction={report.served_fraction:.4f} "
+            f"stale_served={report.stale_served} failed={report.failed}"
+        )
+        _print_degraded(engine.metrics)
     per_shard = engine.cache.stats_per_shard()
     inserts = [stats.inserts for stats in per_shard]
     print(f"  per-shard inserts={inserts} (total={sum(inserts)})")
@@ -205,13 +266,15 @@ def _stress_async(arguments) -> int:
     from repro.serving.aio import run_open_loop
 
     queries = _stress_queries(arguments)
+    injector, resilience = _chaos_setup(arguments)
     engine = build_async_engine(
-        build_remote(seed=arguments.seed),
+        build_remote(seed=arguments.seed, fault_injector=injector),
         seed=arguments.seed,
         shards=arguments.shards,
         io_pause_scale=arguments.io_scale,
         max_inflight=arguments.max_inflight,
         default_deadline=arguments.deadline,
+        resilience=resilience,
     )
     report = asyncio.run(
         run_open_loop(engine, queries, rate=arguments.rate, time_step=0.01)
@@ -239,6 +302,12 @@ def _stress_async(arguments) -> int:
         f"  p50_wall={report.p50_wall * 1000:.2f}ms "
         f"p99_wall={report.p99_wall * 1000:.2f}ms"
     )
+    if arguments.chaos:
+        print(
+            f"  served_fraction={report.served_fraction:.4f} "
+            f"stale_served={report.stale_served} failed={report.failed}"
+        )
+        _print_degraded(metrics)
     return 0
 
 
@@ -324,6 +393,32 @@ def main(argv: list[str] | None = None) -> int:
         default=0.02,
         help="real seconds slept per simulated remote-latency second "
         "(default 0.02: a 0.4 s fetch blocks ~8 ms of wall clock)",
+    )
+    stress_parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject remote faults and enable the resilience layer "
+        "(circuit breaker, negative cache, stale serving)",
+    )
+    stress_parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.3,
+        help="total fault probability per fetch under --chaos, split 2/3 "
+        "transient errors + 1/3 timeouts (default 0.3)",
+    )
+    stress_parser.add_argument(
+        "--blackout",
+        action="append",
+        default=[],
+        metavar="START:END",
+        help="simulated-time window where every fetch fails (repeatable)",
+    )
+    stress_parser.add_argument(
+        "--no-stale",
+        action="store_true",
+        help="disable stale serving under --chaos (degraded misses fail "
+        "instead of answering from the last-known-good store)",
     )
     stress_parser.add_argument("--seed", type=int, default=0)
     arguments = parser.parse_args(argv)

@@ -54,6 +54,14 @@ from repro.core.recalibration import (
     find_threshold,
     precision_curve,
 )
+from repro.core.resilience import (
+    CircuitBreaker,
+    FetchFailed,
+    NegativeCache,
+    ResilienceManager,
+    StaleEntry,
+    StaleStore,
+)
 from repro.core.sharding import ShardedAsteriaCache, shard_index_for
 from repro.core.sine import Sine, SineResult
 from repro.core.tiered import TieredEngine
@@ -70,6 +78,7 @@ __all__ = [
     "CacheLookup",
     "CacheSnapshot",
     "CacheStats",
+    "CircuitBreaker",
     "DEFAULT_TAU_LSM",
     "DEFAULT_TAU_SIM",
     "DoorkeeperAdmission",
@@ -80,6 +89,7 @@ __all__ = [
     "ExactCache",
     "ExactEngine",
     "FIFOPolicy",
+    "FetchFailed",
     "FetchResult",
     "JudgeExecutor",
     "KnowledgeEngine",
@@ -90,12 +100,16 @@ __all__ = [
     "MarkovModel",
     "MarkovPrefetcher",
     "MetricsTimeline",
+    "NegativeCache",
     "Query",
     "QuerySignature",
+    "ResilienceManager",
     "SemanticElement",
     "ShardedAsteriaCache",
     "Sine",
     "SineResult",
+    "StaleEntry",
+    "StaleStore",
     "SizeAwareLFUPolicy",
     "SizeThresholdAdmission",
     "ThresholdRecalibrator",

@@ -27,24 +27,32 @@ from dataclasses import dataclass
 from typing import Generator, Protocol, Sequence, runtime_checkable
 
 from repro.core.admission import AdmissionPolicy, AlwaysAdmit
-from repro.core.cache import AsteriaCache, ExactCache
+from repro.core.cache import AsteriaCache, ExactCache, canonical_text
 from repro.core.config import AsteriaConfig
 from repro.core.metrics import EngineMetrics
 from repro.core.prefetch import MarkovPrefetcher, QuerySignature
 from repro.core.recalibration import ThresholdRecalibrator
+from repro.core.resilience import FetchFailed, ResilienceManager
 from repro.core.types import CacheLookup, FetchResult, Query
 from repro.embedding.tokenizer import SimpleTokenizer
-from repro.network.remote import RemoteDataService
+from repro.network.remote import RemoteDataService, RemoteFetchError
 
 
 @dataclass(frozen=True, slots=True)
 class EngineResponse:
-    """What the agent gets back for one tool call."""
+    """What the agent gets back for one tool call.
+
+    ``degraded`` is None on the normal path; a fault-degraded response sets
+    it to ``"stale_hit"`` (served from the last-known-good store, possibly
+    past its TTL) or ``"failed"`` (no fallback available — ``result`` is
+    empty and the caller must handle the miss itself).
+    """
 
     result: str
     latency: float
     lookup: CacheLookup
     fetch: FetchResult | None = None
+    degraded: str | None = None
 
     @property
     def served_from_cache(self) -> bool:
@@ -123,6 +131,12 @@ class AsteriaEngine:
     admission:
         Which fetched results enter the cache (default
         :class:`~repro.core.admission.AlwaysAdmit`).
+    resilience:
+        Fault-tolerance state for the miss path (circuit breaker, negative
+        cache, stale store, transient-fault retries). A default
+        :class:`~repro.core.resilience.ResilienceManager` is built when
+        omitted; share one instance across front-ends that talk to the same
+        backend.
     """
 
     def __init__(
@@ -134,6 +148,7 @@ class AsteriaEngine:
         recalibrator: ThresholdRecalibrator | None = None,
         judge_executor: JudgeExecutor | None = None,
         admission: AdmissionPolicy | None = None,
+        resilience: ResilienceManager | None = None,
         name: str = "asteria",
     ) -> None:
         self.cache = cache
@@ -156,6 +171,7 @@ class AsteriaEngine:
         self.recalibrator = recalibrator
         self.judge_executor = judge_executor or _ConfigLatencyExecutor(self.config)
         self.admission = admission if admission is not None else AlwaysAdmit()
+        self.resilience = resilience if resilience is not None else ResilienceManager()
         #: Optional request tracing: assign a TraceLog to start recording.
         self.trace = None
         self.name = name
@@ -174,6 +190,90 @@ class AsteriaEngine:
 
     def _should_admit(self, query: Query, fetch: FetchResult, now: float) -> bool:
         return self.config.admit_on_miss and self.admission.admit(query, fetch, now)
+
+    # -- fault tolerance ---------------------------------------------------------
+    def _resilience_key(self, query: Query) -> tuple[str, str]:
+        """Stale-store / negative-cache identity: tool + canonical text."""
+        return (query.tool, canonical_text(query.text))
+
+    def _account_failure(self, key: tuple, exc: Exception, now: float) -> None:
+        """Record one failed flight exactly once.
+
+        The same exception object reaches every coalesced follower of a
+        failed leader flight, so the marker keeps breaker windows and
+        ``fetch_failures`` counting *flights*, not disappointed callers.
+        """
+        if getattr(exc, "_accounted", False):
+            return
+        exc._accounted = True  # type: ignore[attr-defined]
+        self.metrics.fetch_failures += 1
+        self.resilience.on_failure(key, now)
+
+    def _record_degraded(
+        self, response: EngineResponse, query: Query, now: float = 0.0
+    ) -> None:
+        """Degraded outcomes bypass ``record_lookup`` entirely — like PR 3's
+        ``overloaded``/``deadline_exceeded``, they never touch the hit/miss
+        counters, accuracy, or the total-latency reservoir, so stats stay
+        comparable across fault configurations."""
+        if self.trace is not None:
+            self.trace.record(now, query, response)
+        self.metrics.degraded_latency.add(response.latency)
+
+    def _degrade_analytic(
+        self,
+        query: Query,
+        lookup: CacheLookup,
+        key: tuple,
+        at: float,
+        wasted: float = 0.0,
+        refresh: bool = False,
+    ) -> EngineResponse:
+        """Build the degraded response for a refused or failed miss flight.
+
+        Serves the last-known-good result as an explicit ``stale_hit`` when
+        one exists (scheduling a stale-while-revalidate refresh when
+        ``refresh`` is set and the breaker grants a probe), else an explicit
+        ``failed`` response. ``wasted`` is the simulated time the failed
+        flight burned; the caller records the response.
+        """
+        entry = self.resilience.stale_for(key, at + wasted)
+        if entry is not None:
+            self.metrics.stale_hits += 1
+            response = EngineResponse(
+                result=entry.fetch.result,
+                latency=lookup.latency + wasted,
+                lookup=lookup,
+                degraded="stale_hit",
+            )
+            if refresh and self.resilience.allow_probe(at + wasted):
+                self._background_refresh_analytic(query, key, at + wasted)
+        else:
+            self.metrics.failed_requests += 1
+            response = EngineResponse(
+                result="",
+                latency=lookup.latency + wasted,
+                lookup=lookup,
+                degraded="failed",
+            )
+        return response
+
+    def _background_refresh_analytic(
+        self, query: Query, key: tuple, now: float
+    ) -> None:
+        """Stale-while-revalidate, analytic mode: the refresh flight runs
+        inline (there is no background to run it in) but charges nothing to
+        the request being served stale."""
+        self.metrics.background_refreshes += 1
+        try:
+            fetch = self.remote.fetch_at(query, now)
+        except RemoteFetchError as exc:
+            self._account_failure(key, exc, now + exc.latency)
+            return
+        arrival = now + fetch.latency
+        self.resilience.on_success(key, fetch, arrival)
+        if self._should_admit(query, fetch, arrival):
+            self.cache.insert(query, fetch, arrival)
 
     def _fingerprint(self, query: Query):
         """Semantic identity proxy for coalescing (content stems + tool)."""
@@ -310,15 +410,34 @@ class AsteriaEngine:
 
     # -- analytic execution ----------------------------------------------------------
     def handle(self, query: Query, now: float = 0.0) -> EngineResponse:
-        """Resolve one query analytically starting at simulated time ``now``."""
+        """Resolve one query analytically starting at simulated time ``now``.
+
+        Never raises on remote failure: faults, exhausted retries, and an
+        open breaker all degrade into an explicit ``stale_hit``/``failed``
+        response instead of escaping the serve loop.
+        """
         self._maybe_recalibrate(now)
         if not self._is_cacheable(query):
-            fetch = self.remote.fetch_at(query, now)
-            response = self._bypass_response(fetch, fetch.latency)
-            self._record_response(response, query, now)
-            return response
+            return self._bypass_analytic(query, now)
         lookup, element = self._lookup(query, now)
         return self._complete_analytic(query, now, lookup, element)
+
+    def _bypass_analytic(self, query: Query, now: float) -> EngineResponse:
+        key = self._resilience_key(query)
+        try:
+            fetch = self.remote.fetch_at(query, now)
+        except RemoteFetchError as exc:
+            self._account_failure(key, exc, now + exc.latency)
+            lookup = CacheLookup(status="bypass", result=None, latency=0.0)
+            response = self._degrade_analytic(
+                query, lookup, key, now, wasted=exc.latency
+            )
+            self._record_degraded(response, query, now)
+            return response
+        self.resilience.on_success(key, fetch, now + fetch.latency)
+        response = self._bypass_response(fetch, fetch.latency)
+        self._record_response(response, query, now)
+        return response
 
     def _complete_analytic(
         self, query: Query, now: float, lookup: CacheLookup, element
@@ -330,20 +449,48 @@ class AsteriaEngine:
                 result=lookup.result or "", latency=lookup.latency, lookup=lookup
             )
         else:
-            fetch = self.remote.fetch_at(query, now + lookup.latency)
-            arrival = now + lookup.latency + fetch.latency
-            if self._should_admit(query, fetch, arrival):
-                self.cache.insert(query, fetch, arrival)
-            response = EngineResponse(
-                result=fetch.result,
-                latency=lookup.latency + fetch.latency,
-                lookup=lookup,
-                fetch=fetch,
-            )
+            response = self._resolve_miss_analytic(query, now, lookup)
+            if response.degraded is not None:
+                self._record_degraded(response, query, now)
+                return response
         self._record_response(response, query, now)
         canonical = element.key if element is not None else query.text
         self._run_prefetch_analytic(query, now, canonical)
         return response
+
+    def _resolve_miss_analytic(
+        self, query: Query, now: float, lookup: CacheLookup
+    ) -> EngineResponse:
+        """The guarded miss path: breaker/negative-cache gate, then a remote
+        flight with transient-fault retries, degrading on refusal/failure."""
+        key = self._resilience_key(query)
+        start = now + lookup.latency
+        verdict = self.resilience.admit(key, start)
+        if verdict != "allow":
+            if verdict == "negative":
+                self.metrics.negative_cache_hits += 1
+            else:
+                self.metrics.breaker_open_rejects += 1
+            return self._degrade_analytic(query, lookup, key, start, refresh=True)
+        try:
+            fetch, overhead = self.resilience.fetch_with_retries(
+                lambda t: self.remote.fetch_at(query, t), start
+            )
+        except FetchFailed as exc:
+            self._account_failure(key, exc, start + exc.latency)
+            return self._degrade_analytic(
+                query, lookup, key, start, wasted=exc.latency
+            )
+        arrival = start + overhead + fetch.latency
+        self.resilience.on_success(key, fetch, arrival)
+        if self._should_admit(query, fetch, arrival):
+            self.cache.insert(query, fetch, arrival)
+        return EngineResponse(
+            result=fetch.result,
+            latency=lookup.latency + overhead + fetch.latency,
+            lookup=lookup,
+            fetch=fetch,
+        )
 
     def handle_batch(
         self, queries: Sequence[Query], now: float = 0.0
@@ -384,10 +531,7 @@ class AsteriaEngine:
             self._maybe_recalibrate(now)
             row = embed_rows.get(position)
             if row is None:
-                fetch = self.remote.fetch_at(query, now)
-                response = self._bypass_response(fetch, fetch.latency)
-                self._record_response(response, query, now)
-                responses.append(response)
+                responses.append(self._bypass_analytic(query, now))
                 continue
             if self._mutation_stamp() != snapshot_stamp:
                 sine_result = self.cache.lookup(
@@ -415,7 +559,15 @@ class AsteriaEngine:
             target = signature.to_query()
             if self.cache.contains_semantic(target):
                 continue
-            fetch = self.remote.fetch_at(target, now)
+            try:
+                fetch = self.remote.fetch_at(target, now)
+            except RemoteFetchError as exc:
+                # Prefetches are speculative: a failed one is dropped, but
+                # the breaker still learns about the backend.
+                self._account_failure(
+                    self._resilience_key(target), exc, now + exc.latency
+                )
+                continue
             self.cache.insert(
                 target, fetch, now + fetch.latency, prefetched=True
             )
@@ -423,11 +575,24 @@ class AsteriaEngine:
 
     # -- discrete-event execution --------------------------------------------------------
     def process(self, sim, query: Query) -> Generator:
-        """Resolve one query on the simulator; returns an EngineResponse."""
+        """Resolve one query on the simulator; returns an EngineResponse.
+
+        Like :meth:`handle`, remote failures degrade instead of escaping;
+        the DES path skips the engine-level retry loop (the remote's own
+        throttle loop already retries on the simulator clock) and maps a
+        failed flight straight to the stale/failed fallback.
+        """
         start = sim.now
         self._maybe_recalibrate(sim.now)
         if not self._is_cacheable(query):
-            fetch = yield from self.remote.fetch(sim, query)
+            key = self._resilience_key(query)
+            try:
+                fetch = yield from self.remote.fetch(sim, query)
+            except RemoteFetchError as exc:
+                self._account_failure(key, exc, sim.now)
+                lookup = CacheLookup(status="bypass", result=None, latency=0.0)
+                return self._degrade_process(sim, query, lookup, key, start)
+            self.resilience.on_success(key, fetch, sim.now)
             response = self._bypass_response(fetch, sim.now - start)
             self._record_response(response, query, sim.now)
             return response
@@ -454,14 +619,30 @@ class AsteriaEngine:
                 result=lookup.result or "", latency=sim.now - start, lookup=lookup
             )
         else:
-            if self.config.coalesce_misses:
-                fetch, coalesced = yield from self._fetch_coalesced(sim, query)
-            else:
-                fetch = yield from self.remote.fetch(sim, query)
-                coalesced = False
+            key = self._resilience_key(query)
+            verdict = self.resilience.admit(key, sim.now)
+            if verdict != "allow":
+                if verdict == "negative":
+                    self.metrics.negative_cache_hits += 1
+                else:
+                    self.metrics.breaker_open_rejects += 1
+                return self._degrade_process(
+                    sim, query, lookup, key, start, refresh=True
+                )
+            try:
+                if self.config.coalesce_misses:
+                    fetch, coalesced = yield from self._fetch_coalesced(sim, query)
+                else:
+                    fetch = yield from self.remote.fetch(sim, query)
+                    coalesced = False
+            except RemoteFetchError as exc:
+                self._account_failure(key, exc, sim.now)
+                return self._degrade_process(sim, query, lookup, key, start)
             # The coalescing leader admits; followers reuse its entry.
-            if not coalesced and self._should_admit(query, fetch, sim.now):
-                self.cache.insert(query, fetch, sim.now)
+            if not coalesced:
+                self.resilience.on_success(key, fetch, sim.now)
+                if self._should_admit(query, fetch, sim.now):
+                    self.cache.insert(query, fetch, sim.now)
             response = EngineResponse(
                 result=fetch.result,
                 latency=sim.now - start,
@@ -472,6 +653,46 @@ class AsteriaEngine:
         canonical = element.key if element is not None else query.text
         self._spawn_prefetches(sim, query, canonical)
         return response
+
+    def _degrade_process(
+        self, sim, query: Query, lookup: CacheLookup, key: tuple, start: float,
+        refresh: bool = False,
+    ) -> EngineResponse:
+        """DES degradation: stale/failed response plus an optional
+        background refresh process (the DES twin of the analytic inline
+        refresh). Records the response itself; callers just return it."""
+        at = sim.now
+        entry = self.resilience.stale_for(key, at)
+        if entry is not None:
+            self.metrics.stale_hits += 1
+            response = EngineResponse(
+                result=entry.fetch.result,
+                latency=at - start,
+                lookup=lookup,
+                degraded="stale_hit",
+            )
+            if refresh and self.resilience.allow_probe(at):
+                self.metrics.background_refreshes += 1
+                sim.process(
+                    self._refresh_process(sim, query, key), name="stale-refresh"
+                )
+        else:
+            self.metrics.failed_requests += 1
+            response = EngineResponse(
+                result="", latency=at - start, lookup=lookup, degraded="failed"
+            )
+        self._record_degraded(response, query, at)
+        return response
+
+    def _refresh_process(self, sim, query: Query, key: tuple) -> Generator:
+        try:
+            fetch = yield from self.remote.fetch(sim, query)
+        except RemoteFetchError as exc:
+            self._account_failure(key, exc, sim.now)
+            return
+        self.resilience.on_success(key, fetch, sim.now)
+        if self._should_admit(query, fetch, sim.now):
+            self.cache.insert(query, fetch, sim.now)
 
     def _spawn_prefetches(self, sim, query: Query, canonical: str) -> None:
         if self.prefetcher is None:
@@ -492,6 +713,9 @@ class AsteriaEngine:
             # The world may have cached it meanwhile; keep the fresher copy out.
             if not self.cache.contains_semantic(target):
                 self.cache.insert(target, fetch, sim.now, prefetched=True)
+        except RemoteFetchError as exc:
+            # Speculative flight: drop it, but feed the breaker.
+            self._account_failure(self._resilience_key(target), exc, sim.now)
         finally:
             self._inflight_prefetch.discard(target.text)
 

@@ -107,11 +107,33 @@ class EngineMetrics:
     #: percentile, and how many of those hedges won the race.
     hedged_fetches: int = 0
     hedge_wins: int = 0
+    #: -- degraded outcomes (fault tolerance) --------------------------------
+    #: Like ``overloaded``/``deadline_exceeded``, degraded requests never
+    #: reach ``record_lookup``: they bump their own counters below and the
+    #: ``degraded_latency`` reservoir only, so hit-rate, accuracy, and the
+    #: latency percentiles stay comparable across runs with and without
+    #: faults.
+    #: Requests answered from the last-known-good stale store after the
+    #: remote failed or the breaker refused the fetch.
+    stale_hits: int = 0
+    #: Miss fetches refused up-front because the circuit breaker was open.
+    breaker_open_rejects: int = 0
+    #: Miss fetches refused because the key recently failed (negative cache).
+    negative_cache_hits: int = 0
+    #: Stale-while-revalidate refresh flights scheduled in the background.
+    background_refreshes: int = 0
+    #: Remote fetch flights (including retries-exhausted) that failed.
+    fetch_failures: int = 0
+    #: Degraded requests with no stale fallback — served an explicit failure.
+    failed_requests: int = 0
     total_latency: LatencyStats = field(default_factory=LatencyStats)
     hit_latency: LatencyStats = field(default_factory=LatencyStats)
     miss_latency: LatencyStats = field(default_factory=LatencyStats)
     cache_check_latency: LatencyStats = field(default_factory=LatencyStats)
     remote_latency: LatencyStats = field(default_factory=LatencyStats)
+    #: Latency of degraded responses (stale hits and explicit failures);
+    #: kept out of ``total_latency`` so fault runs stay stats-comparable.
+    degraded_latency: LatencyStats = field(default_factory=LatencyStats)
 
     @property
     def hit_rate(self) -> float:
@@ -170,6 +192,12 @@ class EngineMetrics:
             "deadline_exceeded",
             "hedged_fetches",
             "hedge_wins",
+            "stale_hits",
+            "breaker_open_rejects",
+            "negative_cache_hits",
+            "background_refreshes",
+            "fetch_failures",
+            "failed_requests",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.evictions = max(self.evictions, other.evictions)
@@ -180,6 +208,7 @@ class EngineMetrics:
             "miss_latency",
             "cache_check_latency",
             "remote_latency",
+            "degraded_latency",
         ):
             getattr(self, name).merge(getattr(other, name))
 
@@ -203,4 +232,10 @@ class EngineMetrics:
             "deadline_exceeded": self.deadline_exceeded,
             "hedged_fetches": self.hedged_fetches,
             "hedge_wins": self.hedge_wins,
+            "stale_hits": self.stale_hits,
+            "breaker_open_rejects": self.breaker_open_rejects,
+            "negative_cache_hits": self.negative_cache_hits,
+            "background_refreshes": self.background_refreshes,
+            "fetch_failures": self.fetch_failures,
+            "failed_requests": self.failed_requests,
         }

@@ -35,7 +35,8 @@ from repro.serving.concurrent import ConcurrentEngine
 from repro.embedding import CachedEmbedder, HashingEmbedder
 from repro.judger import SimulatedJudger
 from repro.judger.staticity import StaticityScorer
-from repro.network import RemoteDataService, TokenBucket
+from repro.core.resilience import ResilienceManager
+from repro.network import FaultInjector, RemoteDataService, TokenBucket
 from repro.network.ratelimit import RateLimiter
 from repro.sim.distributions import Distribution, Uniform
 from repro.sim.random import derive_seed
@@ -62,12 +63,15 @@ def build_remote(
     cost_per_call: float = 0.005,
     seed: int = 0,
     name: str = "search-api",
+    fault_injector: FaultInjector | None = None,
 ) -> RemoteDataService:
     """A remote data service, optionally resolving against ``universe``.
 
     ``latency`` defaults to the paper's U(0.3 s, 0.5 s) search-API range;
     pass 0.3 for the self-hosted RAG service. ``rate_limit_per_minute``
-    installs a token bucket (Google's limit is 100 QPM).
+    installs a token bucket (Google's limit is 100 QPM). ``fault_injector``
+    attaches a seeded chaos source (see
+    :class:`~repro.network.faults.FaultInjector`).
     """
     limiter: RateLimiter | None = None
     if rate_limit_per_minute is not None:
@@ -79,6 +83,7 @@ def build_remote(
         rate_limiter=limiter,
         cost_per_call=cost_per_call,
         rng=np.random.default_rng(derive_seed(seed, f"remote:{name}")),
+        fault_injector=fault_injector,
     )
 
 
@@ -91,6 +96,7 @@ def build_asteria_engine(
     policy: "EvictionPolicy | str" = "lcfu",
     judger: SimulatedJudger | None = None,
     judge_executor=None,
+    resilience: ResilienceManager | None = None,
     name: str = "asteria",
 ) -> AsteriaEngine:
     """The full Asteria stack with simulated substrates.
@@ -98,7 +104,9 @@ def build_asteria_engine(
     One ``seed`` derives independent streams for the embedder, judger, and
     staticity scorer, so two engines with the same seed behave identically.
     A pre-built ``index`` (matching the embedder's 256 dims) overrides
-    ``index_kind`` when custom ANN parameters are needed.
+    ``index_kind`` when custom ANN parameters are needed. ``resilience``
+    overrides the engine's default fault-tolerance policy (circuit breaker,
+    negative cache, stale serving).
     """
     config = config if config is not None else AsteriaConfig()
     embedder = CachedEmbedder(HashingEmbedder(seed=derive_seed(seed, "embedder")))
@@ -129,7 +137,12 @@ def build_asteria_engine(
         staticity_ttl_scaling=config.staticity_ttl_scaling,
     )
     return AsteriaEngine(
-        cache, remote, config, judge_executor=judge_executor, name=name
+        cache,
+        remote,
+        config,
+        judge_executor=judge_executor,
+        resilience=resilience,
+        name=name,
     )
 
 
@@ -226,6 +239,7 @@ def build_concurrent_engine(
     policy: "EvictionPolicy | str" = "lcfu",
     io_pause_scale: float = 0.0,
     follower_timeout: float | None = None,
+    resilience: ResilienceManager | None = None,
     name: str = "asteria-concurrent",
 ) -> ConcurrentEngine:
     """The full concurrent serving stack: sharded cache + worker-pool engine.
@@ -246,7 +260,7 @@ def build_concurrent_engine(
     cache = build_sharded_cache(
         config, seed=seed, shards=shards, index_kind=index_kind, policy=policy
     )
-    engine = AsteriaEngine(cache, remote, config, name=name)
+    engine = AsteriaEngine(cache, remote, config, resilience=resilience, name=name)
     return ConcurrentEngine(
         engine,
         workers=workers,
@@ -268,6 +282,7 @@ def build_async_engine(
     hedge_min_samples: int = 20,
     index_kind: str = "flat",
     policy: "EvictionPolicy | str" = "lcfu",
+    resilience: ResilienceManager | None = None,
     name: str = "asteria-async",
 ) -> AsyncAsteriaEngine:
     """The full asyncio serving stack: sharded cache + event-loop engine.
@@ -289,7 +304,7 @@ def build_async_engine(
     cache = build_sharded_cache(
         config, seed=seed, shards=shards, index_kind=index_kind, policy=policy
     )
-    engine = AsteriaEngine(cache, remote, config, name=name)
+    engine = AsteriaEngine(cache, remote, config, resilience=resilience, name=name)
     return AsyncAsteriaEngine(
         engine,
         remote=AsyncRemoteService(remote, io_pause_scale=io_pause_scale),

@@ -9,8 +9,17 @@ requests for search — Table 1).
 ``RegionTopology`` describes inter-region RTTs; ``TokenBucket`` /
 ``FixedWindowLimiter`` enforce rate limits; ``RetryPolicy`` shapes backoff;
 ``CostMeter`` accumulates fees; and ``RemoteDataService`` composes them into
-the thing the cache's miss path talks to.
+the thing the cache's miss path talks to. ``FaultInjector`` wraps a service
+with seeded transient errors, timeouts, latency spikes, and blackout windows
+for chaos testing; every failure is a ``RemoteFetchError`` subclass.
 """
+
+from repro.network.faults import (
+    FaultInjector,
+    InjectedFault,
+    RemoteTimeout,
+    RemoteUnavailable,
+)
 
 from repro.network.cost import (
     CostMeter,
@@ -26,19 +35,25 @@ from repro.network.ratelimit import (
 from repro.network.remote import (
     RateLimitExceeded,
     RemoteDataService,
+    RemoteFetchError,
     RetryPolicy,
 )
 from repro.network.topology import RegionTopology, default_topology
 
 __all__ = [
     "CostMeter",
+    "FaultInjector",
     "FixedWindowLimiter",
+    "InjectedFault",
     "PRICE_GOOGLE_SEARCH_PER_CALL",
     "PRICE_H100_PER_HOUR",
     "RateLimitExceeded",
     "RateLimiter",
     "RegionTopology",
     "RemoteDataService",
+    "RemoteFetchError",
+    "RemoteTimeout",
+    "RemoteUnavailable",
     "RetryPolicy",
     "TokenBucket",
     "UnlimitedLimiter",

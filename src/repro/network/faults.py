@@ -1,0 +1,173 @@
+"""Fault injection for the remote data services (chaos testing, §6.2).
+
+The reproduction's value proposition is that the cache keeps agents fast
+*and available* when the remote data service misbehaves, so every failure
+path must be exercisable on demand. :class:`FaultInjector` is a seeded,
+schedulable fault source wrapped around
+:class:`~repro.network.remote.RemoteDataService` (and, through it, the
+asyncio :class:`~repro.serving.aio.remote.AsyncRemoteService`):
+
+* **Transient errors** — a fetch fails outright with
+  :class:`RemoteUnavailable` after a short wasted round-trip
+  (``error_latency``), with probability ``error_rate``.
+* **Timeouts** — a fetch hangs for ``timeout_latency`` simulated seconds and
+  then fails with :class:`RemoteTimeout`, with probability ``timeout_rate``.
+* **Latency spikes** — a fetch succeeds but its service time is multiplied
+  by ``spike_scale``, with probability ``spike_rate`` (a degraded backend
+  rather than a dead one).
+* **Blackout windows** — every fetch whose start time falls inside a
+  scheduled ``(start, end)`` window fails with :class:`RemoteUnavailable`
+  (a full outage). Windows are checked deterministically — no RNG draw — so
+  recovery timing in tests does not depend on the fault stream.
+
+All stochastic draws come from the injector's own seeded generator, separate
+from the service's latency RNG, so attaching an injector never perturbs the
+latency/jitter streams of the runs it shadows, and two injectors with the
+same seed produce the same fault sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.network.remote import RemoteFetchError
+
+
+class InjectedFault(RemoteFetchError):
+    """Base class for failures produced by a :class:`FaultInjector`."""
+
+
+class RemoteUnavailable(InjectedFault):
+    """The backend refused or dropped the call (transient error/blackout)."""
+
+
+class RemoteTimeout(InjectedFault):
+    """The call hung past its deadline; ``latency`` is the time wasted."""
+
+
+class FaultInjector:
+    """Seeded, schedulable fault source for a remote data service.
+
+    Parameters
+    ----------
+    error_rate / timeout_rate:
+        Per-fetch probabilities of a transient error / a timeout. Their sum
+        must be <= 1 (a single uniform draw decides between them).
+    spike_rate / spike_scale:
+        Probability and magnitude of a latency spike (the fetch succeeds;
+        its service time is multiplied by ``spike_scale``).
+    error_latency / timeout_latency:
+        Simulated seconds a caller wastes learning about an error / a
+        timeout (errors fail fast, timeouts burn a full deadline).
+    blackouts:
+        Iterable of ``(start, end)`` simulated-time windows during which
+        every fetch fails; more can be added with :meth:`schedule_blackout`.
+    seed:
+        Seed for the injector's private RNG.
+    name:
+        Used in exception messages and ``repr``.
+    """
+
+    def __init__(
+        self,
+        error_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        spike_rate: float = 0.0,
+        spike_scale: float = 8.0,
+        error_latency: float = 0.05,
+        timeout_latency: float = 1.0,
+        blackouts: Iterable[Sequence[float]] = (),
+        seed: int = 0,
+        name: str = "faults",
+    ) -> None:
+        for label, rate in (
+            ("error_rate", error_rate),
+            ("timeout_rate", timeout_rate),
+            ("spike_rate", spike_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {rate}")
+        if error_rate + timeout_rate > 1.0:
+            raise ValueError(
+                f"error_rate + timeout_rate must be <= 1, "
+                f"got {error_rate + timeout_rate}"
+            )
+        if spike_scale < 1.0:
+            raise ValueError(f"spike_scale must be >= 1, got {spike_scale}")
+        if error_latency < 0 or timeout_latency < 0:
+            raise ValueError("fault latencies must be >= 0")
+        self.error_rate = error_rate
+        self.timeout_rate = timeout_rate
+        self.spike_rate = spike_rate
+        self.spike_scale = spike_scale
+        self.error_latency = error_latency
+        self.timeout_latency = timeout_latency
+        self.name = name
+        self.rng = np.random.default_rng(seed)
+        self._blackouts: list[tuple[float, float]] = []
+        for window in blackouts:
+            self.schedule_blackout(*window)
+        # -- statistics --
+        self.injected_errors = 0
+        self.injected_timeouts = 0
+        self.injected_spikes = 0
+        self.blackout_faults = 0
+
+    def schedule_blackout(self, start: float, end: float) -> None:
+        """Add an outage window ``[start, end)`` in simulated seconds."""
+        if end <= start:
+            raise ValueError(f"blackout end must be > start, got [{start}, {end})")
+        self._blackouts.append((float(start), float(end)))
+
+    @property
+    def blackouts(self) -> tuple[tuple[float, float], ...]:
+        return tuple(self._blackouts)
+
+    def in_blackout(self, now: float) -> bool:
+        """True when ``now`` falls inside a scheduled outage window."""
+        return any(start <= now < end for start, end in self._blackouts)
+
+    @property
+    def total_faults(self) -> int:
+        return self.injected_errors + self.injected_timeouts + self.blackout_faults
+
+    def check(self, now: float) -> float:
+        """Assess one fetch starting at ``now``.
+
+        Raises :class:`RemoteUnavailable` / :class:`RemoteTimeout` when the
+        fetch is to fail; otherwise returns the latency multiplier for this
+        call (1.0 normally, ``spike_scale`` during a spike). Blackout
+        windows are checked first and consume no randomness.
+        """
+        if self.in_blackout(now):
+            self.blackout_faults += 1
+            raise RemoteUnavailable(
+                f"{self.name}: blackout at t={now:.3f}", latency=self.error_latency
+            )
+        if self.error_rate > 0 or self.timeout_rate > 0:
+            draw = float(self.rng.uniform())
+            if draw < self.error_rate:
+                self.injected_errors += 1
+                raise RemoteUnavailable(
+                    f"{self.name}: injected transient error at t={now:.3f}",
+                    latency=self.error_latency,
+                )
+            if draw < self.error_rate + self.timeout_rate:
+                self.injected_timeouts += 1
+                raise RemoteTimeout(
+                    f"{self.name}: injected timeout at t={now:.3f}",
+                    latency=self.timeout_latency,
+                )
+        if self.spike_rate > 0 and float(self.rng.uniform()) < self.spike_rate:
+            self.injected_spikes += 1
+            return self.spike_scale
+        return 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector({self.name!r}, error_rate={self.error_rate}, "
+            f"timeout_rate={self.timeout_rate}, blackouts={self._blackouts}, "
+            f"faults={self.total_faults})"
+        )

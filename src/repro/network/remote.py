@@ -18,7 +18,7 @@ Two execution styles are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator
+from typing import TYPE_CHECKING, Callable, Generator
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from repro.network.cost import CostMeter
 from repro.network.ratelimit import RateLimiter
 from repro.sim.distributions import Distribution, Uniform, distribution_from_spec
 from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports us)
+    from repro.network.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -60,7 +63,20 @@ class RetryPolicy:
         return delay
 
 
-class RateLimitExceeded(RuntimeError):
+class RemoteFetchError(RuntimeError):
+    """Base class for anything a remote fetch can fail with.
+
+    ``latency`` is the simulated time the caller wasted before learning of
+    the failure (backoff waits, a burnt timeout deadline, ...); engines
+    charge it to the request before degrading.
+    """
+
+    def __init__(self, message: str, latency: float = 0.0) -> None:
+        super().__init__(message)
+        self.latency = latency
+
+
+class RateLimitExceeded(RemoteFetchError):
     """Raised when a fetch exhausts its retry budget."""
 
 
@@ -109,6 +125,7 @@ class RemoteDataService:
         retry_policy: RetryPolicy | None = None,
         rng: np.random.Generator | None = None,
         cost_meter: CostMeter | None = None,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         if cost_per_call < 0:
             raise ValueError(f"cost_per_call must be >= 0: {cost_per_call}")
@@ -123,6 +140,7 @@ class RemoteDataService:
         self.retry_policy = retry_policy or RetryPolicy()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.cost_meter = cost_meter if cost_meter is not None else CostMeter()
+        self.fault_injector = fault_injector
         # -- statistics --
         self.calls = 0
         self.attempts = 0
@@ -143,7 +161,8 @@ class RemoteDataService:
             limited = True
             if retries >= self.retry_policy.max_retries:
                 raise RateLimitExceeded(
-                    f"{self.name}: gave up after {retries} retries"
+                    f"{self.name}: gave up after {retries} retries",
+                    latency=now - start,
                 )
             backoff = self.retry_policy.delay(retries, self.rng)
             earliest = self.rate_limiter.next_available(now)
@@ -151,10 +170,13 @@ class RemoteDataService:
             retries += 1
         return now, retries, limited
 
-    def _complete(self, query: Query, waited: float, now: float = 0.0) -> FetchResult:
+    def _complete(
+        self, query: Query, waited: float, now: float = 0.0, fault_scale: float = 1.0
+    ) -> FetchResult:
         # Heterogeneous backends: a query may declare that its data source is
         # slower/faster than the service baseline (drives LCFU's cost focus).
-        scale = float(query.metadata.get("latency_scale", 1.0))
+        # fault_scale > 1 models an injected latency spike.
+        scale = float(query.metadata.get("latency_scale", 1.0)) * fault_scale
         service_time = self.latency.sample(self.rng) * scale
         if self.time_resolver is not None:
             result = self.time_resolver(query, now + service_time)
@@ -175,11 +197,21 @@ class RemoteDataService:
 
     # -- analytic execution -------------------------------------------------------
     def fetch_at(self, query: Query, now: float = 0.0) -> FetchResult:
-        """Perform a whole fetch starting at time ``now`` (analytic mode)."""
+        """Perform a whole fetch starting at time ``now`` (analytic mode).
+
+        Raises :class:`RemoteFetchError` subclasses on injected faults and
+        exhausted retry budgets; the exception's ``latency`` is the simulated
+        time wasted before the failure surfaced.
+        """
+        fault_scale = 1.0
+        if self.fault_injector is not None:
+            fault_scale = self.fault_injector.check(now)
         grant_time, retries, limited = self._admission_plan(now)
         self.attempts += 1 + retries
         self.retries += retries
-        base = self._complete(query, waited=grant_time - now, now=grant_time)
+        base = self._complete(
+            query, waited=grant_time - now, now=grant_time, fault_scale=fault_scale
+        )
         return FetchResult(
             result=base.result,
             latency=base.latency,
@@ -198,6 +230,16 @@ class RemoteDataService:
         simulator clock, so queueing across concurrent callers is real.
         """
         start = sim.now
+        fault_scale = 1.0
+        if self.fault_injector is not None:
+            try:
+                fault_scale = self.fault_injector.check(sim.now)
+            except RemoteFetchError as exc:
+                # Burn the wasted round-trip on the simulator clock before
+                # surfacing the failure, so DES latencies stay honest.
+                if exc.latency > 0:
+                    yield sim.timeout(exc.latency)
+                raise
         retries = 0
         limited = False
         if self.rate_limiter is not None:
@@ -205,7 +247,8 @@ class RemoteDataService:
                 limited = True
                 if retries >= self.retry_policy.max_retries:
                     raise RateLimitExceeded(
-                        f"{self.name}: gave up after {retries} retries"
+                        f"{self.name}: gave up after {retries} retries",
+                        latency=sim.now - start,
                     )
                 backoff = self.retry_policy.delay(retries, self.rng)
                 earliest = self.rate_limiter.next_available(sim.now)
@@ -214,7 +257,7 @@ class RemoteDataService:
                 self.attempts += 1
                 self.retries += 1
                 yield sim.timeout(wait)
-        base = self._complete(query, waited=0.0, now=sim.now)
+        base = self._complete(query, waited=0.0, now=sim.now, fault_scale=fault_scale)
         self.attempts += 1
         yield sim.timeout(base.service_latency)
         return FetchResult(

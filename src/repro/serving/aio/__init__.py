@@ -13,7 +13,9 @@ blocked threads, so one OS thread sustains thousands of in-flight fetches.
 ``AsyncAsteriaEngine``
     The serving front-end: bounded admission (``overloaded`` beyond
     ``max_inflight``), per-request deadlines (``deadline_exceeded`` instead
-    of hanging), optional hedged second fetches past a latency percentile.
+    of hanging), optional hedged second fetches past a latency percentile,
+    and fault-tolerant degradation (``stale_hit``/``failed`` outcomes via
+    the engine's :class:`~repro.core.resilience.ResilienceManager`).
 ``run_open_loop`` / ``run_closed_loop``
     Load generators: fixed-arrival-rate open loop (the honest overload
     measurement) and a matched-concurrency closed loop for comparisons with
@@ -22,8 +24,10 @@ blocked threads, so one OS thread sustains thousands of in-flight fetches.
 
 from repro.serving.aio.engine import (
     STATUS_DEADLINE,
+    STATUS_FAILED,
     STATUS_OK,
     STATUS_OVERLOADED,
+    STATUS_STALE,
     AsyncAsteriaEngine,
     AsyncOutcome,
 )
@@ -33,8 +37,10 @@ from repro.serving.aio.singleflight import AsyncSingleFlight
 
 __all__ = [
     "STATUS_DEADLINE",
+    "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_OVERLOADED",
+    "STATUS_STALE",
     "AsyncAsteriaEngine",
     "AsyncLoadReport",
     "AsyncOutcome",

@@ -45,23 +45,30 @@ import numpy as np
 from repro.core.cache import canonical_text
 from repro.core.engine import AsteriaEngine, EngineResponse
 from repro.core.metrics import EngineMetrics
-from repro.core.types import FetchResult, Query
+from repro.core.resilience import FetchFailed
+from repro.core.types import CacheLookup, FetchResult, Query
+from repro.network.faults import InjectedFault
+from repro.network.remote import RemoteFetchError
 from repro.serving.aio.remote import AsyncRemoteService
 from repro.serving.aio.singleflight import AsyncSingleFlight
 
-#: Outcome statuses (the response carries payload only when "ok").
+#: Outcome statuses (the response carries payload when "ok" or "stale_hit").
 STATUS_OK = "ok"
 STATUS_OVERLOADED = "overloaded"
 STATUS_DEADLINE = "deadline_exceeded"
+STATUS_STALE = "stale_hit"
+STATUS_FAILED = "failed"
 
 
 @dataclass(frozen=True, slots=True)
 class AsyncOutcome:
     """What one ``serve`` call resolved to.
 
-    ``response`` is populated only when ``status == "ok"``; degraded
-    outcomes carry no payload. ``wall_latency`` is real seconds spent in
-    ``serve`` (for an overload rejection, effectively zero).
+    ``response`` is populated when ``status`` is ``"ok"`` or ``"stale_hit"``
+    (a stale serve still answers the caller — with the last-known-good
+    payload); the other degraded outcomes carry no payload.
+    ``wall_latency`` is real seconds spent in ``serve`` (for an overload
+    rejection, effectively zero).
     """
 
     status: str
@@ -71,6 +78,11 @@ class AsyncOutcome:
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+    @property
+    def served(self) -> bool:
+        """Did the caller get *some* payload (fresh or stale)?"""
+        return self.status in (STATUS_OK, STATUS_STALE)
 
 
 class AsyncAsteriaEngine:
@@ -151,6 +163,8 @@ class AsyncAsteriaEngine:
         self.hedge_min_samples = hedge_min_samples
         self._inflight = 0
         self._latency_samples: list[float] = []
+        #: Background stale-while-revalidate flights (gathered by drain()).
+        self._refresh_tasks: set[asyncio.Task] = set()
 
     # -- KnowledgeEngine-compatible surface ------------------------------------
     @property
@@ -200,16 +214,28 @@ class AsyncAsteriaEngine:
                 return AsyncOutcome(
                     STATUS_DEADLINE, wall_latency=time.perf_counter() - begin
                 )
-            return AsyncOutcome(
-                STATUS_OK, response, wall_latency=time.perf_counter() - begin
-            )
+            wall = time.perf_counter() - begin
+            if response.degraded == "stale_hit":
+                return AsyncOutcome(STATUS_STALE, response, wall_latency=wall)
+            if response.degraded == "failed":
+                return AsyncOutcome(STATUS_FAILED, wall_latency=wall)
+            return AsyncOutcome(STATUS_OK, response, wall_latency=wall)
         finally:
             self._inflight -= 1
 
     async def _serve(self, query: Query, now: float) -> EngineResponse:
         engine = self.engine
         if not engine._is_cacheable(query):
-            fetch = await self._fetch(query, now)
+            key = engine._resilience_key(query)
+            try:
+                fetch = await self._fetch(query, now)
+            except RemoteFetchError as exc:
+                engine._account_failure(key, exc, now + exc.latency)
+                lookup = CacheLookup(status="bypass", result=None, latency=0.0)
+                return self._degrade(
+                    query, lookup, key, now, now, wasted=exc.latency
+                )
+            engine.resilience.on_success(key, fetch, now + fetch.latency)
             response = engine._bypass_response(fetch, fetch.latency)
             self._record(response, query, now, shared=False)
             return response
@@ -223,11 +249,26 @@ class AsyncAsteriaEngine:
             return response
         start = now + lookup.latency
         key = (query.tool, canonical_text(query.text))
-        fetch, shared = await self.singleflight.run(
-            key,
-            lambda: self._fetch_and_admit(query, start),
-            timeout=self.follower_timeout,
-        )
+        verdict = engine.resilience.admit(key, start)
+        if verdict != "allow":
+            if verdict == "negative":
+                engine.metrics.negative_cache_hits += 1
+            else:
+                engine.metrics.breaker_open_rejects += 1
+            return self._degrade(query, lookup, key, start, now, refresh=True)
+        try:
+            fetch, shared = await self.singleflight.run(
+                key,
+                lambda: self._fetch_and_admit(query, start, key),
+                timeout=self.follower_timeout,
+            )
+        except RemoteFetchError as exc:
+            # Leaders raise their own FetchFailed; followers re-raise the
+            # leader's (deduplicated by _account_failure's marker).
+            engine._account_failure(key, exc, start + exc.latency)
+            return self._degrade(
+                query, lookup, key, start, now, wasted=exc.latency
+            )
         response = EngineResponse(
             result=fetch.result,
             latency=lookup.latency + fetch.latency,
@@ -237,18 +278,97 @@ class AsyncAsteriaEngine:
         self._record(response, query, now, shared=shared)
         return response
 
-    async def _fetch_and_admit(self, query: Query, start: float) -> FetchResult:
-        """Leader flight: remote fetch (possibly hedged), then admission.
+    async def _fetch_and_admit(
+        self, query: Query, start: float, key: tuple
+    ) -> FetchResult:
+        """Leader flight: remote fetch (possibly hedged) with transient-fault
+        retries and breaker accounting, then admission.
 
         Runs as its own task inside the single-flight layer, so it completes
         and admits even when every caller's deadline has already fired.
         """
         engine = self.engine
-        fetch = await self._fetch(query, start)
-        arrival = start + fetch.latency
+        overhead = 0.0
+        attempt = 0
+        while True:
+            try:
+                fetch = await self._fetch(query, start + overhead)
+                break
+            except InjectedFault as exc:
+                overhead += exc.latency
+                if attempt >= engine.resilience.retry_policy.max_retries:
+                    raise FetchFailed(
+                        f"retries exhausted after {attempt + 1} attempts: {exc}",
+                        latency=overhead,
+                        cause=exc,
+                    ) from exc
+                delay = engine.resilience.next_delay(attempt)
+                overhead += delay
+                if self.remote.io_pause_scale > 0 and delay > 0:
+                    await asyncio.sleep(delay * self.remote.io_pause_scale)
+                attempt += 1
+            except RemoteFetchError as exc:
+                raise FetchFailed(
+                    f"non-retryable fetch failure: {exc}",
+                    latency=overhead + exc.latency,
+                    cause=exc,
+                ) from exc
+        arrival = start + overhead + fetch.latency
+        engine.resilience.on_success(key, fetch, arrival)
         if engine._should_admit(query, fetch, arrival):
             engine.cache.insert(query, fetch, arrival)
         return fetch
+
+    def _degrade(
+        self,
+        query: Query,
+        lookup: CacheLookup,
+        key: tuple,
+        at: float,
+        now: float,
+        wasted: float = 0.0,
+        refresh: bool = False,
+    ) -> EngineResponse:
+        """Stale/failed fallback for a refused or failed miss flight; a
+        stale serve may also spawn a background revalidation task."""
+        engine = self.engine
+        entry = engine.resilience.stale_for(key, at + wasted)
+        if entry is not None:
+            engine.metrics.stale_hits += 1
+            response = EngineResponse(
+                result=entry.fetch.result,
+                latency=lookup.latency + wasted,
+                lookup=lookup,
+                degraded="stale_hit",
+            )
+            if refresh and engine.resilience.allow_probe(at):
+                self._spawn_refresh(query, key, at)
+        else:
+            engine.metrics.failed_requests += 1
+            response = EngineResponse(
+                result="",
+                latency=lookup.latency + wasted,
+                lookup=lookup,
+                degraded="failed",
+            )
+        engine._record_degraded(response, query, now)
+        return response
+
+    def _spawn_refresh(self, query: Query, key: tuple, start: float) -> None:
+        """Stale-while-revalidate: refresh as a background task, off the
+        caller's latency path, coalesced with any foreground flight."""
+        self.engine.metrics.background_refreshes += 1
+        task = asyncio.ensure_future(self._refresh(query, key, start))
+        self._refresh_tasks.add(task)
+        task.add_done_callback(self._refresh_tasks.discard)
+
+    async def _refresh(self, query: Query, key: tuple, start: float) -> None:
+        try:
+            await self.singleflight.run(
+                key, lambda: self._fetch_and_admit(query, start, key)
+            )
+        except RemoteFetchError as exc:
+            self.engine._account_failure(key, exc, start + exc.latency)
 
     async def _fetch(self, query: Query, start: float) -> FetchResult:
         threshold = self._hedge_after()
@@ -318,8 +438,13 @@ class AsyncAsteriaEngine:
 
     # -- lifecycle ----------------------------------------------------------------
     async def drain(self) -> None:
-        """Wait for background single-flight fetches to settle (admissions
-        land in the cache); call before tearing down the event loop."""
+        """Wait for background single-flight fetches and stale-refresh tasks
+        to settle (admissions land in the cache); call before tearing down
+        the event loop."""
+        while self._refresh_tasks:
+            await asyncio.gather(
+                *list(self._refresh_tasks), return_exceptions=True
+            )
         await self.singleflight.drain()
 
     def __repr__(self) -> str:

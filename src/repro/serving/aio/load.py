@@ -52,6 +52,19 @@ class AsyncLoadReport:
     p99_wall: float
     rate: float | None = None
     concurrency: int | None = None
+    #: Degraded outcomes (fault tolerance): answered stale / explicit
+    #: failures / refused up-front by the open breaker.
+    stale_served: int = 0
+    failed: int = 0
+    breaker_open_rejects: int = 0
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of requests answered with *some* payload (fresh or
+        stale) — the chaos benchmark's availability headline."""
+        if self.requests == 0:
+            return 1.0
+        return (self.completed + self.stale_served) / self.requests
 
     def summary(self) -> dict:
         """Plain-dict snapshot for serialisation."""
@@ -71,6 +84,10 @@ class AsyncLoadReport:
             "hedged_fetches": self.hedged_fetches,
             "p50_wall": round(self.p50_wall, 5),
             "p99_wall": round(self.p99_wall, 5),
+            "stale_served": self.stale_served,
+            "failed": self.failed,
+            "breaker_open_rejects": self.breaker_open_rejects,
+            "served_fraction": round(self.served_fraction, 4),
         }
         if self.rate is not None:
             out["rate"] = self.rate
@@ -113,6 +130,11 @@ def _report(
         p99_wall=float(np.percentile(walls, 99)) if walls else 0.0,
         rate=rate,
         concurrency=concurrency,
+        stale_served=after["stale_hits"] - before["stale_hits"],
+        failed=after["failed_requests"] - before["failed_requests"],
+        breaker_open_rejects=(
+            after["breaker_open_rejects"] - before["breaker_open_rejects"]
+        ),
     )
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import asyncio
 
 from repro.core.types import FetchResult, Query
-from repro.network.remote import RemoteDataService
+from repro.network.remote import RemoteDataService, RemoteFetchError
 
 
 class AsyncRemoteService:
@@ -60,8 +60,17 @@ class AsyncRemoteService:
         The analytic plan (throttle waits, retries, service time, fee) is
         computed up front by the wrapped service; the coroutine then awaits
         the scaled wall-clock pause standing in for the network round-trip.
+        A failing fetch (injected fault, exhausted throttle retries) burns
+        its scaled wasted time on the wall clock too, then re-raises.
         """
-        fetch = self.service.fetch_at(query, start)
+        try:
+            fetch = self.service.fetch_at(query, start)
+        except RemoteFetchError as exc:
+            if self.io_pause_scale > 0 and exc.latency > 0:
+                await asyncio.sleep(exc.latency * self.io_pause_scale)
+            else:
+                await asyncio.sleep(0)
+            raise
         self.inflight += 1
         self.max_inflight = max(self.max_inflight, self.inflight)
         try:

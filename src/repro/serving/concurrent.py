@@ -37,7 +37,10 @@ from typing import Sequence
 from repro.core.cache import canonical_text
 from repro.core.engine import AsteriaEngine, EngineResponse
 from repro.core.metrics import EngineMetrics
-from repro.core.types import FetchResult, Query
+from repro.core.resilience import FetchFailed
+from repro.core.types import CacheLookup, FetchResult, Query
+from repro.network.faults import InjectedFault
+from repro.network.remote import RemoteFetchError
 from repro.serving.singleflight import SingleFlight
 
 
@@ -54,6 +57,19 @@ class LoadReport:
     hit_rate: float
     coalesced_misses: int
     remote_calls: int
+    #: Degraded outcomes (fault tolerance): answered from the stale store /
+    #: explicit failures / refused up-front by the open breaker.
+    stale_served: int = 0
+    failed: int = 0
+    breaker_open_rejects: int = 0
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of requests answered with *some* payload (fresh or
+        stale) — the chaos benchmark's availability headline."""
+        if self.requests == 0:
+            return 1.0
+        return (self.requests - self.failed) / self.requests
 
     def summary(self) -> dict:
         """Plain-dict snapshot for serialisation."""
@@ -67,6 +83,10 @@ class LoadReport:
             "hit_rate": round(self.hit_rate, 4),
             "coalesced_misses": self.coalesced_misses,
             "remote_calls": self.remote_calls,
+            "stale_served": self.stale_served,
+            "failed": self.failed,
+            "breaker_open_rejects": self.breaker_open_rejects,
+            "served_fraction": round(self.served_fraction, 4),
         }
 
 
@@ -178,7 +198,17 @@ class ConcurrentEngine:
     def _serve(self, query: Query, now: float) -> EngineResponse:
         engine = self.engine
         if not engine._is_cacheable(query):
-            fetch = self._fetch(query, now)
+            key = engine._resilience_key(query)
+            try:
+                fetch = self._fetch(query, now)
+            except RemoteFetchError as exc:
+                with self._record_lock:
+                    engine._account_failure(key, exc, now + exc.latency)
+                lookup = CacheLookup(status="bypass", result=None, latency=0.0)
+                return self._degrade(
+                    query, lookup, key, now, now, wasted=exc.latency
+                )
+            engine.resilience.on_success(key, fetch, now + fetch.latency)
             response = engine._bypass_response(fetch, fetch.latency)
             self._record(response, query, now, shared=False)
             return response
@@ -193,11 +223,28 @@ class ConcurrentEngine:
             return response
         start = now + lookup.latency
         key = (query.tool, canonical_text(query.text))
-        fetch, shared = self.singleflight.run(
-            key,
-            lambda: self._fetch_and_admit(query, start),
-            timeout=self.follower_timeout,
-        )
+        verdict = engine.resilience.admit(key, start)
+        if verdict != "allow":
+            with self._record_lock:
+                if verdict == "negative":
+                    engine.metrics.negative_cache_hits += 1
+                else:
+                    engine.metrics.breaker_open_rejects += 1
+            return self._degrade(query, lookup, key, start, now, refresh=True)
+        try:
+            fetch, shared = self.singleflight.run(
+                key,
+                lambda: self._fetch_and_admit(query, start, key),
+                timeout=self.follower_timeout,
+            )
+        except RemoteFetchError as exc:
+            # Leaders raise their own FetchFailed; followers re-raise the
+            # leader's (deduplicated by _account_failure's marker).
+            with self._record_lock:
+                engine._account_failure(key, exc, start + exc.latency)
+            return self._degrade(
+                query, lookup, key, start, now, wasted=exc.latency
+            )
         response = EngineResponse(
             result=fetch.result,
             latency=lookup.latency + fetch.latency,
@@ -207,11 +254,39 @@ class ConcurrentEngine:
         self._record(response, query, now, shared=shared)
         return response
 
-    def _fetch_and_admit(self, query: Query, start: float) -> FetchResult:
-        """Leader path: remote fetch, then admission into the query's shard."""
+    def _fetch_and_admit(
+        self, query: Query, start: float, key: tuple
+    ) -> FetchResult:
+        """Leader path: remote fetch with transient-fault retries, breaker
+        accounting, then admission into the query's shard."""
         engine = self.engine
-        fetch = self._fetch(query, start)
-        arrival = start + fetch.latency
+        overhead = 0.0
+        attempt = 0
+        while True:
+            try:
+                fetch = self._fetch(query, start + overhead)
+                break
+            except InjectedFault as exc:
+                overhead += exc.latency
+                if attempt >= engine.resilience.retry_policy.max_retries:
+                    raise FetchFailed(
+                        f"retries exhausted after {attempt + 1} attempts: {exc}",
+                        latency=overhead,
+                        cause=exc,
+                    ) from exc
+                delay = engine.resilience.next_delay(attempt)
+                overhead += delay
+                if self.io_pause_scale > 0 and delay > 0:
+                    time.sleep(delay * self.io_pause_scale)
+                attempt += 1
+            except RemoteFetchError as exc:
+                raise FetchFailed(
+                    f"non-retryable fetch failure: {exc}",
+                    latency=overhead + exc.latency,
+                    cause=exc,
+                ) from exc
+        arrival = start + overhead + fetch.latency
+        engine.resilience.on_success(key, fetch, arrival)
         with self._record_lock:
             admit = engine._should_admit(query, fetch, arrival)
         if admit:
@@ -219,13 +294,73 @@ class ConcurrentEngine:
         return fetch
 
     def _fetch(self, query: Query, start: float) -> FetchResult:
-        with self._remote_lock:
-            fetch = self.engine.remote.fetch_at(query, start)
+        try:
+            with self._remote_lock:
+                fetch = self.engine.remote.fetch_at(query, start)
+        except RemoteFetchError as exc:
+            if self.io_pause_scale > 0 and exc.latency > 0:
+                # The failed round-trip also burns wall time "on the wire".
+                time.sleep(exc.latency * self.io_pause_scale)
+            raise
         if self.io_pause_scale > 0:
             # Real blocking I/O stand-in; sleeps release the GIL, so other
             # workers keep serving while this fetch is "on the wire".
             time.sleep(fetch.latency * self.io_pause_scale)
         return fetch
+
+    def _degrade(
+        self,
+        query: Query,
+        lookup: CacheLookup,
+        key: tuple,
+        at: float,
+        now: float,
+        wasted: float = 0.0,
+        refresh: bool = False,
+    ) -> EngineResponse:
+        """Stale/failed fallback for a refused or failed miss flight; a
+        stale serve may also schedule a background revalidation flight."""
+        engine = self.engine
+        entry = engine.resilience.stale_for(key, at + wasted)
+        if entry is not None:
+            response = EngineResponse(
+                result=entry.fetch.result,
+                latency=lookup.latency + wasted,
+                lookup=lookup,
+                degraded="stale_hit",
+            )
+        else:
+            response = EngineResponse(
+                result="",
+                latency=lookup.latency + wasted,
+                lookup=lookup,
+                degraded="failed",
+            )
+        with self._record_lock:
+            if entry is not None:
+                engine.metrics.stale_hits += 1
+            else:
+                engine.metrics.failed_requests += 1
+            engine._record_degraded(response, query, now)
+        if entry is not None and refresh and engine.resilience.allow_probe(at):
+            self._spawn_refresh(query, key, at)
+        return response
+
+    def _spawn_refresh(self, query: Query, key: tuple, start: float) -> None:
+        """Stale-while-revalidate: refresh on the worker pool, off the
+        caller's latency path, coalesced with any foreground flight."""
+        with self._record_lock:
+            self.engine.metrics.background_refreshes += 1
+        self._ensure_pool().submit(self._refresh, query, key, start)
+
+    def _refresh(self, query: Query, key: tuple, start: float) -> None:
+        try:
+            self.singleflight.run(
+                key, lambda: self._fetch_and_admit(query, start, key)
+            )
+        except RemoteFetchError as exc:
+            with self._record_lock:
+                self.engine._account_failure(key, exc, start + exc.latency)
 
     def _record(
         self, response: EngineResponse, query: Query, now: float, shared: bool
@@ -294,6 +429,11 @@ class ConcurrentEngine:
             hit_rate=hits / cacheable if cacheable else 0.0,
             coalesced_misses=after["coalesced_misses"] - before["coalesced_misses"],
             remote_calls=self.remote.calls - remote_before,
+            stale_served=after["stale_hits"] - before["stale_hits"],
+            failed=after["failed_requests"] - before["failed_requests"],
+            breaker_open_rejects=(
+                after["breaker_open_rejects"] - before["breaker_open_rejects"]
+            ),
         )
 
     # -- lifecycle ----------------------------------------------------------------

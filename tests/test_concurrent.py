@@ -144,6 +144,39 @@ class TestSingleFlight:
         assert leader_result == [(True, False)]
         assert flight.inflight() == 0
 
+    def test_timed_out_follower_not_poisoned_by_leader_failure(self):
+        """A follower that timed out and went private must keep its own
+        successful result even when the leader it abandoned later raises."""
+        flight = SingleFlight()
+        gate = threading.Event()
+        leader_errors = []
+
+        def doomed_leader():
+            try:
+                flight.run(
+                    "k",
+                    lambda: (gate.wait(timeout=10), 1 / 0),
+                )
+            except ZeroDivisionError:
+                leader_errors.append("leader failed")
+
+        leader = threading.Thread(target=doomed_leader)
+        leader.start()
+        for _ in range(200):
+            if flight.inflight() == 1:
+                break
+            time.sleep(0.01)
+        result, shared = flight.run("k", lambda: "private ok", timeout=0.05)
+        assert (result, shared) == ("private ok", False)
+        assert flight.timeouts == 1
+        gate.set()  # now let the leader run into its exception
+        leader.join(timeout=10)
+        assert not leader.is_alive()
+        assert leader_errors == ["leader failed"]
+        assert flight.inflight() == 0
+        # The follower's private result stands: no retroactive poisoning.
+        assert (result, shared) == ("private ok", False)
+
 
 class TestConcurrentEngineGuards:
     def test_rejects_non_thread_safe_cache_with_workers(self):

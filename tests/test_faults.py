@@ -1,0 +1,139 @@
+"""Tests for the seeded fault injector and its remote-service integration."""
+
+import pytest
+
+from repro.core import Query
+from repro.network import (
+    FaultInjector,
+    RemoteDataService,
+    RemoteTimeout,
+    RemoteUnavailable,
+)
+
+
+def outcome_sequence(injector: FaultInjector, n: int = 64) -> list:
+    """The injector's fault/multiplier decision for ``n`` consecutive checks."""
+    outcomes = []
+    for i in range(n):
+        try:
+            outcomes.append(injector.check(float(i)))
+        except RemoteUnavailable:
+            outcomes.append("error")
+        except RemoteTimeout:
+            outcomes.append("timeout")
+    return outcomes
+
+
+class TestValidation:
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(ValueError, match="error_rate"):
+            FaultInjector(error_rate=1.5)
+        with pytest.raises(ValueError, match="timeout_rate"):
+            FaultInjector(timeout_rate=-0.1)
+        with pytest.raises(ValueError, match="spike_rate"):
+            FaultInjector(spike_rate=2.0)
+
+    def test_rejects_rate_sum_above_one(self):
+        with pytest.raises(ValueError, match="must be <= 1"):
+            FaultInjector(error_rate=0.7, timeout_rate=0.7)
+
+    def test_rejects_bad_spike_scale_and_latencies(self):
+        with pytest.raises(ValueError, match="spike_scale"):
+            FaultInjector(spike_scale=0.5)
+        with pytest.raises(ValueError, match="latencies"):
+            FaultInjector(error_latency=-1.0)
+
+    def test_rejects_empty_blackout_window(self):
+        with pytest.raises(ValueError, match="blackout"):
+            FaultInjector(blackouts=[(5.0, 5.0)])
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        kwargs = dict(error_rate=0.3, timeout_rate=0.2, spike_rate=0.1, seed=7)
+        first = outcome_sequence(FaultInjector(**kwargs))
+        second = outcome_sequence(FaultInjector(**kwargs))
+        assert first == second
+        assert "error" in first and "timeout" in first
+
+    def test_different_seed_different_sequence(self):
+        base = dict(error_rate=0.3, timeout_rate=0.2)
+        assert outcome_sequence(
+            FaultInjector(**base, seed=1)
+        ) != outcome_sequence(FaultInjector(**base, seed=2))
+
+    def test_blackout_checks_consume_no_randomness(self):
+        """Blackout faults are schedule-driven: interleaving them must not
+        shift the stochastic fault stream."""
+        plain = FaultInjector(error_rate=0.4, seed=3)
+        shadowed = FaultInjector(
+            error_rate=0.4, seed=3, blackouts=[(1000.0, 1001.0)]
+        )
+        for _ in range(10):
+            with pytest.raises(RemoteUnavailable, match="blackout"):
+                shadowed.check(1000.5)
+        assert outcome_sequence(plain) == outcome_sequence(shadowed)
+        assert shadowed.blackout_faults == 10
+
+
+class TestFaultKinds:
+    def test_certain_error_fails_fast_with_error_latency(self):
+        injector = FaultInjector(error_rate=1.0, error_latency=0.07)
+        with pytest.raises(RemoteUnavailable) as info:
+            injector.check(0.0)
+        assert info.value.latency == pytest.approx(0.07)
+        assert injector.injected_errors == 1
+
+    def test_certain_timeout_burns_timeout_latency(self):
+        injector = FaultInjector(timeout_rate=1.0, timeout_latency=2.0)
+        with pytest.raises(RemoteTimeout) as info:
+            injector.check(0.0)
+        assert info.value.latency == pytest.approx(2.0)
+        assert injector.injected_timeouts == 1
+
+    def test_spike_returns_multiplier(self):
+        injector = FaultInjector(spike_rate=1.0, spike_scale=4.0)
+        assert injector.check(0.0) == pytest.approx(4.0)
+        assert injector.injected_spikes == 1
+        assert injector.total_faults == 0  # spikes degrade, not fail
+
+    def test_clean_injector_is_transparent(self):
+        injector = FaultInjector()
+        assert injector.check(0.0) == pytest.approx(1.0)
+        assert injector.total_faults == 0
+
+    def test_schedule_blackout_and_in_blackout(self):
+        injector = FaultInjector()
+        injector.schedule_blackout(2.0, 4.0)
+        assert injector.blackouts == ((2.0, 4.0),)
+        assert not injector.in_blackout(1.9)
+        assert injector.in_blackout(2.0)  # [start, end)
+        assert injector.in_blackout(3.9)
+        assert not injector.in_blackout(4.0)
+
+
+class TestRemoteIntegration:
+    def test_injected_error_escapes_fetch_at(self):
+        remote = RemoteDataService(
+            latency=0.4, fault_injector=FaultInjector(error_rate=1.0)
+        )
+        with pytest.raises(RemoteUnavailable):
+            remote.fetch_at(Query("q"), 0.0)
+        assert remote.calls == 0  # the call never reached the backend
+
+    def test_spike_multiplies_service_latency(self):
+        remote = RemoteDataService(
+            latency=0.4,
+            fault_injector=FaultInjector(spike_rate=1.0, spike_scale=3.0),
+        )
+        fetch = remote.fetch_at(Query("q"), 0.0)
+        assert fetch.latency == pytest.approx(1.2)
+
+    def test_blackout_gates_by_start_time(self):
+        remote = RemoteDataService(
+            latency=0.4, fault_injector=FaultInjector(blackouts=[(10.0, 20.0)])
+        )
+        assert remote.fetch_at(Query("q"), 5.0) is not None
+        with pytest.raises(RemoteUnavailable):
+            remote.fetch_at(Query("q"), 15.0)
+        assert remote.fetch_at(Query("q"), 25.0) is not None
