@@ -34,6 +34,7 @@ REQUIRED_KEYS = {
     ),
     "BENCH_async.json": ("config", "results", "headline"),
     "BENCH_chaos.json": ("config", "results", "headline"),
+    "BENCH_obs.json": ("config", "results", "headline"),
 }
 
 MAX_ARRAY = 1024

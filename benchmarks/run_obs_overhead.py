@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Observability overhead benchmark; records ``BENCH_obs.json``.
+
+Measures what the unified observability layer costs on the request path, per
+serving stack (sequential, thread pool, asyncio):
+
+* **tracing off** (the shipped default) — ``engine.tracer is None``, so the
+  only instrumentation cost is one attribute load + ``is None`` branch per
+  stage. This arm *is* the baseline: the off path and the uninstrumented
+  path are the same code.
+* **tracing on** — a live :class:`~repro.obs.Tracer` records a request root
+  span plus embed/ann_search/judge/remote_fetch/admit stage spans for every
+  request (no sampling).
+
+Methodology — chunk-interleaved paired runs. Benchmark hosts (this one is a
+single-vCPU microVM) jitter by double-digit percentages on second-long
+timescales, which drowns a sub-10% effect when each arm runs as one long
+block. Instead, each round builds one *off* engine and one *on* engine with
+identical seeds and feeds both the same workload chunk by chunk: time the
+chunk on one engine, then immediately on the other, alternating which arm
+goes first per chunk (ABBA) so warm-cache and drift effects cancel. Each
+chunk yields one on/off wall-time ratio taken ~20 ms apart — close enough
+that host noise hits both arms alike — and the headline overhead is the
+**median of all pooled chunk ratios** across rounds, with the interquartile
+range reported as the noise band. All arms run ``io_pause_scale=0`` (pure
+compute): real I/O would only shrink the *relative* overhead, so this is
+tracing's worst case.
+
+Usage::
+
+    python benchmarks/run_obs_overhead.py [--quick]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import Query  # noqa: E402
+from repro.factory import (  # noqa: E402
+    build_asteria_engine,
+    build_async_engine,
+    build_concurrent_engine,
+    build_remote,
+)
+from repro.obs import Tracer  # noqa: E402
+from repro.serving.aio import run_closed_loop  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_obs.json"
+
+N_QUERIES = 4000
+POPULATION = 256
+ZIPF_S = 1.3
+TIME_STEP = 0.01
+CHUNK = 100
+SEED = 0
+ROUNDS = 5
+THREAD_WORKERS = 4
+ASYNC_CONCURRENCY = 16
+#: Span capacity comfortably above the ~4 spans/request this workload emits.
+TRACER_SPANS = 64_000
+
+
+def workload() -> list[Query]:
+    rng = np.random.default_rng(SEED)
+    ranks = np.minimum(rng.zipf(ZIPF_S, size=N_QUERIES), POPULATION)
+    return [
+        Query(f"stress fact number {rank} of the universe", fact_id=f"F{rank}")
+        for rank in ranks
+    ]
+
+
+def _chunks(queries):
+    for index, start in enumerate(range(0, len(queries), CHUNK)):
+        yield index, start, queries[start : start + CHUNK]
+
+
+def round_sync(queries) -> tuple[list[tuple[float, float]], int]:
+    """One paired round on the sequential engine; returns per-chunk
+    (off_wall, on_wall) pairs plus the traced span count."""
+    engines = {}
+    for arm in (False, True):
+        engines[arm] = build_asteria_engine(build_remote(seed=SEED), seed=SEED)
+    tracer = Tracer(max_spans=TRACER_SPANS)
+    engines[True].set_tracer(tracer)
+    clock = time.perf_counter
+    pairs = []
+    for index, start, chunk in _chunks(queries):
+        order = (False, True) if index % 2 == 0 else (True, False)
+        walls = {}
+        for arm in order:
+            engine = engines[arm]
+            begin = clock()
+            for i, query in enumerate(chunk, start=start):
+                engine.handle(query, now=i * TIME_STEP)
+            walls[arm] = clock() - begin
+        pairs.append((walls[False], walls[True]))
+    return pairs, len(tracer.spans())
+
+
+def round_thread(queries) -> tuple[list[tuple[float, float]], int]:
+    engines = {}
+    for arm in (False, True):
+        engines[arm] = build_concurrent_engine(
+            build_remote(seed=SEED), seed=SEED, shards=4, workers=THREAD_WORKERS
+        )
+    tracer = Tracer(max_spans=TRACER_SPANS)
+    engines[True].set_tracer(tracer)
+    clock = time.perf_counter
+    pairs = []
+    with engines[False], engines[True]:
+        for index, start, chunk in _chunks(queries):
+            order = (False, True) if index % 2 == 0 else (True, False)
+            walls = {}
+            for arm in order:
+                engine = engines[arm]
+                begin = clock()
+                engine.handle_concurrent(chunk, now=start * TIME_STEP)
+                walls[arm] = clock() - begin
+            pairs.append((walls[False], walls[True]))
+    return pairs, len(tracer.spans())
+
+
+async def _round_async(queries) -> tuple[list[tuple[float, float]], int]:
+    engines = {}
+    for arm in (False, True):
+        engines[arm] = build_async_engine(build_remote(seed=SEED), seed=SEED, shards=4)
+    tracer = Tracer(max_spans=TRACER_SPANS)
+    engines[True].set_tracer(tracer)
+    clock = time.perf_counter
+    pairs = []
+    for index, start, chunk in _chunks(queries):
+        order = (False, True) if index % 2 == 0 else (True, False)
+        walls = {}
+        for arm in order:
+            engine = engines[arm]
+            begin = clock()
+            await run_closed_loop(engine, chunk, ASYNC_CONCURRENCY, time_step=TIME_STEP)
+            walls[arm] = clock() - begin
+        pairs.append((walls[False], walls[True]))
+    return pairs, len(tracer.spans())
+
+
+def round_async(queries):
+    return asyncio.run(_round_async(queries))
+
+
+ARMS = (
+    ("sync", round_sync),
+    ("thread", round_thread),
+    ("async", round_async),
+)
+
+
+def measure_arm(round_fn, queries) -> dict:
+    """Run ``ROUNDS`` paired rounds; pool every chunk ratio and summarise."""
+    ratios: list[float] = []
+    wall_off: list[float] = []
+    wall_on: list[float] = []
+    spans = 0
+    round_fn(queries[: CHUNK * 2])  # warmup: imports, pools, numpy caches
+    for _ in range(ROUNDS):
+        pairs, span_count = round_fn(queries)
+        ratios.extend(on / off for off, on in pairs)
+        wall_off.append(sum(off for off, _ in pairs))
+        wall_on.append(sum(on for _, on in pairs))
+        spans = max(spans, span_count)
+    ratios.sort()
+    quartiles = statistics.quantiles(ratios, n=4)
+    return {
+        "tracing_off": {
+            "wall_seconds": round(min(wall_off), 4),
+            "throughput_rps": round(len(queries) / min(wall_off), 1),
+            "spans": 0,
+        },
+        "tracing_on": {
+            "wall_seconds": round(min(wall_on), 4),
+            "throughput_rps": round(len(queries) / min(wall_on), 1),
+            "spans": spans,
+        },
+        "overhead_pct": round((statistics.median(ratios) - 1.0) * 100, 2),
+        "overhead_p25_pct": round((quartiles[0] - 1.0) * 100, 2),
+        "overhead_p75_pct": round((quartiles[2] - 1.0) * 100, 2),
+        "chunk_pairs": len(ratios),
+        "rounds": ROUNDS,
+    }
+
+
+def main(argv: list[str]) -> int:
+    global N_QUERIES, ROUNDS
+    quick = "--quick" in argv
+    if quick:
+        N_QUERIES = 1000
+        ROUNDS = 2
+    queries = workload()
+    results = []
+    for label, round_fn in ARMS:
+        row = {"engine": label, **measure_arm(round_fn, queries)}
+        results.append(row)
+        print(
+            f"{label:<7} off={row['tracing_off']['wall_seconds']:.4f}s "
+            f"on={row['tracing_on']['wall_seconds']:.4f}s "
+            f"overhead={row['overhead_pct']:+.2f}% "
+            f"(pooled chunk median, IQR {row['overhead_p25_pct']:+.2f}%"
+            f"..{row['overhead_p75_pct']:+.2f}%, "
+            f"{row['tracing_on']['spans']} spans)"
+        )
+    worst = max(row["overhead_pct"] for row in results)
+    headline = {
+        "tracing_off_is_baseline": True,
+        "methodology": "chunk-interleaved paired engines; median of pooled ratios",
+        "overhead_pct_by_engine": {
+            row["engine"]: row["overhead_pct"] for row in results
+        },
+        "max_overhead_pct": worst,
+        "overhead_budget_pct": 10.0,
+        "within_budget": worst < 10.0,
+    }
+    data = {
+        "config": {
+            "n_queries": N_QUERIES,
+            "population": POPULATION,
+            "zipf_s": ZIPF_S,
+            "time_step": TIME_STEP,
+            "chunk": CHUNK,
+            "seed": SEED,
+            "rounds": ROUNDS,
+            "thread_workers": THREAD_WORKERS,
+            "async_concurrency": ASYNC_CONCURRENCY,
+            "io_pause_scale": 0.0,
+            "tracer_max_spans": TRACER_SPANS,
+        },
+        "results": results,
+        "headline": headline,
+    }
+    OUTPUT.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    print(f"  headline: {headline}")
+    # Quick mode is a CI smoke (structure + the pipeline runs), not a
+    # measurement — 20 chunk pairs on a shared runner cannot resolve a
+    # sub-10% effect, so only full runs gate on the budget.
+    return 0 if quick or headline["within_budget"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -9,16 +9,23 @@ Usage::
     python -m repro stress --shards 4 --workers 8 --queries 2000
     python -m repro stress --engine async --rate 800 --deadline 0.2
     python -m repro stress --chaos --fault-rate 0.3 --blackout 6:10
+    python -m repro stress --trace-out trace.json --metrics-out metrics.prom
 
 ``--set key=value`` pairs are parsed with ``ast.literal_eval`` (falling back
 to a plain string), so ints, floats, tuples, and booleans all work.
 
 ``stress`` exercises the real serving layers against a skewed synthetic
 workload and prints wall-clock throughput — unlike the experiments, which
-run on the virtual clock. ``--engine threads`` (default) drives the
+run on the virtual clock. ``--engine thread`` (default) drives the
 closed-loop worker pool; ``--engine async`` drives the asyncio front-end
 with an *open-loop* fixed arrival rate, so backpressure (``overloaded``)
-and deadlines (``deadline_exceeded``) are measured honestly.
+and deadlines (``deadline_exceeded``) are measured honestly; ``--engine
+sync`` serves sequentially through the plain engine as a baseline.
+
+Every arm takes the observability flags: ``--trace-out`` writes a Chrome
+``trace_event`` file (open in Perfetto / chrome://tracing), ``--metrics-out``
+a Prometheus text exposition of the run's counters and histograms, and
+``--series-out`` a JSON time-series sampled live by the snapshot recorder.
 """
 
 from __future__ import annotations
@@ -204,6 +211,84 @@ def _chaos_setup(arguments):
     return injector, resilience
 
 
+def _engine_breaker(engine):
+    """The circuit breaker behind a serving engine, or None."""
+    inner = getattr(engine, "engine", engine)
+    return getattr(inner.resilience, "breaker", None)
+
+
+def _obs_setup(arguments, engine, label):
+    """Build the observability rig requested by the stress flags.
+
+    Returns ``(tracer, registry, instrument, recorder)``, with None for any
+    piece not requested. The tracer is attached to ``engine`` immediately;
+    the snapshot recorder starts its sampling thread immediately.
+    """
+    tracer = registry = instrument = recorder = None
+    if arguments.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        engine.set_tracer(tracer)
+    if arguments.metrics_out or arguments.series_out:
+        from repro.obs import EngineInstrument, MetricsRegistry
+
+        registry = MetricsRegistry()
+        instrument = EngineInstrument(registry, label)
+        breaker = _engine_breaker(engine)
+        if breaker is not None:
+            instrument.wire_breaker(breaker)
+    if arguments.series_out:
+        from repro.obs import SnapshotRecorder
+
+        recorder = SnapshotRecorder(
+            registry, interval=arguments.snapshot_interval
+        )
+        instrument.install_probes(
+            recorder,
+            engine.metrics,
+            cache=engine.cache,
+            inflight_fn=(
+                (lambda: engine.inflight)
+                if hasattr(type(engine), "inflight")
+                else None
+            ),
+            breaker=_engine_breaker(engine),
+        )
+        recorder.start()
+    return tracer, registry, instrument, recorder
+
+
+def _obs_finish(arguments, engine, tracer, registry, instrument, recorder) -> None:
+    """Flush the observability artefacts and print where they landed."""
+    if recorder is not None:
+        recorder.stop()  # takes a final sample, syncing the registry
+        recorder.save_json(arguments.series_out)
+        print(
+            f"  series written to {arguments.series_out} "
+            f"({len(recorder.times())} samples)"
+        )
+    if instrument is not None:
+        instrument.sync(
+            engine.metrics,
+            cache=engine.cache,
+            inflight=getattr(engine, "inflight", None),
+        )
+    if arguments.metrics_out:
+        with open(arguments.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.render())
+        print(
+            f"  metrics written to {arguments.metrics_out} "
+            f"({len(registry)} families)"
+        )
+    if tracer is not None:
+        tracer.export_chrome(arguments.trace_out)
+        print(
+            f"  trace written to {arguments.trace_out} "
+            f"({len(tracer.spans())} spans, dropped={tracer.dropped})"
+        )
+
+
 def _print_degraded(metrics) -> None:
     """One line of fault-tolerance counters (shared by both engines)."""
     print(
@@ -216,7 +301,10 @@ def _print_degraded(metrics) -> None:
 
 
 def _command_stress(arguments) -> int:
-    """Wall-clock stress: thread pool (closed loop) or asyncio (open loop)."""
+    """Wall-clock stress: sequential baseline, thread pool (closed loop), or
+    asyncio (open loop)."""
+    if arguments.engine == "sync":
+        return _stress_sync(arguments)
     if arguments.engine == "async":
         return _stress_async(arguments)
     from repro.factory import build_concurrent_engine, build_remote
@@ -231,10 +319,11 @@ def _command_stress(arguments) -> int:
         io_pause_scale=arguments.io_scale,
         resilience=resilience,
     )
+    obs = _obs_setup(arguments, engine, "thread")
     with engine:
         report = engine.run_closed_loop(queries, time_step=0.01)
     print(
-        f"engine=threads workers={report.workers} shards={arguments.shards} "
+        f"engine=thread workers={report.workers} shards={arguments.shards} "
         f"requests={report.requests}"
     )
     print(
@@ -255,6 +344,47 @@ def _command_stress(arguments) -> int:
     per_shard = engine.cache.stats_per_shard()
     inserts = [stats.inserts for stats in per_shard]
     print(f"  per-shard inserts={inserts} (total={sum(inserts)})")
+    _obs_finish(arguments, engine, *obs)
+    return 0
+
+
+def _stress_sync(arguments) -> int:
+    """Sequential baseline: the plain engine, one request at a time."""
+    import time
+
+    from repro.factory import build_asteria_engine, build_remote
+
+    queries = _stress_queries(arguments)
+    injector, resilience = _chaos_setup(arguments)
+    engine = build_asteria_engine(
+        build_remote(seed=arguments.seed, fault_injector=injector),
+        seed=arguments.seed,
+        resilience=resilience,
+    )
+    obs = _obs_setup(arguments, engine, "sync")
+    begin = time.perf_counter()
+    for i, query in enumerate(queries):
+        engine.handle(query, now=i * 0.01)
+    wall = time.perf_counter() - begin
+    metrics = engine.metrics
+    print(f"engine=sync requests={len(queries)}")
+    print(
+        f"  wall={wall:.3f}s "
+        f"throughput={len(queries) / wall:.1f} req/s"
+        if wall > 0
+        else "  wall=0.000s"
+    )
+    print(
+        f"  hit_rate={metrics.hit_rate:.3f} hits={metrics.hits} "
+        f"misses={metrics.misses} remote_calls={engine.remote.calls}"
+    )
+    print(
+        f"  p50_sim={metrics.total_latency.p50 * 1000:.2f}ms "
+        f"p99_sim={metrics.total_latency.p99 * 1000:.2f}ms"
+    )
+    if arguments.chaos:
+        _print_degraded(metrics)
+    _obs_finish(arguments, engine, *obs)
     return 0
 
 
@@ -276,6 +406,7 @@ def _stress_async(arguments) -> int:
         default_deadline=arguments.deadline,
         resilience=resilience,
     )
+    obs = _obs_setup(arguments, engine, "async")
     report = asyncio.run(
         run_open_loop(engine, queries, rate=arguments.rate, time_step=0.01)
     )
@@ -308,6 +439,7 @@ def _stress_async(arguments) -> int:
             f"stale_served={report.stale_served} failed={report.failed}"
         )
         _print_degraded(metrics)
+    _obs_finish(arguments, engine, *obs)
     return 0
 
 
@@ -345,10 +477,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     stress_parser.add_argument(
         "--engine",
-        choices=("threads", "async"),
-        default="threads",
-        help="threads: closed-loop worker pool; async: open-loop asyncio "
-        "front-end (default threads)",
+        choices=("sync", "thread", "threads", "async"),
+        default="thread",
+        help="sync: sequential baseline; thread (default; 'threads' is an "
+        "alias): closed-loop worker pool; async: open-loop asyncio front-end",
     )
     stress_parser.add_argument(
         "--shards", type=int, default=4, help="cache shard count (default 4)"
@@ -419,6 +551,33 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable stale serving under --chaos (degraded misses fail "
         "instead of answering from the last-known-good store)",
+    )
+    stress_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write per-request stage spans as a Chrome trace_event JSON "
+        "file (open in Perfetto or chrome://tracing)",
+    )
+    stress_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's counters/gauges/histograms as a Prometheus "
+        "text exposition file",
+    )
+    stress_parser.add_argument(
+        "--series-out",
+        default=None,
+        metavar="PATH",
+        help="sample the metrics registry on an interval during the run and "
+        "write the time-series as JSON",
+    )
+    stress_parser.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=0.1,
+        help="seconds between --series-out samples (default 0.1)",
     )
     stress_parser.add_argument("--seed", type=int, default=0)
     arguments = parser.parse_args(argv)

@@ -103,6 +103,15 @@ class AsteriaCache:
         #: full-population rescans.
         self._heap: list[tuple[float, int, int]] = []
         self._score_version: dict[int, int] = {}
+        #: Optional stage tracer (see :mod:`repro.obs.trace`); cascades to
+        #: the Sine pipeline via :meth:`set_tracer`.
+        self.tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach with None) a stage tracer to the cache and its
+        Sine pipeline."""
+        self.tracer = tracer
+        self.sine.tracer = tracer
 
     # -- introspection ---------------------------------------------------------
     def __len__(self) -> int:
@@ -184,13 +193,27 @@ class AsteriaCache:
         """
         if not texts:
             return []
-        embeddings = self.sine.embedder.embed_batch(texts)
+        tracer = self.tracer
+        if tracer is None:
+            embeddings = self.sine.embedder.embed_batch(texts)
+        else:
+            t0 = tracer.clock()
+            embeddings = self.sine.embedder.embed_batch(texts)
+            tracer.record_leaf("embed", t0, {"batch": len(texts)})
         index = self.sine.index
         search_batch = getattr(index, "search_batch", None)
         k = self.sine.max_candidates
+        if tracer is None:
+            if search_batch is not None:
+                return search_batch(embeddings, k)
+            return search_batch_fallback(index, embeddings, k)
+        t0 = tracer.clock()
         if search_batch is not None:
-            return search_batch(embeddings, k)
-        return search_batch_fallback(index, embeddings, k)
+            hits = search_batch(embeddings, k)
+        else:
+            hits = search_batch_fallback(index, embeddings, k)
+        tracer.record_leaf("ann_search", t0, {"batch": len(texts)})
+        return hits
 
     def _note_hit(self, result: SineResult, now: float) -> None:
         if result.match is None:
@@ -327,6 +350,16 @@ class AsteriaCache:
     def _enforce_capacity(self, now: float, protect: int | None = None) -> None:
         if self.capacity_items is None or self.usage() <= self.capacity_items:
             return
+        tracer = self.tracer
+        if tracer is None:
+            self._evict_to_capacity(now, protect)
+            return
+        before = self.stats.evictions
+        t0 = tracer.clock()
+        self._evict_to_capacity(now, protect)
+        tracer.record_leaf("evict", t0, {"evicted": self.stats.evictions - before})
+
+    def _evict_to_capacity(self, now: float, protect: int | None) -> None:
         self.remove_expired(now)
         if self.usage() <= self.capacity_items:
             return

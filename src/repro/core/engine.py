@@ -174,6 +174,10 @@ class AsteriaEngine:
         self.resilience = resilience if resilience is not None else ResilienceManager()
         #: Optional request tracing: assign a TraceLog to start recording.
         self.trace = None
+        #: Optional stage tracer (span trees; see :mod:`repro.obs.trace`).
+        #: Attach via :meth:`set_tracer` so the cache and Sine stages are
+        #: wired too; the default None costs one branch per stage.
+        self.tracer = None
         self.name = name
         self.metrics = EngineMetrics()
         self._eval_log: list[tuple[str, float, str | None, str | None]] = []
@@ -182,6 +186,15 @@ class AsteriaEngine:
         #: Semantic fingerprint -> pending fetch event (miss coalescing).
         self._inflight_fetches: dict = {}
         self._fingerprint_tokenizer = SimpleTokenizer()
+
+    # -- observability ----------------------------------------------------------
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach with None) a stage tracer to the engine and,
+        when the cache supports it, to the cache and Sine stages."""
+        self.tracer = tracer
+        set_cache_tracer = getattr(self.cache, "set_tracer", None)
+        if set_cache_tracer is not None:
+            set_cache_tracer(tracer)
 
     # -- shared internals -------------------------------------------------------
     def _is_cacheable(self, query: Query) -> bool:
@@ -265,6 +278,14 @@ class AsteriaEngine:
         inline (there is no background to run it in) but charges nothing to
         the request being served stale."""
         self.metrics.background_refreshes += 1
+        tracer = self.tracer
+        if tracer is None:
+            self._refresh_analytic(query, key, now)
+            return
+        with tracer.span("stale_refresh"):
+            self._refresh_analytic(query, key, now)
+
+    def _refresh_analytic(self, query: Query, key: tuple, now: float) -> None:
         try:
             fetch = self.remote.fetch_at(query, now)
         except RemoteFetchError as exc:
@@ -416,6 +437,20 @@ class AsteriaEngine:
         open breaker all degrade into an explicit ``stale_hit``/``failed``
         response instead of escaping the serve loop.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._handle_analytic(query, now)
+        with tracer.request() as span:
+            response = self._handle_analytic(query, now)
+            # One dict literal instead of request(tool=...) + set(outcome=...):
+            # two kwargs allocations per request add up at tracing's budget.
+            span.attrs = {
+                "tool": query.tool,
+                "outcome": response.degraded or response.lookup.status,
+            }
+            return response
+
+    def _handle_analytic(self, query: Query, now: float) -> EngineResponse:
         self._maybe_recalibrate(now)
         if not self._is_cacheable(query):
             return self._bypass_analytic(query, now)
@@ -472,10 +507,20 @@ class AsteriaEngine:
             else:
                 self.metrics.breaker_open_rejects += 1
             return self._degrade_analytic(query, lookup, key, start, refresh=True)
+        tracer = self.tracer
         try:
-            fetch, overhead = self.resilience.fetch_with_retries(
-                lambda t: self.remote.fetch_at(query, t), start
-            )
+            if tracer is None:
+                fetch, overhead = self.resilience.fetch_with_retries(
+                    lambda t: self.remote.fetch_at(query, t), start
+                )
+            else:
+                t0 = tracer.clock()
+                fetch, overhead = self.resilience.fetch_with_retries(
+                    lambda t: self.remote.fetch_at(query, t), start
+                )
+                tracer.record_leaf(
+                    "remote_fetch", t0, {"retries": fetch.retries, "cost": fetch.cost}
+                )
         except FetchFailed as exc:
             self._account_failure(key, exc, start + exc.latency)
             return self._degrade_analytic(
@@ -484,7 +529,11 @@ class AsteriaEngine:
         arrival = start + overhead + fetch.latency
         self.resilience.on_success(key, fetch, arrival)
         if self._should_admit(query, fetch, arrival):
-            self.cache.insert(query, fetch, arrival)
+            if tracer is None:
+                self.cache.insert(query, fetch, arrival)
+            else:
+                with tracer.span("admit"):
+                    self.cache.insert(query, fetch, arrival)
         return EngineResponse(
             result=fetch.result,
             latency=lookup.latency + overhead + fetch.latency,
@@ -527,23 +576,48 @@ class AsteriaEngine:
             batch_hits = self.cache.prepare_batch(texts)
             snapshot_stamp = self._mutation_stamp()
         responses: list[EngineResponse] = []
+        tracer = self.tracer
         for position, query in enumerate(queries):
-            self._maybe_recalibrate(now)
             row = embed_rows.get(position)
-            if row is None:
-                responses.append(self._bypass_analytic(query, now))
+            if tracer is None:
+                responses.append(
+                    self._batch_one(query, now, row, batch_hits, snapshot_stamp)
+                )
                 continue
-            if self._mutation_stamp() != snapshot_stamp:
-                sine_result = self.cache.lookup(
-                    query, now, ann_only=self.config.ann_only
+            with tracer.request() as span:
+                response = self._batch_one(
+                    query, now, row, batch_hits, snapshot_stamp
                 )
-            else:
-                sine_result = self.cache.lookup_prepared(
-                    query, batch_hits[row], now, ann_only=self.config.ann_only
-                )
-            lookup, element = self._lookup_record(query, sine_result)
-            responses.append(self._complete_analytic(query, now, lookup, element))
+                span.attrs = {
+                    "tool": query.tool,
+                    "batched": True,
+                    "outcome": response.degraded or response.lookup.status,
+                }
+                responses.append(response)
         return responses
+
+    def _batch_one(
+        self,
+        query: Query,
+        now: float,
+        row: int | None,
+        batch_hits: list,
+        snapshot_stamp,
+    ) -> EngineResponse:
+        """Complete one batched query through the scalar code path."""
+        self._maybe_recalibrate(now)
+        if row is None:
+            return self._bypass_analytic(query, now)
+        if self._mutation_stamp() != snapshot_stamp:
+            sine_result = self.cache.lookup(
+                query, now, ann_only=self.config.ann_only
+            )
+        else:
+            sine_result = self.cache.lookup_prepared(
+                query, batch_hits[row], now, ann_only=self.config.ann_only
+            )
+        lookup, element = self._lookup_record(query, sine_result)
+        return self._complete_analytic(query, now, lookup, element)
 
     def _mutation_stamp(self) -> tuple[int, int, int]:
         """Cache-population fingerprint for batch snapshot invalidation."""

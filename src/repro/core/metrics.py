@@ -3,44 +3,85 @@
 Every engine owns an :class:`EngineMetrics`; experiments read it to print the
 paper's metrics — throughput (req/s), latency percentiles, cache hit rate,
 API calls/retries, and operational cost.
+
+:class:`LatencyStats` is bounded-memory: it keeps ``count``/``total``/``max``
+exact for any number of samples but retains at most ``max_samples`` values
+(reservoir sampling, Algorithm R with a seeded RNG). Percentiles are exact
+until the cap is reached and an unbiased estimate beyond it, so a soak run of
+10^8 requests holds the same memory as one of 10^4.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 import numpy as np
 
+#: Default reservoir capacity. Large enough that every existing experiment
+#: and test (well under 16k samples per reservoir) sees exact percentiles;
+#: small enough that six reservoirs per engine stay ~100 KB in a soak run.
+DEFAULT_RESERVOIR = 16_384
+
 
 class LatencyStats:
-    """An append-only collection of latency samples with percentile queries."""
+    """Latency samples with percentile queries, in bounded memory.
 
-    def __init__(self) -> None:
+    ``count``/``total``/``mean``/``max`` are exact regardless of volume.
+    Percentiles are computed over a uniform reservoir of up to
+    ``max_samples`` values: exact while ``count <= max_samples``, an
+    unbiased estimate after (Vitter's Algorithm R with a seeded
+    :class:`random.Random`, so runs stay reproducible).
+    """
+
+    __slots__ = ("max_samples", "_samples", "_count", "_total", "_max", "_rng")
+
+    def __init__(self, max_samples: int = DEFAULT_RESERVOIR, seed: int = 0) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.max_samples = max_samples
         self._samples: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._rng = random.Random(seed)
 
     def add(self, value: float) -> None:
         """Record one sample (seconds)."""
         if value < 0:
             raise ValueError(f"latency must be >= 0, got {value}")
-        self._samples.append(value)
+        self._count += 1
+        self._total += value
+        if value > self._max:
+            self._max = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.max_samples:
+                self._samples[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def total(self) -> float:
-        return float(sum(self._samples))
+        return float(self._total)
 
     @property
     def mean(self) -> float:
-        """Arithmetic mean; 0.0 when empty."""
-        if not self._samples:
+        """Arithmetic mean (exact); 0.0 when empty."""
+        if self._count == 0:
             return 0.0
-        return float(np.mean(self._samples))
+        return self._total / self._count
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0-100); 0.0 when empty."""
+        """The ``p``-th percentile (0-100); 0.0 when empty.
+
+        Exact while no sample has been evicted from the reservoir; an
+        unbiased estimate on longer runs.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self._samples:
@@ -57,16 +98,42 @@ class LatencyStats:
 
     @property
     def max(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        return self._max
 
     def samples(self) -> list[float]:
-        """A copy of all recorded samples."""
+        """A copy of the retained (reservoir) samples."""
         return list(self._samples)
 
     def merge(self, other: "LatencyStats") -> None:
-        """Fold another reservoir's samples into this one (order-insensitive
-        for every statistic exposed here)."""
-        self._samples.extend(other._samples)
+        """Fold another reservoir into this one.
+
+        ``count``/``total``/``max`` stay exact sums. The merged reservoir
+        draws from both sample pools proportionally to the populations they
+        represent, then clips to this instance's cap — still a uniform
+        sample of the combined stream.
+        """
+        if other._count == 0:
+            return
+        pool = self._samples + other._samples
+        if len(pool) > self.max_samples:
+            # Weight each retained sample by the population it stands for,
+            # approximated by proportional allocation between the two pools.
+            own_share = (
+                self._count / (self._count + other._count) if self._count else 0.0
+            )
+            take_own = min(len(self._samples), round(own_share * self.max_samples))
+            take_other = self.max_samples - take_own
+            if take_other > len(other._samples):
+                take_other = len(other._samples)
+                take_own = self.max_samples - take_other
+            pool = self._rng.sample(self._samples, take_own) + self._rng.sample(
+                other._samples, take_other
+            )
+        self._samples = pool
+        self._count += other._count
+        self._total += other._total
+        if other._max > self._max:
+            self._max = other._max
 
     def __repr__(self) -> str:
         return (
@@ -166,7 +233,8 @@ class EngineMetrics:
     def reset(self) -> None:
         """Zero every counter and reservoir (e.g. after a warm-up phase)."""
         fresh = EngineMetrics()
-        self.__dict__.update(fresh.__dict__)
+        for name, value in vars(fresh).items():
+            setattr(self, name, value)
 
     def merge(self, other: "EngineMetrics") -> None:
         """Fold another instance's counters and reservoirs into this one.

@@ -70,8 +70,17 @@ class CircuitBreaker:
       failure re-opens immediately; ``half_open_probes`` successes close the
       breaker and clear the window.
 
+    Every state change is appended to :attr:`transitions` as
+    ``(timestamp, from_state, to_state)`` (bounded, oldest dropped) and
+    forwarded to the optional :attr:`on_transition` listener — the hook the
+    observability bridge uses to mirror breaker state into a gauge and a
+    transition-event counter.
+
     Not thread-safe on its own — :class:`ResilienceManager` serialises access.
     """
+
+    #: Breaker states in gauge-encoding order (closed=0, open=1, half_open=2).
+    STATES = ("closed", "open", "half_open")
 
     def __init__(
         self,
@@ -80,6 +89,7 @@ class CircuitBreaker:
         min_samples: int = 8,
         open_seconds: float = 30.0,
         half_open_probes: int = 2,
+        max_transitions: int = 1024,
     ) -> None:
         if not 0.0 < failure_threshold <= 1.0:
             raise ValueError(
@@ -96,6 +106,8 @@ class CircuitBreaker:
         self.min_samples = min_samples
         self.open_seconds = open_seconds
         self.half_open_probes = half_open_probes
+        if max_transitions < 1:
+            raise ValueError("max_transitions must be >= 1")
         self.state = "closed"
         self._outcomes: deque[bool] = deque(maxlen=window)
         self._opened_at = 0.0
@@ -105,6 +117,20 @@ class CircuitBreaker:
         self.opens = 0
         self.closes = 0
         self.probes = 0
+        #: ``(now, from_state, to_state)`` history, oldest dropped.
+        self.transitions: deque[tuple[float, str, str]] = deque(
+            maxlen=max_transitions
+        )
+        #: Optional ``fn(now, from_state, to_state)`` called on every change
+        #: (under the owning manager's lock — keep it cheap and reentrant-free).
+        self.on_transition = None
+
+    def _set_state(self, now: float, new_state: str) -> None:
+        old_state = self.state
+        self.state = new_state
+        self.transitions.append((now, old_state, new_state))
+        if self.on_transition is not None:
+            self.on_transition(now, old_state, new_state)
 
     @property
     def failure_rate(self) -> float:
@@ -117,7 +143,7 @@ class CircuitBreaker:
         if self.state == "open":
             if now - self._opened_at < self.open_seconds:
                 return False
-            self.state = "half_open"
+            self._set_state(now, "half_open")
             self._probes_granted = 0
             self._probe_successes = 0
         if self.state == "half_open":
@@ -132,7 +158,7 @@ class CircuitBreaker:
         if self.state == "half_open":
             self._probe_successes += 1
             if self._probe_successes >= self.half_open_probes:
-                self.state = "closed"
+                self._set_state(now, "closed")
                 self._outcomes.clear()
                 self.closes += 1
         elif self.state == "closed":
@@ -152,7 +178,7 @@ class CircuitBreaker:
         # Stragglers finishing after a trip are ignored while open.
 
     def _trip(self, now: float) -> None:
-        self.state = "open"
+        self._set_state(now, "open")
         self._opened_at = now
         self._outcomes.clear()
         self.opens += 1

@@ -136,6 +136,15 @@ class ShardedAsteriaCache:
         self._shards = shards
         self._locks = [threading.RLock() for _ in shards]
         self.sine = _SineBroadcast(self._shards)
+        #: Optional stage tracer, broadcast to every shard (the tracer is
+        #: thread-safe; spans carry the recording thread's id).
+        self.tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach with None) a stage tracer on every shard."""
+        self.tracer = tracer
+        for shard in self._shards:
+            shard.set_tracer(tracer)
 
     # -- introspection ---------------------------------------------------------
     @property

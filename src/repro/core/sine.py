@@ -94,6 +94,9 @@ class Sine:
         self.tau_lsm = tau_lsm
         self.max_candidates = max_candidates
         self.judge_all = judge_all
+        #: Optional stage tracer (see :mod:`repro.obs.trace`); when set, each
+        #: retrieval records ``embed`` / ``ann_search`` / ``judge`` spans.
+        self.tracer = None
 
     # -- population management (driven by the cache) -------------------------
     def insert(self, element: SemanticElement) -> None:
@@ -128,8 +131,18 @@ class Sine:
         With ``ann_only`` the top candidate above ``tau_sim`` is returned
         unvalidated — the strawman of §3.2 used by the accuracy ablation.
         """
-        embedding = self.embedder.embed(query.text)
-        raw_hits = self.index.search(embedding, self.max_candidates)
+        tracer = self.tracer
+        if tracer is None:
+            embedding = self.embedder.embed(query.text)
+            raw_hits = self.index.search(embedding, self.max_candidates)
+        else:
+            clock = tracer.clock
+            t0 = clock()
+            embedding = self.embedder.embed(query.text)
+            tracer.record_leaf("embed", t0)
+            t0 = clock()
+            raw_hits = self.index.search(embedding, self.max_candidates)
+            tracer.record_leaf("ann_search", t0, {"raw_hits": len(raw_hits)})
         return self.retrieve_prepared(query, raw_hits, elements, ann_only=ann_only)
 
     def retrieve_prepared(
@@ -160,6 +173,25 @@ class Sine:
                 match=None, candidates=candidates, ann_considered=len(raw_hits)
             )
 
+        tracer = self.tracer
+        if tracer is None or not candidates:
+            return self._judge_candidates(query, raw_hits, candidates, elements)
+        t0 = tracer.clock()
+        result = self._judge_candidates(query, raw_hits, candidates, elements)
+        tracer.record_leaf(
+            "judge", t0, {"judged": result.judged, "matched": result.match is not None}
+        )
+        return result
+
+    def _judge_candidates(
+        self,
+        query: Query,
+        raw_hits: list[SearchHit],
+        candidates: list[SearchHit],
+        elements: Mapping[int, SemanticElement],
+    ) -> SineResult:
+        """Stage 2 proper: judge candidates in similarity order (the tail of
+        :meth:`retrieve_prepared`, factored out so it can be traced)."""
         verdicts: list[JudgeVerdict] = []
         best: tuple[float, SemanticElement] | None = None
         for hit in candidates:

@@ -6,12 +6,38 @@ latency split, cost) as plain dicts, exports/imports JSONL, and computes the
 summary a postmortem needs. Attach one to any engine via
 ``engine.trace = TraceLog()`` — engines call :meth:`record` when a trace is
 attached, with zero overhead otherwise.
+
+Every request, degraded or not, lands in the log with an ``outcome`` field so
+postmortem accounting is conservative (nothing disappears):
+
+* ``hit`` / ``miss`` / ``bypass`` — the normal lookup statuses;
+* ``stale_hit`` / ``failed`` — fault-degraded responses (PR 4);
+* ``overloaded`` / ``deadline_exceeded`` — serving-layer rejections (PR 3),
+  recorded via :meth:`record_rejected` since they never produce a response.
+
+Hedged fetches carry ``hedged: true`` so tail-latency postmortems can see
+which requests were saved by the backup flight.
 """
 
 from __future__ import annotations
 
 import json
+from collections import deque
 from pathlib import Path
+
+#: Outcomes a record may carry (normal statuses + degraded + rejected).
+OUTCOMES = (
+    "hit",
+    "miss",
+    "bypass",
+    "stale_hit",
+    "failed",
+    "overloaded",
+    "deadline_exceeded",
+)
+
+#: Outcomes that never reach the cache lookup (no latency split available).
+REJECTED_OUTCOMES = ("overloaded", "deadline_exceeded")
 
 
 class TraceLog:
@@ -21,13 +47,15 @@ class TraceLog:
     ----------
     max_records:
         Oldest records are dropped beyond this bound (default 100 000).
+        Retention uses a ``deque(maxlen=...)`` so the drop is O(1), not the
+        O(n) ``list.pop(0)`` it once was.
     """
 
     def __init__(self, max_records: int = 100_000) -> None:
         if max_records < 1:
             raise ValueError("max_records must be >= 1")
         self.max_records = max_records
-        self._records: list[dict] = []
+        self._records: deque[dict] = deque(maxlen=max_records)
         self.dropped = 0
 
     def __len__(self) -> int:
@@ -36,14 +64,26 @@ class TraceLog:
     def __bool__(self) -> bool:
         return True
 
+    def _append(self, entry: dict) -> None:
+        if len(self._records) == self.max_records:
+            self.dropped += 1
+        self._records.append(entry)
+
     def record(self, now: float, query, response) -> None:
-        """Append one resolved request (engine-facing API)."""
+        """Append one resolved request (engine-facing API).
+
+        ``outcome`` is the degraded label when the response is degraded
+        (``stale_hit`` / ``failed``), else the lookup status — so summing
+        ``by_outcome`` covers every request the engine resolved.
+        """
         lookup = response.lookup
+        degraded = getattr(response, "degraded", None)
         entry = {
             "now": round(now, 6),
             "tool": query.tool,
             "query": query.text,
             "status": lookup.status,
+            "outcome": degraded if degraded is not None else lookup.status,
             "latency": round(response.latency, 6),
             "cache_check": round(lookup.latency, 6),
             "candidates": lookup.candidates,
@@ -52,10 +92,39 @@ class TraceLog:
             "cost": response.fetch.cost if response.fetch else 0.0,
             "retries": response.fetch.retries if response.fetch else 0,
         }
-        self._records.append(entry)
-        if len(self._records) > self.max_records:
-            self._records.pop(0)
-            self.dropped += 1
+        if response.fetch is not None and getattr(response.fetch, "hedged", False):
+            entry["hedged"] = True
+        self._append(entry)
+
+    def record_rejected(
+        self, now: float, query, outcome: str, latency: float = 0.0
+    ) -> None:
+        """Append one request the serving layer rejected before lookup.
+
+        ``overloaded`` requests never entered the engine; ``deadline_exceeded``
+        ones died mid-flight. Neither has a lookup record, but both must
+        appear here or the log under-counts offered load.
+        """
+        if outcome not in REJECTED_OUTCOMES:
+            raise ValueError(
+                f"outcome must be one of {REJECTED_OUTCOMES}, got {outcome!r}"
+            )
+        self._append(
+            {
+                "now": round(now, 6),
+                "tool": query.tool,
+                "query": query.text,
+                "status": outcome,
+                "outcome": outcome,
+                "latency": round(latency, 6),
+                "cache_check": 0.0,
+                "candidates": 0,
+                "judged": 0,
+                "truth_match": None,
+                "cost": 0.0,
+                "retries": 0,
+            }
+        )
 
     def records(self) -> list[dict]:
         """A copy of the stored records, oldest first."""
@@ -73,34 +142,51 @@ class TraceLog:
         log = cls(max_records=max_records)
         for line in Path(path).read_text().splitlines():
             if line.strip():
-                log._records.append(json.loads(line))
+                log._append(json.loads(line))
         return log
 
     # -- analysis ----------------------------------------------------------------
     def summary(self) -> dict:
-        """Aggregate view: counts, hit rate, latency mean, spend."""
+        """Aggregate view: counts, hit rate, latency mean, spend.
+
+        ``by_outcome`` partitions *every* record (normal + degraded +
+        rejected); ``by_status`` keeps the raw lookup statuses for
+        compatibility. Hit rate is computed over clean hit/miss lookups only,
+        matching :class:`~repro.core.metrics.EngineMetrics.hit_rate`.
+        """
         total = len(self._records)
         if total == 0:
             return {"requests": 0}
         by_status: dict[str, int] = {}
+        by_outcome: dict[str, int] = {}
         latency_sum = 0.0
         cost_sum = 0.0
         wrong = 0
+        hedged = 0
         for record in self._records:
             by_status[record["status"]] = by_status.get(record["status"], 0) + 1
+            outcome = record.get("outcome", record["status"])
+            by_outcome[outcome] = by_outcome.get(outcome, 0) + 1
             latency_sum += record["latency"]
             cost_sum += record["cost"]
             if record["truth_match"] is False:
                 wrong += 1
-        hits = by_status.get("hit", 0)
-        misses = by_status.get("miss", 0)
+            if record.get("hedged"):
+                hedged += 1
+        # Degraded/rejected outcomes keep their raw status out of hit/miss
+        # accounting: a stale_hit record's status is its lookup status
+        # ("miss"), so count clean lookups from outcomes, not statuses.
+        hits = by_outcome.get("hit", 0)
+        misses = by_outcome.get("miss", 0)
         return {
             "requests": total,
             "by_status": by_status,
+            "by_outcome": by_outcome,
             "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
             "mean_latency": latency_sum / total,
             "total_cost": cost_sum,
             "wrong_servings": wrong,
+            "hedged": hedged,
         }
 
     def slowest(self, n: int = 10) -> list[dict]:

@@ -184,6 +184,12 @@ class AsyncAsteriaEngine:
         """Requests currently inside the serving section."""
         return self._inflight
 
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach with None) a stage tracer; the span context
+        lives in a contextvar, so it survives ``await`` points and is
+        inherited by single-flight leader tasks spawned under a request."""
+        self.engine.set_tracer(tracer)
+
     # -- the request path --------------------------------------------------------
     async def serve(
         self, query: Query, now: float = 0.0, deadline: float | None = None
@@ -194,9 +200,22 @@ class AsyncAsteriaEngine:
         exactly as in the sequential engine); ``deadline`` is *wall* seconds
         and overrides ``default_deadline`` for this request.
         """
+        tracer = self.engine.tracer
+        if tracer is None:
+            return await self._serve_outer(query, now, deadline)
+        with tracer.request() as span:
+            outcome = await self._serve_outer(query, now, deadline)
+            span.attrs = {"tool": query.tool, "outcome": outcome.status}
+            return outcome
+
+    async def _serve_outer(
+        self, query: Query, now: float, deadline: float | None
+    ) -> AsyncOutcome:
         begin = time.perf_counter()
         if self._inflight >= self.max_inflight:
             self.metrics.overloaded += 1
+            if self.engine.trace is not None:
+                self.engine.trace.record_rejected(now, query, STATUS_OVERLOADED)
             return AsyncOutcome(
                 STATUS_OVERLOADED, wall_latency=time.perf_counter() - begin
             )
@@ -211,9 +230,12 @@ class AsyncAsteriaEngine:
                         response = await self._serve(query, now)
             except TimeoutError:
                 self.metrics.deadline_exceeded += 1
-                return AsyncOutcome(
-                    STATUS_DEADLINE, wall_latency=time.perf_counter() - begin
-                )
+                wall = time.perf_counter() - begin
+                if self.engine.trace is not None:
+                    self.engine.trace.record_rejected(
+                        now, query, STATUS_DEADLINE, latency=wall
+                    )
+                return AsyncOutcome(STATUS_DEADLINE, wall_latency=wall)
             wall = time.perf_counter() - begin
             if response.degraded == "stale_hit":
                 return AsyncOutcome(STATUS_STALE, response, wall_latency=wall)
@@ -284,16 +306,42 @@ class AsyncAsteriaEngine:
         """Leader flight: remote fetch (possibly hedged) with transient-fault
         retries and breaker accounting, then admission.
 
-        Runs as its own task inside the single-flight layer, so it completes
-        and admits even when every caller's deadline has already fired.
+        Runs as its own task inside the single-flight layer; the task
+        snapshots the spawning request's contextvars, so its spans parent
+        under that request's root even after every caller moved on.
         """
+        engine = self.engine
+        tracer = engine.tracer
+        if tracer is None:
+            fetch, overhead, attempts = await self._fetch_retrying(query, start)
+        else:
+            t0 = tracer.clock()
+            fetch, overhead, attempts = await self._fetch_retrying(query, start)
+            tracer.record_leaf(
+                "remote_fetch", t0, {"retries": attempts, "cost": fetch.cost}
+            )
+        arrival = start + overhead + fetch.latency
+        engine.resilience.on_success(key, fetch, arrival)
+        if engine._should_admit(query, fetch, arrival):
+            if tracer is None:
+                engine.cache.insert(query, fetch, arrival)
+            else:
+                with tracer.span("admit"):
+                    engine.cache.insert(query, fetch, arrival)
+        return fetch
+
+    async def _fetch_retrying(
+        self, query: Query, start: float
+    ) -> tuple[FetchResult, float, int]:
+        """The transient-fault retry loop around :meth:`_fetch`; returns the
+        fetch, the simulated overhead accrued by failed attempts and backoff,
+        and the number of retries taken."""
         engine = self.engine
         overhead = 0.0
         attempt = 0
         while True:
             try:
-                fetch = await self._fetch(query, start + overhead)
-                break
+                return await self._fetch(query, start + overhead), overhead, attempt
             except InjectedFault as exc:
                 overhead += exc.latency
                 if attempt >= engine.resilience.retry_policy.max_retries:
@@ -313,11 +361,6 @@ class AsyncAsteriaEngine:
                     latency=overhead + exc.latency,
                     cause=exc,
                 ) from exc
-        arrival = start + overhead + fetch.latency
-        engine.resilience.on_success(key, fetch, arrival)
-        if engine._should_admit(query, fetch, arrival):
-            engine.cache.insert(query, fetch, arrival)
-        return fetch
 
     def _degrade(
         self,
@@ -363,6 +406,16 @@ class AsyncAsteriaEngine:
         task.add_done_callback(self._refresh_tasks.discard)
 
     async def _refresh(self, query: Query, key: tuple, start: float) -> None:
+        tracer = self.engine.tracer
+        if tracer is None:
+            await self._refresh_inner(query, key, start)
+        else:
+            # The refresh task inherited the serving request's context; give
+            # it a span of its own under that root.
+            with tracer.span("stale_refresh"):
+                await self._refresh_inner(query, key, start)
+
+    async def _refresh_inner(self, query: Query, key: tuple, start: float) -> None:
         try:
             await self.singleflight.run(
                 key, lambda: self._fetch_and_admit(query, start, key)
@@ -404,9 +457,10 @@ class AsyncAsteriaEngine:
         if winner is backup:
             self.metrics.hedge_wins += 1
             # The caller experienced the hedge delay plus the backup's own
-            # fetch time; report that end-to-end simulated latency.
+            # fetch time; report that end-to-end simulated latency and mark
+            # the result hedged for the trace log.
             fetch = dataclasses.replace(
-                fetch, latency=hedge_delay_sim + fetch.latency
+                fetch, latency=hedge_delay_sim + fetch.latency, hedged=True
             )
         return fetch
 

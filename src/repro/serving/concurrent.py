@@ -177,6 +177,12 @@ class ConcurrentEngine:
     def remote(self):
         return self.engine.remote
 
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach with None) a stage tracer; spans from worker
+        threads parent correctly because each thread carries its own
+        contextvar context and request roots reset it on exit."""
+        self.engine.set_tracer(tracer)
+
     def handle(self, query: Query, now: float = 0.0) -> EngineResponse:
         """Resolve one query on the calling thread (thread-safe)."""
         return self._serve(query, now)
@@ -196,6 +202,18 @@ class ConcurrentEngine:
 
     # -- the request path --------------------------------------------------------
     def _serve(self, query: Query, now: float) -> EngineResponse:
+        tracer = self.engine.tracer
+        if tracer is None:
+            return self._serve_inner(query, now)
+        with tracer.request() as span:
+            response = self._serve_inner(query, now)
+            span.attrs = {
+                "tool": query.tool,
+                "outcome": response.degraded or response.lookup.status,
+            }
+            return response
+
+    def _serve_inner(self, query: Query, now: float) -> EngineResponse:
         engine = self.engine
         if not engine._is_cacheable(query):
             key = engine._resilience_key(query)
@@ -260,12 +278,39 @@ class ConcurrentEngine:
         """Leader path: remote fetch with transient-fault retries, breaker
         accounting, then admission into the query's shard."""
         engine = self.engine
+        tracer = engine.tracer
+        if tracer is None:
+            fetch, overhead, attempts = self._fetch_retrying(query, start)
+        else:
+            t0 = tracer.clock()
+            fetch, overhead, attempts = self._fetch_retrying(query, start)
+            tracer.record_leaf(
+                "remote_fetch", t0, {"retries": attempts, "cost": fetch.cost}
+            )
+        arrival = start + overhead + fetch.latency
+        engine.resilience.on_success(key, fetch, arrival)
+        with self._record_lock:
+            admit = engine._should_admit(query, fetch, arrival)
+        if admit:
+            if tracer is None:
+                engine.cache.insert(query, fetch, arrival)
+            else:
+                with tracer.span("admit"):
+                    engine.cache.insert(query, fetch, arrival)
+        return fetch
+
+    def _fetch_retrying(
+        self, query: Query, start: float
+    ) -> tuple[FetchResult, float, int]:
+        """The transient-fault retry loop around :meth:`_fetch`; returns the
+        fetch, the simulated overhead accrued by failed attempts and backoff,
+        and the number of retries taken."""
+        engine = self.engine
         overhead = 0.0
         attempt = 0
         while True:
             try:
-                fetch = self._fetch(query, start + overhead)
-                break
+                return self._fetch(query, start + overhead), overhead, attempt
             except InjectedFault as exc:
                 overhead += exc.latency
                 if attempt >= engine.resilience.retry_policy.max_retries:
@@ -285,13 +330,6 @@ class ConcurrentEngine:
                     latency=overhead + exc.latency,
                     cause=exc,
                 ) from exc
-        arrival = start + overhead + fetch.latency
-        engine.resilience.on_success(key, fetch, arrival)
-        with self._record_lock:
-            admit = engine._should_admit(query, fetch, arrival)
-        if admit:
-            engine.cache.insert(query, fetch, arrival)
-        return fetch
 
     def _fetch(self, query: Query, start: float) -> FetchResult:
         try:
@@ -354,6 +392,16 @@ class ConcurrentEngine:
         self._ensure_pool().submit(self._refresh, query, key, start)
 
     def _refresh(self, query: Query, key: tuple, start: float) -> None:
+        tracer = self.engine.tracer
+        if tracer is None:
+            self._refresh_inner(query, key, start)
+        else:
+            # Pool threads have no request context; the refresh becomes its
+            # own root span (request() semantics without the request name).
+            with tracer.request("stale_refresh", tool=query.tool):
+                self._refresh_inner(query, key, start)
+
+    def _refresh_inner(self, query: Query, key: tuple, start: float) -> None:
         try:
             self.singleflight.run(
                 key, lambda: self._fetch_and_admit(query, start, key)

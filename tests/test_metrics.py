@@ -84,3 +84,72 @@ class TestEngineMetrics:
         assert summary["requests"] == 1
         assert summary["hit_rate"] == 1.0
         assert summary["mean_latency"] == 0.5
+
+
+class TestMemoryEnvelope:
+    """Satellite regression: a 10^6-request run must stay inside a fixed
+    memory envelope. Every per-request sink is bounded — the latency
+    reservoir, the request log, and the span store — so retained state is a
+    function of the configured caps, never of run length."""
+
+    N = 1_000_000
+
+    def test_million_request_run_stays_bounded(self):
+        import sys
+
+        from repro.core.tracelog import TraceLog
+        from repro.obs import Tracer
+
+        class _Lookup:
+            status = "hit"
+            latency = 0.001
+            candidates = 1
+            judged = 1
+            truth_match = True
+
+        class _Response:
+            lookup = _Lookup()
+            degraded = None
+            latency = 0.002
+            fetch = None
+
+        class _Query:
+            text = "q"
+            tool = "kb"
+
+        stats = LatencyStats()
+        log = TraceLog(max_records=10_000)
+        tracer = Tracer(max_spans=10_000)
+        query, response = _Query(), _Response()
+        clock = tracer.clock
+        for i in range(self.N):
+            stats.add((i % 997) * 1e-6)
+            log.record(i * 1e-3, query, response)
+            t0 = clock()
+            tracer.record_leaf("embed", t0)
+
+        # Exact aggregates survive the bound ...
+        assert stats.count == self.N
+        expected = (
+            (self.N // 997) * sum(range(997)) + sum(range(self.N % 997))
+        ) * 1e-6
+        assert stats.total == pytest.approx(expected)
+        assert len(log) == 10_000
+        assert log.dropped == self.N - 10_000
+        assert len(tracer) == 10_000
+        assert tracer.dropped == self.N - 10_000
+
+        # ... while retained state stays at the configured caps.
+        assert len(stats.samples()) == stats.max_samples
+        assert len(log.records()) == 10_000
+        assert len(tracer.spans()) == 10_000
+
+        # Container-level envelope: the three sinks' retained stores sum to
+        # low single-digit MB. An unbounded regression (list append per
+        # request) would put any one of them at tens of MB.
+        envelope = (
+            sys.getsizeof(stats._samples)
+            + sys.getsizeof(log._records)
+            + sys.getsizeof(tracer._spans)
+        )
+        assert envelope < 4 * 1024 * 1024

@@ -61,6 +61,136 @@ class TestTracePersistence:
         assert len(TraceLog.load_jsonl(path)) == 0
 
 
+class TestOutcomeConservation:
+    """Satellite: every request the serving layer resolves or rejects must
+    appear in the log under exactly one outcome, and the per-outcome totals
+    must agree with the :class:`EngineMetrics` counters."""
+
+    def _assert_conserved(self, log, metrics):
+        by_outcome = log.summary()["by_outcome"]
+        assert by_outcome.get("hit", 0) == metrics.hits
+        assert by_outcome.get("miss", 0) == metrics.misses
+        assert by_outcome.get("bypass", 0) == metrics.bypasses
+        assert by_outcome.get("stale_hit", 0) == metrics.stale_hits
+        assert by_outcome.get("failed", 0) == metrics.failed_requests
+        assert by_outcome.get("overloaded", 0) == metrics.overloaded
+        assert by_outcome.get("deadline_exceeded", 0) == metrics.deadline_exceeded
+        finished = (
+            metrics.requests
+            + metrics.stale_hits
+            + metrics.failed_requests
+            + metrics.overloaded
+            + metrics.deadline_exceeded
+        )
+        assert sum(by_outcome.values()) == len(log) == finished
+
+    def test_blackout_run_conserves_degraded_outcomes(self):
+        """A mid-run blackout produces stale hits and explicit failures; the
+        log must account for every one of them."""
+        from repro.core.config import AsteriaConfig
+        from repro.core.resilience import CircuitBreaker, ResilienceManager
+        from repro.network import FaultInjector
+
+        engine = build_asteria_engine(
+            build_remote(
+                seed=0,
+                fault_injector=FaultInjector(blackouts=[(1.0, 2.0)], seed=0),
+            ),
+            # A short TTL forces warm keys to re-fetch during the blackout:
+            # the fetch fails, the last-known-good copy serves stale.
+            config=AsteriaConfig(default_ttl=0.5),
+            seed=0,
+            resilience=ResilienceManager(
+                breaker=CircuitBreaker(
+                    failure_threshold=1.0, window=1024, min_samples=1024
+                ),
+                stale_serve=True,
+                seed=0,
+            ),
+        )
+        engine.trace = TraceLog()
+        for i in range(300):
+            if 100 <= i < 200 and i % 10 == 0:
+                # Cold keys first seen mid-blackout: no stale fallback.
+                rank = 100 + i
+            else:
+                # Warm keys recur throughout and expire into re-fetches.
+                rank = (i * 7) % 12
+            engine.handle(
+                Query(f"stress fact number {rank} of it", fact_id=f"F{rank}"),
+                now=i * 0.01,
+            )
+        metrics = engine.metrics
+        assert metrics.stale_hits > 0  # warm keys degraded to stale
+        assert metrics.failed_requests > 0  # cold keys had no fallback
+        self._assert_conserved(engine.trace, metrics)
+
+    def test_async_rejections_conserved(self):
+        """Overloaded and deadline-exceeded requests never produce a
+        response, but must still land in the log via record_rejected."""
+        import asyncio
+
+        from repro.factory import build_async_engine
+        from repro.serving.aio import run_closed_loop
+
+        engine = build_async_engine(
+            build_remote(seed=0),
+            seed=0,
+            shards=2,
+            max_inflight=1,
+            io_pause_scale=0.002,
+        )
+        engine.engine.trace = TraceLog()
+        # Unique queries -> every request is a miss with a real (wall) pause.
+        queries = [Query(f"unique topic {i} zz", fact_id=f"U{i}") for i in range(24)]
+
+        async def drive():
+            await run_closed_loop(engine, queries, concurrency=8)
+            # A second wave under an impossible deadline: misses must pause
+            # ~0.6-1 ms of wall time, so a 10 us budget always expires.
+            for i, query in enumerate(queries[:4]):
+                await engine.serve(
+                    Query(f"deadline topic {i} zz", fact_id=f"D{i}"),
+                    now=1.0 + i * 0.01,
+                    deadline=1e-5,
+                )
+            await engine.drain()
+
+        asyncio.run(drive())
+        metrics = engine.metrics
+        assert metrics.overloaded > 0
+        assert metrics.deadline_exceeded > 0
+        self._assert_conserved(engine.engine.trace, metrics)
+
+    def test_hedged_fetches_carry_schema_flag(self):
+        """Responses resolved by a hedged fetch are marked in the log so
+        postmortems can attribute tail-latency rescues."""
+
+        class _Lookup:
+            status = "miss"
+            latency = 0.002
+            candidates = 1
+            judged = 0
+            truth_match = None
+
+        class _Fetch:
+            cost = 0.005
+            retries = 0
+            hedged = True
+
+        class _Response:
+            lookup = _Lookup()
+            degraded = None
+            latency = 0.4
+            fetch = _Fetch()
+
+        log = TraceLog()
+        log.record(0.0, Query("q", fact_id="F"), _Response())
+        (entry,) = log.records()
+        assert entry["hedged"] is True
+        assert entry["outcome"] == "miss"
+
+
 class TestTraceAnalysis:
     def test_summary(self):
         engine = traced_engine()
