@@ -2,6 +2,28 @@
 
 from __future__ import annotations
 
+#: ``machine_info.cpu`` keys worth keeping in a committed artefact. The rest
+#: of what cpuinfo collects — notably the 100+-entry ``flags`` list — is
+#: noise that dwarfs the numbers the file exists to record.
+_CPU_KEEP = ("arch", "bits", "count", "brand_raw", "hz_advertised_friendly")
+
+
+def slim_machine_info(data: dict) -> dict:
+    """Strip pytest-benchmark's ``machine_info`` down to the useful core.
+
+    Keeps the host identity fields (arch / brand / core count / advertised
+    clock) needed to interpret the timings and drops everything else from
+    the ``cpu`` block, in particular the full CPU ``flags`` list. Mutates
+    and returns ``data``; a no-op when no machine_info is present.
+    """
+    info = data.get("machine_info")
+    if not isinstance(info, dict):
+        return data
+    cpu = info.get("cpu")
+    if isinstance(cpu, dict):
+        info["cpu"] = {key: cpu[key] for key in _CPU_KEEP if key in cpu}
+    return data
+
 
 def cap_samples(data: dict, keep: int = 20) -> dict:
     """Trim each benchmark's raw per-round sample list to ``keep`` entries.

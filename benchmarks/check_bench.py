@@ -8,7 +8,14 @@ Checks, for every ``BENCH_*.json`` at the repo root:
 * no array anywhere in the document exceeds ``MAX_ARRAY`` entries — the
   benchmark runners cap raw sample lists so artefacts stay reviewable
   (~1k lines per array at most), and this catches a runner regressing to
-  dumping every sample again.
+  dumping every sample again;
+* ``machine_info.cpu`` carries no ``flags`` list (the runners slim it to a
+  handful of identity fields; the full flag dump was ~200 entries of noise
+  per artefact);
+* per-file value gates on the fast-path numbers: the arena-batched lookup
+  speedup, zero full index rebuilds under incremental admission, a
+  non-empty int8 recall curve, and sampled-tracing overhead under 1%
+  (both the micro measurement and the obs headline).
 
 Pure stdlib; run as ``python benchmarks/check_bench.py``.
 """
@@ -24,7 +31,13 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 #: Required top-level keys per artefact. Files not listed here still get the
 #: parse and array-cap checks.
 REQUIRED_KEYS = {
-    "BENCH_micro.json": ("machine_info", "benchmarks", "speedups", "sample_cap"),
+    "BENCH_micro.json": (
+        "machine_info",
+        "benchmarks",
+        "speedups",
+        "sample_cap",
+        "arena",
+    ),
     "BENCH_concurrency.json": (
         "machine_info",
         "benchmarks",
@@ -38,6 +51,71 @@ REQUIRED_KEYS = {
 }
 
 MAX_ARRAY = 1024
+
+#: Minimum arena-batched speedup over the per-vector scalar path (the PR's
+#: headline acceptance bar).
+MIN_BATCHED_SPEEDUP = 2.0
+#: Sampled tracing must stay under this overhead (percent).
+MAX_SAMPLED_OVERHEAD_PCT = 1.0
+
+
+def _dig(data, *keys):
+    """Walk nested dicts; None as soon as a key is missing."""
+    node = data
+    for key in keys:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def gate_micro(data) -> list[str]:
+    """Value gates on the ``arena`` fast-path section of BENCH_micro."""
+    errors = []
+    speedup = _dig(data, "arena", "throughput", "batched_speedup_vs_scalar")
+    if not isinstance(speedup, (int, float)) or speedup < MIN_BATCHED_SPEEDUP:
+        errors.append(
+            f"arena.throughput.batched_speedup_vs_scalar is {speedup!r}; "
+            f"the batched arena path must be >= {MIN_BATCHED_SPEEDUP}x scalar"
+        )
+    rebuilds = _dig(data, "arena", "incremental_rebuilds")
+    for kind in ("flat", "ivf", "hnsw", "pq"):
+        count = rebuilds.get(kind) if isinstance(rebuilds, dict) else None
+        if count != 0:
+            errors.append(
+                f"arena.incremental_rebuilds.{kind} is {count!r}; incremental "
+                f"admission must trigger zero full rebuilds"
+            )
+    curve = _dig(data, "arena", "int8", "recall_curve")
+    if not isinstance(curve, list) or not curve:
+        errors.append("arena.int8.recall_curve is missing or empty")
+    overhead = _dig(data, "arena", "sampled_tracing", "overhead_pct")
+    if not isinstance(overhead, (int, float)) or overhead >= MAX_SAMPLED_OVERHEAD_PCT:
+        errors.append(
+            f"arena.sampled_tracing.overhead_pct is {overhead!r}; must be "
+            f"< {MAX_SAMPLED_OVERHEAD_PCT}"
+        )
+    return errors
+
+
+def gate_obs(data) -> list[str]:
+    errors = []
+    sampled = _dig(data, "headline", "max_sampled_overhead_pct")
+    if not isinstance(sampled, (int, float)) or sampled >= MAX_SAMPLED_OVERHEAD_PCT:
+        errors.append(
+            f"headline.max_sampled_overhead_pct is {sampled!r}; must be "
+            f"< {MAX_SAMPLED_OVERHEAD_PCT}"
+        )
+    if _dig(data, "headline", "within_budget") is not True:
+        errors.append("headline.within_budget is not true")
+    return errors
+
+
+#: Per-file value gates, run after the schema checks pass.
+VALUE_GATES = {
+    "BENCH_micro.json": gate_micro,
+    "BENCH_obs.json": gate_obs,
+}
 
 
 def oversized_arrays(node, path="$"):
@@ -67,6 +145,16 @@ def check(path: pathlib.Path) -> list[str]:
             f"{path.name}: array at {where} has {length} entries "
             f"(cap is {MAX_ARRAY}; cap samples in the runner)"
         )
+    cpu = _dig(data, "machine_info", "cpu")
+    if isinstance(cpu, dict) and "flags" in cpu:
+        errors.append(
+            f"{path.name}: machine_info.cpu.flags present; runners must slim "
+            f"cpu info (bench_util.slim_machine_info)"
+        )
+    if not missing:
+        gate = VALUE_GATES.get(path.name)
+        if gate is not None:
+            errors.extend(f"{path.name}: {msg}" for msg in gate(data))
     return errors
 
 

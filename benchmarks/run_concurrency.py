@@ -20,7 +20,7 @@ import pathlib
 import subprocess
 import sys
 
-from bench_util import cap_samples
+from bench_util import cap_samples, slim_machine_info
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_concurrency.json"
@@ -60,6 +60,7 @@ def main(argv: list[str]) -> int:
             speedups[f"speedup_{workers}w"] = rps / base
     data["throughput_rps"] = {k: round(v, 2) for k, v in throughput.items()}
     data["speedups"] = {k: round(v, 3) for k, v in speedups.items()}
+    slim_machine_info(data)
     cap_samples(data)
     OUTPUT.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
 

@@ -3,8 +3,11 @@
 
 Executes ``bench_micro.py`` under pytest-benchmark with ``--benchmark-json``,
 then augments the JSON with the batch-vs-scalar speedup ratios the project
-tracks PR-over-PR, caps the stored raw samples (the summary statistics keep
-full precision), and writes it to ``BENCH_micro.json``.
+tracks PR-over-PR plus the ``arena`` fast-path section (arena-batched vs
+per-vector throughput, the int8 memory/recall trade-off curve, incremental
+admission rebuild counts, and sampled-tracing overhead — all gated by
+``check_bench.py``), caps the stored raw samples (the summary statistics
+keep full precision), and writes it to ``BENCH_micro.json``.
 
 Usage::
 
@@ -18,8 +21,9 @@ import os
 import pathlib
 import subprocess
 import sys
+import time
 
-from bench_util import cap_samples
+from bench_util import cap_samples, slim_machine_info
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_micro.json"
@@ -33,6 +37,234 @@ SPEEDUP_PAIRS = {
     ),
     "handle_batch_64": ("test_micro_handle_64_scalar", "test_micro_handle_batch_64"),
 }
+
+
+def _fleet_engine(arena: "str | None", n: int = 64):
+    from repro.core import Query
+    from repro.factory import build_asteria_engine, build_remote
+
+    engine = build_asteria_engine(build_remote(seed=1), seed=1, arena=arena)
+    for index in range(n):
+        engine.handle(
+            Query(f"height of mountain number {index}", fact_id=f"F{index}"), 0.0
+        )
+    queries = [
+        Query(f"ok the height of mountain number {index} please", fact_id=f"F{index}")
+        for index in range(n)
+    ]
+    return engine, queries
+
+
+def bench_arena_throughput(rounds: int = 30) -> dict:
+    """Warm-fleet lookup throughput: per-vector scalar vs arena batched.
+
+    The scalar arm is the PR 1 shape — per-element embedding arrays, one
+    ``handle`` per query; the batched arm runs the same 64-query fleet
+    through ``handle_batch`` over the shared float32 arena. Both are timed
+    over the same rounds and reported as queries/sec (best round, the
+    standard microbench convention on a jittery host).
+    """
+    import itertools
+
+    scalar_engine, queries = _fleet_engine(arena=None)
+    batched_engine, _ = _fleet_engine(arena="float32")
+    counter = itertools.count(1)
+    clock = time.perf_counter
+    scalar_walls, batched_walls = [], []
+    for _ in range(rounds):
+        now = 1.0 + 0.01 * next(counter)
+        begin = clock()
+        for query in queries:
+            scalar_engine.handle(query, now)
+        scalar_walls.append(clock() - begin)
+        now = 1.0 + 0.01 * next(counter)
+        begin = clock()
+        batched_engine.handle_batch(queries, now)
+        batched_walls.append(clock() - begin)
+    n = len(queries)
+    scalar_rps = n / min(scalar_walls)
+    batched_rps = n / min(batched_walls)
+    return {
+        "fleet_size": n,
+        "rounds": rounds,
+        "per_vector_scalar_rps": round(scalar_rps, 1),
+        "arena_batched_rps": round(batched_rps, 1),
+        "batched_speedup_vs_scalar": round(batched_rps / scalar_rps, 2),
+    }
+
+
+def bench_int8_recall(populations=(256, 1024, 4096), n_queries: int = 512) -> dict:
+    """Memory/recall trade-off of the int8 tier against float32 ground truth.
+
+    For each population size, the same vectors fill a float32-arena flat
+    index and an int8-arena flat index; perturbed copies of stored vectors
+    probe both, and recall@1 is the fraction where the int8 top hit matches
+    the exact float32 top hit.
+    """
+    import numpy as np
+
+    from repro.ann import FlatIndex
+    from repro.core.arena import build_arena
+
+    dim = 256
+    rng = np.random.default_rng(7)
+    curve = []
+    memory_ratio = None
+    for population in populations:
+        vectors = rng.standard_normal((population, dim)).astype(np.float32)
+        f32 = FlatIndex(dim, arena=build_arena("float32", dim, population))
+        int8 = FlatIndex(dim, arena=build_arena("int8", dim, population))
+        for key, vector in enumerate(vectors):
+            f32.add(key, vector)
+            int8.add(key, vector)
+        picks = rng.integers(population, size=n_queries)
+        noise = 0.35 * rng.standard_normal((n_queries, dim)).astype(np.float32)
+        probes = vectors[picks] + noise
+        exact = f32.search_batch(probes, 1)
+        quant = int8.search_batch(probes, 1)
+        agree = sum(
+            1 for e, q in zip(exact, quant) if e and q and e[0].key == q[0].key
+        )
+        memory_ratio = f32.arena.memory_bytes() / int8.arena.memory_bytes()
+        curve.append(
+            {
+                "population": population,
+                "recall_at_1": round(agree / n_queries, 4),
+                "int8_memory_bytes": int8.arena.memory_bytes(),
+                "float32_memory_bytes": f32.arena.memory_bytes(),
+            }
+        )
+    return {
+        "n_queries": n_queries,
+        "memory_ratio_float32_over_int8": round(memory_ratio, 2),
+        "recall_curve": curve,
+    }
+
+
+def bench_incremental_rebuilds(n: int = 2000) -> dict:
+    """Full-rebuild counts after an admission-only fill of each index.
+
+    Incremental add must be an O(1)-ish slot operation everywhere: flat and
+    PQ never rebuild, HNSW only compacts on tombstone pressure (absent
+    here), and IVF's initial training fit is not a rebuild of a trained
+    structure. All counts must be zero — check_bench gates on it.
+    """
+    import numpy as np
+
+    from repro.ann import FlatIndex, HNSWIndex, IVFIndex, PQIndex
+
+    dim = 64
+    rng = np.random.default_rng(3)
+    vectors = rng.standard_normal((n, dim)).astype(np.float32)
+    indexes = {
+        "flat": FlatIndex(dim),
+        "ivf": IVFIndex(dim, seed=3),
+        "hnsw": HNSWIndex(dim, seed=3),
+        "pq": PQIndex(dim, m=8, k=64, train_threshold=256, seed=3),
+    }
+    for kind, index in indexes.items():
+        for key, vector in enumerate(vectors):
+            index.add(key, vector)
+    return {"admissions": n, **{k: idx.rebuilds for k, idx in indexes.items()}}
+
+
+def _toggle_floor_pct(queries, make_tracer, chunk: int, rounds: int) -> float:
+    """Tracer-attached vs detached overhead on the sequential engine, as the
+    ratio of per-chunk-position floors over ``rounds`` same-engine rounds.
+
+    Same methodology as ``run_obs_overhead.py``: one engine per round times
+    every chunk twice back to back — tracer detached, then attached — in
+    ABBA order alternating per chunk and per round, and the per-position
+    minima over rounds are summed per arm. Host jitter is strictly
+    additive, so the floors converge where a median of raw per-chunk
+    ratios stays ~±1% noisy. Toggling one engine (rather than pairing twin
+    builds) avoids a per-process-stable heap-layout bias of the same size.
+    """
+    from repro.factory import build_asteria_engine, build_remote
+
+    clock = time.perf_counter
+    per_off: list[float] | None = None
+    per_on: list[float] | None = None
+    for parity in range(rounds):
+        engine = build_asteria_engine(build_remote(seed=0), seed=0)
+        tracer = make_tracer()
+        pairs = []
+        for index, start in enumerate(range(0, len(queries), chunk)):
+            piece = queries[start : start + chunk]
+            order = (False, True) if (index + parity) % 2 == 0 else (True, False)
+            walls = {}
+            for arm in order:
+                engine.set_tracer(tracer if arm else None)
+                begin = clock()
+                for i, query in enumerate(piece, start=start):
+                    engine.handle(query, now=i * 0.01)
+                walls[arm] = clock() - begin
+            pairs.append((walls[False], walls[True]))
+        if per_off is None:
+            per_off = [off for off, _ in pairs]
+            per_on = [on for _, on in pairs]
+        else:
+            for i, (off, on) in enumerate(pairs):
+                per_off[i] = min(per_off[i], off)
+                per_on[i] = min(per_on[i], on)
+    return (sum(per_on) / sum(per_off) - 1.0) * 100
+
+
+def bench_sampled_tracing(
+    n_queries: int = 3000,
+    chunk: int = 100,
+    sample_every: int = 100,
+    rounds: int = 10,
+    procs: int = 3,
+) -> dict:
+    """Amortized 1-in-N sampled-tracing overhead on the sequential engine.
+
+    Decomposed estimator (mirrors ``run_obs_overhead.py``): the skip path —
+    what the unsampled N-1 requests pay — is measured by that harness as
+    the median across ``procs`` fresh interpreter layouts, and the sampled
+    Nth request's cost is the full-tracing overhead (measured here, one
+    toggle arm) divided by N. A direct 1-in-N A/B cannot resolve the ~0.4%
+    true effect against this host's ~±0.5pp per-process layout noise; both
+    components here are individually convergent.
+    """
+    import statistics
+
+    import numpy as np
+
+    from repro.core import Query
+    from repro.obs import Tracer
+    from run_obs_overhead import _skip_arm_in_subprocesses
+
+    rng = np.random.default_rng(0)
+    ranks = np.minimum(rng.zipf(1.3, size=n_queries), 256)
+    queries = [
+        Query(f"stress fact number {rank} of the universe", fact_id=f"F{rank}")
+        for rank in ranks
+    ]
+    skip_vals = _skip_arm_in_subprocesses("sync", procs)
+    skip_pct = statistics.median(skip_vals)
+    full_pct = _toggle_floor_pct(
+        queries, lambda: Tracer(max_spans=256_000), chunk, rounds
+    )
+    return {
+        "sample_every": sample_every,
+        "n_queries": n_queries,
+        "rounds": rounds,
+        "skip_path_overhead_pct": round(skip_pct, 2),
+        "skip_path_by_process_pct": [round(v, 2) for v in sorted(skip_vals)],
+        "full_tracing_overhead_pct": round(full_pct, 2),
+        "overhead_pct": round(skip_pct + full_pct / sample_every, 2),
+    }
+
+
+def arena_section() -> dict:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    return {
+        "throughput": bench_arena_throughput(),
+        "int8": bench_int8_recall(),
+        "incremental_rebuilds": bench_incremental_rebuilds(),
+        "sampled_tracing": bench_sampled_tracing(),
+    }
 
 
 def main(argv: list[str]) -> int:
@@ -64,12 +296,32 @@ def main(argv: list[str]) -> int:
         if scalar_mean and batch_mean:
             speedups[label] = scalar_mean / batch_mean
     data["speedups"] = speedups
+    data["arena"] = arena_section()
+    slim_machine_info(data)
     cap_samples(data)
     OUTPUT.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
 
     print(f"\nwrote {OUTPUT}")
     for label, ratio in speedups.items():
         print(f"  {label}: {ratio:.2f}x")
+    arena = data["arena"]
+    print(
+        f"  arena batched: {arena['throughput']['arena_batched_rps']:.0f} rps "
+        f"({arena['throughput']['batched_speedup_vs_scalar']:.2f}x vs per-vector scalar)"
+    )
+    print(
+        f"  int8: {arena['int8']['memory_ratio_float32_over_int8']:.2f}x smaller, "
+        f"recall@1 {arena['int8']['recall_curve'][-1]['recall_at_1']:.3f} "
+        f"at {arena['int8']['recall_curve'][-1]['population']} vectors"
+    )
+    print(f"  incremental rebuilds: {arena['incremental_rebuilds']}")
+    print(
+        f"  sampled tracing (1/{arena['sampled_tracing']['sample_every']}): "
+        f"{arena['sampled_tracing']['overhead_pct']:+.2f}% "
+        f"(skip {arena['sampled_tracing']['skip_path_overhead_pct']:+.2f}% + "
+        f"full {arena['sampled_tracing']['full_tracing_overhead_pct']:+.2f}%/"
+        f"{arena['sampled_tracing']['sample_every']})"
+    )
     return 0
 
 

@@ -1,14 +1,20 @@
 """Exact brute-force vector index.
 
-Stores vectors in a dynamically grown matrix and scores queries with a single
-matrix product. This is the recall=1.0 baseline the approximate indexes are
-measured against, and the default index for the cache (cache populations are
-small enough that exact search is also the fastest option).
+Stores vectors in a contiguous :class:`~repro.core.arena.EmbeddingArena` and
+scores queries with a single matrix product. This is the recall=1.0 baseline
+the approximate indexes are measured against, and the default index for the
+cache (cache populations are small enough that exact search is also the
+fastest option).
 
-Scoring is sliced to a *high-water mark* — the highest slot ever occupied —
-so a sparsely filled index never pays for its reserved capacity, and
-:meth:`FlatIndex.search_batch` scores a whole batch of queries with one
+Scoring is sliced to the arena's *high-water mark* — the highest slot ever
+occupied — so a sparsely filled index never pays for its reserved capacity,
+and :meth:`FlatIndex.search_batch` scores a whole batch of queries with one
 matrix-matrix product.
+
+The arena may be private (built here when none is passed — the standalone
+shape) or shared with the cache, in which case elements enter via
+:meth:`FlatIndex.add_slot` with a slot the cache already allocated and the
+index scores the cache's rows in place — no per-element copy, no rebuild.
 """
 
 from __future__ import annotations
@@ -16,27 +22,51 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ann.base import SearchHit, normalize_batch
+from repro.core.arena import EmbeddingArena
 
 
 class FlatIndex:
-    """Exact cosine-similarity index with slot reuse after deletion."""
+    """Exact cosine-similarity index with slot reuse after deletion.
 
-    def __init__(self, dim: int, initial_capacity: int = 1024) -> None:
+    ``arena`` swaps in shared row storage (see module docstring); slots added
+    via :meth:`add` are owned by the index and released on :meth:`remove`,
+    while slots registered via :meth:`add_slot` belong to the caller and are
+    only forgotten.
+    """
+
+    #: Full index rebuilds performed (always 0: both mutations are O(1) slot
+    #: operations). Exists so benchmarks can read one counter off any index.
+    rebuilds = 0
+
+    def __init__(
+        self,
+        dim: int,
+        initial_capacity: int = 1024,
+        arena: EmbeddingArena | None = None,
+    ) -> None:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
         if initial_capacity < 1:
             raise ValueError(f"initial_capacity must be >= 1, got {initial_capacity}")
+        if arena is not None and arena.dim != dim:
+            raise ValueError(f"arena dim {arena.dim} != index dim {dim}")
         self._dim = dim
-        self._matrix = np.zeros((initial_capacity, dim), dtype=np.float32)
+        self._arena = arena if arena is not None else EmbeddingArena(
+            dim, initial_capacity
+        )
         self._key_to_slot: dict[int, int] = {}
         self._slot_to_key: dict[int, int] = {}
-        self._free_slots: list[int] = list(range(initial_capacity - 1, -1, -1))
-        #: 1 + highest occupied slot; searches slice the matrix to this.
-        self._high_water = 0
+        #: Slots this index allocated itself (released on remove); externally
+        #: registered slots stay alive for their owner.
+        self._owned: set[int] = set()
 
     @property
     def dim(self) -> int:
         return self._dim
+
+    @property
+    def arena(self) -> EmbeddingArena:
+        return self._arena
 
     def __len__(self) -> int:
         return len(self._key_to_slot)
@@ -51,34 +81,46 @@ class FlatIndex:
         vector = np.asarray(vector, dtype=np.float32)
         if vector.ndim != 1 or vector.shape[0] != self._dim:
             raise ValueError(f"expected dim {self._dim}, got shape {vector.shape}")
-        vector = normalize_batch(vector[None, :])[0]
-        if not self._free_slots:
-            self._grow()
-        slot = self._free_slots.pop()
-        self._matrix[slot] = vector
+        slot = self._arena.allocate(vector)
+        self._owned.add(slot)
         self._key_to_slot[key] = slot
         self._slot_to_key[slot] = key
-        if slot >= self._high_water:
-            self._high_water = slot + 1
+
+    def add_slot(self, key: int, slot: int) -> None:
+        """Register an arena row the caller already allocated under ``key``."""
+        if key in self._key_to_slot:
+            raise KeyError(f"key {key} already present")
+        if slot not in self._arena:
+            raise KeyError(f"slot {slot} not allocated in the arena")
+        self._key_to_slot[key] = slot
+        self._slot_to_key[slot] = key
 
     def remove(self, key: int) -> None:
-        """Delete ``key``; its slot is recycled."""
+        """Delete ``key``; an index-owned slot is recycled."""
         slot = self._key_to_slot.pop(key, None)
         if slot is None:
             raise KeyError(f"key {key} not in index")
         del self._slot_to_key[slot]
-        self._matrix[slot] = 0.0
-        self._free_slots.append(slot)
-        # Let the high-water mark sink past a trailing run of freed slots.
-        while self._high_water > 0 and (self._high_water - 1) not in self._slot_to_key:
-            self._high_water -= 1
+        if slot in self._owned:
+            self._owned.remove(slot)
+            self._arena.release(slot)
+
+    def remap_slots(self, remap: dict[int, int]) -> None:
+        """Apply an arena compaction remap to the slot handles."""
+        if not remap:
+            return
+        self._key_to_slot = {
+            key: remap.get(slot, slot) for key, slot in self._key_to_slot.items()
+        }
+        self._slot_to_key = {slot: key for key, slot in self._key_to_slot.items()}
+        self._owned = {remap.get(slot, slot) for slot in self._owned}
 
     def vector(self, key: int) -> np.ndarray:
         """The stored (normalised) vector for ``key``."""
         slot = self._key_to_slot.get(key)
         if slot is None:
             raise KeyError(f"key {key} not in index")
-        return self._matrix[slot].copy()
+        return np.array(self._arena.get(slot))
 
     def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
         """Exact top-``k`` by cosine similarity, best first."""
@@ -103,7 +145,9 @@ class FlatIndex:
         count = len(self._slot_to_key)
         live_slots = np.fromiter(self._slot_to_key.keys(), dtype=np.int64, count=count)
         live_keys = np.fromiter(self._slot_to_key.values(), dtype=np.int64, count=count)
-        scores = queries @ self._matrix[: self._high_water].T
+        # One matrix product over the arena's occupied region; rows owned by
+        # other arena users (or freed) are dropped by the live-slot gather.
+        scores = self._arena.scores(queries)
         live_scores = scores[:, live_slots]
         top = min(k, count)
         if top < count:
@@ -125,14 +169,6 @@ class FlatIndex:
             ]
             for score_row, key_row in zip(sorted_scores, sorted_keys)
         ]
-
-    def _grow(self) -> None:
-        old_capacity = self._matrix.shape[0]
-        new_capacity = old_capacity * 2
-        grown = np.zeros((new_capacity, self._dim), dtype=np.float32)
-        grown[:old_capacity] = self._matrix
-        self._matrix = grown
-        self._free_slots.extend(range(new_capacity - 1, old_capacity - 1, -1))
 
     def __repr__(self) -> str:
         return f"FlatIndex(dim={self._dim}, items={len(self)})"

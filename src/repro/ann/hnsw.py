@@ -19,18 +19,30 @@ import math
 import numpy as np
 
 from repro.ann.base import SearchHit, normalize, search_batch_fallback
+from repro.core.arena import EmbeddingArena
 
 
 class _Node:
-    __slots__ = ("key", "vector", "level", "neighbors", "deleted")
+    __slots__ = ("key", "vector", "level", "neighbors", "deleted", "slot", "owned")
 
-    def __init__(self, key: int, vector: np.ndarray, level: int) -> None:
+    def __init__(
+        self,
+        key: int,
+        vector: np.ndarray,
+        level: int,
+        slot: "int | None" = None,
+        owned: bool = False,
+    ) -> None:
         self.key = key
         self.vector = vector
         self.level = level
         #: neighbors[layer] -> list of neighbor keys
         self.neighbors: list[list[int]] = [[] for _ in range(level + 1)]
         self.deleted = False
+        #: Arena row handle (``vector`` is then a view); ``owned`` marks
+        #: slots the index allocated itself and must release on drop.
+        self.slot = slot
+        self.owned = owned
 
 
 class HNSWIndex:
@@ -53,6 +65,11 @@ class HNSWIndex:
     compaction_ratio:
         Rebuild when tombstones exceed this fraction of stored nodes
         (default 0.5).
+    arena:
+        Optional shared row storage; node vectors then become arena views.
+        Adds stay incremental (one graph insertion, no restacking); graph
+        compaction after heavy deletion churn is the only rebuild and is
+        counted in :attr:`rebuilds`.
     """
 
     def __init__(
@@ -63,6 +80,7 @@ class HNSWIndex:
         ef_search: int = 50,
         seed: int = 0,
         compaction_ratio: float = 0.5,
+        arena: EmbeddingArena | None = None,
     ) -> None:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
@@ -80,10 +98,15 @@ class HNSWIndex:
         self.seed = seed
         self.compaction_ratio = compaction_ratio
         self._level_multiplier = 1.0 / math.log(m)
+        if arena is not None and arena.dim != dim:
+            raise ValueError(f"arena dim {arena.dim} != index dim {dim}")
+        self._arena = arena
         self._rng = np.random.default_rng(seed)
         self._nodes: dict[int, _Node] = {}
         self._entry_point: int | None = None
         self._live_count = 0
+        #: Full graph rebuilds (tombstone compactions). Adds never rebuild.
+        self.rebuilds = 0
 
     @property
     def dim(self) -> int:
@@ -111,16 +134,37 @@ class HNSWIndex:
         existing = self._nodes.get(key)
         if existing is not None and not existing.deleted:
             raise KeyError(f"key {key} already present")
+        if self._arena is None:
+            vector = normalize(vector)
+            if vector.shape[0] != self._dim:
+                raise ValueError(f"expected dim {self._dim}, got {vector.shape[0]}")
+            self._insert(key, vector, slot=None, owned=False)
+            return
+        slot = self._arena.allocate(vector)
+        self._insert(key, self._arena.get(slot), slot=slot, owned=True)
+
+    def add_slot(self, key: int, slot: int) -> None:
+        """Insert a caller-owned arena row under ``key``."""
+        if self._arena is None:
+            raise RuntimeError("index has no arena; use add()")
+        existing = self._nodes.get(key)
+        if existing is not None and not existing.deleted:
+            raise KeyError(f"key {key} already present")
+        if slot not in self._arena:
+            raise KeyError(f"slot {slot} not allocated in the arena")
+        self._insert(key, self._arena.get(slot), slot=slot, owned=False)
+
+    def _insert(
+        self, key: int, vector: np.ndarray, slot: "int | None", owned: bool
+    ) -> None:
+        existing = self._nodes.get(key)
         if existing is not None:
             # Re-adding a tombstoned key: resurrect with the new vector by
             # rebuilding that node from scratch.
             self._drop_node(key)
-        vector = normalize(vector)
-        if vector.shape[0] != self._dim:
-            raise ValueError(f"expected dim {self._dim}, got {vector.shape[0]}")
 
         level = self._sample_level()
-        node = _Node(key, vector, level)
+        node = _Node(key, vector, level, slot=slot, owned=owned)
         self._nodes[key] = node
         self._live_count += 1
 
@@ -230,6 +274,11 @@ class HNSWIndex:
         node = self._nodes.get(key)
         if node is None or node.deleted:
             raise KeyError(f"key {key} not in index")
+        if node.slot is not None and not node.owned:
+            # The caller owns the arena row and will recycle it; snapshot a
+            # private copy so the tombstone keeps routing on the old vector.
+            node.vector = np.array(node.vector)
+            node.slot = None
         node.deleted = True
         self._live_count -= 1
         if self._entry_point == key:
@@ -250,6 +299,8 @@ class HNSWIndex:
     def _drop_node(self, key: int) -> None:
         """Physically remove a tombstoned node (used on key resurrection)."""
         node = self._nodes.pop(key)
+        if node.slot is not None and node.owned:
+            self._arena.release(node.slot)
         for layer in range(node.level + 1):
             for neighbor_key in node.neighbors[layer]:
                 neighbor = self._nodes.get(neighbor_key)
@@ -260,17 +311,31 @@ class HNSWIndex:
             self._entry_point = self._pick_new_entry()
 
     def _compact(self) -> None:
-        """Rebuild the graph from live nodes only."""
-        live = [
-            (node.key, node.vector)
-            for node in self._nodes.values()
-            if not node.deleted
-        ]
+        """Rebuild the graph from live nodes only (slot handles survive)."""
+        self.rebuilds += 1
+        live = []
+        for node in self._nodes.values():
+            if node.deleted:
+                if node.slot is not None and node.owned:
+                    self._arena.release(node.slot)
+            else:
+                live.append((node.key, node.vector, node.slot, node.owned))
         self._nodes = {}
         self._entry_point = None
         self._live_count = 0
-        for key, vector in live:
-            self.add(key, vector)
+        for key, vector, slot, owned in live:
+            self._insert(key, vector, slot=slot, owned=owned)
+
+    def remap_slots(self, remap: dict[int, int]) -> None:
+        """Apply an arena compaction remap to node handles and row views."""
+        if self._arena is None or not remap:
+            return
+        for node in self._nodes.values():
+            if node.slot is None:
+                continue
+            node.slot = remap.get(node.slot, node.slot)
+            if node.slot in self._arena:
+                node.vector = self._arena.get(node.slot)
 
     # -- queries ---------------------------------------------------------------------
     def search(self, query: np.ndarray, k: int) -> list[SearchHit]:

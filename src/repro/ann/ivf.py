@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.ann.base import SearchHit, normalize, search_batch_fallback
 from repro.ann.kmeans import kmeans
+from repro.core.arena import EmbeddingArena
 
 
 class IVFIndex:
@@ -30,6 +31,13 @@ class IVFIndex:
         below this (default ``8 * nlist``).
     seed:
         Seed for k-means initialisation.
+    arena:
+        Optional shared row storage; vectors then live as arena views
+        (allocated here on :meth:`add`, or registered caller-owned rows via
+        :meth:`add_slot`). Adds and removes stay incremental either way —
+        a vector joins or leaves its cell with no restacking; only an
+        explicit :meth:`retrain` refits the quantiser (counted in
+        :attr:`rebuilds`).
     """
 
     def __init__(
@@ -39,6 +47,7 @@ class IVFIndex:
         nprobe: int = 4,
         train_threshold: int | None = None,
         seed: int = 0,
+        arena: EmbeddingArena | None = None,
     ) -> None:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
@@ -53,10 +62,19 @@ class IVFIndex:
             train_threshold if train_threshold is not None else 8 * nlist
         )
         self.seed = seed
+        if arena is not None and arena.dim != dim:
+            raise ValueError(f"arena dim {arena.dim} != index dim {dim}")
+        self._arena = arena
         self._vectors: dict[int, np.ndarray] = {}
         self._centroids: np.ndarray | None = None
         self._cells: list[set[int]] = []
         self._cell_of: dict[int, int] = {}
+        self._slot_of: dict[int, int] = {}
+        self._owned: set[int] = set()
+        #: Full quantiser refits on an already-trained index (explicit
+        #: :meth:`retrain` calls); the one-time initial training is not a
+        #: rebuild. Adds and removes never increment this.
+        self.rebuilds = 0
 
     @property
     def dim(self) -> int:
@@ -77,9 +95,29 @@ class IVFIndex:
         """Insert ``vector``; assigned to its nearest cell once trained."""
         if key in self._vectors:
             raise KeyError(f"key {key} already present")
-        vector = normalize(vector)
-        if vector.shape[0] != self._dim:
-            raise ValueError(f"expected dim {self._dim}, got {vector.shape[0]}")
+        if self._arena is None:
+            vector = normalize(vector)
+            if vector.shape[0] != self._dim:
+                raise ValueError(f"expected dim {self._dim}, got {vector.shape[0]}")
+            self._register(key, vector)
+            return
+        slot = self._arena.allocate(vector)
+        self._owned.add(slot)
+        self._slot_of[key] = slot
+        self._register(key, self._arena.get(slot))
+
+    def add_slot(self, key: int, slot: int) -> None:
+        """Register a caller-owned arena row under ``key``."""
+        if self._arena is None:
+            raise RuntimeError("index has no arena; use add()")
+        if key in self._vectors:
+            raise KeyError(f"key {key} already present")
+        if slot not in self._arena:
+            raise KeyError(f"slot {slot} not allocated in the arena")
+        self._slot_of[key] = slot
+        self._register(key, self._arena.get(slot))
+
+    def _register(self, key: int, vector: np.ndarray) -> None:
         self._vectors[key] = vector
         if self.is_trained:
             self._assign(key, vector)
@@ -94,6 +132,20 @@ class IVFIndex:
         cell = self._cell_of.pop(key, None)
         if cell is not None:
             self._cells[cell].discard(key)
+        slot = self._slot_of.pop(key, None)
+        if slot is not None and slot in self._owned:
+            self._owned.remove(slot)
+            self._arena.release(slot)
+
+    def remap_slots(self, remap: dict[int, int]) -> None:
+        """Apply an arena compaction remap to slot handles and row views."""
+        if self._arena is None or not remap:
+            return
+        for key, slot in list(self._slot_of.items()):
+            slot = remap.get(slot, slot)
+            self._slot_of[key] = slot
+            self._vectors[key] = self._arena.get(slot)
+        self._owned = {remap.get(slot, slot) for slot in self._owned}
 
     def retrain(self) -> None:
         """Refit the quantiser on the current population (e.g. after churn)."""
@@ -130,6 +182,8 @@ class IVFIndex:
         return search_batch_fallback(self, queries, k)
 
     def _train(self) -> None:
+        if self.is_trained:
+            self.rebuilds += 1
         keys = sorted(self._vectors)
         data = np.stack([self._vectors[key] for key in keys])
         k = min(self.nlist, data.shape[0])

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.ann.base import SearchHit, normalize, search_batch_fallback
 from repro.ann.kmeans import kmeans
+from repro.core.arena import EmbeddingArena
 
 
 class ProductQuantizer:
@@ -132,13 +133,24 @@ class PQIndex:
         k: int = 64,
         train_threshold: int = 256,
         seed: int = 0,
+        arena: EmbeddingArena | None = None,
     ) -> None:
         if train_threshold < k:
             raise ValueError("train_threshold must be >= k")
+        if arena is not None and arena.dim != dim:
+            raise ValueError(f"arena dim {arena.dim} != index dim {dim}")
         self.quantizer = ProductQuantizer(dim, m=m, k=k, seed=seed)
         self.train_threshold = train_threshold
+        self._arena = arena
         self._raw: dict[int, np.ndarray] = {}
         self._codes: dict[int, np.ndarray] = {}
+        #: Pre-training buffer slots: key -> arena slot; owned slots are
+        #: released once the vector is encoded (codes replace the floats).
+        self._slot_of: dict[int, int] = {}
+        self._owned: set[int] = set()
+        #: Codebooks are fitted once when the buffer fills; adds after that
+        #: encode incrementally and removes drop one code — never a rebuild.
+        self.rebuilds = 0
 
     @property
     def dim(self) -> int:
@@ -158,15 +170,42 @@ class PQIndex:
         """Insert ``vector``; encoded to ``m`` bytes once trained."""
         if key in self:
             raise KeyError(f"key {key} already present")
-        vector = normalize(vector)
-        if vector.shape[0] != self.dim:
-            raise ValueError(f"expected dim {self.dim}, got {vector.shape[0]}")
+        if self._arena is None:
+            vector = normalize(vector)
+            if vector.shape[0] != self.dim:
+                raise ValueError(f"expected dim {self.dim}, got {vector.shape[0]}")
+            if self.is_trained:
+                self._codes[key] = self.quantizer.encode(vector)
+            else:
+                self._register(key, vector)
+            return
         if self.is_trained:
-            self._codes[key] = self.quantizer.encode(vector)
-        else:
-            self._raw[key] = vector
-            if len(self._raw) >= self.train_threshold:
-                self._train()
+            # Codes replace the floats immediately — no arena row retained.
+            self._codes[key] = self.quantizer.encode(normalize(vector))
+            return
+        slot = self._arena.allocate(vector)
+        self._owned.add(slot)
+        self._slot_of[key] = slot
+        self._register(key, self._arena.get(slot))
+
+    def add_slot(self, key: int, slot: int) -> None:
+        """Insert a caller-owned arena row under ``key``."""
+        if self._arena is None:
+            raise RuntimeError("index has no arena; use add()")
+        if key in self:
+            raise KeyError(f"key {key} already present")
+        if slot not in self._arena:
+            raise KeyError(f"slot {slot} not allocated in the arena")
+        if self.is_trained:
+            self._codes[key] = self.quantizer.encode(self._arena.get(slot))
+            return
+        self._slot_of[key] = slot
+        self._register(key, self._arena.get(slot))
+
+    def _register(self, key: int, vector: np.ndarray) -> None:
+        self._raw[key] = vector
+        if len(self._raw) >= self.train_threshold:
+            self._train()
 
     def _train(self) -> None:
         data = np.stack(list(self._raw.values()))
@@ -174,15 +213,35 @@ class PQIndex:
         for key, vector in self._raw.items():
             self._codes[key] = self.quantizer.encode(vector)
         self._raw.clear()
+        # The buffer is encoded; recycle rows this index allocated itself.
+        for key, slot in self._slot_of.items():
+            if slot in self._owned:
+                self._owned.remove(slot)
+                self._arena.release(slot)
+        self._slot_of.clear()
 
     def remove(self, key: int) -> None:
         """Delete ``key`` from the raw buffer or the code store."""
         if key in self._raw:
             del self._raw[key]
+            slot = self._slot_of.pop(key, None)
+            if slot is not None and slot in self._owned:
+                self._owned.remove(slot)
+                self._arena.release(slot)
         elif key in self._codes:
             del self._codes[key]
         else:
             raise KeyError(f"key {key} not in index")
+
+    def remap_slots(self, remap: dict[int, int]) -> None:
+        """Apply an arena compaction remap to buffered slot handles/views."""
+        if self._arena is None or not remap:
+            return
+        for key, slot in list(self._slot_of.items()):
+            slot = remap.get(slot, slot)
+            self._slot_of[key] = slot
+            self._raw[key] = self._arena.get(slot)
+        self._owned = {remap.get(slot, slot) for slot in self._owned}
 
     def search(self, query: np.ndarray, k: int) -> list[SearchHit]:
         """Top-``k`` via ADC table lookups (exact for buffered vectors)."""

@@ -226,9 +226,14 @@ def _obs_setup(arguments, engine, label):
     """
     tracer = registry = instrument = recorder = None
     if arguments.trace_out:
-        from repro.obs import Tracer
+        if getattr(arguments, "trace_sample", 1) > 1:
+            from repro.obs import SamplingTracer
 
-        tracer = Tracer()
+            tracer = SamplingTracer(sample_every=arguments.trace_sample)
+        else:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
         engine.set_tracer(tracer)
     if arguments.metrics_out or arguments.series_out:
         from repro.obs import EngineInstrument, MetricsRegistry
@@ -283,10 +288,40 @@ def _obs_finish(arguments, engine, tracer, registry, instrument, recorder) -> No
         )
     if tracer is not None:
         tracer.export_chrome(arguments.trace_out)
+        sampling = (
+            f", sampled={tracer.sampled}/{tracer.sampled + tracer.skipped}"
+            if hasattr(tracer, "sampled")
+            else ""
+        )
         print(
             f"  trace written to {arguments.trace_out} "
-            f"({len(tracer.spans())} spans, dropped={tracer.dropped})"
+            f"({len(tracer.spans())} spans, dropped={tracer.dropped}{sampling})"
         )
+
+
+def _maybe_profile(arguments):
+    """Context manager wrapping the serving loop in cProfile when
+    ``--profile`` is set; prints the top 25 functions by cumulative time."""
+    import contextlib
+
+    if not getattr(arguments, "profile", False):
+        return contextlib.nullcontext()
+
+    @contextlib.contextmanager
+    def profiled():
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            yield
+        finally:
+            profiler.disable()
+            print("profile: top 25 functions by cumulative time")
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+
+    return profiled()
 
 
 def _print_degraded(metrics) -> None:
@@ -321,7 +356,8 @@ def _command_stress(arguments) -> int:
     )
     obs = _obs_setup(arguments, engine, "thread")
     with engine:
-        report = engine.run_closed_loop(queries, time_step=0.01)
+        with _maybe_profile(arguments):
+            report = engine.run_closed_loop(queries, time_step=0.01)
     print(
         f"engine=thread workers={report.workers} shards={arguments.shards} "
         f"requests={report.requests}"
@@ -363,8 +399,9 @@ def _stress_sync(arguments) -> int:
     )
     obs = _obs_setup(arguments, engine, "sync")
     begin = time.perf_counter()
-    for i, query in enumerate(queries):
-        engine.handle(query, now=i * 0.01)
+    with _maybe_profile(arguments):
+        for i, query in enumerate(queries):
+            engine.handle(query, now=i * 0.01)
     wall = time.perf_counter() - begin
     metrics = engine.metrics
     print(f"engine=sync requests={len(queries)}")
@@ -407,9 +444,10 @@ def _stress_async(arguments) -> int:
         resilience=resilience,
     )
     obs = _obs_setup(arguments, engine, "async")
-    report = asyncio.run(
-        run_open_loop(engine, queries, rate=arguments.rate, time_step=0.01)
-    )
+    with _maybe_profile(arguments):
+        report = asyncio.run(
+            run_open_loop(engine, queries, rate=arguments.rate, time_step=0.01)
+        )
     metrics = engine.metrics
     print(
         f"engine=async rate={arguments.rate:.0f}/s shards={arguments.shards} "
@@ -578,6 +616,20 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.1,
         help="seconds between --series-out samples (default 0.1)",
+    )
+    stress_parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --trace-out, record spans for 1-in-N requests instead of "
+        "all of them (metrics stay exact; default 1 = trace everything)",
+    )
+    stress_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the serving loop under cProfile and print the top 25 "
+        "functions by cumulative time",
     )
     stress_parser.add_argument("--seed", type=int, default=0)
     arguments = parser.parse_args(argv)

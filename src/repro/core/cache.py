@@ -72,6 +72,14 @@ class AsteriaCache:
         the full TTL, ephemeral content expires early). Off by default —
         the paper uses a single user-defined TTL; this is the natural
         extension its aging discussion suggests.
+    arena:
+        Optional contiguous embedding storage (see :mod:`repro.core.arena`).
+        When set, admission allocates one arena row per element
+        (``element.embedding`` becomes a view of it, ``element.arena_slot``
+        the handle), removal recycles the row, and the Sine index scores
+        the same rows in place via ``add_slot``. Share one arena between
+        the cache and its index; the float32 tier replays per-element
+        decisions exactly.
     """
 
     def __init__(
@@ -82,6 +90,7 @@ class AsteriaCache:
         policy: EvictionPolicy | None = None,
         staticity_scorer: StaticityScorer | None = None,
         staticity_ttl_scaling: bool = False,
+        arena=None,
     ) -> None:
         if capacity_items is not None and capacity_items < 1:
             raise ValueError("capacity_items must be >= 1 or None")
@@ -93,6 +102,7 @@ class AsteriaCache:
         self.policy = policy if policy is not None else LCFUPolicy()
         self.staticity_scorer = staticity_scorer or StaticityScorer()
         self.staticity_ttl_scaling = staticity_ttl_scaling
+        self.arena = arena
         self._elements: dict[int, SemanticElement] = {}
         self._ids = itertools.count(1)
         self.stats = CacheStats()
@@ -194,6 +204,8 @@ class AsteriaCache:
         if not texts:
             return []
         tracer = self.tracer
+        if tracer is not None and not (tracer.live and tracer.active()):
+            tracer = None
         if tracer is None:
             embeddings = self.sine.embedder.embed_batch(texts)
         else:
@@ -248,11 +260,16 @@ class AsteriaCache:
         if effective_ttl is not None and self.staticity_ttl_scaling:
             effective_ttl *= staticity / 10.0
         expires_at = now + effective_ttl if effective_ttl is not None else float("inf")
+        embedding = self.sine.embedder.embed(query.text)
+        arena_slot = None
+        if self.arena is not None:
+            arena_slot = self.arena.allocate(embedding)
+            embedding = self.arena.get(arena_slot)
         element = SemanticElement(
             element_id=element_id,
             key=query.text,
             value=fetch.result,
-            embedding=self.sine.embedder.embed(query.text),
+            embedding=embedding,
             tool=query.tool,
             truth_key=query.fact_id,
             staticity=staticity,
@@ -264,6 +281,7 @@ class AsteriaCache:
             last_accessed_at=now,
             expires_at=expires_at,
             prefetched=prefetched,
+            arena_slot=arena_slot,
         )
         self._elements[element_id] = element
         self.sine.insert(element)
@@ -283,10 +301,42 @@ class AsteriaCache:
         element = self._elements.pop(element_id, None)
         if element is None:
             raise KeyError(f"element {element_id} not in cache")
+        # Index first, arena second: HNSW tombstones snapshot external rows
+        # on remove, so the slot must still hold the vector at that point.
         self.sine.remove(element_id)
+        if element.arena_slot is not None:
+            self.arena.release(element.arena_slot)
+            element.arena_slot = None
         # Heap entries for this id become garbage (version map is the truth).
         self._score_version.pop(element_id, None)
         return element
+
+    def compact_arena(self) -> dict[int, int]:
+        """Compact the embedding arena and rewire every live handle.
+
+        Moves live rows to the front of the arena matrix, then propagates
+        the resulting ``{old_slot: new_slot}`` remap to the index (via its
+        ``remap_slots``) and to each element's slot handle and embedding
+        view. Rows are overwritten in place during compaction, so stale
+        views must not survive — callers only ever see refreshed ones.
+        Returns the remap (empty when nothing moved or no arena is set).
+        """
+        if self.arena is None:
+            return {}
+        remap = self.arena.compact()
+        if not remap:
+            return {}
+        remap_slots = getattr(self.sine.index, "remap_slots", None)
+        if remap_slots is not None:
+            remap_slots(remap)
+        for element in self._elements.values():
+            slot = element.arena_slot
+            if slot is None:
+                continue
+            slot = remap.get(slot, slot)
+            element.arena_slot = slot
+            element.embedding = self.arena.get(slot)
+        return remap
 
     def invalidate(self, predicate) -> int:
         """Remove every element for which ``predicate(element)`` is true.
@@ -351,7 +401,7 @@ class AsteriaCache:
         if self.capacity_items is None or self.usage() <= self.capacity_items:
             return
         tracer = self.tracer
-        if tracer is None:
+        if tracer is None or not tracer.live or not tracer.active():
             self._evict_to_capacity(now, protect)
             return
         before = self.stats.evictions

@@ -50,6 +50,11 @@ class SemanticElement:
         True if this element entered via predictive prefetching; such
         elements start at frequency 0 and earn retention on first validated
         hit (§4.3).
+    arena_slot:
+        Row handle into the cache's embedding arena when one is configured
+        (``embedding`` is then a view of that row); None for standalone
+        per-element storage. Owned by the cache: allocated on admission,
+        released on removal, remapped on arena compaction.
     """
 
     element_id: int
@@ -67,6 +72,7 @@ class SemanticElement:
     last_accessed_at: float = 0.0
     expires_at: float = float("inf")
     prefetched: bool = False
+    arena_slot: int | None = None
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:

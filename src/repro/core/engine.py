@@ -279,7 +279,7 @@ class AsteriaEngine:
         the request being served stale."""
         self.metrics.background_refreshes += 1
         tracer = self.tracer
-        if tracer is None:
+        if tracer is None or not tracer.live:
             self._refresh_analytic(query, key, now)
             return
         with tracer.span("stale_refresh"):
@@ -438,7 +438,7 @@ class AsteriaEngine:
         response instead of escaping the serve loop.
         """
         tracer = self.tracer
-        if tracer is None:
+        if tracer is None or not tracer.sample():
             return self._handle_analytic(query, now)
         with tracer.request() as span:
             response = self._handle_analytic(query, now)
@@ -509,7 +509,7 @@ class AsteriaEngine:
             return self._degrade_analytic(query, lookup, key, start, refresh=True)
         tracer = self.tracer
         try:
-            if tracer is None:
+            if tracer is None or not tracer.live or not tracer.active():
                 fetch, overhead = self.resilience.fetch_with_retries(
                     lambda t: self.remote.fetch_at(query, t), start
                 )
@@ -529,7 +529,7 @@ class AsteriaEngine:
         arrival = start + overhead + fetch.latency
         self.resilience.on_success(key, fetch, arrival)
         if self._should_admit(query, fetch, arrival):
-            if tracer is None:
+            if tracer is None or not tracer.live:
                 self.cache.insert(query, fetch, arrival)
             else:
                 with tracer.span("admit"):
@@ -579,7 +579,7 @@ class AsteriaEngine:
         tracer = self.tracer
         for position, query in enumerate(queries):
             row = embed_rows.get(position)
-            if tracer is None:
+            if tracer is None or not tracer.sample():
                 responses.append(
                     self._batch_one(query, now, row, batch_hits, snapshot_stamp)
                 )

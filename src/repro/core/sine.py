@@ -100,7 +100,19 @@ class Sine:
 
     # -- population management (driven by the cache) -------------------------
     def insert(self, element: SemanticElement) -> None:
-        """Index ``element`` by its embedding."""
+        """Index ``element`` by its embedding.
+
+        An element carrying an arena slot (the cache allocated its row on
+        admission) registers that row in place via the index's ``add_slot``
+        when available, so no second copy of the vector is made; otherwise
+        the element's array is added normally.
+        """
+        slot = element.arena_slot
+        if slot is not None:
+            add_slot = getattr(self.index, "add_slot", None)
+            if add_slot is not None:
+                add_slot(element.element_id, slot)
+                return
         self.index.add(element.element_id, element.embedding)
 
     def remove(self, element_id: int) -> None:
@@ -131,19 +143,22 @@ class Sine:
         With ``ann_only`` the top candidate above ``tau_sim`` is returned
         unvalidated — the strawman of §3.2 used by the accuracy ablation.
         """
+        # Resolve the tracer decision once for both stages: the guard costs
+        # an attribute load on every untraced request, so retrieve_prepared
+        # must not re-derive what this frame already knows.
         tracer = self.tracer
-        if tracer is None:
+        if tracer is None or not tracer.live or not tracer.active():
             embedding = self.embedder.embed(query.text)
             raw_hits = self.index.search(embedding, self.max_candidates)
-        else:
-            clock = tracer.clock
-            t0 = clock()
-            embedding = self.embedder.embed(query.text)
-            tracer.record_leaf("embed", t0)
-            t0 = clock()
-            raw_hits = self.index.search(embedding, self.max_candidates)
-            tracer.record_leaf("ann_search", t0, {"raw_hits": len(raw_hits)})
-        return self.retrieve_prepared(query, raw_hits, elements, ann_only=ann_only)
+            return self._prepared(query, raw_hits, elements, ann_only, None)
+        clock = tracer.clock
+        t0 = clock()
+        embedding = self.embedder.embed(query.text)
+        tracer.record_leaf("embed", t0)
+        t0 = clock()
+        raw_hits = self.index.search(embedding, self.max_candidates)
+        tracer.record_leaf("ann_search", t0, {"raw_hits": len(raw_hits)})
+        return self._prepared(query, raw_hits, elements, ann_only, tracer)
 
     def retrieve_prepared(
         self,
@@ -158,6 +173,19 @@ class Sine:
         of :meth:`retrieve`, so batched and scalar lookups agree whenever the
         supplied ``raw_hits`` equal what a fresh ANN search would return.
         """
+        tracer = self.tracer
+        if tracer is not None and not (tracer.live and tracer.active()):
+            tracer = None
+        return self._prepared(query, raw_hits, elements, ann_only, tracer)
+
+    def _prepared(
+        self,
+        query: Query,
+        raw_hits: list[SearchHit],
+        elements: Mapping[int, SemanticElement],
+        ann_only: bool,
+        tracer,
+    ) -> SineResult:
         candidates = [hit for hit in raw_hits if hit.score >= self.tau_sim]
 
         if ann_only:
@@ -173,7 +201,6 @@ class Sine:
                 match=None, candidates=candidates, ann_considered=len(raw_hits)
             )
 
-        tracer = self.tracer
         if tracer is None or not candidates:
             return self._judge_candidates(query, raw_hits, candidates, elements)
         t0 = tracer.clock()

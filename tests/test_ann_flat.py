@@ -163,26 +163,28 @@ class TestFlatIndexRemoveRecycling:
 
     def _assert_free_list_integrity(self, index):
         """Free slots + live slots partition the matrix capacity exactly."""
-        capacity = index._matrix.shape[0]
-        free = index._free_slots
+        arena = index._arena
+        capacity = arena._matrix.shape[0]
+        # Unallocated capacity = released slots + the untouched fresh region.
+        free = list(arena._free) + list(range(arena._next_fresh, capacity))
         live = set(index._slot_to_key)
         assert len(free) == len(set(free)), "duplicate slots in the free list"
         assert not (set(free) & live), "a slot is both free and live"
         assert len(free) + len(live) == capacity
-        assert all(slot < index._high_water for slot in live)
+        assert all(slot < arena._high_water for slot in live)
         # Freed slots must be zeroed so they can never score above 0.
         for slot in free:
-            assert not index._matrix[slot].any()
+            assert not arena._matrix[slot].any()
 
     def test_high_water_sinks_past_trailing_removes(self, rng):
         index = FlatIndex(16)
         vectors = {key: unit(rng) for key in range(10)}
         for key, vector in vectors.items():
             index.add(key, vector)
-        assert index._high_water == 10
+        assert index._arena._high_water == 10
         for key in (9, 8, 7):  # a trailing run of slots
             index.remove(key)
-        assert index._high_water == 7
+        assert index._arena._high_water == 7
         self._assert_free_list_integrity(index)
         # Search still exact over the survivors.
         query = unit(rng)
@@ -201,7 +203,7 @@ class TestFlatIndexRemoveRecycling:
         for key in (11, 10, 9, 8):
             index.remove(key)
             del vectors[key]
-        assert index._high_water == 8
+        assert index._arena._high_water == 8
         for key in range(100, 106):  # recycle the freed trailing slots
             vectors[key] = unit(rng)
             index.add(key, vectors[key])

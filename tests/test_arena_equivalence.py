@@ -1,0 +1,189 @@
+"""Equivalence pins for the arena fast path (tentpole acceptance).
+
+Three claims from the issue, each pinned on a seeded workload:
+
+* the float32 arena is a pure layout change — an arena-backed engine replays
+  the per-vector baseline's hit/miss decisions and counters exactly;
+* every ANN index reaches the same search results whether vectors enter via
+  ``add`` (index-owned storage) or ``add_slot`` (cache-owned arena rows), and
+  incremental add/remove never triggers a full rebuild where the structure
+  promises none;
+* the int8 tier trades recall for memory — close to, but not necessarily
+  identical with, the float32 decisions.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.ann.base import normalize
+from repro.ann.flat import FlatIndex
+from repro.ann.hnsw import HNSWIndex
+from repro.ann.ivf import IVFIndex
+from repro.ann.pq import PQIndex
+from repro.core import Query
+from repro.core.arena import EmbeddingArena
+from repro.factory import build_asteria_engine, build_remote
+
+SEED = 0
+N_QUERIES = 400
+POPULATION = 24
+TIME_STEP = 0.01
+DIM = 32
+
+
+def workload() -> list[Query]:
+    rng = np.random.default_rng(SEED)
+    ranks = np.minimum(rng.zipf(1.3, size=N_QUERIES), POPULATION)
+    return [
+        Query(f"stress fact number {rank} of the universe", fact_id=f"F{rank}")
+        for rank in ranks
+    ]
+
+
+def run_engine(arena: str | None):
+    engine = build_asteria_engine(build_remote(seed=SEED), seed=SEED, arena=arena)
+    outcomes = []
+    for i, query in enumerate(workload()):
+        response = engine.handle(query, now=i * TIME_STEP)
+        outcomes.append((response.lookup.status, response.result))
+    return engine, outcomes
+
+
+def test_float32_arena_replays_baseline_decisions_exactly():
+    baseline_engine, baseline = run_engine(arena=None)
+    arena_engine, arena_backed = run_engine(arena="float32")
+    assert arena_backed == baseline
+    # Latency reservoirs don't define equality; every integer counter must.
+    baseline_counters = {
+        name: value
+        for name, value in dataclasses.asdict(baseline_engine.metrics).items()
+        if isinstance(value, int)
+    }
+    arena_counters = {
+        name: value
+        for name, value in dataclasses.asdict(arena_engine.metrics).items()
+        if isinstance(value, int)
+    }
+    assert baseline_counters and arena_counters == baseline_counters
+    # The fast path was actually on: live elements carry arena slots.
+    slots = [
+        element.arena_slot for element in arena_engine.cache.elements.values()
+    ]
+    assert slots and all(slot is not None for slot in slots)
+    assert baseline_engine.cache.arena is None
+
+
+def test_int8_arena_stays_close_to_baseline():
+    baseline_engine, _ = run_engine(arena=None)
+    int8_engine, _ = run_engine(arena="int8")
+    assert int8_engine.metrics.requests == baseline_engine.metrics.requests
+    # Quantisation may flip borderline judger calls, but the workload's hit
+    # mass must survive the 4x smaller rows.
+    drift = abs(int8_engine.metrics.hits - baseline_engine.metrics.hits)
+    assert drift <= N_QUERIES * 0.05
+    assert int8_engine.cache.arena.quantized
+
+
+def test_compact_arena_preserves_lookup_decisions():
+    engine, _ = run_engine(arena="float32")
+    cache = engine.cache
+    victims = list(cache.elements)[::3]
+    for element_id in victims:
+        cache.remove(element_id)
+    # Probe with each element's own text and ground truth so the simulated
+    # judger validates the exact-text candidate.
+    survivors = {
+        element_id: Query(element.key, fact_id=element.truth_key)
+        for element_id, element in cache.elements.items()
+    }
+    assert survivors
+    now = N_QUERIES * TIME_STEP
+    before = {
+        element_id: cache.lookup(query, now=now).match
+        for element_id, query in survivors.items()
+    }
+    remap = cache.compact_arena()
+    assert remap  # removals left holes, so compaction moved rows
+    for element_id, query in survivors.items():
+        match = cache.lookup(query, now=now).match
+        assert match is not None
+        assert match.element_id == element_id
+        assert before[element_id] is not None
+        assert before[element_id].element_id == element_id
+        assert cache.elements[element_id].arena_slot in cache.arena
+
+
+def _indexes(kind: str, arena: EmbeddingArena | None):
+    if kind == "flat":
+        return FlatIndex(DIM, arena=arena)
+    if kind == "ivf":
+        return IVFIndex(DIM, nlist=4, nprobe=4, train_threshold=16, seed=3, arena=arena)
+    if kind == "hnsw":
+        return HNSWIndex(DIM, seed=3, arena=arena)
+    if kind == "pq":
+        return PQIndex(DIM, m=4, k=8, train_threshold=16, seed=3, arena=arena)
+    raise AssertionError(kind)
+
+
+@pytest.mark.parametrize("kind", ["flat", "ivf", "hnsw", "pq"])
+def test_add_slot_matches_add(kind):
+    """Cache-owned arena rows search identically to index-owned storage."""
+    rng = np.random.default_rng(11)
+    vectors = rng.normal(size=(40, DIM)).astype(np.float32)
+    owned = _indexes(kind, arena=None)
+    arena = EmbeddingArena(DIM)
+    shared = _indexes(kind, arena=arena)
+    slot_of = {}
+    for key, vector in enumerate(vectors):
+        owned.add(key, vector)
+        slot_of[key] = arena.allocate(vector)
+        shared.add_slot(key, slot_of[key])
+    queries = [normalize(rng.normal(size=DIM).astype(np.float32)) for _ in range(10)]
+    for query in queries:
+        assert [hit.key for hit in owned.search(query, k=5)] == [
+            hit.key for hit in shared.search(query, k=5)
+        ]
+    # Incremental removal keeps both in lockstep too; the caller releases its
+    # own arena rows, mirroring AsteriaCache.remove (index first, arena second).
+    for key in range(0, 40, 3):
+        owned.remove(key)
+        shared.remove(key)
+        arena.release(slot_of.pop(key))
+    for query in queries:
+        assert [hit.key for hit in owned.search(query, k=5)] == [
+            hit.key for hit in shared.search(query, k=5)
+        ]
+
+
+@pytest.mark.parametrize("kind", ["flat", "ivf", "hnsw", "pq"])
+def test_incremental_admission_never_rebuilds(kind):
+    """Pure admission performs zero full index rebuilds.
+
+    IVF's single threshold-crossing retrain and PQ's one-time codebook fit
+    are the only structure events any index reports while growing; removals
+    may additionally trigger HNSW tombstone compaction, which stays bounded
+    by the removal count rather than firing per mutation.
+    """
+    rng = np.random.default_rng(13)
+    index = _indexes(kind, arena=None)
+    for key in range(64):
+        index.add(key, rng.normal(size=DIM).astype(np.float32))
+        # Admission alone: IVF's one retrain at its training threshold is
+        # the only allowed structure event, and only when it first trains.
+        assert index.rebuilds <= (1 if kind == "ivf" else 0)
+    settled = index.rebuilds
+    next_key = 64
+    removals = 200
+    for _ in range(removals):
+        index.remove(next_key - 64)
+        index.add(next_key, rng.normal(size=DIM).astype(np.float32))
+        next_key += 1
+    if kind == "hnsw":
+        # Tombstone compaction amortises: far fewer sweeps than removals.
+        assert index.rebuilds - settled <= removals // 32
+    else:
+        assert index.rebuilds == settled
+    if kind in ("flat", "pq"):
+        assert index.rebuilds == 0

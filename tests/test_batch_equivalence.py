@@ -143,20 +143,20 @@ def test_search_batch_edge_cases():
 def test_flat_search_sliced_to_high_water_mark():
     """The scalar path must score live rows only, not reserved capacity."""
     index = FlatIndex(8, initial_capacity=1024)
-    assert index._high_water == 0
+    assert index._arena._high_water == 0
     vectors = _unit_vectors(6, dim=8, seed=2)
     for key, vector in enumerate(vectors):
         index.add(key, vector)
-    assert index._high_water == 6
+    assert index._arena._high_water == 6
     index.remove(5)
     index.remove(4)
-    assert index._high_water == 4  # mark sinks past trailing free slots
+    assert index._arena._high_water == 4  # mark sinks past trailing free slots
     index.remove(0)
-    assert index._high_water == 4  # interior hole does not lower it
+    assert index._arena._high_water == 4  # interior hole does not lower it
     hits = index.search(vectors[1], 10)
     assert sorted(hit.key for hit in hits) == [1, 2, 3]
     index.add(40, vectors[4])  # reuses the lowest free slot
-    assert index._high_water == 4
+    assert index._arena._high_water == 4
 
 
 # -- sine / cache / engine ---------------------------------------------------

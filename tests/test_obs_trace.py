@@ -14,8 +14,8 @@ from repro.factory import (
     build_concurrent_engine,
     build_remote,
 )
-from repro.obs import Tracer
-from repro.obs.trace import STAGES, Span
+from repro.obs import SamplingTracer, Tracer
+from repro.obs.trace import STAGES, Span, _SKIP_SPAN
 from repro.serving.aio import run_closed_loop
 
 
@@ -295,6 +295,106 @@ class TestExport:
         assert set(summary) == {"request", "embed", "admit"}
         assert summary["embed"]["count"] == 1
         assert summary["request"]["total"] >= summary["admit"]["total"]
+
+
+class TestSamplingTracer:
+    def test_sample_schedule_is_deterministic_modulo(self):
+        tracer = SamplingTracer(sample_every=4)
+        decisions = [tracer.sample() for _ in range(12)]
+        assert decisions == [True, False, False, False] * 3
+        assert tracer.sampled == 3
+        assert tracer.skipped == 9
+
+    def test_sample_every_one_keeps_everything(self):
+        tracer = SamplingTracer(sample_every=1)
+        assert all(tracer.sample() for _ in range(5))
+        assert tracer.skipped == 0
+
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError, match="sample_every"):
+            SamplingTracer(sample_every=0)
+
+    def test_base_tracer_always_samples_and_is_live(self):
+        tracer = Tracer()
+        assert tracer.live is True
+        assert all(tracer.sample() for _ in range(3))
+
+    def test_request_opens_real_root_and_maintains_live(self):
+        """request() is only reached after sample() said yes, so it always
+        records — and the ``live`` pre-filter counts open sampled roots."""
+        tracer = SamplingTracer(sample_every=100)
+        assert tracer.live == 0
+        with tracer.request(tool="kb") as root:
+            assert tracer.live == 1
+            assert tracer.active()
+            with tracer.span("admit"):
+                pass
+            tracer.record_leaf("embed", tracer.clock())
+        assert tracer.live == 0
+        assert not tracer.active()
+        spans = tracer.spans()
+        assert {s.name for s in spans} == {"request", "admit", "embed"}
+        for span in spans:
+            assert span.trace_id == root.trace_id
+
+    def test_stages_outside_sampled_context_record_nothing(self):
+        tracer = SamplingTracer(sample_every=100)
+        span = tracer.span("admit")
+        assert span is _SKIP_SPAN
+        with span:
+            span.set(size=3)
+        tracer.record_leaf("embed", tracer.clock())
+        assert len(tracer) == 0
+        assert not tracer.active()
+
+    def test_sync_engine_thins_spans_but_keeps_metrics_exact(self):
+        queries = _queries(40)
+        baseline = build_asteria_engine(build_remote(seed=0), seed=0)
+        for i, query in enumerate(queries):
+            baseline.handle(query, now=i * 0.01)
+
+        engine = build_asteria_engine(build_remote(seed=0), seed=0)
+        tracer = SamplingTracer(sample_every=10)
+        engine.set_tracer(tracer)
+        for i, query in enumerate(queries):
+            engine.handle(query, now=i * 0.01)
+
+        spans = tracer.spans()
+        roots = [s for s in spans if s.name == "request"]
+        assert len(roots) == len(queries) // 10
+        _check_forest(spans, expected_roots=len(roots))
+        assert tracer.sampled == len(roots)
+        assert tracer.skipped == len(queries) - len(roots)
+        # Sampling thins the span record only; the engine's counters see
+        # every request.
+        assert engine.metrics.requests == baseline.metrics.requests == len(queries)
+        assert engine.metrics.hits == baseline.metrics.hits
+        assert engine.metrics.misses == baseline.metrics.misses
+
+    def test_thread_pool_schedule_holds_across_workers(self):
+        engine = build_concurrent_engine(
+            build_remote(seed=0), seed=0, shards=2, workers=4
+        )
+        tracer = SamplingTracer(sample_every=8)
+        engine.set_tracer(tracer)
+        queries = _queries(32)
+        with engine:
+            engine.handle_concurrent(queries, now=0.0)
+        spans = tracer.spans()
+        roots = [s for s in spans if s.name == "request"]
+        assert len(roots) == len(queries) // 8
+        _check_forest(spans, expected_roots=len(roots))
+        assert tracer.live == 0
+
+    def test_async_engine_samples_one_in_n(self):
+        engine = build_async_engine(build_remote(seed=0), seed=0, shards=2)
+        tracer = SamplingTracer(sample_every=5)
+        engine.set_tracer(tracer)
+        queries = _queries(20)
+        asyncio.run(run_closed_loop(engine, queries, concurrency=4))
+        roots = [s for s in tracer.spans() if s.name == "request"]
+        assert len(roots) == len(queries) // 5
+        assert tracer.live == 0
 
 
 def _queries(n: int, population: int = 8) -> list[Query]:
