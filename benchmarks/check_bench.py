@@ -14,8 +14,10 @@ Checks, for every ``BENCH_*.json`` at the repo root:
   per artefact);
 * per-file value gates on the fast-path numbers: the arena-batched lookup
   speedup, zero full index rebuilds under incremental admission, a
-  non-empty int8 recall curve, and sampled-tracing overhead under 1%
-  (both the micro measurement and the obs headline).
+  non-empty int8 recall curve, sampled-tracing overhead under 1%
+  (both the micro measurement and the obs headline), and the proc-tier
+  scaling section (shape always; the >=3x 4-worker speedup only on hosts
+  with >= 4 cores, where the claim is physically testable).
 
 Pure stdlib; run as ``python benchmarks/check_bench.py``.
 """
@@ -44,6 +46,7 @@ REQUIRED_KEYS = {
         "throughput_rps",
         "speedups",
         "sample_cap",
+        "proc",
     ),
     "BENCH_async.json": ("config", "results", "headline"),
     "BENCH_chaos.json": ("config", "results", "headline"),
@@ -57,6 +60,12 @@ MAX_ARRAY = 1024
 MIN_BATCHED_SPEEDUP = 2.0
 #: Sampled tracing must stay under this overhead (percent).
 MAX_SAMPLED_OVERHEAD_PCT = 1.0
+#: Minimum proc-tier judge-stage speedup at 4 workers vs 1 — enforced only
+#: on hosts with at least this many cores, because a smaller box cannot
+#: demonstrate parallel speedup no matter how good the code is. The shape
+#: of the ``proc`` section is checked everywhere.
+MIN_PROC_SPEEDUP_4W = 3.0
+MIN_CORES_FOR_PROC_GATE = 4
 
 
 def _dig(data, *keys):
@@ -111,10 +120,49 @@ def gate_obs(data) -> list[str]:
     return errors
 
 
+def gate_concurrency(data) -> list[str]:
+    """Shape + (hardware-permitting) value gates on the ``proc`` section."""
+    errors = []
+    rps = _dig(data, "proc", "throughput_rps")
+    for workers in ("1", "2", "4"):
+        value = rps.get(workers) if isinstance(rps, dict) else None
+        if not isinstance(value, (int, float)) or value <= 0:
+            errors.append(
+                f"proc.throughput_rps[{workers!r}] is {value!r}; the proc "
+                f"runner must record 1/2/4-worker throughput"
+            )
+    spin = _dig(data, "proc", "judge_spin")
+    if not isinstance(spin, (int, float)) or spin <= 0:
+        errors.append(
+            f"proc.judge_spin is {spin!r}; the scaling run must be "
+            f"judge-stage CPU-bound (spin > 0)"
+        )
+    plateau = _dig(data, "proc", "thread_plateau", "speedup_vs_1w")
+    if not isinstance(plateau, (int, float)):
+        errors.append(
+            f"proc.thread_plateau.speedup_vs_1w is {plateau!r}; the runner "
+            f"must record the thread-pool baseline"
+        )
+    speedup = _dig(data, "proc", "speedups", "speedup_4w")
+    if not isinstance(speedup, (int, float)):
+        errors.append(f"proc.speedups.speedup_4w is {speedup!r}; must be a number")
+        return errors
+    cores = _dig(data, "machine_info", "cpu", "count")
+    if isinstance(cores, int) and cores >= MIN_CORES_FOR_PROC_GATE:
+        if speedup < MIN_PROC_SPEEDUP_4W:
+            errors.append(
+                f"proc.speedups.speedup_4w is {speedup!r} on a {cores}-core "
+                f"host; 4 shard processes must reach >= "
+                f"{MIN_PROC_SPEEDUP_4W}x the 1-worker throughput"
+            )
+    return errors
+
+
 #: Per-file value gates, run after the schema checks pass.
 VALUE_GATES = {
     "BENCH_micro.json": gate_micro,
     "BENCH_obs.json": gate_obs,
+    "BENCH_concurrency.json": gate_concurrency,
 }
 
 

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Measure multi-process shard-worker scaling and record it in the artefact.
+
+The GIL question the proc tier exists to answer: when the judge stage is
+honestly CPU-bound (``judge_spin`` burns real GIL-holding CPU per judged
+candidate), thread workers plateau near 1x while shard *processes* scale
+with cores. This runner drives the same pinned closed-loop workload through
+
+* the proc engine at 1 / 2 / 4 workers (one shard process each), and
+* the thread-pool engine at 1 and 4 workers (the plateau baseline),
+
+then merges a ``proc`` section into the existing ``BENCH_concurrency.json``
+(leaving the thread-scaling benchmarks already recorded there untouched).
+``benchmarks/check_bench.py`` gates the section's shape everywhere and the
+>=3x speedup value only on hosts with >= 4 cores — a single-core CI box
+cannot honestly demonstrate parallel speedup, and the artefact records
+whatever the host truly measured.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_proc.py [--quick]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+OUTPUT = REPO_ROOT / "BENCH_concurrency.json"
+
+import numpy as np  # noqa: E402
+
+from repro.core import Query  # noqa: E402
+from repro.factory import (  # noqa: E402
+    build_concurrent_engine,
+    build_proc_engine,
+    build_remote,
+)
+from repro.serving.aio import run_closed_loop  # noqa: E402
+
+#: GIL-holding CPU seconds burned per judged candidate. Large enough that
+#: judging dominates wire/framing overhead (~0.1-0.2 ms per request), small
+#: enough that the full sweep stays under a minute on one core.
+JUDGE_SPIN = 0.002
+N_QUERIES = 240
+POPULATION = 32
+ZIPF_S = 1.2
+TIME_STEP = 0.01
+CONCURRENCY = 16
+ROUNDS = 2
+PROC_WORKERS = (1, 2, 4)
+THREAD_WORKERS = (1, 4)
+
+
+def workload(n: int = N_QUERIES) -> list[Query]:
+    rng = np.random.default_rng(7)
+    ranks = np.minimum(rng.zipf(ZIPF_S, size=n), POPULATION)
+    return [
+        Query(f"judged fact number {rank} of the corpus", fact_id=f"F{rank}")
+        for rank in ranks
+    ]
+
+
+def measure_proc(workers: int, queries: list[Query]) -> float:
+    """Best-of-rounds closed-loop throughput through the proc engine."""
+
+    async def one_round() -> float:
+        engine = build_proc_engine(
+            build_remote(seed=7), seed=7, workers=workers, judge_spin=JUDGE_SPIN
+        )
+        async with engine:
+            t0 = time.perf_counter()
+            await run_closed_loop(
+                engine, queries, concurrency=CONCURRENCY, time_step=TIME_STEP
+            )
+            wall = time.perf_counter() - t0
+        return len(queries) / wall
+
+    return max(asyncio.run(one_round()) for _ in range(ROUNDS))
+
+
+def measure_thread(workers: int, queries: list[Query]) -> float:
+    """Best-of-rounds closed-loop throughput through the thread pool."""
+    best = 0.0
+    for _ in range(ROUNDS):
+        engine = build_concurrent_engine(
+            build_remote(seed=7),
+            seed=7,
+            shards=4,
+            workers=workers,
+            judge_spin=JUDGE_SPIN,
+        )
+        with engine:
+            t0 = time.perf_counter()
+            engine.run_closed_loop(queries, time_step=TIME_STEP)
+            wall = time.perf_counter() - t0
+        best = max(best, len(queries) / wall)
+    return best
+
+
+def main(argv: list[str]) -> int:
+    global N_QUERIES, ROUNDS
+    if "--quick" in argv:
+        N_QUERIES, ROUNDS = 80, 1
+    queries = workload(N_QUERIES)
+
+    proc_rps: dict[str, float] = {}
+    for workers in PROC_WORKERS:
+        proc_rps[str(workers)] = measure_proc(workers, queries)
+        print(f"proc workers={workers}: {proc_rps[str(workers)]:.1f} req/s")
+    thread_rps: dict[str, float] = {}
+    for workers in THREAD_WORKERS:
+        thread_rps[str(workers)] = measure_thread(workers, queries)
+        print(f"thread workers={workers}: {thread_rps[str(workers)]:.1f} req/s")
+
+    base = proc_rps["1"]
+    speedups = {
+        f"speedup_{w}w": round(proc_rps[str(w)] / base, 3) for w in PROC_WORKERS
+    }
+    thread_base = thread_rps[str(THREAD_WORKERS[0])]
+    plateau_workers = THREAD_WORKERS[-1]
+    section = {
+        "judge_spin": JUDGE_SPIN,
+        "requests": N_QUERIES,
+        "concurrency": CONCURRENCY,
+        "cpu_count": os.cpu_count(),
+        "throughput_rps": {k: round(v, 2) for k, v in proc_rps.items()},
+        "speedups": speedups,
+        "thread_plateau": {
+            "workers": plateau_workers,
+            "throughput_rps": round(thread_rps[str(plateau_workers)], 2),
+            "speedup_vs_1w": round(
+                thread_rps[str(plateau_workers)] / thread_base, 3
+            ),
+        },
+    }
+
+    # Merge into the existing artefact so the thread-scaling benchmarks and
+    # machine/commit info recorded by run_concurrency.py survive.
+    data = json.loads(OUTPUT.read_text()) if OUTPUT.exists() else {}
+    data["proc"] = section
+    OUTPUT.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+
+    print(f"\nwrote proc section of {OUTPUT}")
+    for workers in PROC_WORKERS:
+        ratio = speedups[f"speedup_{workers}w"]
+        print(
+            f"  proc workers={workers}: {proc_rps[str(workers)]:.1f} req/s "
+            f"({ratio:.2f}x vs 1 worker)"
+        )
+    print(
+        f"  thread plateau at {plateau_workers} workers: "
+        f"{section['thread_plateau']['speedup_vs_1w']:.2f}x vs 1 thread"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -8,8 +8,11 @@ Usage::
     python -m repro run-all --quick
     python -m repro stress --shards 4 --workers 8 --queries 2000
     python -m repro stress --engine async --rate 800 --deadline 0.2
+    python -m repro stress --engine proc --workers 4 --rate 800
     python -m repro stress --chaos --fault-rate 0.3 --blackout 6:10
     python -m repro stress --trace-out trace.json --metrics-out metrics.prom
+    python -m repro serve --workers 4 --port 7621
+    python -m repro stress --connect 127.0.0.1:7621 --rate 400
 
 ``--set key=value`` pairs are parsed with ``ast.literal_eval`` (falling back
 to a plain string), so ints, floats, tuples, and booleans all work.
@@ -20,7 +23,16 @@ run on the virtual clock. ``--engine thread`` (default) drives the
 closed-loop worker pool; ``--engine async`` drives the asyncio front-end
 with an *open-loop* fixed arrival rate, so backpressure (``overloaded``)
 and deadlines (``deadline_exceeded``) are measured honestly; ``--engine
-sync`` serves sequentially through the plain engine as a baseline.
+proc`` drives the multi-process shard-worker tier the same open-loop way;
+``--engine sync`` serves sequentially through the plain engine as a
+baseline; ``--connect HOST:PORT`` drives a *running* ``serve`` process over
+a real socket instead of building an engine in this process.
+
+``serve`` boots the multi-process tier behind a TCP front door and runs
+until SIGTERM/SIGINT, then drains in-flight requests and exits cleanly.
+Every stress arm installs the same signal handling: a TERM or Ctrl-C stops
+the load loop early, finishes what's in flight, and still writes every
+requested artefact (``--trace-out`` / ``--metrics-out`` / ``--series-out``).
 
 Every arm takes the observability flags: ``--trace-out`` writes a Chrome
 ``trace_event`` file (open in Perfetto / chrome://tracing), ``--metrics-out``
@@ -211,6 +223,53 @@ def _chaos_setup(arguments):
     return injector, resilience
 
 
+def _stop_on_signals():
+    """A ``threading.Event`` set by SIGINT/SIGTERM plus a restore callback.
+
+    Lets Ctrl-C or a supervisor's TERM end a stress run early but *cleanly*:
+    the load loop drains in-flight work, the report covers what actually
+    ran, and the observability artefacts still land on disk.
+    """
+    import signal
+    import threading
+
+    stop = threading.Event()
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, lambda *_: stop.set())
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+    def restore() -> None:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+    return stop, restore
+
+
+def _async_stop(loop):
+    """The asyncio twin of :func:`_stop_on_signals`: an ``asyncio.Event``
+    set by SIGINT/SIGTERM on ``loop``, plus a remove callback."""
+    import asyncio
+    import signal
+
+    stop = asyncio.Event()
+    installed = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+
+    def remove() -> None:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+
+    return stop, remove
+
+
 def _engine_breaker(engine):
     """The circuit breaker behind a serving engine, or None."""
     inner = getattr(engine, "engine", engine)
@@ -336,12 +395,17 @@ def _print_degraded(metrics) -> None:
 
 
 def _command_stress(arguments) -> int:
-    """Wall-clock stress: sequential baseline, thread pool (closed loop), or
-    asyncio (open loop)."""
+    """Wall-clock stress: sequential baseline, thread pool (closed loop),
+    asyncio (open loop), multi-process shard workers (open loop), or a
+    socket client against a running ``serve`` process."""
+    if arguments.connect:
+        return _stress_connect(arguments)
     if arguments.engine == "sync":
         return _stress_sync(arguments)
     if arguments.engine == "async":
         return _stress_async(arguments)
+    if arguments.engine == "proc":
+        return _stress_proc(arguments)
     from repro.factory import build_concurrent_engine, build_remote
 
     queries = _stress_queries(arguments)
@@ -353,34 +417,41 @@ def _command_stress(arguments) -> int:
         workers=arguments.workers,
         io_pause_scale=arguments.io_scale,
         resilience=resilience,
+        judge_spin=arguments.judge_spin,
     )
     obs = _obs_setup(arguments, engine, "thread")
-    with engine:
-        with _maybe_profile(arguments):
-            report = engine.run_closed_loop(queries, time_step=0.01)
-    print(
-        f"engine=thread workers={report.workers} shards={arguments.shards} "
-        f"requests={report.requests}"
-    )
-    print(
-        f"  wall={report.wall_seconds:.3f}s "
-        f"throughput={report.throughput_rps:.1f} req/s"
-    )
-    print(
-        f"  hit_rate={report.hit_rate:.3f} hits={report.hits} "
-        f"misses={report.misses} coalesced={report.coalesced_misses} "
-        f"remote_calls={report.remote_calls}"
-    )
-    if arguments.chaos:
+    stop, restore = _stop_on_signals()
+    try:
+        with engine:
+            with _maybe_profile(arguments):
+                report = engine.run_closed_loop(queries, time_step=0.01, stop=stop)
         print(
-            f"  served_fraction={report.served_fraction:.4f} "
-            f"stale_served={report.stale_served} failed={report.failed}"
+            f"engine=thread workers={report.workers} shards={arguments.shards} "
+            f"requests={report.requests}"
         )
-        _print_degraded(engine.metrics)
-    per_shard = engine.cache.stats_per_shard()
-    inserts = [stats.inserts for stats in per_shard]
-    print(f"  per-shard inserts={inserts} (total={sum(inserts)})")
-    _obs_finish(arguments, engine, *obs)
+        if stop.is_set():
+            print(f"  stopped early by signal ({report.requests}/{len(queries)})")
+        print(
+            f"  wall={report.wall_seconds:.3f}s "
+            f"throughput={report.throughput_rps:.1f} req/s"
+        )
+        print(
+            f"  hit_rate={report.hit_rate:.3f} hits={report.hits} "
+            f"misses={report.misses} coalesced={report.coalesced_misses} "
+            f"remote_calls={report.remote_calls}"
+        )
+        if arguments.chaos:
+            print(
+                f"  served_fraction={report.served_fraction:.4f} "
+                f"stale_served={report.stale_served} failed={report.failed}"
+            )
+            _print_degraded(engine.metrics)
+        per_shard = engine.cache.stats_per_shard()
+        inserts = [stats.inserts for stats in per_shard]
+        print(f"  per-shard inserts={inserts} (total={sum(inserts)})")
+    finally:
+        restore()
+        _obs_finish(arguments, engine, *obs)
     return 0
 
 
@@ -396,32 +467,43 @@ def _stress_sync(arguments) -> int:
         build_remote(seed=arguments.seed, fault_injector=injector),
         seed=arguments.seed,
         resilience=resilience,
+        judge_spin=arguments.judge_spin,
     )
     obs = _obs_setup(arguments, engine, "sync")
+    stop, restore = _stop_on_signals()
+    served = 0
     begin = time.perf_counter()
-    with _maybe_profile(arguments):
-        for i, query in enumerate(queries):
-            engine.handle(query, now=i * 0.01)
-    wall = time.perf_counter() - begin
-    metrics = engine.metrics
-    print(f"engine=sync requests={len(queries)}")
-    print(
-        f"  wall={wall:.3f}s "
-        f"throughput={len(queries) / wall:.1f} req/s"
-        if wall > 0
-        else "  wall=0.000s"
-    )
-    print(
-        f"  hit_rate={metrics.hit_rate:.3f} hits={metrics.hits} "
-        f"misses={metrics.misses} remote_calls={engine.remote.calls}"
-    )
-    print(
-        f"  p50_sim={metrics.total_latency.p50 * 1000:.2f}ms "
-        f"p99_sim={metrics.total_latency.p99 * 1000:.2f}ms"
-    )
-    if arguments.chaos:
-        _print_degraded(metrics)
-    _obs_finish(arguments, engine, *obs)
+    try:
+        with _maybe_profile(arguments):
+            for i, query in enumerate(queries):
+                if stop.is_set():
+                    break
+                engine.handle(query, now=i * 0.01)
+                served += 1
+        wall = time.perf_counter() - begin
+        metrics = engine.metrics
+        print(f"engine=sync requests={served}")
+        if stop.is_set():
+            print(f"  stopped early by signal ({served}/{len(queries)})")
+        print(
+            f"  wall={wall:.3f}s "
+            f"throughput={served / wall:.1f} req/s"
+            if wall > 0
+            else "  wall=0.000s"
+        )
+        print(
+            f"  hit_rate={metrics.hit_rate:.3f} hits={metrics.hits} "
+            f"misses={metrics.misses} remote_calls={engine.remote.calls}"
+        )
+        print(
+            f"  p50_sim={metrics.total_latency.p50 * 1000:.2f}ms "
+            f"p99_sim={metrics.total_latency.p99 * 1000:.2f}ms"
+        )
+        if arguments.chaos:
+            _print_degraded(metrics)
+    finally:
+        restore()
+        _obs_finish(arguments, engine, *obs)
     return 0
 
 
@@ -442,42 +524,238 @@ def _stress_async(arguments) -> int:
         max_inflight=arguments.max_inflight,
         default_deadline=arguments.deadline,
         resilience=resilience,
+        judge_spin=arguments.judge_spin,
     )
     obs = _obs_setup(arguments, engine, "async")
-    with _maybe_profile(arguments):
-        report = asyncio.run(
-            run_open_loop(engine, queries, rate=arguments.rate, time_step=0.01)
+
+    async def runner():
+        stop, remove = _async_stop(asyncio.get_running_loop())
+        try:
+            return await run_open_loop(
+                engine, queries, rate=arguments.rate, time_step=0.01, stop=stop
+            )
+        finally:
+            remove()
+
+    try:
+        with _maybe_profile(arguments):
+            report = asyncio.run(runner())
+        metrics = engine.metrics
+        print(
+            f"engine=async rate={arguments.rate:.0f}/s shards={arguments.shards} "
+            f"requests={report.requests} max_inflight={arguments.max_inflight}"
         )
+        if report.requests < len(queries):
+            print(
+                f"  stopped early by signal ({report.requests}/{len(queries)})"
+            )
+        print(
+            f"  wall={report.wall_seconds:.3f}s "
+            f"throughput={report.throughput_rps:.1f} req/s "
+            f"peak_inflight_fetches={engine.remote.max_inflight}"
+        )
+        print(
+            f"  completed={report.completed} overloaded={report.overloaded} "
+            f"deadline_exceeded={report.deadline_exceeded}"
+        )
+        print(
+            f"  hit_rate={report.hit_rate:.3f} hits={report.hits} "
+            f"misses={report.misses} coalesced={report.coalesced_misses} "
+            f"remote_calls={report.remote_calls} hedged={metrics.hedged_fetches}"
+        )
+        print(
+            f"  p50_wall={report.p50_wall * 1000:.2f}ms "
+            f"p99_wall={report.p99_wall * 1000:.2f}ms"
+        )
+        if arguments.chaos:
+            print(
+                f"  served_fraction={report.served_fraction:.4f} "
+                f"stale_served={report.stale_served} failed={report.failed}"
+            )
+            _print_degraded(metrics)
+    finally:
+        _obs_finish(arguments, engine, *obs)
+    return 0
+
+
+def _stress_proc(arguments) -> int:
+    """Open-loop stress of the multi-process shard-worker tier: ``--workers``
+    processes each own one cache shard; the router in this process does the
+    fetching, single-flight, and metric accounting."""
+    import asyncio
+
+    from repro.factory import build_proc_engine, build_remote
+    from repro.serving.aio import run_open_loop
+
+    queries = _stress_queries(arguments)
+    injector, resilience = _chaos_setup(arguments)
+    engine = build_proc_engine(
+        build_remote(seed=arguments.seed, fault_injector=injector),
+        seed=arguments.seed,
+        workers=arguments.workers,
+        io_pause_scale=arguments.io_scale,
+        max_inflight=arguments.max_inflight,
+        default_deadline=arguments.deadline,
+        batch_window=arguments.batch_window,
+        batch_max=arguments.batch_max,
+        codec=arguments.codec,
+        judge_spin=arguments.judge_spin,
+        resilience=resilience,
+    )
+    obs = _obs_setup(arguments, engine, "proc")
+
+    async def runner():
+        stop, remove = _async_stop(asyncio.get_running_loop())
+        try:
+            return await run_open_loop(
+                engine, queries, rate=arguments.rate, time_step=0.01, stop=stop
+            )
+        finally:
+            remove()
+            await engine.aclose()
+
+    try:
+        with _maybe_profile(arguments):
+            report = asyncio.run(runner())
+        metrics = engine.metrics
+        print(
+            f"engine=proc workers={arguments.workers} "
+            f"rate={arguments.rate:.0f}/s requests={report.requests} "
+            f"max_inflight={arguments.max_inflight} codec={arguments.codec}"
+        )
+        if report.requests < len(queries):
+            print(
+                f"  stopped early by signal ({report.requests}/{len(queries)})"
+            )
+        print(
+            f"  wall={report.wall_seconds:.3f}s "
+            f"throughput={report.throughput_rps:.1f} req/s "
+            f"peak_inflight_fetches={engine.remote.max_inflight}"
+        )
+        print(
+            f"  completed={report.completed} overloaded={report.overloaded} "
+            f"deadline_exceeded={report.deadline_exceeded}"
+        )
+        print(
+            f"  hit_rate={report.hit_rate:.3f} hits={report.hits} "
+            f"misses={report.misses} coalesced={report.coalesced_misses} "
+            f"remote_calls={report.remote_calls} hedged={metrics.hedged_fetches}"
+        )
+        print(
+            f"  p50_wall={report.p50_wall * 1000:.2f}ms "
+            f"p99_wall={report.p99_wall * 1000:.2f}ms"
+        )
+        if arguments.chaos:
+            print(
+                f"  served_fraction={report.served_fraction:.4f} "
+                f"stale_served={report.stale_served} failed={report.failed}"
+            )
+            _print_degraded(metrics)
+        inserts = [client.last_stats[0] for client in engine.pool.clients]
+        print(f"  per-shard inserts={inserts} (total={sum(inserts)})")
+    finally:
+        _obs_finish(arguments, engine, *obs)
+    return 0
+
+
+def _stress_connect(arguments) -> int:
+    """Open-loop stress over a real socket against a running
+    ``python -m repro serve`` process (no engine in this process)."""
+    import asyncio
+
+    from repro.serving.proc.client import ProcClient, run_open_loop_socket
+
+    host, _, port_raw = arguments.connect.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_raw)
+    except ValueError:
+        raise SystemExit(
+            f"--connect expects HOST:PORT, got {arguments.connect!r}"
+        ) from None
+    queries = _stress_queries(arguments)
+
+    async def runner():
+        client = await ProcClient.connect(host, port, codec=arguments.codec)
+        stop, remove = _async_stop(asyncio.get_running_loop())
+        try:
+            report = await run_open_loop_socket(
+                client,
+                queries,
+                rate=arguments.rate,
+                time_step=0.01,
+                deadline=arguments.deadline,
+                stop=stop,
+            )
+            health = await client.health()
+            return report, health
+        finally:
+            remove()
+            await client.aclose()
+
+    report, health = asyncio.run(runner())
+    print(f"engine=socket target={host}:{port} requests={report['requests']}")
+    if report["requests"] < len(queries):
+        print(
+            f"  stopped early by signal ({report['requests']}/{len(queries)})"
+        )
+    print(
+        f"  wall={report['wall_seconds']:.3f}s "
+        f"throughput={report['throughput_rps']:.1f} req/s"
+    )
+    print(
+        f"  served={report['served']} "
+        f"served_fraction={report['served_fraction']:.4f} "
+        f"statuses={report['statuses']}"
+    )
+    print(
+        f"  server: workers={health['workers']} requests={health['requests']} "
+        f"inflight={health['inflight']} usage={health['usage']}"
+    )
+    return 0
+
+
+def _command_serve(arguments) -> int:
+    """Boot the multi-process socket server; run until SIGTERM/SIGINT, then
+    drain in-flight requests, stop the workers, and exit 0."""
+    import asyncio
+
+    from repro.factory import build_proc_engine, build_remote
+    from repro.serving.proc.server import ProcServer
+
+    engine = build_proc_engine(
+        build_remote(seed=arguments.seed),
+        seed=arguments.seed,
+        workers=arguments.workers,
+        io_pause_scale=arguments.io_scale,
+        max_inflight=arguments.max_inflight,
+        default_deadline=arguments.deadline,
+        batch_window=arguments.batch_window,
+        batch_max=arguments.batch_max,
+        codec=arguments.codec,
+        judge_spin=arguments.judge_spin,
+    )
+    server = ProcServer(
+        engine, host=arguments.host, port=arguments.port, codec=arguments.codec
+    )
+
+    async def runner():
+        await server.start()
+        print(
+            f"serving on {server.host}:{server.port} "
+            f"workers={arguments.workers} codec={arguments.codec} "
+            f"(SIGTERM/SIGINT drains and exits)",
+            flush=True,
+        )
+        await server.run()
+
+    asyncio.run(runner())
     metrics = engine.metrics
     print(
-        f"engine=async rate={arguments.rate:.0f}/s shards={arguments.shards} "
-        f"requests={report.requests} max_inflight={arguments.max_inflight}"
+        f"drained: requests={server.requests_served} "
+        f"hit_rate={metrics.hit_rate:.3f} hits={metrics.hits} "
+        f"misses={metrics.misses} coalesced={metrics.coalesced_misses}"
     )
-    print(
-        f"  wall={report.wall_seconds:.3f}s "
-        f"throughput={report.throughput_rps:.1f} req/s "
-        f"peak_inflight_fetches={engine.remote.max_inflight}"
-    )
-    print(
-        f"  completed={report.completed} overloaded={report.overloaded} "
-        f"deadline_exceeded={report.deadline_exceeded}"
-    )
-    print(
-        f"  hit_rate={report.hit_rate:.3f} hits={report.hits} "
-        f"misses={report.misses} coalesced={report.coalesced_misses} "
-        f"remote_calls={report.remote_calls} hedged={metrics.hedged_fetches}"
-    )
-    print(
-        f"  p50_wall={report.p50_wall * 1000:.2f}ms "
-        f"p99_wall={report.p99_wall * 1000:.2f}ms"
-    )
-    if arguments.chaos:
-        print(
-            f"  served_fraction={report.served_fraction:.4f} "
-            f"stale_served={report.stale_served} failed={report.failed}"
-        )
-        _print_degraded(metrics)
-    _obs_finish(arguments, engine, *obs)
     return 0
 
 
@@ -487,6 +765,41 @@ def _command_run_all(quick: bool) -> int:
         result = runner(**overrides)
         result.print_table()
     return 0
+
+
+def _add_proc_arguments(parser) -> None:
+    """Flags shared by every arm that can touch the proc tier (plus
+    ``--judge-spin``, which all engines honour)."""
+    parser.add_argument(
+        "--judge-spin",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="burn ~SECONDS of GIL-holding CPU inside every judge call "
+        "(makes the judge stage honestly CPU-bound; default 0 = off)",
+    )
+    parser.add_argument(
+        "--codec",
+        choices=("pickle", "msgpack"),
+        default="pickle",
+        help="wire serializer for the proc tier (msgpack requires the "
+        "optional dependency; default pickle)",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-shard lookup accumulation window before a frame ships "
+        "(default 0: every lookup goes out on the next loop tick)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=16,
+        help="lookups per shard frame before the window flushes early "
+        "(default 16)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -515,10 +828,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     stress_parser.add_argument(
         "--engine",
-        choices=("sync", "thread", "threads", "async"),
+        choices=("sync", "thread", "threads", "async", "proc"),
         default="thread",
         help="sync: sequential baseline; thread (default; 'threads' is an "
-        "alias): closed-loop worker pool; async: open-loop asyncio front-end",
+        "alias): closed-loop worker pool; async: open-loop asyncio "
+        "front-end; proc: open-loop multi-process shard workers "
+        "(--workers = process count)",
+    )
+    stress_parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="drive a running `python -m repro serve` over a real socket "
+        "instead of building an engine (open loop at --rate)",
     )
     stress_parser.add_argument(
         "--shards", type=int, default=4, help="cache shard count (default 4)"
@@ -632,6 +954,47 @@ def main(argv: list[str] | None = None) -> int:
         "functions by cumulative time",
     )
     stress_parser.add_argument("--seed", type=int, default=0)
+    _add_proc_arguments(stress_parser)
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the multi-process serving tier behind a TCP front door",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="shard worker processes (default 4)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick an ephemeral port and print it)",
+    )
+    serve_parser.add_argument(
+        "--io-scale",
+        type=float,
+        default=0.02,
+        help="real seconds slept per simulated remote-latency second "
+        "(default 0.02)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="admission-queue depth before overload rejection (default 256)",
+    )
+    serve_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request deadline in wall seconds (default none)",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    _add_proc_arguments(serve_parser)
     arguments = parser.parse_args(argv)
     if arguments.command == "list":
         return _command_list()
@@ -639,6 +1002,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(arguments.name, _parse_overrides(arguments.set))
     if arguments.command == "stress":
         return _command_stress(arguments)
+    if arguments.command == "serve":
+        return _command_serve(arguments)
     return _command_run_all(arguments.quick)
 
 

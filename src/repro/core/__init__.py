@@ -26,7 +26,12 @@ from repro.core.admission import (
     SizeThresholdAdmission,
 )
 from repro.core.cache import AsteriaCache, CacheStats, ExactCache, canonical_text
-from repro.core.config import AsteriaConfig, DEFAULT_TAU_LSM, DEFAULT_TAU_SIM
+from repro.core.config import (
+    AsteriaConfig,
+    CacheConfig,
+    DEFAULT_TAU_LSM,
+    DEFAULT_TAU_SIM,
+)
 from repro.core.element import SemanticElement
 from repro.core.engine import (
     AsteriaEngine,
@@ -75,6 +80,7 @@ __all__ = [
     "AsteriaCache",
     "AsteriaConfig",
     "AsteriaEngine",
+    "CacheConfig",
     "CacheLookup",
     "CacheSnapshot",
     "CacheStats",

@@ -137,3 +137,8 @@ class AsteriaConfig:
                 + self.judge_latency_per_candidate * judged
             )
         return latency
+
+
+#: Serving-facing alias: the multi-process tier ships this dataclass to
+#: worker processes as the per-shard cache configuration.
+CacheConfig = AsteriaConfig

@@ -135,6 +135,30 @@ class LatencyStats:
         if other._max > self._max:
             self._max = other._max
 
+    def __getstate__(self) -> dict:
+        """Explicit state so reservoirs cross process/pickle boundaries.
+
+        The RNG state rides along, so a deserialized reservoir continues the
+        exact eviction sequence the original would have produced.
+        """
+        return {
+            "max_samples": self.max_samples,
+            "samples": list(self._samples),
+            "count": self._count,
+            "total": self._total,
+            "max": self._max,
+            "rng_state": self._rng.getstate(),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.max_samples = state["max_samples"]
+        self._samples = list(state["samples"])
+        self._count = state["count"]
+        self._total = state["total"]
+        self._max = state["max"]
+        self._rng = random.Random()
+        self._rng.setstate(state["rng_state"])
+
     def __repr__(self) -> str:
         return (
             f"LatencyStats(n={self.count}, mean={self.mean:.4f}, "
@@ -279,6 +303,18 @@ class EngineMetrics:
             "degraded_latency",
         ):
             getattr(self, name).merge(getattr(other, name))
+
+    def __getstate__(self) -> dict:
+        """Explicit state (counters by name + reservoirs) for pickling.
+
+        ``EngineMetrics`` would pickle fine implicitly, but serving workers
+        ship metrics across process boundaries, so the wire shape is part of
+        the contract: a flat dict of field name -> value.
+        """
+        return dict(vars(self))
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def summary(self) -> dict:
         """A plain-dict snapshot for printing and serialisation."""

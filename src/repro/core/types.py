@@ -46,6 +46,22 @@ class Query:
         # Freeze metadata so Query stays hashable-by-identity and safe to share.
         object.__setattr__(self, "metadata", MappingProxyType(dict(self.metadata)))
 
+    def __getstate__(self) -> dict:
+        """Materialize the mapping proxy (proxies cannot pickle)."""
+        return {
+            "text": self.text,
+            "tool": self.tool,
+            "fact_id": self.fact_id,
+            "staticity": self.staticity,
+            "cost": self.cost,
+            "metadata": dict(self.metadata),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, "metadata", MappingProxyType(dict(state["metadata"])))
+
 
 @dataclass(frozen=True, slots=True)
 class FetchResult:

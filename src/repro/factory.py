@@ -33,8 +33,11 @@ from repro.serving.aio import (
     AsyncRemoteService,
 )
 from repro.serving.concurrent import ConcurrentEngine
+from repro.serving.proc.engine import ProcAsteriaEngine
+from repro.serving.proc.pool import WorkerPool
+from repro.serving.proc.worker import WorkerSpec
 from repro.embedding import CachedEmbedder, HashingEmbedder
-from repro.judger import SimulatedJudger
+from repro.judger import SimulatedJudger, SpinningJudger, spin_iterations
 from repro.judger.staticity import StaticityScorer
 from repro.core.resilience import ResilienceManager
 from repro.network import FaultInjector, RemoteDataService, TokenBucket
@@ -106,6 +109,7 @@ def build_asteria_engine(
     judge_executor=None,
     resilience: ResilienceManager | None = None,
     arena: str | None = "float32",
+    judge_spin: float = 0.0,
     name: str = "asteria",
 ) -> AsteriaEngine:
     """The full Asteria stack with simulated substrates.
@@ -138,6 +142,8 @@ def build_asteria_engine(
         )
     if judger is None:
         judger = SimulatedJudger(seed=derive_seed(seed, "judger"))
+    if judge_spin > 0:
+        judger = SpinningJudger(judger, spin=judge_spin)
     sine = Sine(
         embedder,
         index,
@@ -191,11 +197,16 @@ def build_semantic_cache(
     index_kind: str = "flat",
     policy: "EvictionPolicy | str" = "lcfu",
     arena: str | None = "float32",
+    judge_spin: float = 0.0,
+    judge_spin_iterations: int | None = None,
 ) -> AsteriaCache:
     """A standalone semantic cache (used for shared tiers and direct use).
 
     ``arena`` selects the embedding storage tier (``"float32"`` default /
-    ``"int8"`` / ``None``) — see :func:`build_asteria_engine`.
+    ``"int8"`` / ``None``) — see :func:`build_asteria_engine`. ``judge_spin``
+    > 0 wraps the judger in a :class:`~repro.judger.SpinningJudger` that
+    burns that many seconds of GIL-holding CPU per judged candidate
+    (identical decisions, real CPU cost — for parallelism benchmarks).
     """
     config = config if config is not None else AsteriaConfig()
     embedder = CachedEmbedder(HashingEmbedder(seed=derive_seed(seed, "embedder")))
@@ -204,6 +215,10 @@ def build_semantic_cache(
         index_kind, embedder.dim, seed=derive_seed(seed, "index"), arena=shared_arena
     )
     judger = SimulatedJudger(seed=derive_seed(seed, "judger"))
+    if judge_spin > 0:
+        judger = SpinningJudger(
+            judger, spin=judge_spin, iterations=judge_spin_iterations
+        )
     sine = Sine(
         embedder,
         index,
@@ -232,6 +247,7 @@ def build_sharded_cache(
     index_kind: str = "flat",
     policy: "EvictionPolicy | str" = "lcfu",
     arena: str | None = "float32",
+    judge_spin: float = 0.0,
 ) -> ShardedAsteriaCache:
     """A thread-safe sharded semantic cache for concurrent serving.
 
@@ -260,6 +276,7 @@ def build_sharded_cache(
                 index_kind=index_kind,
                 policy=policy,
                 arena=arena,
+                judge_spin=judge_spin,
             )
             for _ in range(shards)
         ]
@@ -278,6 +295,7 @@ def build_concurrent_engine(
     follower_timeout: float | None = None,
     resilience: ResilienceManager | None = None,
     arena: str | None = "float32",
+    judge_spin: float = 0.0,
     name: str = "asteria-concurrent",
 ) -> ConcurrentEngine:
     """The full concurrent serving stack: sharded cache + worker-pool engine.
@@ -302,6 +320,7 @@ def build_concurrent_engine(
         index_kind=index_kind,
         policy=policy,
         arena=arena,
+        judge_spin=judge_spin,
     )
     engine = AsteriaEngine(cache, remote, config, resilience=resilience, name=name)
     return ConcurrentEngine(
@@ -329,6 +348,7 @@ def build_async_engine(
     policy: "EvictionPolicy | str" = "lcfu",
     resilience: ResilienceManager | None = None,
     arena: str | None = "float32",
+    judge_spin: float = 0.0,
     name: str = "asteria-async",
 ) -> AsyncAsteriaEngine:
     """The full asyncio serving stack: sharded cache + event-loop engine.
@@ -354,6 +374,7 @@ def build_async_engine(
         index_kind=index_kind,
         policy=policy,
         arena=arena,
+        judge_spin=judge_spin,
     )
     engine = AsteriaEngine(cache, remote, config, resilience=resilience, name=name)
     return AsyncAsteriaEngine(
@@ -366,6 +387,97 @@ def build_async_engine(
         hedge_min_samples=hedge_min_samples,
         batch_window=batch_window,
         batch_max=batch_max,
+    )
+
+
+def build_proc_engine(
+    remote: RemoteDataService,
+    config: AsteriaConfig | None = None,
+    seed: int = 0,
+    workers: int = 4,
+    io_pause_scale: float = 0.0,
+    max_inflight: int = 256,
+    default_deadline: float | None = None,
+    follower_timeout: float | None = None,
+    batch_window: float = 0.0,
+    batch_max: int = 16,
+    index_kind: str = "flat",
+    policy: str = "lcfu",
+    resilience: ResilienceManager | None = None,
+    arena: str | None = "float32",
+    judge_spin: float = 0.0,
+    codec: str = "pickle",
+    name: str = "asteria-proc",
+    launch: bool = True,
+) -> ProcAsteriaEngine:
+    """The multi-process serving stack: shard worker processes + async router.
+
+    ``workers`` is both the process count and the shard count (one shard per
+    process, routed by the same stable crc32 hash as the sharded cache, so
+    ``workers=1`` replays the single-process engine's decisions exactly). A
+    bounded ``config.capacity_items`` is ceil-split across workers exactly
+    like :func:`build_sharded_cache`. ``policy`` must be a *name* — it
+    crosses the spawn boundary inside a :class:`WorkerSpec`. ``codec``
+    selects the wire serializer (``pickle`` default, ``msgpack`` when
+    installed). With ``launch=False`` the pool is constructed but no process
+    is spawned (call ``engine.pool.launch()`` later).
+    """
+    config = config if config is not None else AsteriaConfig()
+    if config.prefetch_enabled or config.recalibration_enabled:
+        raise ValueError(
+            "proc serving requires prefetch_enabled and "
+            "recalibration_enabled off; run those studies sequentially"
+        )
+    if not isinstance(policy, str):
+        raise TypeError(
+            "build_proc_engine needs a policy *name* (the spec crosses the "
+            f"process boundary), got {type(policy).__name__}"
+        )
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    shard_config = config
+    if config.capacity_items is not None and workers > 1:
+        shard_config = replace(
+            config, capacity_items=-(-config.capacity_items // workers)
+        )
+    # Calibrate the spin once here, in the quiet parent, and ship the
+    # iteration count to every worker: a worker calibrating while its
+    # siblings burn CPU on the same cores would measure a contended loop
+    # rate, give itself less work per judge, and fake parallel speedup.
+    iterations = spin_iterations(judge_spin) if judge_spin > 0 else None
+    specs = [
+        WorkerSpec(
+            shard_id=shard,
+            n_shards=workers,
+            config=shard_config,
+            seed=seed,
+            index_kind=index_kind,
+            policy=policy,
+            arena=arena,
+            judge_spin=judge_spin,
+            judge_spin_iterations=iterations,
+            codec=codec,
+        )
+        for shard in range(workers)
+    ]
+    pool = WorkerPool(
+        specs,
+        batch_window=batch_window,
+        batch_max=batch_max,
+        ann_only=config.ann_only,
+    )
+    if launch:
+        pool.launch()
+    return ProcAsteriaEngine(
+        pool,
+        remote,
+        config,
+        resilience=resilience,
+        io_pause_scale=io_pause_scale,
+        max_inflight=max_inflight,
+        default_deadline=default_deadline,
+        follower_timeout=follower_timeout,
+        name=name,
     )
 
 

@@ -371,23 +371,7 @@ class AsyncAsteriaEngine:
             response = engine._bypass_response(fetch, fetch.latency)
             self._record(response, query, now, shared=False)
             return response
-        if prepared is not None:
-            row, batch_hits, stamp = prepared
-            if row is not None and engine._mutation_stamp() == stamp:
-                sine_result = engine.cache.lookup_prepared(
-                    query, batch_hits[row], now, ann_only=engine.config.ann_only
-                )
-            else:
-                # Snapshot went stale (an earlier item in the window
-                # admitted/evicted): fall back to a fresh scalar lookup,
-                # the same rule as the sequential batch path.
-                sine_result = engine.cache.lookup(
-                    query, now, ann_only=engine.config.ann_only
-                )
-        else:
-            sine_result = engine.cache.lookup(
-                query, now, ann_only=engine.config.ann_only
-            )
+        sine_result = await self._sine_lookup(query, now, prepared)
         lookup, _ = engine._lookup_record(query, sine_result)
         if lookup.is_hit:
             response = EngineResponse(
@@ -426,6 +410,32 @@ class AsyncAsteriaEngine:
         self._record(response, query, now, shared=shared)
         return response
 
+    async def _sine_lookup(self, query: Query, now: float, prepared=None):
+        """Stage 1+2 retrieval for one cacheable request.
+
+        Factored out of :meth:`_serve` as the engine's *cache access point*:
+        subclasses that keep the cache elsewhere (the multi-process tier's
+        shard workers) override this one method and inherit the entire miss /
+        degradation / metrics path unchanged.
+        """
+        engine = self.engine
+        if prepared is not None:
+            row, batch_hits, stamp = prepared
+            if row is not None and engine._mutation_stamp() == stamp:
+                return engine.cache.lookup_prepared(
+                    query, batch_hits[row], now, ann_only=engine.config.ann_only
+                )
+            # Snapshot went stale (an earlier item in the window
+            # admitted/evicted): fall back to a fresh scalar lookup,
+            # the same rule as the sequential batch path.
+            return engine.cache.lookup(query, now, ann_only=engine.config.ann_only)
+        return engine.cache.lookup(query, now, ann_only=engine.config.ann_only)
+
+    async def _admit(self, query: Query, fetch: FetchResult, arrival: float) -> None:
+        """Insert one fetched result; the second cache access point
+        subclasses override (see :meth:`_sine_lookup`)."""
+        self.engine.cache.insert(query, fetch, arrival)
+
     async def _fetch_and_admit(
         self, query: Query, start: float, key: tuple
     ) -> FetchResult:
@@ -450,10 +460,10 @@ class AsyncAsteriaEngine:
         engine.resilience.on_success(key, fetch, arrival)
         if engine._should_admit(query, fetch, arrival):
             if tracer is None or not tracer.live:
-                engine.cache.insert(query, fetch, arrival)
+                await self._admit(query, fetch, arrival)
             else:
                 with tracer.span("admit"):
-                    engine.cache.insert(query, fetch, arrival)
+                    await self._admit(query, fetch, arrival)
         return fetch
 
     async def _fetch_retrying(

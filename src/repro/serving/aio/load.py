@@ -145,6 +145,7 @@ async def run_open_loop(
     time_step: float = 0.0,
     deadline: float | None = None,
     start: float = 0.0,
+    stop: asyncio.Event | None = None,
 ) -> AsyncLoadReport:
     """Serve ``queries`` at a fixed arrival rate (requests per wall second).
 
@@ -152,6 +153,11 @@ async def run_open_loop(
     earlier requests have completed; backpressure and deadlines decide what
     happens when the server cannot keep up. Query *i* carries simulated
     time ``start + i * time_step``.
+
+    ``stop`` (optional) ends the arrival schedule early once set: no new
+    requests launch, but everything already in flight is gathered and the
+    engine drained, so a signal handler gets a complete report of the
+    requests that actually ran.
     """
     if rate <= 0:
         raise ValueError(f"rate must be > 0, got {rate}")
@@ -161,9 +167,20 @@ async def run_open_loop(
     tasks: list[asyncio.Task] = []
     begin = time.perf_counter()
     for i, query in enumerate(queries):
+        if stop is not None and stop.is_set():
+            break
         delay = (begin + i / rate) - time.perf_counter()
         if delay > 0:
-            await asyncio.sleep(delay)
+            if stop is not None:
+                # Sleep until the next arrival *or* the stop flag, whichever
+                # comes first — a TERM mid-gap shouldn't wait out the gap.
+                try:
+                    await asyncio.wait_for(stop.wait(), timeout=delay)
+                    break
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await asyncio.sleep(delay)
         tasks.append(
             asyncio.ensure_future(
                 engine.serve(query, start + i * time_step, deadline=deadline)
@@ -184,6 +201,7 @@ async def run_closed_loop(
     time_step: float = 0.0,
     deadline: float | None = None,
     start: float = 0.0,
+    stop: asyncio.Event | None = None,
 ) -> AsyncLoadReport:
     """Serve ``queries`` with ``concurrency`` closed-loop virtual clients.
 
@@ -191,6 +209,10 @@ async def run_closed_loop(
     completion before claiming another, so at most ``concurrency`` requests
     are outstanding — the direct counterpart of the thread pool's
     ``run_closed_loop`` at ``workers=concurrency``.
+
+    ``stop`` (optional) is checked before each claim: once set, clients
+    finish their in-flight request and exit, and the report covers the
+    requests actually served.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -200,6 +222,8 @@ async def run_closed_loop(
 
     async def client() -> None:
         for i in cursor:  # next(cursor) is atomic: no await between claims
+            if stop is not None and stop.is_set():
+                return
             outcomes[i] = await engine.serve(
                 queries[i], start + i * time_step, deadline=deadline
             )
@@ -212,7 +236,8 @@ async def run_closed_loop(
     wall = time.perf_counter() - begin
     return _report(
         engine,
-        outcomes,  # type: ignore[arg-type] — every slot is filled above
+        # Unfilled slots only exist when `stop` ended the run early.
+        [outcome for outcome in outcomes if outcome is not None],
         wall,
         before,
         remote_before,

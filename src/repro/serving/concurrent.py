@@ -507,6 +507,7 @@ class ConcurrentEngine:
         queries: Sequence[Query],
         time_step: float = 0.0,
         start: float = 0.0,
+        stop: threading.Event | None = None,
     ) -> LoadReport:
         """Drive ``queries`` through ``self.workers`` closed-loop workers.
 
@@ -515,19 +516,28 @@ class ConcurrentEngine:
         applied equals worker count). Query *i* is served at simulated time
         ``start + i * time_step``; wall-clock time is measured around the
         whole run and throughput reported as requests per real second.
+
+        ``stop`` (optional) is checked before each claim: once set, workers
+        finish their in-flight request and exit, so a signal handler can end
+        the run early with every started request completed and counted — the
+        report then covers the requests actually served.
         """
         queries = list(queries)
         cursor = itertools.count()
+        served = itertools.count()
         n = len(queries)
         errors: list[BaseException] = []
 
         def worker() -> None:
             while True:
+                if stop is not None and stop.is_set():
+                    return
                 i = next(cursor)  # atomic in CPython
                 if i >= n:
                     return
                 try:
                     self._serve(queries[i], start + i * time_step)
+                    next(served)  # atomic served-count bump
                 except BaseException as exc:  # surface, don't hang the join
                     errors.append(exc)
                     return
@@ -546,15 +556,16 @@ class ConcurrentEngine:
         wall = time.perf_counter() - begin
         if errors:
             raise errors[0]
+        n_served = next(served)
         after = self.metrics.summary()
         hits = after["hits"] - before["hits"]
         misses = after["misses"] - before["misses"]
         cacheable = hits + misses
         return LoadReport(
             workers=self.workers,
-            requests=n,
+            requests=n_served,
             wall_seconds=wall,
-            throughput_rps=n / wall if wall > 0 else float("inf"),
+            throughput_rps=n_served / wall if wall > 0 else float("inf"),
             hits=hits,
             misses=misses,
             hit_rate=hits / cacheable if cacheable else 0.0,

@@ -1,0 +1,53 @@
+"""Multi-process serving tier: shard workers behind a socket front door.
+
+The thread-pool and asyncio stacks share one Python process, so embed/ANN/
+judge CPU work serializes on the GIL no matter how many threads run. This
+package escapes it: each worker *process* owns one :class:`AsteriaCache`
+shard (arena, ANN index, and judger intact) and speaks a length-prefixed
+binary protocol over localhost TCP; the router — a subclass of
+:class:`~repro.serving.aio.engine.AsyncAsteriaEngine` — keeps routing,
+batching, miss coalescing, resilience, and *all* metrics accounting in one
+place, so the proc engine's counters aggregate exactly like every other
+serving stack's.
+
+Layers
+------
+``protocol``
+    4-byte length-prefixed frames; pickle codec by default, msgpack when
+    installed.
+``wire``
+    Plain-structure converters for every type that crosses the boundary.
+``worker``
+    The child-process entry point: builds its shard, serves ops in a loop.
+``pool``
+    ``WorkerPool`` (process lifecycle) + ``ShardClient`` (per-shard frame
+    batching and request pipelining).
+``engine``
+    ``ProcAsteriaEngine``: the async front door routing to the pool.
+``server`` / ``client``
+    TCP request server (``python -m repro serve``) and its socket client.
+"""
+
+from repro.serving.proc.engine import ProcAsteriaEngine
+from repro.serving.proc.pool import ShardClient, WorkerPool, WorkerSpec
+from repro.serving.proc.protocol import (
+    Codec,
+    FrameError,
+    available_codecs,
+    get_codec,
+)
+from repro.serving.proc.server import ProcServer
+from repro.serving.proc.client import ProcClient
+
+__all__ = [
+    "Codec",
+    "FrameError",
+    "ProcAsteriaEngine",
+    "ProcClient",
+    "ProcServer",
+    "ShardClient",
+    "WorkerPool",
+    "WorkerSpec",
+    "available_codecs",
+    "get_codec",
+]

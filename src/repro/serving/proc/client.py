@@ -1,0 +1,163 @@
+"""Socket client for the serve front door, plus the open-loop driver the CI
+smoke job uses to push real requests through a real socket.
+
+:class:`ProcClient` pipelines requests over one connection (request ids map
+replies back to waiter futures — same scheme as the shard protocol), so an
+open-loop generator can keep hundreds of requests in flight without opening
+hundreds of sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter
+
+from repro.core.types import Query
+from repro.serving.proc import wire
+from repro.serving.proc.protocol import get_codec, read_frame, write_frame
+
+
+class ProcClientError(RuntimeError):
+    """The server reported a failure for one request, or the link dropped."""
+
+
+class ProcClient:
+    """One pipelined connection to a :class:`~repro.serving.proc.server.ProcServer`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        codec_name: str = "pickle",
+    ) -> None:
+        self.codec = get_codec(codec_name)
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, codec: str = "pickle", timeout: float = 10.0
+    ) -> "ProcClient":
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        return cls(reader, writer, codec_name=codec)
+
+    async def call(self, op: str, body=None):
+        if self._writer.is_closing():
+            raise ProcClientError("connection closed")
+        request_id = self._next_id
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        write_frame(self._writer, self.codec.dumps([request_id, op, body]))
+        return await future
+
+    async def serve(
+        self, query: Query, now: float = 0.0, deadline: float | None = None
+    ) -> dict:
+        """One request; returns the server's outcome payload (status/result/
+        latency/wall_latency)."""
+        return await self.call("serve", [wire.query_to_wire(query), now, deadline])
+
+    async def health(self) -> dict:
+        return await self.call("health")
+
+    async def metrics(self) -> dict:
+        return await self.call("metrics")
+
+    async def ping(self) -> str:
+        return await self.call("ping")
+
+    async def _read_loop(self) -> None:
+        error: BaseException | None = None
+        try:
+            while True:
+                payload = await read_frame(self._reader)
+                if payload is None:
+                    break
+                request_id, ok, result = self.codec.loads(payload)
+                future = self._pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue
+                if ok:
+                    future.set_result(result)
+                else:
+                    future.set_exception(ProcClientError(str(result)))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - fail pending below
+            error = exc
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ProcClientError(
+                            "connection lost" + (f" ({error})" if error else "")
+                        )
+                    )
+            self._pending.clear()
+
+    async def aclose(self) -> None:
+        self._reader_task.cancel()
+        await asyncio.gather(self._reader_task, return_exceptions=True)
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:  # noqa: BLE001 - server may already be gone
+            pass
+
+
+async def run_open_loop_socket(
+    client: ProcClient,
+    queries: list[Query],
+    rate: float,
+    time_step: float = 0.0,
+    deadline: float | None = None,
+    stop: asyncio.Event | None = None,
+) -> dict:
+    """Open-loop driver over a socket: request ``i`` launches at wall offset
+    ``i / rate`` regardless of completions (the same arrival discipline as
+    :func:`repro.serving.aio.load.run_open_loop`), all replies are gathered,
+    and a served-fraction report comes back for the smoke gate.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    loop = asyncio.get_running_loop()
+    begin = loop.time()
+    tasks: list[asyncio.Task] = []
+    statuses: Counter = Counter()
+
+    async def one(index: int, query: Query) -> None:
+        try:
+            outcome = await client.serve(
+                query, now=index * time_step, deadline=deadline
+            )
+            statuses[outcome["status"]] += 1
+        except ProcClientError:
+            statuses["transport_error"] += 1
+
+    for index, query in enumerate(queries):
+        if stop is not None and stop.is_set():
+            break
+        target = begin + index / rate
+        delay = target - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(one(index, query)))
+    if tasks:
+        await asyncio.gather(*tasks)
+    wall = loop.time() - begin
+    launched = len(tasks)
+    served = statuses["ok"] + statuses["stale_hit"]
+    return {
+        "requests": launched,
+        "served": served,
+        "served_fraction": served / launched if launched else 0.0,
+        "statuses": dict(statuses),
+        "wall_seconds": wall,
+        "throughput_rps": launched / wall if wall > 0 else 0.0,
+    }

@@ -1,0 +1,169 @@
+"""The multi-process front door: ``AsyncAsteriaEngine`` over a worker pool.
+
+:class:`ProcAsteriaEngine` subclasses the asyncio engine and overrides
+exactly its two cache access points (``_sine_lookup`` and ``_admit``) to go
+through the :class:`~repro.serving.proc.pool.WorkerPool` instead of an
+in-process cache. Everything else — backpressure, deadlines, the
+single-flight layer, resilience (breaker / negative cache / stale serving),
+retry accounting, and every ``EngineMetrics`` counter — is the inherited
+code running unmodified at the router, which is what makes the proc
+engine's metrics *exactly* aggregate: there is only one accountant.
+
+Division of labour per request:
+
+* **worker** — expiry purge, embed, ANN search, judging, and (on admitted
+  misses) the insert with its evictions: all the GIL-heavy CPU work.
+* **router** — shard routing (same stable crc32 hash as the sharded cache),
+  remote fetches (keeping the seeded remote RNG a single ordered stream),
+  cross-process single-flight (two concurrent misses for one canonical key
+  share one fetch *and* one insert even when served to different callers),
+  degradation, and metric recording against the piggybacked shard stats.
+
+The router never sees an embedding: lookup replies carry wire-level
+``SineResult`` structures whose elements are embedding-less, and the
+accounting path doesn't read vectors. Stage spans for worker-side work
+(embed / ann_search / judge) are not traced — the tracer observes
+router-side stages only (request, remote_fetch, admit).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AsteriaConfig
+from repro.core.engine import AsteriaEngine
+from repro.core.metrics import EngineMetrics  # noqa: F401  (re-exported docs)
+from repro.core.resilience import ResilienceManager
+from repro.network.remote import RemoteDataService
+from repro.serving.aio.engine import AsyncAsteriaEngine, AsyncOutcome
+from repro.serving.aio.remote import AsyncRemoteService
+from repro.serving.proc.pool import WorkerPool
+
+
+class _TauHolder:
+    """Stands in for ``cache.sine``: the engine writes its thresholds here at
+    construction; workers got the same values via their spec's config."""
+
+    def __init__(self) -> None:
+        self.tau_sim = 0.0
+        self.tau_lsm = 0.0
+        self.max_candidates = 1
+
+
+class _RouterCacheView:
+    """The router-side stand-in for the sharded cache.
+
+    Reads resolve against the piggybacked per-shard stats tuples
+    (:meth:`WorkerPool.stats_snapshot`), which every worker reply refreshes
+    *before* its waiter resumes — so ``stats``/``usage()`` observed after an
+    awaited lookup or insert are at least as fresh as that operation, and
+    ``AsteriaEngine._record_response``'s eviction/expiration sync is exact.
+    """
+
+    def __init__(self, pool: WorkerPool) -> None:
+        self.pool = pool
+        self.sine = _TauHolder()
+        self.tracer = None
+
+    @property
+    def stats(self):
+        return self.pool.stats_snapshot()
+
+    def usage(self) -> int:
+        return self.pool.usage_snapshot()
+
+    @property
+    def capacity_items(self) -> int | None:
+        return self.pool.capacity_items
+
+    def set_tracer(self, tracer) -> None:
+        # Worker-side stages (embed/ann_search/judge) are untraced; the
+        # router's spans don't cross the process boundary.
+        self.tracer = tracer
+
+    def __len__(self) -> int:
+        return self.usage()
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"_RouterCacheView(shards={self.pool.n_shards})"
+
+
+class ProcAsteriaEngine(AsyncAsteriaEngine):
+    """Asyncio front door routing to per-shard worker processes.
+
+    Parameters mirror :class:`AsyncAsteriaEngine` where they apply; the
+    cache-side knobs live in the pool's :class:`WorkerSpec`. The pool must
+    already be launched (or launchable) — attachment to the running event
+    loop happens lazily on the first served request.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        remote: RemoteDataService,
+        config: AsteriaConfig | None = None,
+        resilience: ResilienceManager | None = None,
+        io_pause_scale: float = 0.0,
+        max_inflight: int = 256,
+        default_deadline: float | None = None,
+        follower_timeout: float | None = None,
+        name: str = "asteria-proc",
+    ) -> None:
+        config = config if config is not None else AsteriaConfig()
+        view = _RouterCacheView(pool)
+        inner = AsteriaEngine(
+            view, remote, config, resilience=resilience, name=name
+        )
+        super().__init__(
+            inner,
+            remote=AsyncRemoteService(remote, io_pause_scale=io_pause_scale),
+            max_inflight=max_inflight,
+            default_deadline=default_deadline,
+            follower_timeout=follower_timeout,
+        )
+        self.pool = pool
+
+    # -- the two cache access points ------------------------------------------
+    async def _sine_lookup(self, query, now, prepared=None):
+        # `prepared` (the in-process stage-1 snapshot) never applies here:
+        # frame-level accumulation in the ShardClient is the batching tier.
+        return await self.pool.lookup(query, now)
+
+    async def _admit(self, query, fetch, arrival) -> None:
+        await self.pool.insert(query, fetch, arrival)
+
+    # -- serving ----------------------------------------------------------------
+    async def _serve_outer(self, query, now, deadline, serve=None) -> AsyncOutcome:
+        if not self.pool.attached:
+            await self.pool.attach()
+        return await super()._serve_outer(query, now, deadline, serve=serve)
+
+    async def serve_batched(self, query, now: float = 0.0, deadline=None):
+        """Batching happens per shard at the wire (the ShardClient's
+        accumulation window), so the scalar path *is* the batched path."""
+        return await self.serve(query, now, deadline)
+
+    # -- lifecycle ----------------------------------------------------------------
+    async def drain(self) -> None:
+        self.pool.flush()
+        await super().drain()
+
+    async def aclose(self) -> None:
+        """Drain in-flight work, then stop the worker processes."""
+        await self.drain()
+        await self.pool.shutdown()
+
+    async def __aenter__(self) -> "ProcAsteriaEngine":
+        if not self.pool.attached:
+            await self.pool.attach()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcAsteriaEngine(name={self.name!r}, shards={self.pool.n_shards}, "
+            f"max_inflight={self.max_inflight}, inflight={self.inflight})"
+        )

@@ -1,0 +1,425 @@
+"""Worker-pool lifecycle and per-shard frame clients for the proc tier.
+
+:class:`WorkerPool` owns the processes: it binds an ephemeral loopback
+listener, spawns one worker per shard (``multiprocessing`` *spawn* context —
+no forked locks, clean numpy state), and each worker connects back and
+identifies itself with a hello frame. Launch is synchronous and event-loop
+free; the asyncio wrapping of the connected sockets happens lazily at first
+use (:meth:`WorkerPool.attach`), so a pool can be built before any loop
+exists.
+
+:class:`ShardClient` is the per-shard protocol endpoint. It pipelines
+requests (a monotonically increasing request id maps replies to waiter
+futures, so many ops can be in flight on one connection) and micro-batches
+lookups: requests that arrive within ``batch_window`` wall seconds (or up to
+``batch_max`` of them) travel as *one* ``lookup_batch`` frame — the same
+accumulation rule as ``AsyncAsteriaEngine.serve_batched``, applied per shard
+at the wire. Every reply refreshes :attr:`ShardClient.last_stats`, the
+piggybacked shard-stats tuple the router's cache view reads; because the
+update happens before the waiter future resolves, metric recording after an
+``await`` always sees stats at least as fresh as its own operation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import pathlib
+import socket
+
+from repro.core.cache import CacheStats
+from repro.core.sharding import shard_index_for
+from repro.serving.proc import wire
+from repro.serving.proc.protocol import (
+    Codec,
+    get_codec,
+    read_frame,
+    recv_frame,
+    write_frame,
+)
+from repro.serving.proc.worker import HELLO_MAGIC, WorkerSpec, worker_main
+
+#: Seconds the pool waits for all workers to connect back and say hello.
+LAUNCH_TIMEOUT = 60.0
+
+
+class WorkerError(RuntimeError):
+    """An op failed inside a worker (the message is the worker's traceback
+    summary) or the worker connection was lost mid-flight."""
+
+
+class ShardClient:
+    """Protocol endpoint for one shard worker (pipelined + lookup-batched)."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        sock: socket.socket,
+        codec: Codec,
+        batch_window: float = 0.0,
+        batch_max: int = 16,
+        ann_only: bool = False,
+    ) -> None:
+        self.shard_id = shard_id
+        self.codec = codec
+        self.batch_window = batch_window
+        self.batch_max = batch_max
+        self.ann_only = ann_only
+        #: Latest piggybacked shard stats: [inserts, evictions, expirations,
+        #: rejected_duplicates, prefetch_inserts, usage].
+        self.last_stats: list = [0, 0, 0, 0, 0, 0]
+        self._sock: socket.socket | None = sock
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._next_id = 0
+        self._pending: dict[int, asyncio.Future] = {}
+        self._lookup_pending: list[tuple[dict, float, asyncio.Future]] = []
+        self._lookup_timer: asyncio.TimerHandle | None = None
+        self._distribute_tasks: set[asyncio.Task] = set()
+        self._closed = False
+
+    @property
+    def attached(self) -> bool:
+        return self._writer is not None
+
+    async def attach(self) -> None:
+        """Wrap the connected socket into asyncio streams (idempotent)."""
+        if self._writer is not None or self._sock is None:
+            return
+        sock, self._sock = self._sock, None
+        sock.setblocking(True)
+        self._reader, self._writer = await asyncio.open_connection(sock=sock)
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    # -- ops ------------------------------------------------------------------
+    def _send(self, op: str, body) -> asyncio.Future:
+        if self._writer is None:
+            raise WorkerError(f"shard {self.shard_id}: client not attached")
+        if self._closed:
+            raise WorkerError(f"shard {self.shard_id}: connection closed")
+        request_id = self._next_id
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        write_frame(self._writer, self.codec.dumps([request_id, op, body]))
+        return future
+
+    async def call(self, op: str, body=None):
+        """One pipelined op; raises :class:`WorkerError` on worker failure."""
+        return await self._send(op, body)
+
+    async def lookup(self, query, now: float):
+        """Join this shard's accumulation window; resolves to a SineResult."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._lookup_pending.append((wire.query_to_wire(query), now, future))
+        if len(self._lookup_pending) >= self.batch_max:
+            self.flush_lookups()
+        elif self._lookup_timer is None:
+            self._lookup_timer = loop.call_later(self.batch_window, self.flush_lookups)
+        return wire.sine_from_wire(await future)
+
+    async def insert(self, query, fetch, arrival: float):
+        return await self.call(
+            "insert", [wire.query_to_wire(query), wire.fetch_to_wire(fetch), arrival]
+        )
+
+    def flush_lookups(self) -> None:
+        """Ship the pending accumulation window as one lookup_batch frame."""
+        if self._lookup_timer is not None:
+            self._lookup_timer.cancel()
+            self._lookup_timer = None
+        pending = self._lookup_pending
+        if not pending:
+            return
+        self._lookup_pending = []
+        items = [[query_wire, now] for query_wire, now, _ in pending]
+        waiters = [future for _, _, future in pending]
+        try:
+            frame_future = self._send("lookup_batch", [items, self.ann_only])
+        except WorkerError as exc:
+            for waiter in waiters:
+                if not waiter.done():
+                    waiter.set_exception(exc)
+            return
+        task = asyncio.ensure_future(self._distribute(frame_future, waiters))
+        self._distribute_tasks.add(task)
+        task.add_done_callback(self._distribute_tasks.discard)
+
+    async def _distribute(self, frame_future, waiters) -> None:
+        try:
+            results = await frame_future
+        except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
+            for waiter in waiters:
+                if not waiter.done():
+                    waiter.set_exception(exc)
+            return
+        for waiter, result in zip(waiters, results):
+            if not waiter.done():
+                waiter.set_result(result)
+
+    async def _read_loop(self) -> None:
+        error: BaseException | None = None
+        try:
+            while True:
+                payload = await read_frame(self._reader)
+                if payload is None:
+                    break
+                request_id, ok, result, stats = self.codec.loads(payload)
+                # Stats first, waiter second: by the time an awaiting caller
+                # resumes, the router's cache view already reflects this op.
+                self.last_stats = stats
+                future = self._pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue
+                if ok:
+                    future.set_result(result)
+                else:
+                    future.set_exception(
+                        WorkerError(f"shard {self.shard_id}: {result}")
+                    )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - fail pending below
+            error = exc
+        finally:
+            self._closed = True
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        WorkerError(
+                            f"shard {self.shard_id}: connection lost"
+                            + (f" ({error})" if error else "")
+                        )
+                    )
+            self._pending.clear()
+
+    async def aclose(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+            self._writer = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+
+class WorkerPool:
+    """Spawn, address, and tear down one worker process per shard."""
+
+    def __init__(
+        self,
+        specs: list[WorkerSpec],
+        batch_window: float = 0.0,
+        batch_max: int = 16,
+        ann_only: bool = False,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if not specs:
+            raise ValueError("WorkerPool needs at least one WorkerSpec")
+        codecs = {spec.codec for spec in specs}
+        if len(codecs) != 1:
+            raise ValueError(f"all specs must share one codec, got {codecs}")
+        self.specs = specs
+        self.codec = get_codec(specs[0].codec)
+        self.batch_window = batch_window
+        self.batch_max = batch_max
+        self.ann_only = ann_only
+        self.host = host
+        self.n_shards = len(specs)
+        self.clients: list[ShardClient] = []
+        self.processes: list[multiprocessing.process.BaseProcess] = []
+        self._launched = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def launch(self) -> None:
+        """Spawn the workers and complete the hello handshake (blocking)."""
+        if self._launched:
+            return
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        by_shard: dict[int, socket.socket] = {}
+        try:
+            listener.bind((self.host, 0))
+            listener.listen(self.n_shards)
+            listener.settimeout(LAUNCH_TIMEOUT)
+            port = listener.getsockname()[1]
+            ctx = multiprocessing.get_context("spawn")
+            with _spawn_pythonpath():
+                for spec in self.specs:
+                    process = ctx.Process(
+                        target=worker_main,
+                        args=(spec, self.host, port),
+                        daemon=True,
+                        name=f"repro-shard-{spec.shard_id}",
+                    )
+                    process.start()
+                    self.processes.append(process)
+            for _ in range(self.n_shards):
+                conn, _ = listener.accept()
+                conn.settimeout(LAUNCH_TIMEOUT)
+                hello = recv_frame(conn)
+                if hello is None:
+                    raise WorkerError("worker closed connection before hello")
+                message = self.codec.loads(hello)
+                if message[0] != "hello" or message[1] != HELLO_MAGIC:
+                    conn.close()
+                    raise WorkerError(f"unexpected hello frame: {message!r}")
+                shard_id = message[2]
+                conn.settimeout(None)
+                by_shard[shard_id] = conn
+            if sorted(by_shard) != list(range(self.n_shards)):
+                raise WorkerError(
+                    f"expected shards 0..{self.n_shards - 1}, got {sorted(by_shard)}"
+                )
+            self.clients = [
+                ShardClient(
+                    shard_id,
+                    by_shard[shard_id],
+                    self.codec,
+                    batch_window=self.batch_window,
+                    batch_max=self.batch_max,
+                    ann_only=self.ann_only,
+                )
+                for shard_id in range(self.n_shards)
+            ]
+        except Exception:
+            for conn in by_shard.values():
+                conn.close()
+            self.clients = []
+            self.close()
+            raise
+        finally:
+            listener.close()
+        self._launched = True
+
+    @property
+    def launched(self) -> bool:
+        return self._launched
+
+    @property
+    def attached(self) -> bool:
+        return bool(self.clients) and all(c.attached for c in self.clients)
+
+    async def attach(self) -> None:
+        """Wrap every worker connection for the running loop (idempotent)."""
+        if not self._launched:
+            self.launch()
+        for client in self.clients:
+            await client.attach()
+
+    # -- routing --------------------------------------------------------------
+    def shard_for(self, text: str) -> int:
+        return shard_index_for(text, self.n_shards)
+
+    async def lookup(self, query, now: float):
+        return await self.clients[self.shard_for(query.text)].lookup(query, now)
+
+    async def insert(self, query, fetch, arrival: float):
+        return await self.clients[self.shard_for(query.text)].insert(
+            query, fetch, arrival
+        )
+
+    def flush(self) -> None:
+        """Force every shard's accumulation window onto the wire."""
+        for client in self.clients:
+            client.flush_lookups()
+
+    async def stats(self) -> list[dict]:
+        """Fresh per-shard stats (also refreshes the piggyback tuples)."""
+        return list(
+            await asyncio.gather(*(client.call("stats") for client in self.clients))
+        )
+
+    # -- the router cache view reads these ------------------------------------
+    def stats_snapshot(self) -> CacheStats:
+        return wire.stats_from_tuples(client.last_stats for client in self.clients)
+
+    def usage_snapshot(self) -> int:
+        return wire.usage_from_tuples(client.last_stats for client in self.clients)
+
+    @property
+    def capacity_items(self) -> int | None:
+        total = 0
+        for spec in self.specs:
+            if spec.config.capacity_items is None:
+                return None
+            total += spec.config.capacity_items
+        return total
+
+    # -- teardown -------------------------------------------------------------
+    async def shutdown(self, timeout: float = 10.0) -> None:
+        """Graceful stop: flush windows, send shutdown ops, join processes."""
+        if not self._launched:
+            return
+        await self.attach()
+        self.flush()
+        results = await asyncio.gather(
+            *(client.call("shutdown") for client in self.clients),
+            return_exceptions=True,
+        )
+        for result in results:
+            if isinstance(result, BaseException) and not isinstance(
+                result, WorkerError
+            ):
+                raise result
+        for client in self.clients:
+            await client.aclose()
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(
+            *(
+                loop.run_in_executor(None, process.join, timeout)
+                for process in self.processes
+            )
+        )
+        self.close()
+
+    def close(self) -> None:
+        """Hard stop (idempotent; also the error-path cleanup)."""
+        for client in self.clients:
+            sock = client.__dict__.get("_sock")
+            if sock is not None:
+                sock.close()
+                client._sock = None
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self.processes:
+            process.join(timeout=5.0)
+        self.processes = []
+        self._launched = False
+
+
+class _spawn_pythonpath:
+    """Make sure spawned children can ``import repro`` even when the parent
+    got it via ``sys.path`` manipulation rather than an installed package:
+    temporarily prepend the package's source root to ``PYTHONPATH`` for the
+    duration of the ``Process.start`` calls."""
+
+    def __enter__(self):
+        import repro
+
+        src_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        self._old = os.environ.get("PYTHONPATH")
+        parts = [] if self._old is None else self._old.split(os.pathsep)
+        if src_root not in parts:
+            os.environ["PYTHONPATH"] = os.pathsep.join([src_root] + parts)
+        return self
+
+    def __exit__(self, *exc):
+        if self._old is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = self._old
+        return False

@@ -1,0 +1,192 @@
+"""Wire framing for the multi-process serving tier.
+
+Every message between the router, the shard workers, and serve clients is
+one *frame*:
+
+.. code-block:: text
+
+    +----------------+---------------------------+
+    | length: u32 BE | payload: length bytes     |
+    +----------------+---------------------------+
+
+The payload is a codec-serialized plain structure (dicts, lists, strings,
+numbers, bytes, None) — see :mod:`repro.serving.proc.wire` for the
+conversions. Two codecs are supported:
+
+``pickle`` (default)
+    Stdlib, always available, fastest for our small frames.
+``msgpack``
+    Used when the ``msgpack`` package is installed; import-gated so the
+    tier works on a bare stdlib+numpy environment. Note msgpack decodes
+    tuples as lists, which is why every ``wire`` reader indexes rather
+    than type-checks.
+
+Frames are capped at :data:`MAX_FRAME` bytes; an oversized or truncated
+frame raises :class:`FrameError` rather than desynchronizing the stream.
+Both synchronous (worker processes, blocking sockets) and asyncio (router,
+serve clients) frame I/O live here so there is exactly one encoding of the
+length prefix in the codebase.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import socket
+import struct
+
+#: Hard per-frame cap (64 MiB): far above any real frame (a full lookup
+#: batch is a few KB), low enough that a corrupt length prefix fails fast
+#: instead of attempting a giant allocation.
+MAX_FRAME = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(RuntimeError):
+    """A malformed, oversized, or truncated frame."""
+
+
+class Codec:
+    """Serializer interface; see :func:`get_codec`."""
+
+    name: str = "none"
+
+    def dumps(self, obj) -> bytes:
+        raise NotImplementedError
+
+    def loads(self, data: bytes):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PickleCodec(Codec):
+    """Stdlib pickle — the default, always available."""
+
+    name = "pickle"
+
+    def dumps(self, obj) -> bytes:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def loads(self, data: bytes):
+        return pickle.loads(data)
+
+
+class MsgpackCodec(Codec):
+    """msgpack — optional; raises at construction when not installed."""
+
+    name = "msgpack"
+
+    def __init__(self) -> None:
+        try:
+            import msgpack
+        except ImportError as exc:  # pragma: no cover - depends on env
+            raise ImportError(
+                "the msgpack codec requires the 'msgpack' package; "
+                "use codec='pickle' (the default) instead"
+            ) from exc
+        self._msgpack = msgpack
+
+    def dumps(self, obj) -> bytes:
+        return self._msgpack.packb(obj, use_bin_type=True)
+
+    def loads(self, data: bytes):
+        return self._msgpack.unpackb(data, raw=False, strict_map_key=False)
+
+
+def available_codecs() -> list[str]:
+    """Codec names usable in this environment (msgpack only if importable)."""
+    names = ["pickle"]
+    try:
+        import msgpack  # noqa: F401
+    except ImportError:
+        pass
+    else:
+        names.append("msgpack")
+    return names
+
+
+def get_codec(name: str) -> Codec:
+    """Construct the named codec; ``ValueError`` on unknown names."""
+    if name == "pickle":
+        return PickleCodec()
+    if name == "msgpack":
+        return MsgpackCodec()
+    raise ValueError(f"unknown codec {name!r}; expected one of pickle, msgpack")
+
+
+# -- synchronous frame I/O (worker processes, blocking sockets) ---------------
+def encode_frame(payload: bytes) -> bytes:
+    """Length prefix + payload as one bytes object (for a single send)."""
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"frame of {len(payload)} bytes exceeds cap {MAX_FRAME}")
+    return _LEN.pack(len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Send one frame over a blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes; b"" at clean EOF on a frame boundary."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == n:
+                return b""
+            raise FrameError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes | None:
+    """Read one frame from a blocking socket; None at clean EOF.
+
+    ``socket.timeout`` propagates (the worker loop uses it to poll its stop
+    flag between frames).
+    """
+    header = _recv_exact(sock, _LEN.size)
+    if not header:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise FrameError(f"incoming frame of {length} bytes exceeds cap {MAX_FRAME}")
+    if length == 0:
+        return b""
+    payload = _recv_exact(sock, length)
+    if not payload and length:
+        raise FrameError("connection closed between header and payload")
+    return payload
+
+
+# -- asyncio frame I/O (router, serve clients) --------------------------------
+def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Queue one frame on an asyncio writer (caller drains as needed)."""
+    writer.write(encode_frame(payload))
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one frame from an asyncio reader; None at clean EOF."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid-header") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise FrameError(f"incoming frame of {length} bytes exceeds cap {MAX_FRAME}")
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid-frame") from exc

@@ -1,0 +1,195 @@
+"""The shard worker: one process, one :class:`AsteriaCache` shard.
+
+A worker is spawned by :class:`~repro.serving.proc.pool.WorkerPool`, builds
+its shard locally from a pickled :class:`WorkerSpec` (so embedder, arena,
+ANN index, and judger state never cross a process boundary), connects
+*back* to the router over loopback TCP, and then serves ops frame by frame:
+
+``lookup_batch``
+    One frame carries every request the router accumulated for this shard:
+    expired entries are purged once at the newest timestamp, stage 1
+    (embed + ANN) runs as one shared batch, and stage 2 judges each query
+    against its own clock — the exact preamble of the sequential engine's
+    ``handle_batch``, so a frame of size 1 replays a scalar lookup
+    decision for decision.
+``insert``
+    Admit one fetched result (the router already decided admission).
+``stats`` / ``ping`` / ``shutdown``
+    Introspection and lifecycle.
+
+Every reply piggybacks the shard's live :class:`CacheStats` plus its item
+count, so the router's cache view is exact at the moment it records
+metrics — no separate stats poll, no read-after-write races.
+
+Shutdown: SIGTERM (or a ``shutdown`` op, or router EOF) sets a stop flag
+checked between frames; SIGINT is ignored so a Ctrl-C in the foreground
+process group lets the router drain in-flight work and coordinate the
+teardown.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+from dataclasses import dataclass, field
+
+from repro.core.config import AsteriaConfig
+from repro.serving.proc import wire
+from repro.serving.proc.protocol import get_codec, recv_frame, send_frame
+
+#: First frame a worker sends after connecting: ["hello", MAGIC, shard, pid].
+HELLO_MAGIC = "repro-shard-worker-v1"
+
+#: Seconds a worker blocks in ``recv`` before re-checking its stop flag.
+POLL_TIMEOUT = 0.5
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs to rebuild one shard, picklable by design.
+
+    ``policy`` is a name (``policy_by_name``), not a policy object — specs
+    cross the spawn boundary, and names keep them codec-agnostic.
+    """
+
+    shard_id: int
+    n_shards: int
+    config: AsteriaConfig = field(default_factory=AsteriaConfig)
+    seed: int = 0
+    index_kind: str = "flat"
+    policy: str = "lcfu"
+    arena: str | None = "float32"
+    judge_spin: float = 0.0
+    #: Pre-calibrated loop iterations for ``judge_spin`` (measured once in
+    #: the quiet parent): calibrating inside a worker that shares a core
+    #: with its siblings would hand it less work per judge and fake scaling.
+    judge_spin_iterations: int | None = None
+    codec: str = "pickle"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.policy, str):
+            raise TypeError(
+                "WorkerSpec.policy must be a policy *name* (it crosses the "
+                f"process boundary), got {type(self.policy).__name__}"
+            )
+        if not 0 <= self.shard_id < self.n_shards:
+            raise ValueError(
+                f"shard_id {self.shard_id} out of range for {self.n_shards} shards"
+            )
+
+
+class _ShardServer:
+    """Op dispatch over one shard cache (separated from I/O for testing)."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        # Imported here, not at module top: the factory imports this package
+        # (build_proc_engine), so a top-level import would be circular — and
+        # the parent never needs the heavy build path just to spawn us.
+        from repro.factory import build_semantic_cache
+
+        self.spec = spec
+        self.cache = build_semantic_cache(
+            spec.config,
+            seed=spec.seed,
+            index_kind=spec.index_kind,
+            policy=spec.policy,
+            arena=spec.arena,
+            judge_spin=spec.judge_spin,
+            judge_spin_iterations=spec.judge_spin_iterations,
+        )
+
+    def stats_tuple(self) -> list:
+        return wire.shard_stats_tuple(self.cache.stats, self.cache.usage())
+
+    def dispatch(self, op: str, body):
+        """Run one op; returns the reply payload. ``shutdown`` returns the
+        sentinel string ``"bye"`` — the caller breaks its loop on it."""
+        if op == "lookup_batch":
+            return self._lookup_batch(body)
+        if op == "insert":
+            return self._insert(body)
+        if op == "stats":
+            return {
+                "shard": self.spec.shard_id,
+                "usage": self.cache.usage(),
+                "capacity_items": self.cache.capacity_items,
+                "stats": self.stats_tuple(),
+            }
+        if op == "ping":
+            return "pong"
+        if op == "shutdown":
+            return "bye"
+        raise ValueError(f"unknown op {op!r}")
+
+    def _lookup_batch(self, body) -> list:
+        items, ann_only = body[0], body[1]
+        if not items:
+            return []
+        queries = [wire.query_from_wire(row[0]) for row in items]
+        nows = [row[1] for row in items]
+        # One purge at the newest clock + one shared stage-1 pass, then
+        # per-query stage 2 at each query's own clock: the sequential
+        # handle_batch preamble. Nothing mutates the index between prepare
+        # and lookup inside a frame (hits only bump frequency/recency), so
+        # the prepared hits stay exact.
+        self.cache.remove_expired(max(nows))
+        batch_hits = self.cache.prepare_batch([query.text for query in queries])
+        return [
+            wire.sine_to_wire(
+                self.cache.lookup_prepared(query, hits, now, ann_only=ann_only)
+            )
+            for query, hits, now in zip(queries, batch_hits, nows)
+        ]
+
+    def _insert(self, body) -> dict:
+        query = wire.query_from_wire(body[0])
+        fetch = wire.fetch_from_wire(body[1])
+        arrival = body[2]
+        element = self.cache.insert(query, fetch, arrival)
+        return wire.element_to_wire(element)
+
+
+def worker_main(spec: WorkerSpec, host: str, port: int) -> None:
+    """Child-process entry point (must stay importable for ``spawn``)."""
+    stop = {"flag": False}
+
+    def _on_sigterm(signum, frame):
+        stop["flag"] = True
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    codec = get_codec(spec.codec)
+    server = _ShardServer(spec)
+    sock = socket.create_connection((host, port), timeout=30.0)
+    try:
+        sock.settimeout(POLL_TIMEOUT)
+        send_frame(sock, codec.dumps(["hello", HELLO_MAGIC, spec.shard_id, os.getpid()]))
+        while not stop["flag"]:
+            try:
+                payload = recv_frame(sock)
+            except socket.timeout:
+                continue
+            if payload is None:  # router closed: nothing left to serve
+                break
+            request_id, op, body = codec.loads(payload)
+            try:
+                result = server.dispatch(op, body)
+                reply = [request_id, True, result, server.stats_tuple()]
+            except Exception as exc:  # noqa: BLE001 - reported to the router
+                reply = [
+                    request_id,
+                    False,
+                    f"{type(exc).__name__}: {exc}",
+                    server.stats_tuple(),
+                ]
+            send_frame(sock, codec.dumps(reply))
+            if op == "shutdown":
+                break
+    finally:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        sock.close()

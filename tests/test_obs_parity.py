@@ -1,11 +1,14 @@
-"""Metrics parity across the three serving stacks (satellite).
+"""Metrics parity across the four serving stacks (satellite).
 
 The same pinned-seed workload replayed through the sequential engine, the
-thread-pool engine (one worker), and the asyncio engine (sequential awaits)
-must expose identical counter totals — hits, misses, stale_hits,
-fetch_failures — through the shared :class:`MetricsRegistry`. A blackout
-window in the middle of the run forces the degraded paths (stale serving,
-fetch failure) so the parity claim covers them too, not just clean lookups.
+thread-pool engine (one worker), the asyncio engine (sequential awaits),
+and the multi-process engine (four shard workers, sequential awaits) must
+expose identical counter totals — hits, misses, stale_hits, fetch_failures —
+through the shared :class:`MetricsRegistry`. A blackout window in the middle
+of the run forces the degraded paths (stale serving, fetch failure) so the
+parity claim covers them too, not just clean lookups. For the proc engine,
+parity additionally proves the piggybacked shard-stats aggregation is exact:
+its cache counters come from worker replies, not an in-process store.
 """
 
 import asyncio
@@ -18,6 +21,7 @@ from repro.factory import (
     build_asteria_engine,
     build_async_engine,
     build_concurrent_engine,
+    build_proc_engine,
     build_remote,
 )
 from repro.network import FaultInjector
@@ -99,6 +103,27 @@ def run_async(queries):
     async def drive():
         for i, query in enumerate(queries):
             await engine.serve(query, now=i * TIME_STEP)
+            # Drain per request so stale-refresh admissions land at the same
+            # sequence points as the sync engine's inline refresh — their
+            # completion order otherwise depends on event-loop scheduling.
+            await engine.drain()
+
+    asyncio.run(drive())
+    return engine
+
+
+def run_proc(queries):
+    # workers=4 matches the other arms' shards=4: the shard count shapes
+    # per-shard ANN candidate sets, so parity needs the same partitioning.
+    engine = build_proc_engine(
+        _remote(), seed=SEED, workers=4, resilience=_resilience()
+    )
+
+    async def drive():
+        async with engine:
+            for i, query in enumerate(queries):
+                await engine.serve(query, now=i * TIME_STEP)
+                await engine.drain()  # same rule as run_async
 
     asyncio.run(drive())
     return engine
@@ -111,6 +136,7 @@ def test_pinned_workload_exposes_identical_counters_across_engines():
         "sync": run_sync(queries),
         "thread": run_thread(queries),
         "async": run_async(queries),
+        "proc": run_proc(queries),
     }
     for label, engine in engines.items():
         EngineInstrument(registry, label).sync(engine.metrics, cache=engine.cache)
@@ -120,11 +146,7 @@ def test_pinned_workload_exposes_identical_counters_across_engines():
         values = {
             label: family.value(engine=label, **labels) for label in engines
         }
-        assert values["sync"] == values["thread"] == values["async"], (
-            name,
-            labels,
-            values,
-        )
+        assert len(set(values.values())) == 1, (name, labels, values)
 
     # The workload actually exercised both the clean and degraded paths —
     # parity over all-zero counters would prove nothing.

@@ -1,0 +1,86 @@
+"""Acceptance: ``workers=1`` proc engine replays the single-process engine.
+
+Same seed, same pinned zipf trace, sequential serving on both sides: every
+response payload, every simulated latency, every counter, and the cache
+stats must match the plain :class:`AsteriaEngine` exactly. The worker does
+the embed/ANN/judge/insert work in another process, the router does the
+fetch — if any of the wire conversions, the frame batching preamble, or the
+piggybacked stats accounting diverged from the in-process path, this test
+is where it shows.
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.core import Query
+from repro.core.config import AsteriaConfig
+from repro.factory import build_asteria_engine, build_proc_engine, build_remote
+
+SEED = 3
+N_QUERIES = 220
+POPULATION = 48
+TIME_STEP = 0.01
+#: Small enough that the pinned trace forces evictions through the policy.
+CONFIG = AsteriaConfig(capacity_items=24)
+
+
+def _trace():
+    rng = np.random.default_rng(SEED)
+    ranks = np.minimum(rng.zipf(1.2, size=N_QUERIES), POPULATION)
+    return [
+        Query(f"pinned fact number {rank} of the corpus", fact_id=f"F{rank}")
+        for rank in ranks
+    ]
+
+
+def _run_sync(queries):
+    engine = build_asteria_engine(build_remote(seed=SEED), config=CONFIG, seed=SEED)
+    responses = [
+        engine.handle(query, now=i * TIME_STEP) for i, query in enumerate(queries)
+    ]
+    return engine, responses
+
+
+def _run_proc(queries):
+    engine = build_proc_engine(build_remote(seed=SEED), config=CONFIG, seed=SEED, workers=1)
+
+    async def drive():
+        async with engine:
+            return [
+                await engine.serve(query, now=i * TIME_STEP)
+                for i, query in enumerate(queries)
+            ]
+
+    outcomes = asyncio.run(drive())
+    return engine, outcomes
+
+
+def test_single_worker_proc_engine_replays_sync_engine_exactly():
+    queries = _trace()
+    sync_engine, sync_responses = _run_sync(queries)
+    proc_engine, proc_outcomes = _run_proc(queries)
+
+    # Per-request equivalence: payload and simulated latency.
+    assert len(sync_responses) == len(proc_outcomes) == N_QUERIES
+    for sync_response, outcome in zip(sync_responses, proc_outcomes):
+        assert outcome.ok
+        assert outcome.response.result == sync_response.result
+        assert outcome.response.latency == sync_response.latency
+
+    # Counter equivalence: every EngineMetrics field the summary exposes.
+    assert proc_engine.metrics.summary() == sync_engine.metrics.summary()
+
+    # Cache-side equivalence via the piggybacked shard stats.
+    sync_stats = sync_engine.cache.stats
+    proc_stats = proc_engine.cache.stats
+    assert proc_stats.inserts == sync_stats.inserts
+    assert proc_stats.evictions == sync_stats.evictions
+    assert proc_stats.expirations == sync_stats.expirations
+    assert proc_stats.rejected_duplicates == sync_stats.rejected_duplicates
+    assert proc_engine.cache.usage() == sync_engine.cache.usage()
+
+    # The pinned trace actually exercised the interesting paths.
+    assert sync_engine.metrics.hits > 0
+    assert sync_engine.metrics.misses > 0
+    assert sync_stats.evictions > 0
