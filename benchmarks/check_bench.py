@@ -15,9 +15,12 @@ Checks, for every ``BENCH_*.json`` at the repo root:
 * per-file value gates on the fast-path numbers: the arena-batched lookup
   speedup, zero full index rebuilds under incremental admission, a
   non-empty int8 recall curve, sampled-tracing overhead under 1%
-  (both the micro measurement and the obs headline), and the proc-tier
+  (both the micro measurement and the obs headline), the proc-tier
   scaling section (shape always; the >=3x 4-worker speedup only on hosts
-  with >= 4 cores, where the claim is physically testable).
+  with >= 4 cores, where the claim is physically testable), and the
+  store artefact (warm restart no colder than a cold start, non-empty
+  hit-rate curves, and full replication convergence at every swept sync
+  interval).
 
 Pure stdlib; run as ``python benchmarks/check_bench.py``.
 """
@@ -51,6 +54,7 @@ REQUIRED_KEYS = {
     "BENCH_async.json": ("config", "results", "headline"),
     "BENCH_chaos.json": ("config", "results", "headline"),
     "BENCH_obs.json": ("config", "results", "headline"),
+    "BENCH_store.json": ("config", "results", "headline"),
 }
 
 MAX_ARRAY = 1024
@@ -158,11 +162,60 @@ def gate_concurrency(data) -> list[str]:
     return errors
 
 
+def gate_store(data) -> list[str]:
+    """Shape + value gates on the durability/replication artefact."""
+    errors = []
+    for curve in ("cold_curve", "warm_curve"):
+        values = _dig(data, "results", "cold_warm", curve)
+        if not isinstance(values, list) or not values:
+            errors.append(f"results.cold_warm.{curve} is missing or empty")
+    cold = _dig(data, "headline", "cold_first_window_hit_rate")
+    warm = _dig(data, "headline", "warm_first_window_hit_rate")
+    if not isinstance(cold, (int, float)) or not isinstance(warm, (int, float)):
+        errors.append(
+            f"headline first-window hit rates are {cold!r}/{warm!r}; "
+            f"must be numbers"
+        )
+    elif warm < cold:
+        errors.append(
+            f"warm first-window hit rate {warm} < cold {cold}; a warm "
+            f"restart must not start colder than a cold start"
+        )
+    restored = _dig(data, "headline", "restored_items")
+    if not isinstance(restored, int) or restored <= 0:
+        errors.append(
+            f"headline.restored_items is {restored!r}; the warm restart "
+            f"must recover a non-empty cache"
+        )
+    arms = _dig(data, "results", "replication")
+    if not isinstance(arms, list) or not arms:
+        errors.append("results.replication is missing or empty")
+        return errors
+    for arm in arms:
+        interval = _dig(arm, "sync_interval")
+        if _dig(arm, "converged") is not True:
+            errors.append(
+                f"replication arm sync_interval={interval!r} did not reach "
+                f"full agreement; longer intervals may cost staleness, "
+                f"never convergence"
+            )
+        samples = _dig(arm, "samples")
+        if not isinstance(samples, list) or not samples:
+            errors.append(
+                f"replication arm sync_interval={interval!r} has no "
+                f"agreement-over-time samples"
+            )
+    if _dig(data, "headline", "all_intervals_converged") is not True:
+        errors.append("headline.all_intervals_converged is not true")
+    return errors
+
+
 #: Per-file value gates, run after the schema checks pass.
 VALUE_GATES = {
     "BENCH_micro.json": gate_micro,
     "BENCH_obs.json": gate_obs,
     "BENCH_concurrency.json": gate_concurrency,
+    "BENCH_store.json": gate_store,
 }
 
 

@@ -1,0 +1,279 @@
+#!/usr/bin/env python
+"""Durability + replication benchmark; records ``BENCH_store.json``.
+
+Two experiments over the ``repro.store`` subsystem:
+
+* **cold vs warm restart** — one engine fills a ``--persist`` directory
+  (snapshot + journal), stops gracefully, and a second engine warm-starts
+  from the same directory. Both runs (and a cold control over the same
+  trace) record a windowed hit-rate curve; the headline is the
+  first-window hit rate, where a warm cache is the whole point: the
+  restarted engine starts at roughly the steady-state hit rate while the
+  cold control starts near zero.
+* **replication sync-interval sweep** — a pair of regions with
+  asymmetric simulated WAN latency serve offset zipf traces while a
+  :class:`~repro.store.replication.ReplicationDriver` exchanges diffs at
+  each swept interval. Each arm records the agreement-over-time curve,
+  the worst staleness observed mid-run, and whether the pair reached full
+  agreement after the final drain (it must, at every interval — longer
+  intervals may only cost *staleness*, never convergence).
+
+All clocks are simulated, so the artefact is deterministic modulo the
+seeds and safe to gate in CI (``check_bench.py`` checks the curve shapes,
+the warm >= cold first-window invariant, and convergence at every swept
+interval).
+
+Usage::
+
+    python benchmarks/run_store.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import Query  # noqa: E402
+from repro.core.config import AsteriaConfig  # noqa: E402
+from repro.factory import build_asteria_engine, build_remote  # noqa: E402
+from repro.store.replication import ReplicaNode, ReplicationDriver  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_store.json"
+
+SEED = 0
+N_QUERIES = 2000
+POPULATION = 128
+ZIPF_S = 1.3
+TIME_STEP = 0.01
+WINDOW = 100
+CAPACITY = 192
+FSYNC_EVERY = 8
+
+REPL_QUERIES = 600
+REPL_POPULATION = 48
+REPL_OFFSET = 17
+REPL_LATENCY_AB = 0.08
+REPL_LATENCY_BA = 0.12
+SYNC_INTERVALS = (0.1, 0.25, 0.5, 1.0)
+REPL_SAMPLES = 12
+
+
+def trace(n, population, seed=SEED, offset=0):
+    rng = np.random.default_rng(seed)
+    ranks = np.minimum(rng.zipf(ZIPF_S, size=n), population)
+    return [
+        Query(
+            f"stored fact number {(int(rank) + offset) % population} of the corpus",
+            fact_id=f"F{(int(rank) + offset) % population}",
+        )
+        for rank in ranks
+    ]
+
+
+def build_engine(persist_dir=None):
+    return build_asteria_engine(
+        build_remote(seed=SEED),
+        config=AsteriaConfig(capacity_items=CAPACITY),
+        seed=SEED,
+        persist_dir=persist_dir,
+        fsync_every=FSYNC_EVERY,
+    )
+
+
+def hit_curve(engine, queries) -> list[float]:
+    """Windowed hit-rate curve (a hit = no remote fetch was needed)."""
+    curve = []
+    hits = 0
+    for i, query in enumerate(queries):
+        response = engine.handle(query, now=i * TIME_STEP)
+        if response.fetch is None:
+            hits += 1
+        if (i + 1) % WINDOW == 0:
+            curve.append(round(hits / WINDOW, 4))
+            hits = 0
+    return curve
+
+
+def run_cold_warm() -> dict:
+    queries = trace(N_QUERIES, POPULATION)
+    with tempfile.TemporaryDirectory(prefix="bench_store_") as persist_dir:
+        # Fill run: populate the store, then stop gracefully (checkpoint).
+        fill = build_engine(persist_dir)
+        fill_curve = hit_curve(fill, queries)
+        fill.cache.persistent_store.close(checkpoint=True)
+
+        # Warm restart over the same popularity distribution.
+        warm = build_engine(persist_dir)
+        report = warm.cache.restore_report
+        warm_curve = hit_curve(warm, queries)
+        warm.cache.persistent_store.close(checkpoint=True)
+
+    # Cold control: an identical engine with no store to restore.
+    cold_curve = hit_curve(build_engine(), queries)
+
+    return {
+        "window": WINDOW,
+        "fill_curve": fill_curve,
+        "cold_curve": cold_curve,
+        "warm_curve": warm_curve,
+        "first_window": {
+            "cold": cold_curve[0],
+            "warm": warm_curve[0],
+        },
+        "steady_state": {
+            "cold": round(
+                sum(cold_curve[len(cold_curve) // 2:])
+                / max(1, len(cold_curve) - len(cold_curve) // 2),
+                4,
+            ),
+            "warm": round(
+                sum(warm_curve[len(warm_curve) // 2:])
+                / max(1, len(warm_curve) - len(warm_curve) // 2),
+                4,
+            ),
+        },
+        "restore": report.as_dict(),
+    }
+
+
+def run_replication_arm(sync_interval: float) -> dict:
+    engine_a = build_engine()
+    engine_b = build_engine()
+    node_a = ReplicaNode("A", engine_a.cache)
+    node_b = ReplicaNode("B", engine_b.cache)
+    driver = ReplicationDriver(
+        node_a,
+        node_b,
+        sync_interval=sync_interval,
+        latency_ab=REPL_LATENCY_AB,
+        latency_ba=REPL_LATENCY_BA,
+    )
+    queries_a = trace(REPL_QUERIES, REPL_POPULATION, seed=SEED)
+    queries_b = trace(REPL_QUERIES, REPL_POPULATION, seed=SEED + 1,
+                      offset=REPL_OFFSET)
+    sample_every = max(1, REPL_QUERIES // REPL_SAMPLES)
+    samples = []
+    max_staleness = 0.0
+    for i in range(REPL_QUERIES):
+        now = i * TIME_STEP
+        engine_a.handle(queries_a[i], now=now)
+        engine_b.handle(queries_b[i], now=now)
+        driver.tick(now)
+        if (i + 1) % sample_every == 0:
+            sample = driver.agreement()
+            max_staleness = max(max_staleness, sample.max_staleness)
+            samples.append(
+                {
+                    "t": round(sample.t, 3),
+                    "agreement": round(sample.agreement, 4),
+                    "stale_keys": sample.stale_keys,
+                    "max_staleness": round(sample.max_staleness, 3),
+                }
+            )
+    driver.drain(REPL_QUERIES * TIME_STEP)
+    final = driver.agreement()
+    return {
+        "sync_interval": sync_interval,
+        "latency_ab": REPL_LATENCY_AB,
+        "latency_ba": REPL_LATENCY_BA,
+        "samples": samples,
+        "mid_run_max_staleness": round(max_staleness, 3),
+        "final_agreement": round(final.agreement, 4),
+        "final_union_keys": final.union_keys,
+        "converged": final.agreement == 1.0,
+        "frames": driver.link_ab.frames_sent + driver.link_ba.frames_sent,
+        "bytes": driver.link_ab.bytes_sent + driver.link_ba.bytes_sent,
+        "node_a": node_a.stats(),
+        "node_b": node_b.stats(),
+    }
+
+
+def main(argv: list[str]) -> int:
+    global N_QUERIES, REPL_QUERIES
+    quick = "--quick" in argv
+    if quick:
+        N_QUERIES = 600
+        REPL_QUERIES = 200
+
+    cold_warm = run_cold_warm()
+    print(
+        f"cold/warm: first-window hit rate {cold_warm['first_window']['cold']:.3f}"
+        f" -> {cold_warm['first_window']['warm']:.3f} "
+        f"(restored {cold_warm['restore']['restored_items']} items, "
+        f"snapshot={cold_warm['restore']['snapshot_restored']}, "
+        f"journal={cold_warm['restore']['journal_applied']})"
+    )
+
+    replication = []
+    for interval in SYNC_INTERVALS:
+        arm = run_replication_arm(interval)
+        replication.append(arm)
+        print(
+            f"replication sync={interval:>5.2f}s: "
+            f"final agreement {arm['final_agreement']:.3f}, "
+            f"mid-run staleness <= {arm['mid_run_max_staleness']:.2f}s, "
+            f"{arm['frames']} frames / {arm['bytes']} bytes"
+        )
+
+    headline = {
+        "cold_first_window_hit_rate": cold_warm["first_window"]["cold"],
+        "warm_first_window_hit_rate": cold_warm["first_window"]["warm"],
+        "warm_start_recovers_steady_state": (
+            cold_warm["first_window"]["warm"]
+            >= cold_warm["steady_state"]["cold"] * 0.9
+        ),
+        "restored_items": cold_warm["restore"]["restored_items"],
+        "all_intervals_converged": all(arm["converged"] for arm in replication),
+        "staleness_by_sync_interval": {
+            str(arm["sync_interval"]): arm["mid_run_max_staleness"]
+            for arm in replication
+        },
+    }
+    data = {
+        "config": {
+            "n_queries": N_QUERIES,
+            "population": POPULATION,
+            "zipf_s": ZIPF_S,
+            "time_step": TIME_STEP,
+            "window": WINDOW,
+            "capacity_items": CAPACITY,
+            "fsync_every": FSYNC_EVERY,
+            "seed": SEED,
+            "replication": {
+                "n_queries": REPL_QUERIES,
+                "population": REPL_POPULATION,
+                "offset": REPL_OFFSET,
+                "sync_intervals": list(SYNC_INTERVALS),
+                "latency_ab": REPL_LATENCY_AB,
+                "latency_ba": REPL_LATENCY_BA,
+            },
+        },
+        "results": {
+            "cold_warm": cold_warm,
+            "replication": replication,
+        },
+        "headline": headline,
+    }
+    # Quick runs must not clobber the committed artefact with smoke-grade
+    # numbers (check_bench.py gates on the real file's headline).
+    out_path = OUTPUT.with_suffix(".quick.json") if quick else OUTPUT
+    out_path.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    print(f"  headline: {headline}")
+    ok = (
+        headline["warm_first_window_hit_rate"]
+        >= headline["cold_first_window_hit_rate"]
+        and headline["all_intervals_converged"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

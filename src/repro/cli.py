@@ -13,6 +13,10 @@ Usage::
     python -m repro stress --trace-out trace.json --metrics-out metrics.prom
     python -m repro serve --workers 4 --port 7621
     python -m repro stress --connect 127.0.0.1:7621 --rate 400
+    python -m repro stress --engine sync --persist /tmp/cache-home
+    python -m repro replicate --sync-interval 0.5
+    python -m repro replicate --listen 7633   # region A
+    python -m repro replicate --peer 127.0.0.1:7633   # region B
 
 ``--set key=value`` pairs are parsed with ``ast.literal_eval`` (falling back
 to a plain string), so ints, floats, tuples, and booleans all work.
@@ -27,6 +31,12 @@ proc`` drives the multi-process shard-worker tier the same open-loop way;
 ``--engine sync`` serves sequentially through the plain engine as a
 baseline; ``--connect HOST:PORT`` drives a *running* ``serve`` process over
 a real socket instead of building an engine in this process.
+
+``--persist DIR`` (stress and serve) gives the cache a durable home:
+warm-start from DIR's snapshot+journal, journal every mutation back, and
+flush+checkpoint on graceful stop. ``replicate`` runs the cross-region
+replication layer — a two-node simulation on the virtual clock by
+default, or one real region of a TCP pair via ``--listen``/``--peer``.
 
 ``serve`` boots the multi-process tier behind a TCP front door and runs
 until SIGTERM/SIGINT, then drains in-flight requests and exits cleanly.
@@ -383,6 +393,54 @@ def _maybe_profile(arguments):
     return profiled()
 
 
+def _persist_banner(arguments, engine) -> None:
+    """One line on what ``--persist`` recovered (or that it started cold)."""
+    if not getattr(arguments, "persist", None):
+        return
+    cache = getattr(engine, "cache", None)
+    report = getattr(cache, "restore_report", None)
+    if report is not None:
+        if report.cold:
+            state = "cold start"
+        else:
+            state = (
+                f"warm start: {report.restored_items} items "
+                f"(snapshot={report.snapshot_restored}, "
+                f"journal_replayed={report.journal_applied})"
+            )
+        print(f"persist: {arguments.persist} — {state}")
+        return
+    reports = getattr(cache, "restore_reports", None)
+    if reports is not None:
+        restored = sum(r.restored_items for r in reports)
+        if all(r.cold for r in reports):
+            state = "cold start"
+        else:
+            replayed = sum(r.journal_applied for r in reports)
+            state = (
+                f"warm start: {restored} items across {len(reports)} shards "
+                f"(journal_replayed={replayed})"
+            )
+        print(f"persist: {arguments.persist} — {state}")
+        return
+    # Proc tier: each worker owns its shard's store and reports via stats.
+    print(f"persist: {arguments.persist} (per-worker shard journals)")
+
+
+def _persist_close(arguments, engine) -> None:
+    """Graceful-stop flush: checkpoint and close the cache's store, if any.
+
+    The proc tier needs nothing here — each worker flushes its own journal
+    in its SIGTERM/shutdown path.
+    """
+    if not getattr(arguments, "persist", None):
+        return
+    store = getattr(getattr(engine, "cache", None), "persistent_store", None)
+    if store is not None:
+        store.close(checkpoint=True)
+        print(f"persist: checkpointed to {arguments.persist}")
+
+
 def _print_degraded(metrics) -> None:
     """One line of fault-tolerance counters (shared by both engines)."""
     print(
@@ -418,7 +476,10 @@ def _command_stress(arguments) -> int:
         io_pause_scale=arguments.io_scale,
         resilience=resilience,
         judge_spin=arguments.judge_spin,
+        persist_dir=arguments.persist,
+        fsync_every=arguments.fsync_every,
     )
+    _persist_banner(arguments, engine)
     obs = _obs_setup(arguments, engine, "thread")
     stop, restore = _stop_on_signals()
     try:
@@ -452,6 +513,7 @@ def _command_stress(arguments) -> int:
     finally:
         restore()
         _obs_finish(arguments, engine, *obs)
+        _persist_close(arguments, engine)
     return 0
 
 
@@ -468,7 +530,10 @@ def _stress_sync(arguments) -> int:
         seed=arguments.seed,
         resilience=resilience,
         judge_spin=arguments.judge_spin,
+        persist_dir=arguments.persist,
+        fsync_every=arguments.fsync_every,
     )
+    _persist_banner(arguments, engine)
     obs = _obs_setup(arguments, engine, "sync")
     stop, restore = _stop_on_signals()
     served = 0
@@ -504,6 +569,7 @@ def _stress_sync(arguments) -> int:
     finally:
         restore()
         _obs_finish(arguments, engine, *obs)
+        _persist_close(arguments, engine)
     return 0
 
 
@@ -525,7 +591,10 @@ def _stress_async(arguments) -> int:
         default_deadline=arguments.deadline,
         resilience=resilience,
         judge_spin=arguments.judge_spin,
+        persist_dir=arguments.persist,
+        fsync_every=arguments.fsync_every,
     )
+    _persist_banner(arguments, engine)
     obs = _obs_setup(arguments, engine, "async")
 
     async def runner():
@@ -575,6 +644,7 @@ def _stress_async(arguments) -> int:
             _print_degraded(metrics)
     finally:
         _obs_finish(arguments, engine, *obs)
+        _persist_close(arguments, engine)
     return 0
 
 
@@ -601,7 +671,10 @@ def _stress_proc(arguments) -> int:
         codec=arguments.codec,
         judge_spin=arguments.judge_spin,
         resilience=resilience,
+        persist_dir=arguments.persist,
+        fsync_every=arguments.fsync_every,
     )
+    _persist_banner(arguments, engine)
     obs = _obs_setup(arguments, engine, "proc")
 
     async def runner():
@@ -734,7 +807,10 @@ def _command_serve(arguments) -> int:
         batch_max=arguments.batch_max,
         codec=arguments.codec,
         judge_spin=arguments.judge_spin,
+        persist_dir=arguments.persist,
+        fsync_every=arguments.fsync_every,
     )
+    _persist_banner(arguments, engine)
     server = ProcServer(
         engine, host=arguments.host, port=arguments.port, codec=arguments.codec
     )
@@ -759,12 +835,191 @@ def _command_serve(arguments) -> int:
     return 0
 
 
+def _command_replicate(arguments) -> int:
+    """Cross-region replication: a local two-node simulation by default, or
+    one real region of a pair with ``--listen PORT`` / ``--peer HOST:PORT``."""
+    if arguments.peer and arguments.listen is not None:
+        raise SystemExit("--peer and --listen are mutually exclusive")
+    if arguments.peer is None and arguments.listen is None:
+        return _replicate_local(arguments)
+    return _replicate_socket(arguments)
+
+
+def _replicate_local(arguments) -> int:
+    """Two in-process regions on the simulated clock, exchanging diffs
+    through asymmetric simulated WAN links; prints the convergence curve."""
+    from repro.factory import build_asteria_engine, build_remote
+    from repro.store.replication import ReplicaNode, ReplicationDriver
+
+    seed = arguments.seed if arguments.seed is not None else 0
+    arguments.seed = seed
+    queries_a = _stress_queries(arguments)
+    arguments.seed = seed + 1  # different draw order, same fact population
+    queries_b = _stress_queries(arguments)
+    engine_a = build_asteria_engine(build_remote(seed=seed), seed=seed)
+    engine_b = build_asteria_engine(build_remote(seed=seed), seed=seed)
+    node_a = ReplicaNode("A", engine_a.cache)
+    node_b = ReplicaNode("B", engine_b.cache)
+    driver = ReplicationDriver(
+        node_a,
+        node_b,
+        sync_interval=arguments.sync_interval,
+        latency_ab=arguments.latency_ab,
+        latency_ba=arguments.latency_ba,
+        codec=arguments.codec,
+    )
+    time_step = 0.01
+    total = max(len(queries_a), len(queries_b))
+    sample_every = max(1, total // 8)
+    print(
+        f"replicate (local sim): {total} queries/region "
+        f"sync_interval={arguments.sync_interval}s "
+        f"latency A->B={arguments.latency_ab}s B->A={arguments.latency_ba}s"
+    )
+    for i in range(total):
+        now = i * time_step
+        if i < len(queries_a):
+            engine_a.handle(queries_a[i], now=now)
+        if i < len(queries_b):
+            engine_b.handle(queries_b[i], now=now)
+        driver.tick(now)
+        if i and i % sample_every == 0:
+            sample = driver.agreement()
+            print(
+                f"  t={sample.t:7.2f}s agreement={sample.agreement:.3f} "
+                f"union={sample.union_keys} stale={sample.stale_keys} "
+                f"max_staleness={sample.max_staleness:.2f}s"
+            )
+    driver.drain(total * time_step)
+    final = driver.agreement()
+    print(
+        f"  final: agreement={final.agreement:.3f} union={final.union_keys} "
+        f"stale={final.stale_keys}"
+    )
+    print(
+        f"  link A->B: frames={driver.link_ab.frames_sent} "
+        f"bytes={driver.link_ab.bytes_sent}; "
+        f"link B->A: frames={driver.link_ba.frames_sent} "
+        f"bytes={driver.link_ba.bytes_sent}"
+    )
+    for node in (node_a, node_b):
+        stats = node.stats()
+        print(
+            f"  node {stats['node']}: items={len(node.cache)} "
+            f"out={stats['records_out']} in={stats['records_in']} "
+            f"applied_upserts={stats['applied_upserts']} "
+            f"invalidations={stats['applied_invalidations']} "
+            f"lww_rejects={stats['lww_rejects']}"
+        )
+    return 0 if final.agreement == 1.0 else 1
+
+
+def _replicate_socket(arguments) -> int:
+    """One region of a real pair: serve its own workload, exchange diffs
+    with the peer process over TCP, score convergence via digest exchange."""
+    from repro.factory import build_asteria_engine, build_remote
+    from repro.store import replnet
+    from repro.store.replication import ReplicaNode
+
+    listening = arguments.listen is not None
+    seed = (
+        arguments.seed
+        if arguments.seed is not None
+        else (0 if listening else 1)
+    )
+    arguments.seed = seed
+    node_id = arguments.node_id or ("A" if listening else "B")
+    queries = _stress_queries(arguments)
+    engine = build_asteria_engine(build_remote(seed=seed), seed=seed)
+    node = ReplicaNode(node_id, engine.cache)
+    workload = (
+        (lambda now, query=query: engine.handle(query, now=now))
+        for query in queries
+    )
+    stop, restore = _stop_on_signals()
+    try:
+        if listening:
+            server = replnet.open_listener(arguments.host, arguments.listen)
+            port = server.getsockname()[1]
+            print(
+                f"replica {node_id} listening on {arguments.host}:{port} "
+                f"(waiting for --peer)",
+                flush=True,
+            )
+            sock = replnet.accept_peer(server, stop=stop)
+            if sock is None:
+                print("no peer connected; exiting")
+                return 1
+        else:
+            host, _, port_raw = arguments.peer.rpartition(":")
+            host = host or "127.0.0.1"
+            try:
+                port = int(port_raw)
+            except ValueError:
+                raise SystemExit(
+                    f"--peer expects HOST:PORT, got {arguments.peer!r}"
+                ) from None
+            sock = replnet.connect_peer(host, port)
+        report = replnet.replicate_session(
+            node,
+            sock,
+            workload=workload,
+            sync_interval=arguments.sync_interval,
+            codec=arguments.codec,
+            stop=stop,
+            pace=arguments.pace,
+        )
+    finally:
+        restore()
+    print(
+        f"replica {report['node']} <-> peer {report['peer']}: "
+        f"steps={report['steps']} items={report['items']} "
+        f"frames out={report['frames_out']} in={report['frames_in']}"
+    )
+    stats = report["replication"]
+    print(
+        f"  records out={stats['records_out']} in={stats['records_in']} "
+        f"applied_upserts={stats['applied_upserts']} "
+        f"invalidations={stats['applied_invalidations']} "
+        f"lww_rejects={stats['lww_rejects']}"
+    )
+    agreement = report["agreement"]
+    if agreement is None:
+        print("  convergence: peer left before the digest exchange")
+        return 1
+    print(
+        f"  convergence: agreement={agreement['agreement']:.3f} "
+        f"union={agreement['union_keys']} stale={agreement['stale_keys']}"
+    )
+    return 0 if agreement["agreement"] == 1.0 else 1
+
+
 def _command_run_all(quick: bool) -> int:
     for name, (runner, _) in EXPERIMENTS.items():
         overrides = QUICK_OVERRIDES.get(name, {}) if quick else {}
         result = runner(**overrides)
         result.print_table()
     return 0
+
+
+def _add_persist_arguments(parser) -> None:
+    """``--persist`` flags shared by the stress and serve arms."""
+    parser.add_argument(
+        "--persist",
+        default=None,
+        metavar="DIR",
+        help="durable cache home: warm-start from DIR's snapshot+journal "
+        "and journal every mutation back to it (sharded engines use one "
+        "shard_NN subdirectory per shard)",
+    )
+    parser.add_argument(
+        "--fsync-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="fsync the journal every N records (default 8; kill -9 loses "
+        "at most the last unfsynced batch)",
+    )
 
 
 def _add_proc_arguments(parser) -> None:
@@ -954,6 +1209,7 @@ def main(argv: list[str] | None = None) -> int:
         "functions by cumulative time",
     )
     stress_parser.add_argument("--seed", type=int, default=0)
+    _add_persist_arguments(stress_parser)
     _add_proc_arguments(stress_parser)
     serve_parser = commands.add_parser(
         "serve",
@@ -994,7 +1250,91 @@ def main(argv: list[str] | None = None) -> int:
         help="default per-request deadline in wall seconds (default none)",
     )
     serve_parser.add_argument("--seed", type=int, default=0)
+    _add_persist_arguments(serve_parser)
     _add_proc_arguments(serve_parser)
+    replicate_parser = commands.add_parser(
+        "replicate",
+        help="cross-region cache replication: local two-node simulation by "
+        "default, or one real region with --listen / --peer",
+    )
+    replicate_parser.add_argument(
+        "--listen",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve as one region: wait for the peer on PORT (0 = pick an "
+        "ephemeral port and print it)",
+    )
+    replicate_parser.add_argument(
+        "--peer",
+        default=None,
+        metavar="HOST:PORT",
+        help="dial a --listen region and replicate against it",
+    )
+    replicate_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address for --listen"
+    )
+    replicate_parser.add_argument(
+        "--node-id",
+        default=None,
+        help="region name in diffs and digests (default: A for --listen, "
+        "B for --peer)",
+    )
+    replicate_parser.add_argument(
+        "--sync-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="seconds between diff syncs (default 0.5)",
+    )
+    replicate_parser.add_argument(
+        "--latency-ab",
+        type=float,
+        default=0.08,
+        metavar="SECONDS",
+        help="simulated one-way latency A->B in local-sim mode (default 0.08)",
+    )
+    replicate_parser.add_argument(
+        "--latency-ba",
+        type=float,
+        default=0.12,
+        metavar="SECONDS",
+        help="simulated one-way latency B->A in local-sim mode (default 0.12)",
+    )
+    replicate_parser.add_argument(
+        "--pace",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="wall seconds between local queries in socket mode "
+        "(default 0.002)",
+    )
+    replicate_parser.add_argument(
+        "--queries", type=int, default=600, help="requests per region (default 600)"
+    )
+    replicate_parser.add_argument(
+        "--population",
+        type=int,
+        default=64,
+        help="distinct facts in each region's workload (default 64; the "
+        "overlap is what replication converges on)",
+    )
+    replicate_parser.add_argument(
+        "--zipf-s", type=float, default=1.3, help="Zipf skew exponent (default 1.3)"
+    )
+    replicate_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload seed (default: 0 for --listen/local node A, 1 for "
+        "--peer/local node B, so the two regions draw different streams)",
+    )
+    replicate_parser.add_argument(
+        "--codec",
+        choices=("pickle", "msgpack"),
+        default="pickle",
+        help="diff wire serializer (default pickle)",
+    )
     arguments = parser.parse_args(argv)
     if arguments.command == "list":
         return _command_list()
@@ -1004,6 +1344,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_stress(arguments)
     if arguments.command == "serve":
         return _command_serve(arguments)
+    if arguments.command == "replicate":
+        return _command_replicate(arguments)
     return _command_run_all(arguments.quick)
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -28,6 +29,7 @@ from repro.core.eviction import EvictionPolicy, LCFUPolicy, LRUPolicy
 from repro.core.sine import Sine, SineResult
 from repro.core.types import FetchResult, Query
 from repro.judger.staticity import StaticityScorer
+from repro.store.backend import CacheBackend, InProcessBackend
 
 
 def canonical_text(text: str) -> str:
@@ -79,7 +81,14 @@ class AsteriaCache:
         the handle), removal recycles the row, and the Sine index scores
         the same rows in place via ``add_slot``. Share one arena between
         the cache and its index; the float32 tier replays per-element
-        decisions exactly.
+        decisions exactly. Shorthand for
+        ``backend=InProcessBackend(arena=arena)``.
+    backend:
+        Element storage (see :mod:`repro.store.backend`). Defaults to an
+        :class:`~repro.store.backend.InProcessBackend` holding ``arena``;
+        every mutation (admit, touch, delete-with-reason) routes through
+        it, which is how the journal and replication layers observe the
+        cache without touching its decision logic.
     """
 
     def __init__(
@@ -91,20 +100,24 @@ class AsteriaCache:
         staticity_scorer: StaticityScorer | None = None,
         staticity_ttl_scaling: bool = False,
         arena=None,
+        backend: CacheBackend | None = None,
     ) -> None:
         if capacity_items is not None and capacity_items < 1:
             raise ValueError("capacity_items must be >= 1 or None")
         if default_ttl is not None and default_ttl <= 0:
             raise ValueError("default_ttl must be > 0 or None")
+        if backend is not None and arena is not None:
+            raise ValueError("pass the arena to the backend, not the cache")
         self.sine = sine
         self.capacity_items = capacity_items
         self.default_ttl = default_ttl
         self.policy = policy if policy is not None else LCFUPolicy()
         self.staticity_scorer = staticity_scorer or StaticityScorer()
         self.staticity_ttl_scaling = staticity_ttl_scaling
-        self.arena = arena
-        self._elements: dict[int, SemanticElement] = {}
-        self._ids = itertools.count(1)
+        self._backend: CacheBackend = (
+            backend if backend is not None else InProcessBackend(arena=arena)
+        )
+        self._next_id = 1
         self.stats = CacheStats()
         #: Lazy min-heap of (retention score, element_id, version) used by
         #: capacity eviction. Entries whose version no longer matches
@@ -123,9 +136,40 @@ class AsteriaCache:
         self.tracer = tracer
         self.sine.tracer = tracer
 
+    # -- identity / storage ----------------------------------------------------
+    def _take_id(self) -> int:
+        """Allocate the next element id (monotonic; restorable, unlike the
+        ``itertools.count`` it replaced — warm restarts must continue the
+        same id sequence so heap tie-breaks replay exactly)."""
+        element_id = self._next_id
+        self._next_id += 1
+        return element_id
+
+    def reserve_id(self, element_id: int) -> None:
+        """Ensure future :meth:`_take_id` calls never re-issue ``element_id``
+        (restore paths admit elements with their historical ids)."""
+        if element_id >= self._next_id:
+            self._next_id = element_id + 1
+
+    @property
+    def backend(self) -> CacheBackend:
+        """The element storage backend (see :mod:`repro.store.backend`)."""
+        return self._backend
+
+    def wrap_backend(self, wrapper) -> CacheBackend:
+        """Swap in ``wrapper(current_backend)`` as the active backend.
+
+        The wrapper must share the inner backend's element mapping (see
+        :class:`~repro.store.backend.WrappingBackend`), so wrapping is safe
+        mid-life: the journal and replication layers attach this way after
+        a restore completes.
+        """
+        self._backend = wrapper(self._backend)
+        return self._backend
+
     # -- introspection ---------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._elements)
+        return len(self._backend.elements)
 
     def __bool__(self) -> bool:
         """A cache is a service, not a container: always truthy.
@@ -136,16 +180,21 @@ class AsteriaCache:
         return True
 
     def __contains__(self, element_id: int) -> bool:
-        return element_id in self._elements
+        return element_id in self._backend.elements
 
     @property
-    def elements(self) -> dict[int, SemanticElement]:
+    def elements(self):
         """Live elements keyed by id (treat as read-only)."""
-        return self._elements
+        return self._backend.elements
+
+    @property
+    def arena(self):
+        """The backend's embedding arena (None for plain dict storage)."""
+        return self._backend.arena
 
     def usage(self) -> int:
         """Current occupancy in elements (the capacity unit)."""
-        return len(self._elements)
+        return len(self._backend.elements)
 
     # -- lookup -----------------------------------------------------------------
     def lookup(self, query: Query, now: float, ann_only: bool = False) -> SineResult:
@@ -155,7 +204,7 @@ class AsteriaCache:
         can never be served.
         """
         self.remove_expired(now)
-        result = self.sine.retrieve(query, self._elements, ann_only=ann_only)
+        result = self.sine.retrieve(query, self._backend.elements, ann_only=ann_only)
         self._note_hit(result, now)
         return result
 
@@ -173,7 +222,7 @@ class AsteriaCache:
         :meth:`lookup`.
         """
         result = self.sine.retrieve_prepared(
-            query, raw_hits, self._elements, ann_only=ann_only
+            query, raw_hits, self._backend.elements, ann_only=ann_only
         )
         self._note_hit(result, now)
         return result
@@ -189,7 +238,9 @@ class AsteriaCache:
         order.
         """
         self.remove_expired(now)
-        results = self.sine.lookup_batch(queries, self._elements, ann_only=ann_only)
+        results = self.sine.lookup_batch(
+            queries, self._backend.elements, ann_only=ann_only
+        )
         for result in results:
             self._note_hit(result, now)
         return results
@@ -234,6 +285,7 @@ class AsteriaCache:
         if result.match.prefetched and result.match.frequency == 1:
             # First validated use of a speculative entry.
             result.match.metadata["prefetch_confirmed_at"] = now
+        self._backend.touch(result.match)
         self._heap_update(result.match, now)
 
     def contains_semantic(self, query: Query) -> bool:
@@ -254,17 +306,14 @@ class AsteriaCache:
         ``ttl`` overrides the cache default for this element. Returns the
         new element (after making room under the capacity limit).
         """
-        element_id = next(self._ids)
+        element_id = self._take_id()
         staticity = self.staticity_scorer.score(query.text, query.staticity)
         effective_ttl = ttl if ttl is not None else self.default_ttl
         if effective_ttl is not None and self.staticity_ttl_scaling:
             effective_ttl *= staticity / 10.0
         expires_at = now + effective_ttl if effective_ttl is not None else float("inf")
         embedding = self.sine.embedder.embed(query.text)
-        arena_slot = None
-        if self.arena is not None:
-            arena_slot = self.arena.allocate(embedding)
-            embedding = self.arena.get(arena_slot)
+        embedding, arena_slot = self._backend.bind_embedding(embedding)
         element = SemanticElement(
             element_id=element_id,
             key=query.text,
@@ -283,7 +332,7 @@ class AsteriaCache:
             prefetched=prefetched,
             arena_slot=arena_slot,
         )
-        self._elements[element_id] = element
+        self._backend.put(element)
         self.sine.insert(element)
         self.stats.inserts += 1
         if prefetched:
@@ -296,17 +345,83 @@ class AsteriaCache:
         self._enforce_capacity(now, protect=element.element_id)
         return element
 
-    def remove(self, element_id: int) -> SemanticElement:
-        """Forcibly remove one element (eviction, invalidation)."""
-        element = self._elements.pop(element_id, None)
+    def admit_restored(
+        self,
+        record: dict,
+        element_id: int | None = None,
+        shift: float = 0.0,
+        now: float | None = None,
+        drop_expired: bool = True,
+    ) -> SemanticElement | None:
+        """Re-admit one persisted element record (snapshot or journal replay).
+
+        Unlike :meth:`insert` this preserves the element's historical
+        identity and state: the stored ``element_id`` (heap tie-breaks
+        replay exactly), frequency, timestamps (shifted by ``shift``), and
+        staticity are taken from ``record`` rather than recomputed, no
+        stats counters move, and capacity is *not* enforced — a journal's
+        own evict records reproduce the membership trajectory, so replay
+        must not race them. Keys are re-embedded through the cache's own
+        Sine (snapshots stay model-agnostic). Returns the element, or None
+        when it was skipped (already present, or expired and
+        ``drop_expired``).
+        """
+        eid = element_id if element_id is not None else record.get("element_id")
+        if eid is None:
+            eid = self._take_id()
+        elif eid in self._backend.elements:
+            return None
+        expires_at = record["expires_at"]
+        expires_at = math.inf if expires_at is None else expires_at + shift
+        if now is None:
+            now = record["last_accessed_at"] + shift
+        if drop_expired and expires_at <= now:
+            self.reserve_id(eid)
+            return None
+        embedding = self.sine.embedder.embed(record["key"])
+        embedding, arena_slot = self._backend.bind_embedding(embedding)
+        element = SemanticElement(
+            element_id=eid,
+            key=record["key"],
+            value=record["value"],
+            embedding=embedding,
+            tool=record["tool"],
+            truth_key=record["truth_key"],
+            staticity=record["staticity"],
+            frequency=record["frequency"],
+            retrieval_latency=record["retrieval_latency"],
+            retrieval_cost=record["retrieval_cost"],
+            size_tokens=record["size_tokens"],
+            created_at=record["created_at"] + shift,
+            last_accessed_at=record["last_accessed_at"] + shift,
+            expires_at=expires_at,
+            prefetched=record["prefetched"],
+            arena_slot=arena_slot,
+            metadata=dict(record.get("metadata") or {}),
+        )
+        self._backend.put(element)
+        self.sine.insert(element)
+        self.reserve_id(eid)
+        if self.capacity_items is not None:
+            self._score_version[eid] = 0
+            heapq.heappush(self._heap, (self.policy.score(element, now), eid, 0))
+        return element
+
+    def remove(self, element_id: int, reason: str = "delete") -> SemanticElement:
+        """Forcibly remove one element (eviction, invalidation).
+
+        ``reason`` ("delete"/"evict"/"expire"/"invalidate") is passed to the
+        backend so decorator backends (journal, replication) can tell the
+        mutation kinds apart.
+        """
+        element = self._backend.elements.get(element_id)
         if element is None:
             raise KeyError(f"element {element_id} not in cache")
         # Index first, arena second: HNSW tombstones snapshot external rows
         # on remove, so the slot must still hold the vector at that point.
+        # The backend releases the arena slot inside delete().
         self.sine.remove(element_id)
-        if element.arena_slot is not None:
-            self.arena.release(element.arena_slot)
-            element.arena_slot = None
+        self._backend.delete(element_id, reason=reason)
         # Heap entries for this id become garbage (version map is the truth).
         self._score_version.pop(element_id, None)
         return element
@@ -329,7 +444,7 @@ class AsteriaCache:
         remap_slots = getattr(self.sine.index, "remap_slots", None)
         if remap_slots is not None:
             remap_slots(remap)
-        for element in self._elements.values():
+        for element in self._backend.elements.values():
             slot = element.arena_slot
             if slot is None:
                 continue
@@ -347,11 +462,11 @@ class AsteriaCache:
         """
         victims = [
             element_id
-            for element_id, element in self._elements.items()
+            for element_id, element in self._backend.elements.items()
             if predicate(element)
         ]
         for element_id in victims:
-            self.remove(element_id)
+            self.remove(element_id, reason="invalidate")
         return len(victims)
 
     # -- lifecycle ----------------------------------------------------------------
@@ -359,11 +474,11 @@ class AsteriaCache:
         """TTL purge (Algorithm 2 runs this before capacity eviction)."""
         expired = [
             element_id
-            for element_id, element in self._elements.items()
+            for element_id, element in self._backend.elements.items()
             if element.is_expired(now)
         ]
         for element_id in expired:
-            self.remove(element_id)
+            self.remove(element_id, reason="expire")
         self.stats.expirations += len(expired)
         return len(expired)
 
@@ -390,10 +505,11 @@ class AsteriaCache:
     def _rebuild_heap(self, now: float) -> None:
         """Re-score the whole population (restores after out-of-band changes:
         persistence restore, policy swap, direct element mutation)."""
-        self._score_version = {element_id: 0 for element_id in self._elements}
+        elements = self._backend.elements
+        self._score_version = {element_id: 0 for element_id in elements}
         self._heap = [
             (self.policy.score(element, now), element_id, 0)
-            for element_id, element in self._elements.items()
+            for element_id, element in elements.items()
         ]
         heapq.heapify(self._heap)
 
@@ -415,9 +531,8 @@ class AsteriaCache:
             return
         # Re-sync if elements arrived outside insert() (persistence restore)
         # or the heap has accumulated too much garbage.
-        if len(self._score_version) != len(self._elements) or len(self._heap) > 2 * len(
-            self._elements
-        ) + 64:
+        population = len(self._backend.elements)
+        if len(self._score_version) != population or len(self._heap) > 2 * population + 64:
             self._rebuild_heap(now)
         rebuilt = False
         deferred: list[tuple[float, int, int]] = []
@@ -432,7 +547,7 @@ class AsteriaCache:
             score, element_id, version = heapq.heappop(self._heap)
             if self._score_version.get(element_id) != version:
                 continue  # garbage from an invalidated score
-            element = self._elements.get(element_id)
+            element = self._backend.elements.get(element_id)
             if element is None:
                 continue
             fresh = self.policy.score(element, now)
@@ -447,7 +562,7 @@ class AsteriaCache:
             if element_id == protect:
                 deferred.append((score, element_id, version))
                 continue
-            self.remove(element_id)
+            self.remove(element_id, reason="evict")
             self.stats.evictions += 1
         for entry in deferred:
             heapq.heappush(self._heap, entry)

@@ -7,6 +7,20 @@ metadata as plain JSON (embeddings are *not* stored: keys are re-embedded on
 restore, which keeps snapshots model-agnostic — upgrade the embedder and the
 old snapshot still loads).
 
+Format history:
+
+* **v1** — element records without identity; restore re-issued ids.
+* **v2** — records carry ``element_id``, the snapshot carries the cache's
+  ``next_id`` counter and its :class:`~repro.core.cache.CacheStats`, so a
+  restored cache continues the *exact* id sequence and stat history of the
+  original — the property the warm-restart equivalence tests rely on, and
+  the property the journal needs (its records reference element ids).
+
+v1 payloads still load: records are migrated by assigning sequential ids in
+snapshot order. Unknown versions raise :class:`SnapshotVersionError` with a
+message naming the supported range instead of a raw ``KeyError`` from a
+missing field.
+
 >>> snapshot = CacheSnapshot.of(cache)
 >>> snapshot.save("cache.json")
 >>> restored = CacheSnapshot.load("cache.json")
@@ -20,15 +34,34 @@ import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.core.cache import AsteriaCache
+from repro.core.cache import AsteriaCache, CacheStats
 from repro.core.element import SemanticElement
 
 #: Snapshot format version; bump on breaking layout changes.
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+
+#: Versions :meth:`CacheSnapshot.from_json` can load (older ones migrate).
+SUPPORTED_VERSIONS = (1, 2)
 
 
-def _element_record(element: SemanticElement) -> dict:
+class SnapshotVersionError(ValueError):
+    """A snapshot payload declares a version this build cannot load."""
+
+    def __init__(self, version) -> None:
+        supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
+        super().__init__(
+            f"unsupported snapshot version {version!r}: this build reads "
+            f"versions {{{supported}}} (current {SNAPSHOT_VERSION}); "
+            f"re-snapshot with a matching build or migrate the payload"
+        )
+        self.version = version
+
+
+def element_record(element: SemanticElement) -> dict:
+    """The JSON-safe persisted form of one element (shared by snapshots,
+    the journal, and the replication diff schema)."""
     return {
+        "element_id": element.element_id,
         "key": element.key,
         "value": element.value,
         "tool": element.tool,
@@ -43,6 +76,21 @@ def _element_record(element: SemanticElement) -> dict:
         # JSON has no Infinity in strict mode; None encodes "never expires".
         "expires_at": None if math.isinf(element.expires_at) else element.expires_at,
         "prefetched": element.prefetched,
+        "metadata": dict(element.metadata),
+    }
+
+
+#: Backwards-compatible private alias (pre-store name).
+_element_record = element_record
+
+
+def _stats_record(stats: CacheStats) -> dict:
+    return {
+        "inserts": stats.inserts,
+        "evictions": stats.evictions,
+        "expirations": stats.expirations,
+        "rejected_duplicates": stats.rejected_duplicates,
+        "prefetch_inserts": stats.prefetch_inserts,
     }
 
 
@@ -53,6 +101,8 @@ class CacheSnapshot:
     taken_at: float
     records: list[dict] = field(default_factory=list)
     version: int = SNAPSHOT_VERSION
+    next_id: int | None = None
+    stats: dict | None = None
 
     @classmethod
     def of(cls, cache: AsteriaCache, now: float | None = None) -> "CacheSnapshot":
@@ -68,7 +118,9 @@ class CacheSnapshot:
             )
         return cls(
             taken_at=now,
-            records=[_element_record(element) for element in elements],
+            records=[element_record(element) for element in elements],
+            next_id=cache._next_id,
+            stats=_stats_record(cache.stats),
         )
 
     def __len__(self) -> int:
@@ -81,6 +133,8 @@ class CacheSnapshot:
             {
                 "version": self.version,
                 "taken_at": self.taken_at,
+                "next_id": self.next_id,
+                "stats": self.stats,
                 "records": self.records,
             },
             allow_nan=False,
@@ -88,23 +142,35 @@ class CacheSnapshot:
 
     @classmethod
     def from_json(cls, payload: str) -> "CacheSnapshot":
-        """Parse a snapshot; rejects unknown versions."""
+        """Parse a snapshot; migrates v1 payloads, rejects unknown versions."""
         data = json.loads(payload)
         version = data.get("version")
-        if version != SNAPSHOT_VERSION:
-            raise ValueError(
-                f"unsupported snapshot version {version!r} "
-                f"(expected {SNAPSHOT_VERSION})"
-            )
+        if version not in SUPPORTED_VERSIONS:
+            raise SnapshotVersionError(version)
+        records = list(data["records"])
+        next_id = data.get("next_id")
+        stats = data.get("stats")
+        if version == 1:
+            # v1 records carried no identity: assign sequential ids in
+            # snapshot order, exactly what the old restore path produced.
+            for position, record in enumerate(records, start=1):
+                record.setdefault("element_id", position)
+            next_id = len(records) + 1
         return cls(
             taken_at=float(data["taken_at"]),
-            records=list(data["records"]),
-            version=version,
+            records=records,
+            version=SNAPSHOT_VERSION,
+            next_id=next_id,
+            stats=stats,
         )
 
     def save(self, path: "str | Path") -> None:
-        """Write the snapshot to ``path``."""
-        Path(path).write_text(self.to_json())
+        """Write the snapshot to ``path`` atomically (write-tmp-rename, so a
+        crash mid-save can never leave a torn snapshot)."""
+        target = Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(self.to_json())
+        tmp.replace(target)
 
     @classmethod
     def load(cls, path: "str | Path") -> "CacheSnapshot":
@@ -115,47 +181,41 @@ class CacheSnapshot:
     def restore_into(
         self,
         cache: AsteriaCache,
-        now: float = 0.0,
+        now: float | None = 0.0,
         drop_expired: bool = True,
+        restore_stats: bool = False,
     ) -> int:
         """Re-populate ``cache`` from this snapshot; returns elements restored.
 
         Keys are re-embedded through the cache's own Sine, timestamps are
         shifted so ages are preserved relative to ``now`` (an entry 100 s
         old at snapshot time is 100 s old after restore), and entries whose
-        TTL already lapsed are skipped when ``drop_expired``.
+        TTL already lapsed are skipped when ``drop_expired``. Pass
+        ``now=None`` (or ``taken_at``) to restore on the *same* clock with
+        zero shift — the warm-restart mode, where a restarted process
+        continues the original timeline. Element ids are preserved, and the
+        cache's id counter resumes past the snapshot's ``next_id`` so heap
+        tie-breaks and journal references replay exactly.
+        ``restore_stats`` additionally restores the cumulative
+        :class:`CacheStats` counters captured at snapshot time.
         """
         if len(cache):
             raise ValueError("restore_into requires an empty cache")
+        if now is None:
+            now = self.taken_at
         shift = now - self.taken_at
         restored = 0
         for record in self.records:
-            expires_at = record["expires_at"]
-            expires_at = (
-                float("inf") if expires_at is None else expires_at + shift
+            element = cache.admit_restored(
+                record, shift=shift, now=now, drop_expired=drop_expired
             )
-            if drop_expired and expires_at <= now:
-                continue
-            element = SemanticElement(
-                element_id=next(cache._ids),
-                key=record["key"],
-                value=record["value"],
-                embedding=cache.sine.embedder.embed(record["key"]),
-                tool=record["tool"],
-                truth_key=record["truth_key"],
-                staticity=record["staticity"],
-                frequency=record["frequency"],
-                retrieval_latency=record["retrieval_latency"],
-                retrieval_cost=record["retrieval_cost"],
-                size_tokens=record["size_tokens"],
-                created_at=record["created_at"] + shift,
-                last_accessed_at=record["last_accessed_at"] + shift,
-                expires_at=expires_at,
-                prefetched=record["prefetched"],
-            )
-            cache.elements[element.element_id] = element
-            cache.sine.insert(element)
-            restored += 1
+            if element is not None:
+                restored += 1
+        if self.next_id is not None:
+            cache.reserve_id(self.next_id - 1)
+        if restore_stats and self.stats is not None:
+            for name, value in self.stats.items():
+                setattr(cache.stats, name, value)
         cache._enforce_capacity(now)
         return restored
 

@@ -44,7 +44,50 @@ from repro.network import FaultInjector, RemoteDataService, TokenBucket
 from repro.network.ratelimit import RateLimiter
 from repro.sim.distributions import Distribution, Uniform
 from repro.sim.random import derive_seed
+from repro.store.backend import CacheBackend
 from repro.workloads.facts import FactUniverse
+
+
+def build_backend(
+    backend: "str | None", arena=None, backend_dir=None
+) -> CacheBackend | None:
+    """Resolve a backend selector for cache construction.
+
+    ``None``/``"inprocess"`` returns None (the cache builds its default
+    :class:`~repro.store.backend.InProcessBackend` over ``arena``);
+    ``"filestore"`` builds a durable
+    :class:`~repro.store.filestore.FileStoreBackend` rooted at
+    ``backend_dir``; a callable is invoked with the arena and must return a
+    backend (escape hatch for custom stores).
+    """
+    if backend is None or backend == "inprocess":
+        return None
+    if backend == "filestore":
+        if backend_dir is None:
+            raise ValueError("backend='filestore' requires backend_dir")
+        from repro.store.filestore import FileStoreBackend
+
+        return FileStoreBackend(backend_dir, arena=arena)
+    if callable(backend):
+        return backend(arena)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected inprocess/filestore or a callable"
+    )
+
+
+def _attach_persistence(cache, persist_dir, fsync_every: int = 8):
+    """Attach a :class:`~repro.store.persist.PersistentStore` (restores any
+    prior state, then journals). The store lands on ``cache.persistent_store``
+    and the restore report on ``cache.restore_report``."""
+    if persist_dir is None:
+        return cache
+    from repro.store.persist import PersistentStore
+
+    store = PersistentStore(persist_dir, fsync_every=fsync_every)
+    report = store.attach(cache)
+    cache.persistent_store = store
+    cache.restore_report = report
+    return cache
 
 
 def build_index(kind: str, dim: int, seed: int = 0, arena=None) -> VectorIndex:
@@ -110,6 +153,10 @@ def build_asteria_engine(
     resilience: ResilienceManager | None = None,
     arena: str | None = "float32",
     judge_spin: float = 0.0,
+    backend: "str | None" = None,
+    backend_dir=None,
+    persist_dir=None,
+    fsync_every: int = 8,
     name: str = "asteria",
 ) -> AsteriaEngine:
     """The full Asteria stack with simulated substrates.
@@ -123,7 +170,10 @@ def build_asteria_engine(
     serving). ``arena`` selects the embedding storage tier: ``"float32"``
     (default — contiguous rows, decision-identical to per-element arrays),
     ``"int8"`` (quantized, ~4x smaller, approximate scores), or ``None``
-    for standalone per-element arrays.
+    for standalone per-element arrays. ``backend`` selects the element
+    store (see :func:`build_backend`); ``persist_dir`` attaches
+    snapshot+journal durability (restoring any prior state first — see
+    :class:`~repro.store.persist.PersistentStore`).
     """
     config = config if config is not None else AsteriaConfig()
     embedder = CachedEmbedder(HashingEmbedder(seed=derive_seed(seed, "embedder")))
@@ -154,6 +204,7 @@ def build_asteria_engine(
     )
     if isinstance(policy, str):
         policy = policy_by_name(policy)
+    resolved_backend = build_backend(backend, arena=shared_arena, backend_dir=backend_dir)
     cache = AsteriaCache(
         sine,
         capacity_items=config.capacity_items,
@@ -161,8 +212,10 @@ def build_asteria_engine(
         policy=policy,
         staticity_scorer=StaticityScorer(seed=derive_seed(seed, "staticity")),
         staticity_ttl_scaling=config.staticity_ttl_scaling,
-        arena=shared_arena,
+        arena=shared_arena if resolved_backend is None else None,
+        backend=resolved_backend,
     )
+    _attach_persistence(cache, persist_dir, fsync_every=fsync_every)
     return AsteriaEngine(
         cache,
         remote,
@@ -199,6 +252,10 @@ def build_semantic_cache(
     arena: str | None = "float32",
     judge_spin: float = 0.0,
     judge_spin_iterations: int | None = None,
+    backend: "str | None" = None,
+    backend_dir=None,
+    persist_dir=None,
+    fsync_every: int = 8,
 ) -> AsteriaCache:
     """A standalone semantic cache (used for shared tiers and direct use).
 
@@ -229,15 +286,18 @@ def build_semantic_cache(
     )
     if isinstance(policy, str):
         policy = policy_by_name(policy)
-    return AsteriaCache(
+    resolved_backend = build_backend(backend, arena=shared_arena, backend_dir=backend_dir)
+    cache = AsteriaCache(
         sine,
         capacity_items=config.capacity_items,
         default_ttl=config.default_ttl,
         policy=policy,
         staticity_scorer=StaticityScorer(seed=derive_seed(seed, "staticity")),
         staticity_ttl_scaling=config.staticity_ttl_scaling,
-        arena=shared_arena,
+        arena=shared_arena if resolved_backend is None else None,
+        backend=resolved_backend,
     )
+    return _attach_persistence(cache, persist_dir, fsync_every=fsync_every)
 
 
 def build_sharded_cache(
@@ -248,6 +308,10 @@ def build_sharded_cache(
     policy: "EvictionPolicy | str" = "lcfu",
     arena: str | None = "float32",
     judge_spin: float = 0.0,
+    backend: "str | None" = None,
+    backend_dir=None,
+    persist_dir=None,
+    fsync_every: int = 8,
 ) -> ShardedAsteriaCache:
     """A thread-safe sharded semantic cache for concurrent serving.
 
@@ -268,7 +332,14 @@ def build_sharded_cache(
         shard_config = replace(
             config, capacity_items=-(-config.capacity_items // shards)
         )
-    return ShardedAsteriaCache(
+    shard_backend_dirs: list = [None] * shards
+    if backend_dir is not None:
+        from repro.store.persist import shard_directory
+
+        shard_backend_dirs = [
+            shard_directory(backend_dir, shard) for shard in range(shards)
+        ]
+    sharded = ShardedAsteriaCache(
         [
             build_semantic_cache(
                 shard_config,
@@ -277,10 +348,20 @@ def build_sharded_cache(
                 policy=policy,
                 arena=arena,
                 judge_spin=judge_spin,
+                backend=backend,
+                backend_dir=shard_backend_dirs[shard],
             )
-            for _ in range(shards)
+            for shard in range(shards)
         ]
     )
+    if persist_dir is not None:
+        from repro.store.persist import ShardedPersistentStore
+
+        store = ShardedPersistentStore(persist_dir, shards, fsync_every=fsync_every)
+        reports = store.attach(sharded)
+        sharded.persistent_store = store
+        sharded.restore_reports = reports
+    return sharded
 
 
 def build_concurrent_engine(
@@ -296,6 +377,10 @@ def build_concurrent_engine(
     resilience: ResilienceManager | None = None,
     arena: str | None = "float32",
     judge_spin: float = 0.0,
+    backend: "str | None" = None,
+    backend_dir=None,
+    persist_dir=None,
+    fsync_every: int = 8,
     name: str = "asteria-concurrent",
 ) -> ConcurrentEngine:
     """The full concurrent serving stack: sharded cache + worker-pool engine.
@@ -321,6 +406,10 @@ def build_concurrent_engine(
         policy=policy,
         arena=arena,
         judge_spin=judge_spin,
+        backend=backend,
+        backend_dir=backend_dir,
+        persist_dir=persist_dir,
+        fsync_every=fsync_every,
     )
     engine = AsteriaEngine(cache, remote, config, resilience=resilience, name=name)
     return ConcurrentEngine(
@@ -349,6 +438,10 @@ def build_async_engine(
     resilience: ResilienceManager | None = None,
     arena: str | None = "float32",
     judge_spin: float = 0.0,
+    backend: "str | None" = None,
+    backend_dir=None,
+    persist_dir=None,
+    fsync_every: int = 8,
     name: str = "asteria-async",
 ) -> AsyncAsteriaEngine:
     """The full asyncio serving stack: sharded cache + event-loop engine.
@@ -375,6 +468,10 @@ def build_async_engine(
         policy=policy,
         arena=arena,
         judge_spin=judge_spin,
+        backend=backend,
+        backend_dir=backend_dir,
+        persist_dir=persist_dir,
+        fsync_every=fsync_every,
     )
     engine = AsteriaEngine(cache, remote, config, resilience=resilience, name=name)
     return AsyncAsteriaEngine(
@@ -407,6 +504,8 @@ def build_proc_engine(
     arena: str | None = "float32",
     judge_spin: float = 0.0,
     codec: str = "pickle",
+    persist_dir=None,
+    fsync_every: int = 8,
     name: str = "asteria-proc",
     launch: bool = True,
 ) -> ProcAsteriaEngine:
@@ -445,6 +544,13 @@ def build_proc_engine(
     # siblings burn CPU on the same cores would measure a contended loop
     # rate, give itself less work per judge, and fake parallel speedup.
     iterations = spin_iterations(judge_spin) if judge_spin > 0 else None
+    shard_dirs: list[str | None] = [None] * workers
+    if persist_dir is not None:
+        from repro.store.persist import shard_directory
+
+        shard_dirs = [
+            str(shard_directory(persist_dir, shard)) for shard in range(workers)
+        ]
     specs = [
         WorkerSpec(
             shard_id=shard,
@@ -457,6 +563,8 @@ def build_proc_engine(
             judge_spin=judge_spin,
             judge_spin_iterations=iterations,
             codec=codec,
+            persist_dir=shard_dirs[shard],
+            fsync_every=fsync_every,
         )
         for shard in range(workers)
     ]

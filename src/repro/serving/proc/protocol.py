@@ -167,6 +167,49 @@ def recv_frame(sock: socket.socket) -> bytes | None:
     return payload
 
 
+class FrameSplitter:
+    """Incremental decoder for a byte stream of concatenated frames.
+
+    Feed arbitrary chunks (network reads, an in-memory simulated link) and
+    get back complete payloads; partial frames are buffered until the rest
+    arrives. Used by the replication layer, whose simulated WAN links carry
+    real frame-protocol bytes.
+
+    >>> splitter = FrameSplitter()
+    >>> splitter.feed(encode_frame(b"a") + encode_frame(b"bb")[:3])
+    [b'a']
+    >>> splitter.feed(encode_frame(b"bb")[3:])
+    [b'bb']
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Append ``data``; return every now-complete frame payload."""
+        self._buffer.extend(data)
+        payloads: list[bytes] = []
+        while True:
+            if len(self._buffer) < _LEN.size:
+                break
+            (length,) = _LEN.unpack_from(self._buffer)
+            if length > MAX_FRAME:
+                raise FrameError(
+                    f"incoming frame of {length} bytes exceeds cap {MAX_FRAME}"
+                )
+            end = _LEN.size + length
+            if len(self._buffer) < end:
+                break
+            payloads.append(bytes(self._buffer[_LEN.size:end]))
+            del self._buffer[:end]
+        return payloads
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buffer)
+
+
 # -- asyncio frame I/O (router, serve clients) --------------------------------
 def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
     """Queue one frame on an asyncio writer (caller drains as needed)."""

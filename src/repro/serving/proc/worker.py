@@ -66,6 +66,11 @@ class WorkerSpec:
     #: with its siblings would hand it less work per judge and fake scaling.
     judge_spin_iterations: int | None = None
     codec: str = "pickle"
+    #: When set, the shard warm-restarts from (and journals to) this
+    #: directory via :class:`~repro.store.persist.PersistentStore`. A plain
+    #: string, not a Path: specs cross the spawn boundary.
+    persist_dir: str | None = None
+    fsync_every: int = 8
 
     def __post_init__(self) -> None:
         if not isinstance(self.policy, str):
@@ -97,7 +102,15 @@ class _ShardServer:
             arena=spec.arena,
             judge_spin=spec.judge_spin,
             judge_spin_iterations=spec.judge_spin_iterations,
+            persist_dir=spec.persist_dir,
+            fsync_every=spec.fsync_every,
         )
+        self.store = getattr(self.cache, "persistent_store", None)
+
+    def close(self) -> None:
+        """Flush and checkpoint the persistence tier, if any."""
+        if self.store is not None:
+            self.store.close(checkpoint=True)
 
     def stats_tuple(self) -> list:
         return wire.shard_stats_tuple(self.cache.stats, self.cache.usage())
@@ -110,12 +123,16 @@ class _ShardServer:
         if op == "insert":
             return self._insert(body)
         if op == "stats":
-            return {
+            reply = {
                 "shard": self.spec.shard_id,
                 "usage": self.cache.usage(),
                 "capacity_items": self.cache.capacity_items,
                 "stats": self.stats_tuple(),
             }
+            report = getattr(self.cache, "restore_report", None)
+            if report is not None:
+                reply["restore"] = report.as_dict()
+            return reply
         if op == "ping":
             return "pong"
         if op == "shutdown":
@@ -188,6 +205,13 @@ def worker_main(spec: WorkerSpec, host: str, port: int) -> None:
             if op == "shutdown":
                 break
     finally:
+        # Graceful stop (SIGTERM / shutdown op / router EOF): flush the
+        # journal tail and checkpoint so a clean restart replays nothing.
+        # A SIGKILL skips this — that is what fsync batching is for.
+        try:
+            server.close()
+        except OSError:
+            pass
         try:
             sock.shutdown(socket.SHUT_RDWR)
         except OSError:

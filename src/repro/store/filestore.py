@@ -1,0 +1,187 @@
+"""Write-through file-backed cache backend.
+
+Every admitted element is mirrored to ``DIR/elements/NNNNNNNN.json`` as its
+:func:`~repro.core.persistence.element_record`; deletes unlink the file.
+The in-memory dict remains the retrieval tier (the ANN index needs resident
+embeddings regardless), so lookups cost exactly what the in-process backend
+costs — durability rides the mutation path only.
+
+This is the "Redis-style durable store" point in the backend design space:
+per-entry files a restarted process (or an external tool) can enumerate,
+versus the snapshot+journal layout of
+:class:`~repro.store.persist.PersistentStore` which optimises for replay
+speed. Restore with :func:`restore_file_backend`, which re-admits every
+stored record through the cache (re-embedding keys).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.element import SemanticElement
+from repro.core.persistence import element_record
+from repro.store.backend import BackendOpStats
+
+ELEMENTS_DIR = "elements"
+
+
+class FileStoreBackend:
+    """Durable per-element file store (write-through over an in-memory tier).
+
+    Parameters
+    ----------
+    directory:
+        Store root; element files live under ``directory/elements/``.
+    arena:
+        Optional embedding arena for the in-memory tier (same semantics as
+        :class:`~repro.store.backend.InProcessBackend`).
+    fsync:
+        fsync each element file on write. Off by default: the directory
+        entry itself survives a process kill either way, and the journal
+        tier is the crash-consistency story; turn on for paranoia against
+        filesystem-level loss.
+    """
+
+    name = "filestore"
+    durable = True
+
+    def __init__(self, directory: "str | Path", arena=None, fsync: bool = False) -> None:
+        self.directory = Path(directory)
+        self._elements_dir = self.directory / ELEMENTS_DIR
+        self._elements_dir.mkdir(parents=True, exist_ok=True)
+        self._elements: dict[int, SemanticElement] = {}
+        self._arena = arena
+        self._fsync = fsync
+        #: Ids whose hit state changed since their file was last written.
+        self._dirty: set[int] = set()
+        self.ops = BackendOpStats()
+
+    def _path_for(self, element_id: int) -> Path:
+        return self._elements_dir / f"{element_id:08d}.json"
+
+    # -- protocol ------------------------------------------------------------
+    @property
+    def elements(self) -> dict[int, SemanticElement]:
+        return self._elements
+
+    @property
+    def arena(self):
+        return self._arena
+
+    def get(self, element_id: int) -> SemanticElement | None:
+        self.ops.gets += 1
+        return self._elements.get(element_id)
+
+    def put(self, element: SemanticElement) -> None:
+        self._elements[element.element_id] = element
+        path = self._path_for(element.element_id)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(element_record(element), handle, allow_nan=False)
+            if self._fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        tmp.replace(path)
+        self.ops.puts += 1
+
+    def touch(self, element: SemanticElement) -> None:
+        # Hit state (frequency / last access) is rewritten lazily: touches
+        # are frequent and per-touch rewrites would turn every cache hit
+        # into disk I/O. flush() persists the current hit state of every
+        # live element instead.
+        self.ops.touches += 1
+        self._dirty.add(element.element_id)
+
+    def delete(self, element_id: int, reason: str = "delete") -> SemanticElement | None:
+        element = self._elements.pop(element_id, None)
+        if element is None:
+            return None
+        if element.arena_slot is not None:
+            self._arena.release(element.arena_slot)
+            element.arena_slot = None
+        self._path_for(element_id).unlink(missing_ok=True)
+        self._dirty.discard(element_id)
+        self.ops.note_delete(reason)
+        return element
+
+    def scan(self) -> Iterator[SemanticElement]:
+        return iter(list(self._elements.values()))
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, element_id: int) -> bool:
+        return element_id in self._elements
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.name,
+            "items": len(self._elements),
+            "directory": str(self.directory),
+            "dirty": len(self._dirty),
+            **self.ops.as_dict(),
+        }
+
+    def bind_embedding(self, embedding):
+        if self._arena is None:
+            return embedding, None
+        slot = self._arena.allocate(embedding)
+        return self._arena.get(slot), slot
+
+    def release_embedding(self, slot) -> None:
+        if slot is not None and self._arena is not None:
+            self._arena.release(slot)
+
+    def flush(self) -> None:
+        """Rewrite files for elements whose hit state changed since admit."""
+        for element_id in list(self._dirty):
+            element = self._elements.get(element_id)
+            if element is not None:
+                path = self._path_for(element_id)
+                tmp = path.with_name(path.name + ".tmp")
+                tmp.write_text(json.dumps(element_record(element), allow_nan=False))
+                tmp.replace(path)
+        self._dirty.clear()
+
+    def close(self) -> None:
+        self.flush()
+
+    # -- restore --------------------------------------------------------------
+    def stored_records(self) -> list[dict]:
+        """Element records currently on disk, in element-id order."""
+        records = []
+        for path in sorted(self._elements_dir.glob("*.json")):
+            records.append(json.loads(path.read_text()))
+        return records
+
+    def __repr__(self) -> str:
+        return (
+            f"FileStoreBackend(items={len(self._elements)}, "
+            f"directory={str(self.directory)!r})"
+        )
+
+
+def restore_file_backend(cache, drop_expired: bool = True, now: float | None = None) -> int:
+    """Re-admit every record the cache's file backend has on disk.
+
+    The cache must be empty and constructed over a :class:`FileStoreBackend`
+    (possibly wrapped). Returns the number of elements restored; the id
+    counter resumes past the highest stored id.
+    """
+    backend = cache.backend
+    unwrap = getattr(backend, "unwrap", None)
+    if unwrap is not None:
+        backend = unwrap()
+    if not isinstance(backend, FileStoreBackend):
+        raise TypeError(f"cache backend is {type(backend).__name__}, not FileStoreBackend")
+    if len(cache):
+        raise ValueError("restore_file_backend requires an empty cache")
+    restored = 0
+    for record in backend.stored_records():
+        element = cache.admit_restored(record, drop_expired=drop_expired, now=now)
+        if element is not None:
+            restored += 1
+    return restored

@@ -1,0 +1,108 @@
+"""Simulated remote store: a backend decorator that charges WAN latency.
+
+Models the cost structure of keeping cache state in a remote tier (a
+cross-region Redis, a settings service, an object store): every mutation
+pays a configurable one-way write latency, reads pay a (usually smaller)
+read latency. Latency is *accounted*, not slept — the counters feed the
+replication study's staleness model on the simulated clock, and an
+optional ``real_sleep_scale`` turns accounting into actual ``time.sleep``
+for wall-clock experiments (same knob the async engine uses for remote
+fetches).
+
+Asymmetric links come from giving the two directions of a replica pair
+different latencies — see :mod:`repro.store.replication`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.store.backend import CacheBackend, WrappingBackend
+
+
+class SimulatedRemoteStore(WrappingBackend):
+    """Wraps any backend and meters per-op simulated WAN latency.
+
+    Parameters
+    ----------
+    inner:
+        The backend actually holding the elements.
+    write_latency:
+        Simulated seconds charged per put/delete (the WAN round trip a
+        write-through to the remote tier would cost).
+    read_latency:
+        Simulated seconds charged per :meth:`get`. Scans and the live
+        ``elements`` mapping are *not* charged: the retrieval tier is the
+        local replica; the remote tier is the durability/coherence medium.
+    touch_latency:
+        Simulated seconds per touch (hit-state sync); often 0 — most
+        deployments batch or drop these.
+    real_sleep_scale:
+        When > 0, each charged latency also really sleeps
+        ``latency * scale`` seconds.
+    """
+
+    name = "simulated_remote"
+
+    def __init__(
+        self,
+        inner: CacheBackend,
+        write_latency: float = 0.08,
+        read_latency: float = 0.02,
+        touch_latency: float = 0.0,
+        real_sleep_scale: float = 0.0,
+    ) -> None:
+        super().__init__(inner)
+        self.write_latency = write_latency
+        self.read_latency = read_latency
+        self.touch_latency = touch_latency
+        self.real_sleep_scale = real_sleep_scale
+        #: Total simulated seconds charged, by op kind.
+        self.simulated_seconds = {"put": 0.0, "get": 0.0, "delete": 0.0, "touch": 0.0}
+        self.remote_ops = 0
+
+    def _charge(self, kind: str, latency: float) -> None:
+        if latency <= 0.0:
+            return
+        self.simulated_seconds[kind] += latency
+        self.remote_ops += 1
+        if self.real_sleep_scale > 0.0:
+            time.sleep(latency * self.real_sleep_scale)
+
+    @property
+    def total_simulated_seconds(self) -> float:
+        return sum(self.simulated_seconds.values())
+
+    def get(self, element_id: int):
+        self._charge("get", self.read_latency)
+        return self.inner.get(element_id)
+
+    def put(self, element) -> None:
+        self._charge("put", self.write_latency)
+        self.inner.put(element)
+
+    def touch(self, element) -> None:
+        self._charge("touch", self.touch_latency)
+        self.inner.touch(element)
+
+    def delete(self, element_id: int, reason: str = "delete"):
+        self._charge("delete", self.write_latency)
+        return self.inner.delete(element_id, reason=reason)
+
+    def stats(self) -> dict:
+        return {
+            **self.inner.stats(),
+            "remote": {
+                "write_latency": self.write_latency,
+                "read_latency": self.read_latency,
+                "remote_ops": self.remote_ops,
+                "simulated_seconds": dict(self.simulated_seconds),
+                "total_simulated_seconds": self.total_simulated_seconds,
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedRemoteStore(write={self.write_latency}, "
+            f"read={self.read_latency}, ops={self.remote_ops})"
+        )

@@ -359,9 +359,9 @@ def test_heap_eviction_matches_scan_order(policy):
     victims = []
     original_remove = cache.remove
 
-    def tracking_remove(element_id):
+    def tracking_remove(element_id, reason="delete"):
         victims.append(element_id)
-        return original_remove(element_id)
+        return original_remove(element_id, reason=reason)
 
     cache.remove = tracking_remove
     cache._enforce_capacity(now)
@@ -385,9 +385,9 @@ def test_heap_eviction_survives_policy_swap_and_restore():
     victims = []
     original_remove = cache.remove
 
-    def tracking_remove(element_id):
+    def tracking_remove(element_id, reason="delete"):
         victims.append(element_id)
-        return original_remove(element_id)
+        return original_remove(element_id, reason=reason)
 
     cache.remove = tracking_remove
     cache._enforce_capacity(now)

@@ -1,9 +1,15 @@
 """Tests for cache snapshot/restore."""
 
+import json
+import math
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.ann import FlatIndex
 from repro.core import AsteriaCache, CacheSnapshot, Query, Sine
+from repro.core.persistence import SNAPSHOT_VERSION, SnapshotVersionError
 from repro.core.types import FetchResult
 from repro.embedding import HashingEmbedder
 from repro.judger import SimulatedJudger
@@ -50,9 +56,18 @@ class TestSnapshotRoundtrip:
 
     def test_unknown_version_rejected(self):
         snapshot = CacheSnapshot.of(populate(make_cache()))
-        payload = snapshot.to_json().replace('"version": 1', '"version": 99')
-        with pytest.raises(ValueError):
+        payload = snapshot.to_json().replace(
+            f'"version": {SNAPSHOT_VERSION}', '"version": 99'
+        )
+        assert '"version": 99' in payload
+        with pytest.raises(SnapshotVersionError) as excinfo:
             CacheSnapshot.from_json(payload)
+        # The error names the bad version and the supported range instead of
+        # surfacing a raw KeyError from a missing field.
+        message = str(excinfo.value)
+        assert "99" in message
+        assert str(SNAPSHOT_VERSION) in message
+        assert "version" in message
 
     def test_infinite_ttl_encoded_as_null(self):
         cache = make_cache(ttl=None)
@@ -122,6 +137,137 @@ class TestRestore:
         small = make_cache(capacity=3)
         snapshot.restore_into(small, now=snapshot.taken_at)
         assert len(small) <= 3
+
+
+#: One randomized element: unicode key text, staticity, optional finite TTL
+#: (None = never expires), and extra recorded hits.
+element_entries = st.lists(
+    st.tuples(
+        st.text(
+            alphabet=st.characters(blacklist_categories=("Cs",)),
+            min_size=1,
+            max_size=24,
+        ),
+        st.integers(min_value=1, max_value=10),
+        st.one_of(
+            st.none(),
+            st.floats(min_value=1.0, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        st.integers(min_value=0, max_value=5),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+def _randomized_cache(entries):
+    cache = make_cache(ttl=None)
+    for index, (text, staticity, ttl, hits) in enumerate(entries):
+        element = cache.insert(
+            Query(f"{text} entry {index}", fact_id=f"F{index}",
+                  staticity=staticity),
+            fetch(result=f"answer {text}"),
+            now=float(index),
+        )
+        element.expires_at = (
+            math.inf if ttl is None else element.created_at + ttl
+        )
+        for hit in range(hits):
+            element.record_hit(float(index) + hit + 1.0)
+    return cache
+
+
+class TestSnapshotProperties:
+    """Property-based strict-JSON round-trip over randomized caches."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(entries=element_entries)
+    def test_roundtrip_is_lossless_and_strict_json(self, entries):
+        cache = _randomized_cache(entries)
+        snapshot = CacheSnapshot.of(cache)
+        payload = snapshot.to_json()
+        # Strict JSON: no NaN/Infinity tokens anywhere in the payload.
+        json.loads(
+            payload,
+            parse_constant=lambda token: pytest.fail(
+                f"non-strict JSON token {token!r} in snapshot"
+            ),
+        )
+        parsed = CacheSnapshot.from_json(payload)
+        assert parsed.records == snapshot.records
+        assert parsed.next_id == snapshot.next_id
+        assert parsed.stats == snapshot.stats
+        fresh = make_cache(ttl=None)
+        restored = parsed.restore_into(
+            fresh, now=parsed.taken_at, drop_expired=False
+        )
+        assert restored == len(cache)
+        for element_id, element in cache.elements.items():
+            twin = fresh.elements[element_id]
+            assert twin.key == element.key
+            assert twin.value == element.value
+            assert twin.staticity == element.staticity
+            assert twin.frequency == element.frequency
+            assert twin.expires_at == element.expires_at
+        assert fresh._next_id == cache._next_id
+
+    @settings(max_examples=10, deadline=None)
+    @given(entries=element_entries)
+    def test_infinite_expiry_survives_encode_decode(self, entries):
+        cache = _randomized_cache(entries)
+        payload = CacheSnapshot.of(cache).to_json()
+        fresh = make_cache(ttl=None)
+        CacheSnapshot.from_json(payload).restore_into(
+            fresh, now=None, drop_expired=False
+        )
+        immortal = {
+            element_id
+            for element_id, element in cache.elements.items()
+            if math.isinf(element.expires_at)
+        }
+        for element_id in immortal:
+            assert math.isinf(fresh.elements[element_id].expires_at)
+
+    def test_nan_staticity_rejected_not_emitted(self):
+        cache = populate(make_cache(), n=1)
+        element = next(iter(cache.elements.values()))
+        element.staticity = float("nan")
+        with pytest.raises(ValueError):
+            CacheSnapshot.of(cache).to_json()
+
+
+class TestV1Migration:
+    def _v1_payload(self):
+        source = populate(make_cache())
+        records = []
+        for record in CacheSnapshot.of(source).records:
+            record = dict(record)
+            del record["element_id"]  # v1 records carried no identity
+            records.append(record)
+        return source, json.dumps(
+            {"version": 1, "taken_at": 40.0, "records": records}
+        )
+
+    def test_v1_payload_gets_sequential_ids(self):
+        source, payload = self._v1_payload()
+        migrated = CacheSnapshot.from_json(payload)
+        assert [record["element_id"] for record in migrated.records] == [
+            1, 2, 3, 4, 5,
+        ]
+        assert migrated.next_id == 6
+        assert migrated.version == SNAPSHOT_VERSION
+        fresh = make_cache()
+        assert migrated.restore_into(fresh, now=40.0) == len(source)
+        assert fresh._next_id == 6
+
+    def test_v1_payload_without_stats_restores(self):
+        _, payload = self._v1_payload()
+        migrated = CacheSnapshot.from_json(payload)
+        assert migrated.stats is None
+        fresh = make_cache()
+        migrated.restore_into(fresh, now=40.0, restore_stats=True)
+        assert fresh.stats.inserts == 0  # nothing to restore, nothing broken
 
 
 class TestStaticityTTL:

@@ -84,3 +84,63 @@ def test_single_worker_proc_engine_replays_sync_engine_exactly():
     assert sync_engine.metrics.hits > 0
     assert sync_engine.metrics.misses > 0
     assert sync_stats.evictions > 0
+
+
+def test_warm_restarted_proc_engine_replays_sync_engine_exactly(tmp_path):
+    """Durability acceptance: a proc engine stopped gracefully mid-trace and
+    rebuilt from its snapshot+journal must continue making the decisions the
+    never-restarted sync engine makes — same payloads, same latencies, same
+    cumulative cache stats.
+
+    The same remote object serves both proc halves so its latency rng stays
+    on the sync engine's timeline; everything cache-side must come back from
+    disk.
+    """
+    queries = _trace()
+    split = N_QUERIES // 2
+    sync_engine, sync_responses = _run_sync(queries)
+
+    remote = build_remote(seed=SEED)
+
+    async def drive(engine, chunk, offset):
+        async with engine:
+            return [
+                await engine.serve(query, now=(offset + i) * TIME_STEP)
+                for i, query in enumerate(chunk)
+            ]
+
+    first = build_proc_engine(
+        remote, config=CONFIG, seed=SEED, workers=1, persist_dir=tmp_path
+    )
+    outcomes = asyncio.run(drive(first, queries[:split], 0))
+    first_hits = first.metrics.hits
+    # Graceful shutdown checkpointed the worker's shard store; the restart
+    # below restores from that snapshot on the original timeline.
+    second = build_proc_engine(
+        remote, config=CONFIG, seed=SEED, workers=1, persist_dir=tmp_path
+    )
+    outcomes += asyncio.run(drive(second, queries[split:], split))
+
+    assert len(outcomes) == N_QUERIES
+    for sync_response, outcome in zip(sync_responses, outcomes):
+        assert outcome.ok
+        assert outcome.response.result == sync_response.result
+        assert outcome.response.latency == sync_response.latency
+
+    # Router metrics reset at restart; the halves must sum to the sync run.
+    assert first_hits + second.metrics.hits == sync_engine.metrics.hits
+
+    # Cache stats are cumulative across the restart (restored with the
+    # snapshot), so the final counters match the uninterrupted run.
+    sync_stats = sync_engine.cache.stats
+    warm_stats = second.cache.stats
+    assert warm_stats.inserts == sync_stats.inserts
+    assert warm_stats.evictions == sync_stats.evictions
+    assert warm_stats.expirations == sync_stats.expirations
+    assert warm_stats.rejected_duplicates == sync_stats.rejected_duplicates
+    assert second.cache.usage() == sync_engine.cache.usage()
+
+    # The restart actually restored state rather than starting cold.
+    assert first_hits > 0
+    assert second.metrics.hits > 0
+    assert sync_stats.evictions > 0

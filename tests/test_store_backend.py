@@ -1,0 +1,252 @@
+"""Tests for the pluggable cache-backend layer (`repro.store.backend`).
+
+Three things matter here: every backend honours the same protocol
+contract; every serving engine constructs its cache *through* a backend;
+and swapping the backend changes zero cache decisions — the file-backed
+store replays the default in-process store decision for decision on a
+pinned trace.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.ann import FlatIndex
+from repro.core import AsteriaCache, Query, Sine
+from repro.core.config import AsteriaConfig
+from repro.core.types import FetchResult
+from repro.embedding import HashingEmbedder
+from repro.factory import (
+    build_asteria_engine,
+    build_async_engine,
+    build_backend,
+    build_concurrent_engine,
+    build_remote,
+)
+from repro.judger import SimulatedJudger
+from repro.store import (
+    CacheBackend,
+    DELETE_REASONS,
+    FileStoreBackend,
+    InProcessBackend,
+    SimulatedRemoteStore,
+    WrappingBackend,
+)
+
+SEED = 3
+N_QUERIES = 180
+POPULATION = 40
+CONFIG = AsteriaConfig(capacity_items=24)
+
+
+def fetch(result="answer"):
+    return FetchResult(
+        result=result, latency=0.4, service_latency=0.4, cost=0.005,
+        size_tokens=16,
+    )
+
+
+def make_cache(backend=None, capacity=None):
+    embedder = HashingEmbedder(seed=7)
+    sine = Sine(embedder, FlatIndex(embedder.dim), SimulatedJudger(seed=3))
+    return AsteriaCache(
+        sine, capacity_items=capacity, default_ttl=3600.0, backend=backend
+    )
+
+
+def backend_cases(tmp_path):
+    return [
+        InProcessBackend(),
+        FileStoreBackend(tmp_path / "filestore"),
+        SimulatedRemoteStore(InProcessBackend()),
+    ]
+
+
+class TestProtocolConformance:
+    def test_backends_satisfy_protocol(self, tmp_path):
+        for backend in backend_cases(tmp_path):
+            assert isinstance(backend, CacheBackend), backend
+
+    def test_basic_lifecycle_through_cache(self, tmp_path):
+        for backend in backend_cases(tmp_path):
+            cache = make_cache(backend=backend)
+            element = cache.insert(
+                Query("who painted the mona lisa", fact_id="F"), fetch(), 0.0
+            )
+            assert cache.backend.get(element.element_id) is element
+            assert element.element_id in cache.elements
+            assert list(cache.backend.scan()) == [element]
+            result = cache.lookup(Query("mona lisa painter", fact_id="F"), 1.0)
+            assert result.match is not None
+            removed = cache.remove(element.element_id)
+            assert removed is element
+            assert len(cache) == 0
+
+    def test_delete_reasons_are_tallied(self, tmp_path):
+        for backend in backend_cases(tmp_path):
+            cache = make_cache(backend=backend, capacity=2)
+            for index in range(3):
+                cache.insert(
+                    Query(f"distinct topic {index} walrus", fact_id=f"F{index}"),
+                    fetch(),
+                    float(index),
+                )
+            cache.invalidate(lambda element: True)
+            stats = cache.backend.stats()
+            reasons = stats["deletes_by_reason"]
+            assert set(reasons) <= set(DELETE_REASONS)
+            assert reasons.get("evict", 0) == 1
+            assert reasons.get("invalidate", 0) == 2
+            assert stats["deletes"] == 3
+
+    def test_arena_slot_released_on_delete(self):
+        engine = build_asteria_engine(build_remote(seed=SEED), seed=SEED)
+        cache = engine.cache
+        assert cache.arena is not None
+        element = cache.insert(Query("topic one", fact_id="F"), fetch(), 0.0)
+        assert element.arena_slot is not None
+        in_use = len(cache.arena)
+        cache.remove(element.element_id)
+        assert element.arena_slot is None
+        assert len(cache.arena) == in_use - 1
+
+    def test_wrapping_backend_unwraps_to_innermost(self):
+        inner = InProcessBackend()
+        wrapped = SimulatedRemoteStore(SimulatedRemoteStore(inner))
+        assert wrapped.unwrap() is inner
+        assert isinstance(wrapped, WrappingBackend)
+
+    def test_wrap_backend_mid_life_keeps_contents(self):
+        cache = make_cache()
+        cache.insert(Query("topic one", fact_id="F"), fetch(), 0.0)
+        remote = cache.wrap_backend(lambda inner: SimulatedRemoteStore(inner))
+        assert cache.backend is remote
+        assert len(cache) == 1
+        cache.insert(Query("topic two", fact_id="G"), fetch(), 1.0)
+        assert remote.remote_ops > 0
+
+    def test_backend_and_arena_are_exclusive(self):
+        from repro.core.arena import EmbeddingArena
+
+        embedder = HashingEmbedder(seed=7)
+        sine = Sine(embedder, FlatIndex(embedder.dim), SimulatedJudger(seed=3))
+        with pytest.raises(ValueError):
+            AsteriaCache(
+                sine,
+                arena=EmbeddingArena(embedder.dim),
+                backend=InProcessBackend(),
+            )
+
+    def test_build_backend_resolver(self, tmp_path):
+        assert build_backend(None) is None
+        assert build_backend("inprocess") is None
+        store = build_backend("filestore", backend_dir=tmp_path / "fs")
+        assert isinstance(store, FileStoreBackend)
+        with pytest.raises(ValueError):
+            build_backend("filestore")
+        with pytest.raises(ValueError):
+            build_backend("riak")
+        custom = build_backend(lambda arena: InProcessBackend(arena=arena))
+        assert isinstance(custom, InProcessBackend)
+
+
+class TestEngineConstruction:
+    """All four engines build their caches through a CacheBackend."""
+
+    def test_sync_engine(self):
+        engine = build_asteria_engine(build_remote(seed=SEED), seed=SEED)
+        assert isinstance(engine.cache.backend, CacheBackend)
+
+    def test_thread_engine(self):
+        engine = build_concurrent_engine(
+            build_remote(seed=SEED), seed=SEED, shards=2, workers=2
+        )
+        with engine:
+            for shard in engine.cache.shards:
+                assert isinstance(shard.backend, CacheBackend)
+
+    def test_async_engine(self):
+        engine = build_async_engine(build_remote(seed=SEED), seed=SEED, shards=2)
+        for shard in engine.cache.shards:
+            assert isinstance(shard.backend, CacheBackend)
+
+    def test_proc_shard_server(self):
+        # The worker side of the proc tier, exercised in-process: the shard
+        # cache a spawned worker builds goes through the same factory path.
+        from repro.serving.proc.worker import WorkerSpec, _ShardServer
+
+        server = _ShardServer(WorkerSpec(shard_id=0, n_shards=1, seed=SEED))
+        assert isinstance(server.cache.backend, CacheBackend)
+
+
+def _trace():
+    rng = np.random.default_rng(SEED)
+    ranks = np.minimum(rng.zipf(1.2, size=N_QUERIES), POPULATION)
+    return [
+        Query(f"pinned fact number {rank} of the corpus", fact_id=f"F{rank}")
+        for rank in ranks
+    ]
+
+
+def _run(backend=None, backend_dir=None):
+    engine = build_asteria_engine(
+        build_remote(seed=SEED),
+        config=CONFIG,
+        seed=SEED,
+        backend=backend,
+        backend_dir=backend_dir,
+    )
+    responses = [
+        engine.handle(query, now=i * 0.01) for i, query in enumerate(_trace())
+    ]
+    return engine, responses
+
+
+class TestDecisionEquivalence:
+    def test_filestore_replays_inprocess_decisions_exactly(self, tmp_path):
+        """Swapping the element store must change zero cache decisions."""
+        base_engine, base_responses = _run()
+        file_engine, file_responses = _run(
+            backend="filestore", backend_dir=tmp_path / "store"
+        )
+        for base, mirrored in zip(base_responses, file_responses):
+            assert mirrored.result == base.result
+            assert mirrored.latency == base.latency
+            assert (mirrored.fetch is None) == (base.fetch is None)
+        assert file_engine.metrics.summary() == base_engine.metrics.summary()
+        base_stats, file_stats = base_engine.cache.stats, file_engine.cache.stats
+        assert file_stats.inserts == base_stats.inserts
+        assert file_stats.evictions == base_stats.evictions
+        assert file_stats.expirations == base_stats.expirations
+        assert base_stats.evictions > 0  # the trace forced the policy to act
+        assert sorted(file_engine.cache.elements) == sorted(
+            base_engine.cache.elements
+        )
+        # And the mirror really is on disk: one file per live element.
+        backend = file_engine.cache.backend.unwrap() if hasattr(
+            file_engine.cache.backend, "unwrap"
+        ) else file_engine.cache.backend
+        assert isinstance(backend, FileStoreBackend)
+        stored = backend.stored_records()
+        assert len(stored) == len(file_engine.cache)
+
+    def test_async_engine_runs_over_filestore(self, tmp_path):
+        engine = build_async_engine(
+            build_remote(seed=SEED),
+            seed=SEED,
+            shards=1,
+            backend="filestore",
+            backend_dir=tmp_path / "aio",
+        )
+
+        async def drive():
+            queries = _trace()[:40]
+            return [
+                await engine.serve(query, now=i * 0.01)
+                for i, query in enumerate(queries)
+            ]
+
+        outcomes = asyncio.run(drive())
+        assert all(outcome.ok for outcome in outcomes)
+        assert engine.metrics.hits > 0

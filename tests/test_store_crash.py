@@ -1,0 +1,152 @@
+"""Crash recovery: kill -9 a process mid-journal, restart, lose nothing
+that was fsynced.
+
+The victim runs in a real subprocess so the kill exercises the actual
+durability boundary: Python's user-space file buffer dies with the
+process, the fsynced prefix of the journal does not. With
+``fsync_every=N`` the recovered cache must hold exactly the entries
+admitted up to the last completed fsync batch — deterministically, since
+the workload has no evictions.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: The victim: attach a PersistentStore, admit entries one per line of
+#: stdout (so the parent can kill at a precise point), never exit cleanly.
+VICTIM = """
+import sys
+from repro.core.config import AsteriaConfig
+from repro.core.types import FetchResult
+from repro.core import Query
+from repro.factory import build_semantic_cache
+
+persist_dir, fsync_every, n = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+cache = build_semantic_cache(
+    AsteriaConfig(capacity_items=None),
+    seed=9,
+    persist_dir=persist_dir,
+    fsync_every=fsync_every,
+)
+for index in range(n):
+    cache.insert(
+        Query(f"crash fact {index} ocelot", fact_id=f"F{index}", staticity=8),
+        FetchResult(result=f"answer-{index}", latency=0.4, service_latency=0.4,
+                    cost=0.005, size_tokens=16),
+        now=float(index),
+    )
+    print(f"admitted {index}", flush=True)
+print("DONE", flush=True)
+import time
+time.sleep(60)  # hold the dirty buffer; the parent kills us here
+"""
+
+
+def run_victim(persist_dir, fsync_every, n, kill_after):
+    """Start the victim, SIGKILL it after ``kill_after`` admissions."""
+    process = subprocess.Popen(
+        [sys.executable, "-c", VICTIM, str(persist_dir), str(fsync_every), str(n)],
+        stdout=subprocess.PIPE,
+        text=True,
+        env={**os.environ, "PYTHONPATH": REPO_SRC},
+    )
+    admitted = 0
+    try:
+        for line in process.stdout:
+            if line.startswith("admitted"):
+                admitted += 1
+                if admitted >= kill_after:
+                    break
+            if line.startswith("DONE"):
+                break
+        process.kill()  # SIGKILL: no atexit, no flush, no checkpoint
+        process.wait(timeout=10)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    return admitted
+
+
+def recover(persist_dir):
+    from repro.core.config import AsteriaConfig
+    from repro.factory import build_semantic_cache
+
+    cache = build_semantic_cache(
+        AsteriaConfig(capacity_items=None), seed=9, persist_dir=persist_dir
+    )
+    return cache, cache.restore_report
+
+
+class TestCrashRecovery:
+    def test_sigkill_loses_at_most_the_unfsynced_batch(self, tmp_path):
+        fsync_every, total = 4, 10
+        admitted = run_victim(tmp_path, fsync_every, total, kill_after=total)
+        assert admitted == total
+        cache, report = recover(tmp_path)
+        # All 10 were admitted; the process died holding 10 % 4 = 2 records
+        # in its user-space buffer. The two completed fsync batches (8
+        # records) are the durability promise — and the OS may have the
+        # tail too if the buffer happened to flush.
+        durable_floor = (total // fsync_every) * fsync_every
+        assert len(cache) >= durable_floor
+        assert report.journal_admits == len(cache)
+        recovered_ids = sorted(
+            int(element.truth_key[1:]) for element in cache.elements.values()
+        )
+        # Recovery is a strict prefix of the admission order: no holes.
+        assert recovered_ids == list(range(len(recovered_ids)))
+        cache.persistent_store.close()
+
+    def test_fsync_every_record_loses_nothing(self, tmp_path):
+        total = 7
+        run_victim(tmp_path, 1, total, kill_after=total)
+        cache, report = recover(tmp_path)
+        assert len(cache) == total
+        assert not report.cold
+        cache.persistent_store.close()
+
+    def test_recovered_beats_snapshot_only_baseline(self, tmp_path):
+        """The journal must add entries over what the snapshot alone holds
+        (the CI persistence-smoke invariant)."""
+        from repro.core.persistence import CacheSnapshot
+        from repro.store.persist import SNAPSHOT_FILE
+
+        run_victim(tmp_path, 1, 9, kill_after=9)
+        snapshot_path = tmp_path / SNAPSHOT_FILE
+        snapshot_records = len(CacheSnapshot.load(snapshot_path))
+        cache, report = recover(tmp_path)
+        # attach() checkpointed an *empty* snapshot before the victim's
+        # inserts began, so every recovered entry came from the journal.
+        assert snapshot_records == 0
+        assert len(cache) == 9 > snapshot_records
+        assert report.journal_admits == 9
+        cache.persistent_store.close()
+
+    def test_restart_after_crash_checkpoints_cleanly(self, tmp_path):
+        """Recovery itself must leave a compacted, journal-from-scratch
+        state: a second restart restores from the fresh snapshot."""
+        run_victim(tmp_path, 1, 6, kill_after=6)
+        first, report_one = recover(tmp_path)
+        assert report_one.journal_admits == 6
+        first.persistent_store.close()
+        second, report_two = recover(tmp_path)
+        assert report_two.snapshot_restored == 6
+        assert report_two.journal_records == 0
+        assert len(second) == 6
+        second.persistent_store.close()
+
+    def test_torn_tail_after_kill_is_dropped(self, tmp_path):
+        """Simulate the kill-mid-write case directly: a torn final line in
+        the journal is discarded, everything before it replays."""
+        run_victim(tmp_path, 1, 5, kill_after=5)
+        journal = tmp_path / "journal.jsonl"
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 999, "op": "admit", "id": 99, "rec')
+        cache, report = recover(tmp_path)
+        assert report.journal_truncated_tail
+        assert len(cache) == 5
+        cache.persistent_store.close()

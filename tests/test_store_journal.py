@@ -1,0 +1,209 @@
+"""Tests for the JSONL write-ahead journal (`repro.store.journal`)."""
+
+import json
+
+import pytest
+
+from repro.ann import FlatIndex
+from repro.core import AsteriaCache, CacheSnapshot, Query, Sine
+from repro.core.types import FetchResult
+from repro.embedding import HashingEmbedder
+from repro.judger import SimulatedJudger
+from repro.store import (
+    JournaledBackend,
+    JournalWriter,
+    read_journal,
+    replay_journal,
+)
+
+
+def fetch(result="answer"):
+    return FetchResult(
+        result=result, latency=0.4, service_latency=0.4, cost=0.005,
+        size_tokens=16,
+    )
+
+
+def make_cache(capacity=None):
+    embedder = HashingEmbedder(seed=7)
+    sine = Sine(embedder, FlatIndex(embedder.dim), SimulatedJudger(seed=3))
+    return AsteriaCache(sine, capacity_items=capacity, default_ttl=3600.0)
+
+
+def journaled_cache(path, capacity=None, fsync_every=8, log_touches=True):
+    cache = make_cache(capacity=capacity)
+    writer = JournalWriter(path, fsync_every=fsync_every)
+    cache.wrap_backend(
+        lambda inner: JournaledBackend(inner, writer, log_touches=log_touches)
+    )
+    return cache, writer
+
+
+def run_workload(cache, n=12, hits=True):
+    """Inserts (forcing evictions under a small capacity) plus a few hits."""
+    for index in range(n):
+        cache.insert(
+            Query(f"distinct topic {index} pelican", fact_id=f"F{index}",
+                  staticity=8),
+            fetch(result=f"answer-{index}"),
+            now=float(index),
+        )
+        if hits and index >= 2:
+            cache.lookup(
+                Query(f"distinct topic {index - 1} pelican",
+                      fact_id=f"F{index - 1}"),
+                float(index) + 0.5,
+            )
+
+
+class TestJournalWriter:
+    def test_records_are_sequenced(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        cache, writer = journaled_cache(path)
+        run_workload(cache, n=4, hits=False)
+        writer.flush()
+        records, truncated = read_journal(path)
+        assert not truncated
+        assert [record["seq"] for record in records] == list(
+            range(1, len(records) + 1)
+        )
+        assert all(record["op"] == "admit" for record in records)
+
+    def test_fsync_batching_counts(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        cache, writer = journaled_cache(path, fsync_every=4, log_touches=False)
+        run_workload(cache, n=10, hits=False)
+        # 10 admits at fsync_every=4 -> exactly two batch-triggered fsyncs,
+        # with 2 records pending in the user-space buffer.
+        assert writer.appended == 10
+        assert writer.fsyncs == 2
+        assert writer.durable_seq == 8
+        writer.flush()
+        assert writer.fsyncs == 3
+        assert writer.durable_seq == 10
+
+    def test_sequence_resumes_after_reopen(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        writer = JournalWriter(path, fsync_every=1)
+        writer.append({"op": "touch", "id": 1, "f": 2, "a": 3.0})
+        writer.append({"op": "touch", "id": 1, "f": 3, "a": 4.0})
+        writer.close()
+        resumed = JournalWriter(path, fsync_every=1)
+        assert resumed.append({"op": "touch", "id": 1, "f": 4, "a": 5.0}) == 3
+        resumed.close()
+        records, _ = read_journal(path)
+        assert [record["seq"] for record in records] == [1, 2, 3]
+
+    def test_truncate_resets_log_and_sequence(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        writer = JournalWriter(path, fsync_every=1)
+        writer.append({"op": "touch", "id": 1, "f": 2, "a": 3.0})
+        writer.truncate()
+        assert writer.seq == 0
+        assert read_journal(path) == ([], False)
+        assert writer.append({"op": "touch", "id": 1, "f": 2, "a": 3.0}) == 1
+        writer.close()
+
+    def test_fsync_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            JournalWriter(tmp_path / "wal.jsonl", fsync_every=0)
+
+
+class TestReadJournal:
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        cache, writer = journaled_cache(path, fsync_every=1)
+        run_workload(cache, n=3, hits=False)
+        writer.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 99, "op": "adm')  # the kill -9 tear
+        records, truncated = read_journal(path)
+        assert truncated
+        assert len(records) == 3
+
+    def test_torn_middle_line_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(
+            '{"seq": 1, "op": "touch", "id": 1, "f": 1, "a": 1.0}\n'
+            '{"seq": 2, "op": "tou\n'
+            '{"seq": 3, "op": "touch", "id": 1, "f": 2, "a": 2.0}\n'
+        )
+        with pytest.raises(ValueError):
+            read_journal(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_journal(tmp_path / "absent.jsonl") == ([], False)
+
+
+class TestReplay:
+    def _journal_for(self, tmp_path, n=12, capacity=6):
+        path = tmp_path / "wal.jsonl"
+        live, writer = journaled_cache(path, capacity=capacity)
+        run_workload(live, n=n)
+        writer.close()
+        records, truncated = read_journal(path)
+        assert not truncated
+        return live, records
+
+    def test_replay_reproduces_membership_and_state(self, tmp_path):
+        live, records = self._journal_for(tmp_path)
+        recovered = make_cache(capacity=6)
+        report = replay_journal(recovered, records)
+        assert report["admits"] > 0 and report["evicts"] > 0
+        assert sorted(recovered.elements) == sorted(live.elements)
+        for element_id, element in live.elements.items():
+            twin = recovered.elements[element_id]
+            assert twin.key == element.key
+            assert twin.value == element.value
+            assert twin.frequency == element.frequency
+            assert twin.last_accessed_at == element.last_accessed_at
+            assert twin.expires_at == element.expires_at
+
+    def test_replay_twice_is_byte_identical_to_once(self, tmp_path):
+        """The idempotence satellite: the same WAL applied twice must leave
+        the cache byte-for-byte identical to a single application."""
+        _, records = self._journal_for(tmp_path)
+        once = make_cache(capacity=6)
+        replay_journal(once, records)
+        twice = make_cache(capacity=6)
+        first = replay_journal(twice, records)
+        second = replay_journal(twice, records)
+        assert first["applied"] == len(records)
+        assert second["applied"] == 0
+        assert second["skipped"] == len(records)
+        snap_once = CacheSnapshot.of(once, now=100.0).to_json()
+        snap_twice = CacheSnapshot.of(twice, now=100.0).to_json()
+        assert snap_twice == snap_once
+
+    def test_replay_does_not_enforce_capacity(self, tmp_path):
+        """Membership comes from the journal's own evict records, not from
+        re-running the policy — a replay into a smaller-capacity config must
+        not silently drop entries the log says were present."""
+        _, records = self._journal_for(tmp_path, capacity=6)
+        admits_only = [record for record in records if record["op"] == "admit"]
+        unbounded = make_cache(capacity=2)
+        replay_journal(unbounded, admits_only)
+        assert len(unbounded) == len(admits_only)
+
+    def test_touch_replay_sets_absolute_state(self, tmp_path):
+        cache = make_cache()
+        element = cache.insert(Query("topic one", fact_id="F"), fetch(), 0.0)
+        records = [
+            {"seq": 1, "op": "touch", "id": element.element_id, "f": 7, "a": 42.0}
+        ]
+        replay_journal(cache, records)
+        assert element.frequency == 7
+        assert element.last_accessed_at == 42.0
+
+    def test_journal_lines_are_strict_json(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        cache, writer = journaled_cache(path, fsync_every=1)
+        run_workload(cache, n=5)
+        writer.close()
+        for line in path.read_text().splitlines():
+            json.loads(
+                line,
+                parse_constant=lambda token: pytest.fail(
+                    f"non-strict JSON token {token!r} in journal"
+                ),
+            )
