@@ -52,7 +52,7 @@ REQUIRED_KEYS = {
         "proc",
     ),
     "BENCH_async.json": ("config", "results", "headline"),
-    "BENCH_chaos.json": ("config", "results", "headline"),
+    "BENCH_chaos.json": ("config", "results", "proc_worker_kill", "headline"),
     "BENCH_obs.json": ("config", "results", "headline"),
     "BENCH_store.json": ("config", "results", "headline"),
 }
@@ -70,6 +70,8 @@ MAX_SAMPLED_OVERHEAD_PCT = 1.0
 #: of the ``proc`` section is checked everywhere.
 MIN_PROC_SPEEDUP_4W = 3.0
 MIN_CORES_FOR_PROC_GATE = 4
+#: A supervised worker SIGKILL may cost at most this slice of the run.
+MIN_KILL_SERVED_FRACTION = 0.9
 
 
 def _dig(data, *keys):
@@ -210,12 +212,62 @@ def gate_store(data) -> list[str]:
     return errors
 
 
+def gate_chaos(data) -> list[str]:
+    """Value gates on the ``proc_worker_kill`` self-healing section."""
+    errors = []
+    supervised = _dig(data, "proc_worker_kill", "supervised")
+    served = _dig(supervised, "served_fraction") if supervised else None
+    if not isinstance(served, (int, float)) or served < MIN_KILL_SERVED_FRACTION:
+        errors.append(
+            f"proc_worker_kill.supervised.served_fraction is {served!r}; a "
+            f"supervised worker kill must keep >= {MIN_KILL_SERVED_FRACTION} "
+            f"of requests served"
+        )
+    kills = _dig(supervised, "worker_kills") if supervised else None
+    if not isinstance(kills, int) or kills < 1:
+        errors.append(
+            f"proc_worker_kill.supervised.worker_kills is {kills!r}; the "
+            f"chaos run must actually kill a worker"
+        )
+    restarts = _dig(supervised, "worker_restarts") if supervised else None
+    if not isinstance(restarts, int) or restarts < 1:
+        errors.append(
+            f"proc_worker_kill.supervised.worker_restarts is {restarts!r}; "
+            f"the supervisor must respawn the killed worker"
+        )
+    if _dig(data, "headline", "worker_error_escaped") is not False:
+        errors.append(
+            "headline.worker_error_escaped is not false; a WorkerError "
+            "escaped serve() during the supervised kill"
+        )
+    if _dig(data, "proc_worker_kill", "unsupervised", "engine_failed") is not True:
+        errors.append(
+            "proc_worker_kill.unsupervised.engine_failed is not true; "
+            "the unsupervised arm no longer demonstrates the failure the "
+            "supervisor exists to absorb"
+        )
+    warm = _dig(data, "proc_worker_kill", "warm_recovery", "warm_hits")
+    cold = _dig(data, "proc_worker_kill", "warm_recovery", "cold_hits")
+    if not isinstance(warm, int) or warm <= 0:
+        errors.append(
+            f"proc_worker_kill.warm_recovery.warm_hits is {warm!r}; a "
+            f"persisted shard must come back answering hits"
+        )
+    elif isinstance(cold, int) and warm <= cold:
+        errors.append(
+            f"warm recovery hits {warm} <= cold {cold}; the journal restore "
+            f"must lift hit rate over a cold respawn"
+        )
+    return errors
+
+
 #: Per-file value gates, run after the schema checks pass.
 VALUE_GATES = {
     "BENCH_micro.json": gate_micro,
     "BENCH_obs.json": gate_obs,
     "BENCH_concurrency.json": gate_concurrency,
     "BENCH_store.json": gate_store,
+    "BENCH_chaos.json": gate_chaos,
 }
 
 

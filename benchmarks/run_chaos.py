@@ -11,6 +11,15 @@ degradation path buys: the headline compares served fractions and p99
 wall latency across the two modes, and asserts that no fault ever escaped
 ``handle()`` / ``serve()`` as an unhandled exception.
 
+The ``proc_worker_kill`` section measures the *process*-failure mode: a
+seeded SIGKILL lands on a shard worker mid-run. Supervised (the default),
+the kill costs at most a degraded window — stale hits and direct remote
+fetches until the respawn — and served fraction stays ≥ 0.9. Unsupervised
+with fault domains off (the pre-supervision behaviour), the same kill
+fails the whole engine. A third arm SIGKILLs a ``--persist``-backed worker
+and counts the hits its journal-restored successor still answers, against
+a cold respawn of the same workload.
+
 Usage::
 
     python benchmarks/run_chaos.py [--quick]
@@ -160,6 +169,137 @@ def run_async(queries, stale_serve: bool) -> dict:
     return row
 
 
+def run_proc_worker_kill(n_queries: int) -> dict:
+    """SIGKILL a shard worker mid-run, with and without supervision."""
+    import os
+    import signal
+    import tempfile
+
+    from repro.factory import build_proc_engine
+    from repro.serving.aio import run_open_loop
+    from repro.serving.proc import ProcFaultInjector
+
+    n = max(60, n_queries // 4)
+    queries = workload(n)
+    kill_at = max(1, n // 3)
+    rate = 200.0
+    knobs = dict(
+        seed=SEED,
+        workers=2,
+        io_pause_scale=IO_SCALE,
+        supervisor_ping_interval=0.1,
+        supervisor_ping_timeout=1.0,
+        supervisor_backoff_base=0.02,
+        supervisor_backoff_max=0.1,
+        shard_open_seconds=0.25,
+    )
+
+    # -- supervised: the kill costs at most a degraded window -----------------
+    faults = ProcFaultInjector(kill_shard=0, kill_at=kill_at, seed=SEED)
+    engine = build_proc_engine(build_remote(seed=SEED), proc_faults=faults, **knobs)
+    escaped = False
+
+    async def drive_supervised():
+        async with engine:
+            report = await run_open_loop(
+                engine, queries, rate=rate, time_step=TIME_STEP
+            )
+            # Quick runs finish before the ~1-2 s respawn does; let it land
+            # so worker_restarts reflects the recovery.
+            await engine.pool.supervisor.settle(timeout=30.0)
+            return report
+
+    try:
+        report = asyncio.run(drive_supervised())
+    except Exception:  # a WorkerError escaping serve() is the gated bug
+        escaped = True
+        raise
+    supervised = {
+        "requests": report.requests,
+        "served_fraction": report.served_fraction,
+        "worker_kills": faults.kills,
+        "worker_restarts": engine.metrics.worker_restarts,
+        "shard_down_fetches": engine.metrics.shard_down_fetches,
+        "stale_hits": engine.metrics.stale_hits,
+        "failed": engine.metrics.failed_requests,
+        "worker_error_escaped": escaped,
+    }
+
+    # -- unsupervised + no fault domains: the same kill fails the engine ------
+    faults = ProcFaultInjector(kill_shard=0, kill_at=kill_at, seed=SEED)
+    bare = build_proc_engine(
+        build_remote(seed=SEED),
+        proc_faults=faults,
+        supervise=False,
+        fault_domains=False,
+        **knobs,
+    )
+
+    async def drive_unsupervised():
+        try:
+            await run_open_loop(bare, queries, rate=rate, time_step=TIME_STEP)
+            return False
+        except Exception:  # noqa: BLE001 - the expected engine failure
+            return True
+        finally:
+            try:
+                await asyncio.wait_for(bare.aclose(), timeout=15.0)
+            except Exception:  # noqa: BLE001 - half the pool is dead
+                pass
+
+    engine_failed = asyncio.run(drive_unsupervised())
+    bare.pool.close()  # reap anything aclose could not reach
+
+    # -- warm recovery: a persisted shard's successor answers from the journal
+    def recovery_arm(persist_dir):
+        arm_engine = build_proc_engine(
+            build_remote(seed=SEED),
+            seed=SEED,
+            workers=1,
+            io_pause_scale=IO_SCALE,
+            persist_dir=persist_dir,
+            fsync_every=1,
+            supervisor_ping_interval=0.05,
+            supervisor_ping_timeout=1.0,
+            supervisor_backoff_base=0.01,
+            supervisor_backoff_max=0.05,
+            shard_open_seconds=0.1,
+        )
+        prime = [
+            Query(f"stress fact number {i} of the universe", fact_id=f"F{i}")
+            for i in range(24)
+        ]
+
+        async def drive():
+            async with arm_engine:
+                for i, query in enumerate(prime):
+                    await arm_engine.serve(query, now=i * TIME_STEP)
+                primed_hits = arm_engine.metrics.hits
+                os.kill(arm_engine.pool.processes[0].pid, signal.SIGKILL)
+                for _ in range(600):
+                    if arm_engine.metrics.worker_restarts >= 1:
+                        break
+                    await asyncio.sleep(0.05)
+                for i, query in enumerate(prime):
+                    await arm_engine.serve(query, now=1.0 + i * TIME_STEP)
+                return arm_engine.metrics.hits - primed_hits
+
+        return asyncio.run(drive())
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        warm_hits = recovery_arm(str(pathlib.Path(tmpdir) / "chaos_store"))
+    cold_hits = recovery_arm(None)
+
+    return {
+        "n_queries": n,
+        "kill_at": kill_at,
+        "rate": rate,
+        "supervised": supervised,
+        "unsupervised": {"engine_failed": engine_failed},
+        "warm_recovery": {"warm_hits": warm_hits, "cold_hits": cold_hits},
+    }
+
+
 def main(argv: list[str]) -> int:
     n_queries = N_QUERIES // 4 if "--quick" in argv else N_QUERIES
     queries = workload(n_queries)
@@ -176,6 +316,18 @@ def main(argv: list[str]) -> int:
                 f"breaker_opens={row['breaker_opens']} "
                 f"p99_sim={row['p99_sim'] * 1000:.1f}ms"
             )
+
+    proc_kill = run_proc_worker_kill(n_queries)
+    supervised = proc_kill["supervised"]
+    print(
+        f"proc    kill@{proc_kill['kill_at']:<4} "
+        f"served={supervised['served_fraction']:.4f} "
+        f"restarts={supervised['worker_restarts']} "
+        f"shard_down_fetches={supervised['shard_down_fetches']} "
+        f"unsupervised_failed={proc_kill['unsupervised']['engine_failed']} "
+        f"warm_hits={proc_kill['warm_recovery']['warm_hits']} "
+        f"cold_hits={proc_kill['warm_recovery']['cold_hits']}"
+    )
 
     def pick(engine, stale_serve):
         for row in results:
@@ -202,6 +354,14 @@ def main(argv: list[str]) -> int:
         "async_stale_off_p99_sim": pick("async", False)["p99_sim"],
         "async_stale_on_p99_wall": pick("async", True)["p99_wall"],
         "unhandled_exceptions": sum(r["unhandled_exceptions"] for r in results),
+        "proc_kill_supervised_served_fraction": supervised["served_fraction"],
+        "proc_kill_worker_restarts": supervised["worker_restarts"],
+        "proc_kill_unsupervised_engine_failed": proc_kill["unsupervised"][
+            "engine_failed"
+        ],
+        "proc_warm_recovery_hits": proc_kill["warm_recovery"]["warm_hits"],
+        "proc_cold_recovery_hits": proc_kill["warm_recovery"]["cold_hits"],
+        "worker_error_escaped": supervised["worker_error_escaped"],
     }
     data = {
         "config": {
@@ -224,6 +384,7 @@ def main(argv: list[str]) -> int:
             "negative_ttl": 0.3,
         },
         "results": results,
+        "proc_worker_kill": proc_kill,
         "headline": headline,
     }
     OUTPUT.write_text(json.dumps(data, indent=2) + "\n")

@@ -312,6 +312,9 @@ def _obs_setup(arguments, engine, label):
         breaker = _engine_breaker(engine)
         if breaker is not None:
             instrument.wire_breaker(breaker)
+        shard_breakers = getattr(engine, "shard_breakers", None)
+        if shard_breakers:
+            instrument.wire_shard_breakers(shard_breakers)
     if arguments.series_out:
         from repro.obs import SnapshotRecorder
 
@@ -659,6 +662,16 @@ def _stress_proc(arguments) -> int:
 
     queries = _stress_queries(arguments)
     injector, resilience = _chaos_setup(arguments)
+    proc_faults = None
+    if arguments.chaos_workers:
+        from repro.serving.proc import ProcFaultInjector
+
+        kill_at = arguments.kill_at
+        if kill_at is None:
+            kill_at = max(1, len(queries) // 3)
+        proc_faults = ProcFaultInjector(
+            kill_shard=arguments.kill_shard, kill_at=kill_at, seed=arguments.seed
+        )
     engine = build_proc_engine(
         build_remote(seed=arguments.seed, fault_injector=injector),
         seed=arguments.seed,
@@ -673,6 +686,9 @@ def _stress_proc(arguments) -> int:
         resilience=resilience,
         persist_dir=arguments.persist,
         fsync_every=arguments.fsync_every,
+        supervise=not arguments.no_supervise,
+        fault_domains=not arguments.no_fault_domains,
+        proc_faults=proc_faults,
     )
     _persist_banner(arguments, engine)
     obs = _obs_setup(arguments, engine, "proc")
@@ -685,6 +701,11 @@ def _stress_proc(arguments) -> int:
             )
         finally:
             remove()
+            supervisor = engine.pool.supervisor
+            if proc_faults is not None and supervisor is not None:
+                # Let an in-flight respawn land so the chaos summary reports
+                # the recovery, not a snapshot taken mid-respawn.
+                await supervisor.settle()
             await engine.aclose()
 
     try:
@@ -724,6 +745,17 @@ def _stress_proc(arguments) -> int:
                 f"stale_served={report.stale_served} failed={report.failed}"
             )
             _print_degraded(metrics)
+        if proc_faults is not None:
+            chaos = proc_faults.summary()
+            print(
+                f"  chaos: worker_kills={chaos['kills']} "
+                f"worker_restarts={metrics.worker_restarts} "
+                f"shard_down_fetches={metrics.shard_down_fetches} "
+                f"served_fraction={report.served_fraction:.4f}"
+            )
+            print(
+                f"  shard_breakers={[b.state for b in engine.shard_breakers]}"
+            )
         inserts = [client.last_stats[0] for client in engine.pool.clients]
         print(f"  per-shard inserts={inserts} (total={sum(inserts)})")
     finally:
@@ -779,11 +811,13 @@ def _stress_connect(arguments) -> int:
     print(
         f"  served={report['served']} "
         f"served_fraction={report['served_fraction']:.4f} "
-        f"statuses={report['statuses']}"
+        f"statuses={report['statuses']} reconnects={report['reconnects']}"
     )
+    shards = f" shards={health['shards']}" if "shards" in health else ""
     print(
         f"  server: workers={health['workers']} requests={health['requests']} "
-        f"inflight={health['inflight']} usage={health['usage']}"
+        f"inflight={health['inflight']} usage={health['usage']} "
+        f"worker_restarts={health.get('worker_restarts', 0)}{shards}"
     )
     return 0
 
@@ -809,6 +843,8 @@ def _command_serve(arguments) -> int:
         judge_spin=arguments.judge_spin,
         persist_dir=arguments.persist,
         fsync_every=arguments.fsync_every,
+        supervise=not arguments.no_supervise,
+        fault_domains=not arguments.no_fault_domains,
     )
     _persist_banner(arguments, engine)
     server = ProcServer(
@@ -1055,6 +1091,18 @@ def _add_proc_arguments(parser) -> None:
         help="lookups per shard frame before the window flushes early "
         "(default 16)",
     )
+    parser.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="disable the worker supervisor (a dead shard worker stays "
+        "dead; per-shard breakers still degrade its requests)",
+    )
+    parser.add_argument(
+        "--no-fault-domains",
+        action="store_true",
+        help="disable per-shard fault isolation (a worker death becomes an "
+        "engine-level failure, the pre-supervision behaviour)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1166,6 +1214,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable stale serving under --chaos (degraded misses fail "
         "instead of answering from the last-known-good store)",
+    )
+    stress_parser.add_argument(
+        "--chaos-workers",
+        action="store_true",
+        help="proc engine only: SIGKILL a shard worker mid-run and report "
+        "how the supervisor and fault domains absorb it",
+    )
+    stress_parser.add_argument(
+        "--kill-shard",
+        type=int,
+        default=0,
+        help="shard whose worker --chaos-workers kills (default 0)",
+    )
+    stress_parser.add_argument(
+        "--kill-at",
+        type=int,
+        default=None,
+        metavar="N",
+        help="request index at which --chaos-workers fires the kill "
+        "(default: a third of the way through the run)",
     )
     stress_parser.add_argument(
         "--trace-out",

@@ -217,6 +217,12 @@ class EngineMetrics:
     fetch_failures: int = 0
     #: Degraded requests with no stale fallback — served an explicit failure.
     failed_requests: int = 0
+    #: -- proc-tier fault domains ---------------------------------------------
+    #: Shard worker processes respawned by the supervisor after a death.
+    worker_restarts: int = 0
+    #: Requests routed to a dead/recovering shard that bypassed the cache
+    #: with a direct remote fetch (no stale fallback was available).
+    shard_down_fetches: int = 0
     total_latency: LatencyStats = field(default_factory=LatencyStats)
     hit_latency: LatencyStats = field(default_factory=LatencyStats)
     miss_latency: LatencyStats = field(default_factory=LatencyStats)
@@ -290,6 +296,8 @@ class EngineMetrics:
             "background_refreshes",
             "fetch_failures",
             "failed_requests",
+            "worker_restarts",
+            "shard_down_fetches",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.evictions = max(self.evictions, other.evictions)
@@ -342,4 +350,6 @@ class EngineMetrics:
             "background_refreshes": self.background_refreshes,
             "fetch_failures": self.fetch_failures,
             "failed_requests": self.failed_requests,
+            "worker_restarts": self.worker_restarts,
+            "shard_down_fetches": self.shard_down_fetches,
         }

@@ -183,6 +183,21 @@ class CircuitBreaker:
         self._outcomes.clear()
         self.opens += 1
 
+    def reset(self, now: float) -> None:
+        """Force-close with a clean window, skipping half-open probing.
+
+        For out-of-band recovery confirmation: the proc-tier supervisor
+        calls this after a shard worker has respawned and completed its
+        hello handshake — the probe protocol exists to *discover* recovery,
+        and here recovery is already a fact.
+        """
+        if self.state != "closed":
+            self._set_state(now, "closed")
+            self.closes += 1
+        self._outcomes.clear()
+        self._probes_granted = 0
+        self._probe_successes = 0
+
     def __repr__(self) -> str:
         return (
             f"CircuitBreaker(state={self.state!r}, "

@@ -508,6 +508,15 @@ def build_proc_engine(
     fsync_every: int = 8,
     name: str = "asteria-proc",
     launch: bool = True,
+    supervise: bool = True,
+    fault_domains: bool = True,
+    supervisor_ping_interval: float = 0.25,
+    supervisor_ping_timeout: float = 2.0,
+    supervisor_backoff_base: float = 0.05,
+    supervisor_backoff_max: float = 2.0,
+    supervisor_max_restarts: int = 5,
+    shard_open_seconds: float = 0.5,
+    proc_faults=None,
 ) -> ProcAsteriaEngine:
     """The multi-process serving stack: shard worker processes + async router.
 
@@ -520,6 +529,13 @@ def build_proc_engine(
     selects the wire serializer (``pickle`` default, ``msgpack`` when
     installed). With ``launch=False`` the pool is constructed but no process
     is spawned (call ``engine.pool.launch()`` later).
+
+    ``supervise`` arms the :class:`WorkerSupervisor` (heartbeat + respawn
+    with backoff; warm restore when ``persist_dir`` is set);
+    ``fault_domains`` arms the per-shard breakers that keep a dead shard's
+    requests degrading locally (stale hit, else direct remote fetch)
+    instead of failing the engine. ``proc_faults`` accepts a
+    :class:`ProcFaultInjector` for chaos runs.
     """
     config = config if config is not None else AsteriaConfig()
     if config.prefetch_enabled or config.recalibration_enabled:
@@ -573,7 +589,18 @@ def build_proc_engine(
         batch_window=batch_window,
         batch_max=batch_max,
         ann_only=config.ann_only,
+        frame_faults=proc_faults,
     )
+    if supervise:
+        # Before the engine: ProcAsteriaEngine wires its restart/breaker
+        # callbacks onto pool.supervisor in its constructor.
+        pool.enable_supervision(
+            ping_interval=supervisor_ping_interval,
+            ping_timeout=supervisor_ping_timeout,
+            backoff_base=supervisor_backoff_base,
+            backoff_max=supervisor_backoff_max,
+            max_restarts=supervisor_max_restarts,
+        )
     if launch:
         pool.launch()
     return ProcAsteriaEngine(
@@ -586,6 +613,9 @@ def build_proc_engine(
         default_deadline=default_deadline,
         follower_timeout=follower_timeout,
         name=name,
+        fault_domains=fault_domains,
+        shard_open_seconds=shard_open_seconds,
+        proc_faults=proc_faults,
     )
 
 

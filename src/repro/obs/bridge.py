@@ -44,6 +44,8 @@ EVENT_FIELDS = (
     "negative_cache_hits",
     "background_refreshes",
     "fetch_failures",
+    "worker_restarts",
+    "shard_down_fetches",
 )
 
 #: EngineMetrics fields mirrored into ``repro_outcomes_total{outcome=...}``.
@@ -181,6 +183,51 @@ class EngineInstrument:
             )
 
         breaker.on_transition = _on_transition
+
+    def wire_shard_breakers(self, breakers) -> None:
+        """Per-shard fault-domain breakers (the proc tier's): mirror each
+        shard's state into ``repro_shard_breaker_state{engine,shard}`` and
+        its transitions into
+        ``repro_shard_breaker_transitions_total{engine,shard,from_state,
+        to_state}``, live, via the same listener scheme as
+        :meth:`wire_breaker`."""
+        state_gauge = self.registry.gauge(
+            "repro_shard_breaker_state",
+            "Per-shard fault-domain breaker state "
+            "(0=closed, 1=open, 2=half_open).",
+        )
+        transitions = self.registry.counter(
+            "repro_shard_breaker_transitions_total",
+            "Per-shard fault-domain breaker transitions by edge.",
+        )
+        label = self.engine_label
+        for shard, breaker in enumerate(breakers):
+            shard_label = str(shard)
+            for _, old_state, new_state in breaker.transitions:
+                transitions.inc(
+                    engine=label,
+                    shard=shard_label,
+                    from_state=old_state,
+                    to_state=new_state,
+                )
+            state_gauge.set(
+                breaker_state_value(breaker.state), engine=label, shard=shard_label
+            )
+
+            def _on_transition(
+                now: float, old_state: str, new_state: str, shard_label=shard_label
+            ) -> None:
+                state_gauge.set(
+                    breaker_state_value(new_state), engine=label, shard=shard_label
+                )
+                transitions.inc(
+                    engine=label,
+                    shard=shard_label,
+                    from_state=old_state,
+                    to_state=new_state,
+                )
+
+            breaker.on_transition = _on_transition
 
     def install_probes(
         self,

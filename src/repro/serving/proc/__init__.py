@@ -24,12 +24,15 @@ Layers
     batching and request pipelining).
 ``engine``
     ``ProcAsteriaEngine``: the async front door routing to the pool.
+``supervisor``
+    ``WorkerSupervisor`` (detect dead workers, respawn with backoff and
+    warm restore) + ``ProcFaultInjector`` (chaos: SIGKILL / frame faults).
 ``server`` / ``client``
     TCP request server (``python -m repro serve``) and its socket client.
 """
 
 from repro.serving.proc.engine import ProcAsteriaEngine
-from repro.serving.proc.pool import ShardClient, WorkerPool, WorkerSpec
+from repro.serving.proc.pool import ShardClient, WorkerError, WorkerPool, WorkerSpec
 from repro.serving.proc.protocol import (
     Codec,
     FrameError,
@@ -38,16 +41,20 @@ from repro.serving.proc.protocol import (
 )
 from repro.serving.proc.server import ProcServer
 from repro.serving.proc.client import ProcClient
+from repro.serving.proc.supervisor import ProcFaultInjector, WorkerSupervisor
 
 __all__ = [
     "Codec",
     "FrameError",
     "ProcAsteriaEngine",
     "ProcClient",
+    "ProcFaultInjector",
     "ProcServer",
     "ShardClient",
+    "WorkerError",
     "WorkerPool",
     "WorkerSpec",
+    "WorkerSupervisor",
     "available_codecs",
     "get_codec",
 ]

@@ -21,8 +21,21 @@ class ProcClientError(RuntimeError):
     """The server reported a failure for one request, or the link dropped."""
 
 
+class ProcTransportError(ProcClientError):
+    """The link itself failed (closed writer, reset, or lost mid-flight).
+
+    Distinct from a server-reported op failure: the request never got an
+    answer, so it is safe to retry on a fresh connection."""
+
+
 class ProcClient:
-    """One pipelined connection to a :class:`~repro.serving.proc.server.ProcServer`."""
+    """One pipelined connection to a :class:`~repro.serving.proc.server.ProcServer`.
+
+    A client built via :meth:`connect` remembers its endpoint and retries a
+    call **once** over a fresh connection when the link drops mid-flight
+    (front-door restart, idle-timeout close) — server-reported failures are
+    never retried. ``reconnects`` counts successful re-dials.
+    """
 
     def __init__(
         self,
@@ -36,6 +49,10 @@ class ProcClient:
         self._next_id = 0
         self._pending: dict[int, asyncio.Future] = {}
         self._reader_task = asyncio.ensure_future(self._read_loop())
+        self.reconnects = 0
+        self._remote: "tuple[str, int] | None" = None
+        self._connect_timeout = 10.0
+        self._reconnect_lock = asyncio.Lock()
 
     @classmethod
     async def connect(
@@ -44,17 +61,56 @@ class ProcClient:
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), timeout
         )
-        return cls(reader, writer, codec_name=codec)
+        client = cls(reader, writer, codec_name=codec)
+        client._remote = (host, port)
+        client._connect_timeout = timeout
+        return client
 
     async def call(self, op: str, body=None):
-        if self._writer.is_closing():
-            raise ProcClientError("connection closed")
+        try:
+            return await self._call_once(op, body)
+        except (ProcTransportError, BrokenPipeError, ConnectionResetError) as exc:
+            if self._remote is None:
+                raise  # endpoint unknown (built from raw streams): no retry
+            try:
+                await self._reconnect()
+            except (OSError, asyncio.TimeoutError) as redial:
+                raise ProcTransportError(f"reconnect failed ({redial})") from exc
+            return await self._call_once(op, body)
+
+    async def _call_once(self, op: str, body=None):
+        # A finished read loop means nobody will ever resolve the waiter,
+        # even if the writer still accepts bytes (half-closed socket).
+        if self._writer.is_closing() or self._reader_task.done():
+            raise ProcTransportError("connection closed")
         request_id = self._next_id
         self._next_id += 1
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         write_frame(self._writer, self.codec.dumps([request_id, op, body]))
         return await future
+
+    async def _reconnect(self) -> None:
+        """Re-dial the remembered endpoint (serialized: concurrent callers
+        that lost the same connection share one new socket)."""
+        async with self._reconnect_lock:
+            if not self._writer.is_closing() and not self._reader_task.done():
+                return  # a sibling waiter already reconnected
+            host, port = self._remote
+            self._reader_task.cancel()
+            await asyncio.gather(self._reader_task, return_exceptions=True)
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:  # noqa: BLE001 - old server may already be gone
+                pass
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), self._connect_timeout
+            )
+            self._reader = reader
+            self._writer = writer
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+            self.reconnects += 1
 
     async def serve(
         self, query: Query, now: float = 0.0, deadline: float | None = None
@@ -92,10 +148,12 @@ class ProcClient:
         except Exception as exc:  # noqa: BLE001 - fail pending below
             error = exc
         finally:
+            # One shared exception instance would cross-contaminate traceback
+            # context between waiters — build one per pending future.
             for future in self._pending.values():
                 if not future.done():
                     future.set_exception(
-                        ProcClientError(
+                        ProcTransportError(
                             "connection lost" + (f" ({error})" if error else "")
                         )
                     )
@@ -158,6 +216,7 @@ async def run_open_loop_socket(
         "served": served,
         "served_fraction": served / launched if launched else 0.0,
         "statuses": dict(statuses),
+        "reconnects": client.reconnects,
         "wall_seconds": wall,
         "throughput_rps": launched / wall if wall > 0 else 0.0,
     }

@@ -28,14 +28,17 @@ router-side stages only (request, remote_fetch, admit).
 
 from __future__ import annotations
 
+import time
+
 from repro.core.config import AsteriaConfig
-from repro.core.engine import AsteriaEngine
+from repro.core.engine import AsteriaEngine, EngineResponse
 from repro.core.metrics import EngineMetrics  # noqa: F401  (re-exported docs)
-from repro.core.resilience import ResilienceManager
-from repro.network.remote import RemoteDataService
+from repro.core.resilience import CircuitBreaker, ResilienceManager
+from repro.core.types import CacheLookup
+from repro.network.remote import RemoteDataService, RemoteFetchError
 from repro.serving.aio.engine import AsyncAsteriaEngine, AsyncOutcome
 from repro.serving.aio.remote import AsyncRemoteService
-from repro.serving.proc.pool import WorkerPool
+from repro.serving.proc.pool import WorkerError, WorkerPool
 
 
 class _TauHolder:
@@ -108,6 +111,9 @@ class ProcAsteriaEngine(AsyncAsteriaEngine):
         max_inflight: int = 256,
         default_deadline: float | None = None,
         follower_timeout: float | None = None,
+        fault_domains: bool = True,
+        shard_open_seconds: float = 0.5,
+        proc_faults=None,
         name: str = "asteria-proc",
     ) -> None:
         config = config if config is not None else AsteriaConfig()
@@ -123,6 +129,70 @@ class ProcAsteriaEngine(AsyncAsteriaEngine):
             follower_timeout=follower_timeout,
         )
         self.pool = pool
+        #: With ``fault_domains`` on, a request routed to a dead/recovering
+        #: shard degrades *per domain* (stale hit, direct remote fetch, or
+        #: explicit failure) instead of surfacing a WorkerError; off, shard
+        #: death propagates like any other exception (the benchmark's
+        #: contrast arm and the pre-supervision behavior).
+        self.fault_domains = fault_domains
+        #: One wall-clock breaker per shard: connection loss trips it open
+        #: immediately (threshold 1.0 over a 1-outcome window), and half-open
+        #: probes rediscover an unsupervised recovery; the supervisor
+        #: force-resets it on a confirmed respawn. The *global* breaker in
+        #: ``engine.resilience`` stays reserved for backend faults.
+        self.shard_breakers = [
+            CircuitBreaker(
+                failure_threshold=1.0,
+                window=1,
+                min_samples=1,
+                open_seconds=shard_open_seconds,
+                half_open_probes=1,
+            )
+            for _ in range(pool.n_shards)
+        ]
+        #: Per-shard count of *flights* charged as shard failures (coalesced
+        #: waiters sharing one teardown exception count once).
+        self.shard_failures = [0] * pool.n_shards
+        #: Optional chaos hook (see ProcFaultInjector.on_serve).
+        self.proc_faults = proc_faults
+        if pool.supervisor is not None:
+            pool.supervisor.on_down = self._on_shard_down
+            pool.supervisor.on_restart = self._on_shard_restart
+            pool.supervisor.tracer_fn = lambda: self.engine.tracer
+
+    # -- supervisor hooks -------------------------------------------------------
+    def _on_shard_down(self, shard: int) -> None:
+        if self.fault_domains:
+            breaker = self.shard_breakers[shard]
+            if breaker.state == "closed":
+                breaker.record_failure(time.monotonic())
+
+    def _on_shard_restart(self, shard: int, restore) -> None:
+        self.metrics.worker_restarts += 1
+        if self.fault_domains:
+            self.shard_breakers[shard].reset(time.monotonic())
+
+    def _shard_failure(self, shard: int, exc: WorkerError) -> None:
+        """Charge one failed flight to a shard's fault domain.
+
+        Dedups on the exception object (the ShardClient teardown shares one
+        instance across every pending waiter; batched lookups already share
+        their frame's), mirroring ``_account_failure``'s marker scheme —
+        breaker windows count flights, not disappointed callers.
+        """
+        if getattr(exc, "_shard_accounted", False):
+            return
+        exc._shard_accounted = True
+        self.shard_failures[shard] += 1
+        self.shard_breakers[shard].record_failure(time.monotonic())
+        if self.pool.supervisor is not None:
+            self.pool.supervisor.notify_death(shard)
+
+    def _shard_allow(self, shard: int, now: float) -> bool:
+        supervisor = self.pool.supervisor
+        if supervisor is not None and supervisor.permanent[shard]:
+            return False
+        return self.shard_breakers[shard].allow(now)
 
     # -- the two cache access points ------------------------------------------
     async def _sine_lookup(self, query, now, prepared=None):
@@ -131,13 +201,107 @@ class ProcAsteriaEngine(AsyncAsteriaEngine):
         return await self.pool.lookup(query, now)
 
     async def _admit(self, query, fetch, arrival) -> None:
-        await self.pool.insert(query, fetch, arrival)
+        try:
+            await self.pool.insert(query, fetch, arrival)
+        except WorkerError as exc:
+            if not self.fault_domains:
+                raise
+            # The fetch itself succeeded — the caller (and any coalesced
+            # followers) still get a fresh payload; only the cache insert is
+            # lost. Swallowing here keeps single-flight leader flights from
+            # failing after the worker died mid-admission.
+            self._shard_failure(self.pool.shard_for(query.text), exc)
 
     # -- serving ----------------------------------------------------------------
     async def _serve_outer(self, query, now, deadline, serve=None) -> AsyncOutcome:
         if not self.pool.attached:
             await self.pool.attach()
         return await super()._serve_outer(query, now, deadline, serve=serve)
+
+    async def _serve(self, query, now, prepared=None) -> EngineResponse:
+        """The inherited serve path wrapped in this shard's fault domain.
+
+        Cacheable requests consult their target shard's breaker first: a
+        known-dead shard routes straight to the degraded path without
+        touching the wire. A WorkerError escaping the inherited path (the
+        shard died under this request) is charged to the shard's domain and
+        the request completes degraded — a raw WorkerError never reaches
+        ``serve()``'s caller while fault domains are on.
+        """
+        if self.proc_faults is not None:
+            self.proc_faults.on_serve(self.pool)
+        engine = self.engine
+        if not self.fault_domains or not engine._is_cacheable(query):
+            return await super()._serve(query, now, prepared=prepared)
+        shard = self.pool.shard_for(query.text)
+        breaker = self.shard_breakers[shard]
+        if not self._shard_allow(shard, time.monotonic()):
+            return await self._serve_shard_down(query, shard, now)
+        try:
+            response = await super()._serve(query, now, prepared=prepared)
+        except WorkerError as exc:
+            self._shard_failure(shard, exc)
+            return await self._serve_shard_down(query, shard, now)
+        # Closed-state successes aren't recorded (a 1-slot window needs no
+        # success history); a granted half-open probe that came back is the
+        # recovery signal that re-closes an unsupervised breaker.
+        if breaker.state != "closed":
+            breaker.record_success(time.monotonic())
+        return response
+
+    async def _serve_shard_down(self, query, shard: int, now: float) -> EngineResponse:
+        """Per-domain degradation for a dead/recovering shard.
+
+        Decision ladder: last-known-good stale hit if the StaleStore has
+        one; else a direct remote fetch that bypasses the cache (gated by
+        the *global* resilience admission, still single-flighted, counted in
+        ``shard_down_fetches``); else an explicit failure. Healthy shards
+        never see this path.
+        """
+        engine = self.engine
+        key = engine._resilience_key(query)
+        lookup = CacheLookup(status="miss", result=None, latency=0.0)
+        entry = engine.resilience.stale_for(key, now)
+        if entry is not None:
+            engine.metrics.stale_hits += 1
+            response = EngineResponse(
+                result=entry.fetch.result,
+                latency=lookup.latency,
+                lookup=lookup,
+                degraded="stale_hit",
+            )
+            engine._record_degraded(response, query, now)
+            return response
+        verdict = engine.resilience.admit(key, now)
+        if verdict != "allow":
+            # The backend is in trouble too (negative-cached key or open
+            # global breaker): no bypass fetch, fall through to failed.
+            if verdict == "negative":
+                engine.metrics.negative_cache_hits += 1
+            else:
+                engine.metrics.breaker_open_rejects += 1
+            return self._degrade(query, lookup, key, now, now)
+        self.metrics.shard_down_fetches += 1
+        try:
+            fetch, shared = await self.singleflight.run(
+                key,
+                lambda: self._fetch_bypass(query, now, key),
+                timeout=self.follower_timeout,
+            )
+        except RemoteFetchError as exc:
+            engine._account_failure(key, exc, now + exc.latency)
+            return self._degrade(query, lookup, key, now, now, wasted=exc.latency)
+        response = engine._bypass_response(fetch, fetch.latency)
+        self._record(response, query, now, shared=shared)
+        return response
+
+    async def _fetch_bypass(self, query, start: float, key) -> "object":
+        """Leader flight for a shard-down request: retrying remote fetch,
+        success banked as last-known-good, *no* cache admission (the shard
+        that would hold it is down)."""
+        fetch, overhead, _ = await self._fetch_retrying(query, start)
+        self.engine.resilience.on_success(key, fetch, start + overhead + fetch.latency)
+        return fetch
 
     async def serve_batched(self, query, now: float = 0.0, deadline=None):
         """Batching happens per shard at the wire (the ShardClient's

@@ -46,11 +46,26 @@ LAUNCH_TIMEOUT = 60.0
 
 class WorkerError(RuntimeError):
     """An op failed inside a worker (the message is the worker's traceback
-    summary) or the worker connection was lost mid-flight."""
+    summary) or the worker connection was lost mid-flight.
+
+    ``shard_id`` identifies the fault domain when known, so the proc engine
+    can charge the failure to that shard's breaker instead of the backend's.
+    """
+
+    def __init__(self, message: str, shard_id: int | None = None) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
 
 
 class ShardClient:
-    """Protocol endpoint for one shard worker (pipelined + lookup-batched)."""
+    """Protocol endpoint for one shard worker (pipelined + lookup-batched).
+
+    ``on_connection_lost`` (``fn(shard_id)``) fires once when the read loop
+    tears down for any reason other than a deliberate :meth:`aclose` — the
+    pool forwards it to the supervisor as a death report. ``frame_faults``
+    is an optional :class:`~repro.serving.proc.supervisor.ProcFaultInjector`
+    consulted per reply frame (chaos only; None in production paths).
+    """
 
     def __init__(
         self,
@@ -60,15 +75,23 @@ class ShardClient:
         batch_window: float = 0.0,
         batch_max: int = 16,
         ann_only: bool = False,
+        on_connection_lost=None,
+        frame_faults=None,
     ) -> None:
         self.shard_id = shard_id
         self.codec = codec
         self.batch_window = batch_window
         self.batch_max = batch_max
         self.ann_only = ann_only
+        self.on_connection_lost = on_connection_lost
+        self.frame_faults = frame_faults
         #: Latest piggybacked shard stats: [inserts, evictions, expirations,
         #: rejected_duplicates, prefetch_inserts, usage].
         self.last_stats: list = [0, 0, 0, 0, 0, 0]
+        #: True between a connection loss and the first reply from a
+        #: respawned worker: ``last_stats`` still describes the dead
+        #: incarnation and must not be trusted as live state.
+        self.stats_stale = False
         self._sock: socket.socket | None = sock
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
@@ -79,6 +102,7 @@ class ShardClient:
         self._lookup_timer: asyncio.TimerHandle | None = None
         self._distribute_tasks: set[asyncio.Task] = set()
         self._closed = False
+        self._expect_close = False
 
     @property
     def attached(self) -> bool:
@@ -96,9 +120,13 @@ class ShardClient:
     # -- ops ------------------------------------------------------------------
     def _send(self, op: str, body) -> asyncio.Future:
         if self._writer is None:
-            raise WorkerError(f"shard {self.shard_id}: client not attached")
+            raise WorkerError(
+                f"shard {self.shard_id}: client not attached", self.shard_id
+            )
         if self._closed:
-            raise WorkerError(f"shard {self.shard_id}: connection closed")
+            raise WorkerError(
+                f"shard {self.shard_id}: connection closed", self.shard_id
+            )
         request_id = self._next_id
         self._next_id += 1
         future = asyncio.get_running_loop().create_future()
@@ -167,10 +195,19 @@ class ShardClient:
                 payload = await read_frame(self._reader)
                 if payload is None:
                     break
+                if self.frame_faults is not None:
+                    action, delay = self.frame_faults.frame_action(self.shard_id)
+                    if action == "drop":
+                        # The waiter stays pending: exactly a hung worker,
+                        # which is the supervisor heartbeat's job to notice.
+                        continue
+                    if delay > 0:
+                        await asyncio.sleep(delay)
                 request_id, ok, result, stats = self.codec.loads(payload)
                 # Stats first, waiter second: by the time an awaiting caller
                 # resumes, the router's cache view already reflects this op.
                 self.last_stats = stats
+                self.stats_stale = False
                 future = self._pending.pop(request_id, None)
                 if future is None or future.done():
                     continue
@@ -178,7 +215,7 @@ class ShardClient:
                     future.set_result(result)
                 else:
                     future.set_exception(
-                        WorkerError(f"shard {self.shard_id}: {result}")
+                        WorkerError(f"shard {self.shard_id}: {result}", self.shard_id)
                     )
         except asyncio.CancelledError:
             raise
@@ -186,17 +223,25 @@ class ShardClient:
             error = exc
         finally:
             self._closed = True
+            self.stats_stale = True
+            # One shared exception object for every pending waiter: the proc
+            # engine's per-flight failure accounting dedups on the object
+            # (like coalesced-follower accounting), so a burst of in-flight
+            # requests dying together charges the shard breaker once.
+            lost = WorkerError(
+                f"shard {self.shard_id}: connection lost"
+                + (f" ({error})" if error else ""),
+                self.shard_id,
+            )
             for future in self._pending.values():
                 if not future.done():
-                    future.set_exception(
-                        WorkerError(
-                            f"shard {self.shard_id}: connection lost"
-                            + (f" ({error})" if error else "")
-                        )
-                    )
+                    future.set_exception(lost)
             self._pending.clear()
+            if not self._expect_close and self.on_connection_lost is not None:
+                self.on_connection_lost(self.shard_id)
 
     async def aclose(self) -> None:
+        self._expect_close = True
         if self._reader_task is not None:
             self._reader_task.cancel()
             try:
@@ -226,6 +271,7 @@ class WorkerPool:
         batch_max: int = 16,
         ann_only: bool = False,
         host: str = "127.0.0.1",
+        frame_faults=None,
     ) -> None:
         if not specs:
             raise ValueError("WorkerPool needs at least one WorkerSpec")
@@ -238,10 +284,59 @@ class WorkerPool:
         self.batch_max = batch_max
         self.ann_only = ann_only
         self.host = host
+        self.frame_faults = frame_faults
         self.n_shards = len(specs)
         self.clients: list[ShardClient] = []
         self.processes: list[multiprocessing.process.BaseProcess] = []
+        #: Optional :class:`~repro.serving.proc.supervisor.WorkerSupervisor`
+        #: (see :meth:`enable_supervision`); started at :meth:`attach`,
+        #: stopped first in the teardown paths.
+        self.supervisor = None
         self._launched = False
+
+    def enable_supervision(self, **knobs):
+        """Attach a :class:`WorkerSupervisor` so dead workers are respawned.
+
+        Keyword knobs are forwarded to the supervisor constructor. Must run
+        before :meth:`attach`; returns the supervisor for callback wiring.
+        """
+        from repro.serving.proc.supervisor import WorkerSupervisor
+
+        if self.supervisor is None:
+            self.supervisor = WorkerSupervisor(self, **knobs)
+        return self.supervisor
+
+    def _make_client(self, shard_id: int, conn: socket.socket) -> ShardClient:
+        return ShardClient(
+            shard_id,
+            conn,
+            self.codec,
+            batch_window=self.batch_window,
+            batch_max=self.batch_max,
+            ann_only=self.ann_only,
+            on_connection_lost=self._connection_lost,
+            frame_faults=self.frame_faults,
+        )
+
+    def _connection_lost(self, shard_id: int) -> None:
+        if self.supervisor is not None:
+            self.supervisor.notify_death(shard_id)
+
+    def _accept_hello(self, listener: socket.socket):
+        """Accept one worker connection and validate its hello frame;
+        returns ``(shard_id, conn, restore_report_or_None)``."""
+        conn, _ = listener.accept()
+        conn.settimeout(LAUNCH_TIMEOUT)
+        hello = recv_frame(conn)
+        if hello is None:
+            raise WorkerError("worker closed connection before hello")
+        message = self.codec.loads(hello)
+        if message[0] != "hello" or message[1] != HELLO_MAGIC:
+            conn.close()
+            raise WorkerError(f"unexpected hello frame: {message!r}")
+        conn.settimeout(None)
+        restore = message[4] if len(message) > 4 else None
+        return message[2], conn, restore
 
     # -- lifecycle ------------------------------------------------------------
     def launch(self) -> None:
@@ -267,31 +362,14 @@ class WorkerPool:
                     process.start()
                     self.processes.append(process)
             for _ in range(self.n_shards):
-                conn, _ = listener.accept()
-                conn.settimeout(LAUNCH_TIMEOUT)
-                hello = recv_frame(conn)
-                if hello is None:
-                    raise WorkerError("worker closed connection before hello")
-                message = self.codec.loads(hello)
-                if message[0] != "hello" or message[1] != HELLO_MAGIC:
-                    conn.close()
-                    raise WorkerError(f"unexpected hello frame: {message!r}")
-                shard_id = message[2]
-                conn.settimeout(None)
+                shard_id, conn, _ = self._accept_hello(listener)
                 by_shard[shard_id] = conn
             if sorted(by_shard) != list(range(self.n_shards)):
                 raise WorkerError(
                     f"expected shards 0..{self.n_shards - 1}, got {sorted(by_shard)}"
                 )
             self.clients = [
-                ShardClient(
-                    shard_id,
-                    by_shard[shard_id],
-                    self.codec,
-                    batch_window=self.batch_window,
-                    batch_max=self.batch_max,
-                    ann_only=self.ann_only,
-                )
+                self._make_client(shard_id, by_shard[shard_id])
                 for shard_id in range(self.n_shards)
             ]
         except Exception:
@@ -304,6 +382,60 @@ class WorkerPool:
             listener.close()
         self._launched = True
 
+    def spawn_worker(self, spec: WorkerSpec):
+        """Spawn ONE worker for ``spec`` and complete its hello handshake
+        (blocking — the supervisor runs this in an executor). Returns
+        ``(process, conn, restore_report_or_None)``; the caller swaps them
+        in via :meth:`replace_client`."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind((self.host, 0))
+            listener.listen(1)
+            listener.settimeout(LAUNCH_TIMEOUT)
+            port = listener.getsockname()[1]
+            ctx = multiprocessing.get_context("spawn")
+            with _spawn_pythonpath():
+                process = ctx.Process(
+                    target=worker_main,
+                    args=(spec, self.host, port),
+                    daemon=True,
+                    name=f"repro-shard-{spec.shard_id}",
+                )
+                process.start()
+            try:
+                shard_id, conn, restore = self._accept_hello(listener)
+            except Exception:
+                if process.is_alive():
+                    process.kill()
+                process.join(timeout=5.0)
+                raise
+            if shard_id != spec.shard_id:
+                conn.close()
+                if process.is_alive():
+                    process.kill()
+                process.join(timeout=5.0)
+                raise WorkerError(
+                    f"respawned worker identified as shard {shard_id}, "
+                    f"expected {spec.shard_id}"
+                )
+            return process, conn, restore
+        finally:
+            listener.close()
+
+    def replace_client(self, shard_id: int, conn: socket.socket, process) -> ShardClient:
+        """Install a respawned worker's connection/process for ``shard_id``.
+
+        The new client inherits the dead incarnation's ``last_stats`` with
+        ``stats_stale`` set: cumulative counters stay monotone for readers,
+        but are flagged untrusted until the first post-recovery reply."""
+        old = self.clients[shard_id]
+        client = self._make_client(shard_id, conn)
+        client.last_stats = list(old.last_stats)
+        client.stats_stale = True
+        self.clients[shard_id] = client
+        self.processes[shard_id] = process
+        return client
+
     @property
     def launched(self) -> bool:
         return self._launched
@@ -313,11 +445,23 @@ class WorkerPool:
         return bool(self.clients) and all(c.attached for c in self.clients)
 
     async def attach(self) -> None:
-        """Wrap every worker connection for the running loop (idempotent)."""
+        """Wrap every worker connection for the running loop (idempotent);
+        starts the supervisor's heartbeat when one is enabled."""
         if not self._launched:
             self.launch()
         for client in self.clients:
             await client.attach()
+        if self.supervisor is not None:
+            self.supervisor.start()
+
+    def worker_pids(self) -> list[int | None]:
+        """Live worker PIDs by shard (for health introspection and the CI
+        chaos job's kill target)."""
+        return [process.pid for process in self.processes]
+
+    def stale_shards(self) -> list[int]:
+        """Shards whose piggybacked stats predate a connection loss."""
+        return [c.shard_id for c in self.clients if c.stats_stale]
 
     # -- routing --------------------------------------------------------------
     def shard_for(self, text: str) -> int:
@@ -360,9 +504,14 @@ class WorkerPool:
 
     # -- teardown -------------------------------------------------------------
     async def shutdown(self, timeout: float = 10.0) -> None:
-        """Graceful stop: flush windows, send shutdown ops, join processes."""
+        """Graceful stop: flush windows, send shutdown ops, join processes.
+
+        The supervisor stops *first* — the deliberate client closes below
+        must not read as worker deaths and trigger a respawn storm."""
         if not self._launched:
             return
+        if self.supervisor is not None:
+            await self.supervisor.stop()
         await self.attach()
         self.flush()
         results = await asyncio.gather(
@@ -387,6 +536,8 @@ class WorkerPool:
 
     def close(self) -> None:
         """Hard stop (idempotent; also the error-path cleanup)."""
+        if self.supervisor is not None:
+            self.supervisor.request_stop()
         for client in self.clients:
             sock = client.__dict__.get("_sock")
             if sock is not None:

@@ -163,13 +163,19 @@ class ProcServer:
                 "latency": response.latency if response is not None else None,
             }
         if op == "health":
-            return {
+            reply = {
                 "status": "ok",
                 "workers": self.engine.pool.n_shards,
                 "inflight": self.engine.inflight,
                 "requests": self.engine.metrics.requests,
                 "usage": self.engine.pool.usage_snapshot(),
+                "worker_pids": self.engine.pool.worker_pids(),
+                "worker_restarts": self.engine.metrics.worker_restarts,
             }
+            breakers = getattr(self.engine, "shard_breakers", None)
+            if breakers:
+                reply["shards"] = [breaker.state for breaker in breakers]
+            return reply
         if op == "metrics":
             return self.engine.metrics.summary()
         if op == "ping":

@@ -38,7 +38,10 @@ from repro.core.config import AsteriaConfig
 from repro.serving.proc import wire
 from repro.serving.proc.protocol import get_codec, recv_frame, send_frame
 
-#: First frame a worker sends after connecting: ["hello", MAGIC, shard, pid].
+#: First frame a worker sends after connecting:
+#: ["hello", MAGIC, shard, pid, restore | None] — ``restore`` summarises what
+#: a persisted shard warm-loaded before serving (the supervisor puts it in
+#: the ``shard_recover`` trace span).
 HELLO_MAGIC = "repro-shard-worker-v1"
 
 #: Seconds a worker blocks in ``recv`` before re-checking its stop flag.
@@ -182,7 +185,14 @@ def worker_main(spec: WorkerSpec, host: str, port: int) -> None:
     sock = socket.create_connection((host, port), timeout=30.0)
     try:
         sock.settimeout(POLL_TIMEOUT)
-        send_frame(sock, codec.dumps(["hello", HELLO_MAGIC, spec.shard_id, os.getpid()]))
+        report = getattr(server.cache, "restore_report", None)
+        restore = None
+        if report is not None:
+            restore = {"cold": report.cold, "restored_items": report.restored_items}
+        send_frame(
+            sock,
+            codec.dumps(["hello", HELLO_MAGIC, spec.shard_id, os.getpid(), restore]),
+        )
         while not stop["flag"]:
             try:
                 payload = recv_frame(sock)
