@@ -20,7 +20,9 @@ Checks, for every ``BENCH_*.json`` at the repo root:
   with >= 4 cores, where the claim is physically testable), and the
   store artefact (warm restart no colder than a cold start, non-empty
   hit-rate curves, and full replication convergence at every swept sync
-  interval).
+  interval), and the span-driven stage breakdown (every engine accounts
+  for the request/embed/ann_search/judge stages; a workers=1 proc engine
+  grafts exactly the stage spans the sequential engine records).
 
 Pure stdlib; run as ``python benchmarks/check_bench.py``.
 """
@@ -55,6 +57,7 @@ REQUIRED_KEYS = {
     "BENCH_chaos.json": ("config", "results", "proc_worker_kill", "headline"),
     "BENCH_obs.json": ("config", "results", "headline"),
     "BENCH_store.json": ("config", "results", "headline"),
+    "BENCH_breakdown.json": ("config", "results", "parity", "headline"),
 }
 
 MAX_ARRAY = 1024
@@ -123,6 +126,39 @@ def gate_obs(data) -> list[str]:
         )
     if _dig(data, "headline", "within_budget") is not True:
         errors.append("headline.within_budget is not true")
+    return errors
+
+
+#: Engines and stages the span-driven breakdown artefact must account for.
+BREAKDOWN_ENGINES = ("sync", "thread", "async", "proc")
+BREAKDOWN_STAGES = ("request", "embed", "ann_search", "judge")
+
+
+def gate_breakdown(data) -> list[str]:
+    """Shape + parity gates on the span-driven stage breakdown artefact."""
+    errors = []
+    for engine in BREAKDOWN_ENGINES:
+        for stage in BREAKDOWN_STAGES:
+            count = _dig(data, "results", engine, "stages", stage, "count")
+            if not isinstance(count, int) or count <= 0:
+                errors.append(
+                    f"results.{engine}.stages.{stage}.count is {count!r}; every "
+                    f"engine's trace must account for the {stage} stage"
+                )
+    if _dig(data, "parity", "counts_match") is not True:
+        errors.append(
+            "parity.counts_match is not true; a workers=1 proc engine must "
+            "graft exactly the stage spans the sequential engine records"
+        )
+    if _dig(data, "parity", "judge_ratio_ok") is not True:
+        ratio = _dig(data, "parity", "judge_total_ratio")
+        errors.append(
+            f"parity.judge_ratio_ok is not true (judge_total_ratio="
+            f"{ratio!r}); the worker-side judge wall must agree with the "
+            f"sequential engine's within the tolerance band"
+        )
+    if _dig(data, "headline", "all_core_stages_present") is not True:
+        errors.append("headline.all_core_stages_present is not true")
     return errors
 
 
@@ -268,6 +304,7 @@ VALUE_GATES = {
     "BENCH_concurrency.json": gate_concurrency,
     "BENCH_store.json": gate_store,
     "BENCH_chaos.json": gate_chaos,
+    "BENCH_breakdown.json": gate_breakdown,
 }
 
 

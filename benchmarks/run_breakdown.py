@@ -1,0 +1,309 @@
+#!/usr/bin/env python
+"""Span-driven stage breakdown per serving engine; records ``BENCH_breakdown.json``.
+
+The tracer-level counterpart of Fig. 11's latency breakdown: every serving
+stack (sequential, thread pool, asyncio, multi-process) serves the same
+Zipf workload with a full :class:`~repro.obs.Tracer` attached, and each
+engine's per-stage wall time comes from ``tracer.stage_summary()`` — the
+same spans a production trace export would show, not ad-hoc timers. For the
+proc engine the embed / ann_search / judge stages run in *worker
+processes*; their spans arrive piggybacked on reply frames and are grafted
+onto the router's timeline (clock-offset re-based), so this artefact also
+demonstrates that the distributed trace path yields a coherent per-stage
+accounting across the process boundary.
+
+Requests run with ``judge_spin`` ~200us of real CPU per judged candidate so
+stage walls dominate scheduler noise (the same trick the concurrency
+benchmark uses): the point is the *shape* of the breakdown — which stages
+the request spends its time in, and that the four engines agree — not
+absolute throughput.
+
+The ``parity`` section is the cross-process correctness check: a
+``workers=1`` proc engine replays the sequential engine's decisions exactly
+(same hash routing, ``batch_window=0`` means size-1 wire batches), so its
+grafted stage *counts* must equal the sync engine's span counts stage for
+stage, and per-stage mean walls must agree within a loose band (both sides
+run the same calibrated spin; the band absorbs per-process clock and cache
+noise). ``check_bench.py`` gates on ``parity.counts_match``.
+
+Usage::
+
+    python benchmarks/run_breakdown.py [--quick]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import Query  # noqa: E402
+from repro.factory import (  # noqa: E402
+    build_asteria_engine,
+    build_async_engine,
+    build_concurrent_engine,
+    build_proc_engine,
+    build_remote,
+)
+from repro.obs import Tracer  # noqa: E402
+from repro.serving.aio import run_closed_loop  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_breakdown.json"
+
+N_QUERIES = 2000
+POPULATION = 256
+ZIPF_S = 1.3
+TIME_STEP = 0.01
+SEED = 0
+#: Real CPU burned per judged candidate (seconds) — makes the judge stage
+#: wall dominate interpreter noise so the breakdown shape is stable.
+JUDGE_SPIN = 0.0002
+THREAD_WORKERS = 4
+ASYNC_CONCURRENCY = 16
+PROC_WORKERS = 2
+PROC_CONCURRENCY = 8
+TRACER_SPANS = 200_000
+
+#: Stages every engine must account for (the request root plus the three
+#: pipeline stages of the paper's breakdown). remote_fetch / admit appear
+#: too but their counts are workload-dependent (miss-path only).
+CORE_STAGES = ("request", "embed", "ann_search", "judge")
+
+
+def workload() -> list[Query]:
+    rng = np.random.default_rng(SEED)
+    ranks = np.minimum(rng.zipf(ZIPF_S, size=N_QUERIES), POPULATION)
+    return [
+        Query(f"stress fact number {rank} of the universe", fact_id=f"F{rank}")
+        for rank in ranks
+    ]
+
+
+def _summarize(tracer: Tracer, wall: float, requests: int) -> dict:
+    """One engine's result row from its tracer's stage summary."""
+    stages = {}
+    summary = tracer.stage_summary()
+    request_total = summary.get("request", {}).get("total", 0.0)
+    for name, row in sorted(summary.items()):
+        stages[name] = {
+            "count": row["count"],
+            "total_s": round(row["total"], 4),
+            "mean_us": round(row["mean"] * 1e6, 1),
+            # Fig. 11 shape: what slice of request wall this stage is. The
+            # request root covers queueing + socket time the leaf stages
+            # don't, so shares sum below 1.
+            "share_of_request": (
+                round(row["total"] / request_total, 4) if request_total else None
+            ),
+        }
+    return {
+        "requests": requests,
+        "wall_seconds": round(wall, 4),
+        "spans": len(tracer.spans()),
+        "stages": stages,
+    }
+
+
+def run_sync(queries) -> dict:
+    import time
+
+    engine = build_asteria_engine(
+        build_remote(seed=SEED), seed=SEED, judge_spin=JUDGE_SPIN
+    )
+    tracer = Tracer(max_spans=TRACER_SPANS)
+    engine.set_tracer(tracer)
+    begin = time.perf_counter()
+    for i, query in enumerate(queries):
+        engine.handle(query, now=i * TIME_STEP)
+    wall = time.perf_counter() - begin
+    return _summarize(tracer, wall, len(queries))
+
+
+def run_thread(queries) -> dict:
+    import time
+
+    engine = build_concurrent_engine(
+        build_remote(seed=SEED),
+        seed=SEED,
+        shards=4,
+        workers=THREAD_WORKERS,
+        judge_spin=JUDGE_SPIN,
+    )
+    tracer = Tracer(max_spans=TRACER_SPANS)
+    engine.set_tracer(tracer)
+    with engine:
+        begin = time.perf_counter()
+        engine.handle_concurrent(queries, now=0.0)
+        wall = time.perf_counter() - begin
+    return _summarize(tracer, wall, len(queries))
+
+
+async def _run_async(queries) -> dict:
+    import time
+
+    engine = build_async_engine(
+        build_remote(seed=SEED), seed=SEED, shards=4, judge_spin=JUDGE_SPIN
+    )
+    tracer = Tracer(max_spans=TRACER_SPANS)
+    engine.set_tracer(tracer)
+    begin = time.perf_counter()
+    await run_closed_loop(engine, queries, ASYNC_CONCURRENCY, time_step=TIME_STEP)
+    wall = time.perf_counter() - begin
+    return _summarize(tracer, wall, len(queries))
+
+
+async def _run_proc(queries, workers: int, concurrency: int) -> dict:
+    import time
+
+    engine = build_proc_engine(
+        build_remote(seed=SEED),
+        seed=SEED,
+        workers=workers,
+        io_pause_scale=0.0,
+        judge_spin=JUDGE_SPIN,
+        supervise=False,
+    )
+    tracer = Tracer(max_spans=TRACER_SPANS)
+    engine.set_tracer(tracer)
+    async with engine:
+        begin = time.perf_counter()
+        await run_closed_loop(engine, queries, concurrency, time_step=TIME_STEP)
+        wall = time.perf_counter() - begin
+    return _summarize(tracer, wall, len(queries))
+
+
+def run_async_engine(queries) -> dict:
+    return asyncio.run(_run_async(queries))
+
+
+def run_proc(queries, workers=None, concurrency=None) -> dict:
+    return asyncio.run(
+        _run_proc(
+            queries,
+            workers if workers is not None else PROC_WORKERS,
+            concurrency if concurrency is not None else PROC_CONCURRENCY,
+        )
+    )
+
+
+def parity_check(queries) -> dict:
+    """workers=1 proc vs sync: grafted stage counts must match exactly.
+
+    Concurrency 1 replays the sequential request order, ``batch_window=0``
+    makes every wire batch size 1, and the crc32 shard hash with one shard
+    routes everything to the single worker — so the worker-side pipeline
+    makes exactly the decisions the in-process engine makes, and every
+    stage span the sync engine records has a grafted counterpart. Mean
+    stage walls agree loosely (same calibrated spin, different process).
+    """
+    sync_row = run_sync(queries)
+    proc_row = run_proc(queries, workers=1, concurrency=1)
+    stages = {}
+    counts_match = True
+    for name in sorted(set(sync_row["stages"]) | set(proc_row["stages"])):
+        sync_stage = sync_row["stages"].get(name)
+        proc_stage = proc_row["stages"].get(name)
+        match = (
+            sync_stage is not None
+            and proc_stage is not None
+            and sync_stage["count"] == proc_stage["count"]
+        )
+        counts_match = counts_match and match
+        ratio = None
+        if sync_stage and proc_stage and sync_stage["total_s"] > 0:
+            ratio = round(proc_stage["total_s"] / sync_stage["total_s"], 3)
+        stages[name] = {
+            "sync_count": sync_stage["count"] if sync_stage else 0,
+            "proc_count": proc_stage["count"] if proc_stage else 0,
+            "counts_match": match,
+            "proc_over_sync_total": ratio,
+        }
+    # The spin-dominated judge stage is where a wall comparison means
+    # something; socket-bound stages have no sync counterpart cost.
+    judge_ratio = stages.get("judge", {}).get("proc_over_sync_total")
+    return {
+        "workers": 1,
+        "concurrency": 1,
+        "stages": stages,
+        "counts_match": counts_match,
+        "judge_total_ratio": judge_ratio,
+        "judge_ratio_ok": judge_ratio is not None and 0.5 <= judge_ratio <= 2.0,
+    }
+
+
+def main(argv: list[str]) -> int:
+    global N_QUERIES
+    quick = "--quick" in argv
+    if quick:
+        N_QUERIES = 400
+    queries = workload()
+    results = {}
+    for label, runner in (
+        ("sync", run_sync),
+        ("thread", run_thread),
+        ("async", run_async_engine),
+        ("proc", run_proc),
+    ):
+        row = runner(queries)
+        results[label] = row
+        top = ", ".join(
+            f"{name}={row['stages'][name]['total_s']:.3f}s"
+            f"/{row['stages'][name]['count']}"
+            for name in CORE_STAGES
+            if name in row["stages"]
+        )
+        print(f"{label:<7} wall={row['wall_seconds']:.3f}s {top}")
+    parity = parity_check(queries)
+    print(
+        f"parity  counts_match={parity['counts_match']} "
+        f"judge_total_ratio={parity['judge_total_ratio']}"
+    )
+    missing = {
+        label: [name for name in CORE_STAGES if name not in row["stages"]]
+        for label, row in results.items()
+    }
+    headline = {
+        "engines": sorted(results),
+        "core_stages": list(CORE_STAGES),
+        "all_core_stages_present": not any(missing.values()),
+        "missing_stages": {k: v for k, v in missing.items() if v},
+        "parity_counts_match": parity["counts_match"],
+        "judge_total_ratio": parity["judge_total_ratio"],
+        "judge_share_by_engine": {
+            label: row["stages"].get("judge", {}).get("share_of_request")
+            for label, row in results.items()
+        },
+    }
+    data = {
+        "config": {
+            "n_queries": N_QUERIES,
+            "population": POPULATION,
+            "zipf_s": ZIPF_S,
+            "time_step": TIME_STEP,
+            "seed": SEED,
+            "judge_spin": JUDGE_SPIN,
+            "thread_workers": THREAD_WORKERS,
+            "async_concurrency": ASYNC_CONCURRENCY,
+            "proc_workers": PROC_WORKERS,
+            "proc_concurrency": PROC_CONCURRENCY,
+            "io_pause_scale": 0.0,
+        },
+        "results": results,
+        "parity": parity,
+        "headline": headline,
+    }
+    out_path = OUTPUT.with_suffix(".quick.json") if quick else OUTPUT
+    out_path.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    ok = headline["all_core_stages_present"] and parity["counts_match"]
+    return 0 if quick or ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -17,6 +17,9 @@ Usage::
     python -m repro replicate --sync-interval 0.5
     python -m repro replicate --listen 7633   # region A
     python -m repro replicate --peer 127.0.0.1:7633   # region B
+    python -m repro stress --engine proc --series-out series.json
+    python -m repro slo --series series.json --engine proc
+    python -m repro serve --workers 4 --slo
 
 ``--set key=value`` pairs are parsed with ``ast.literal_eval`` (falling back
 to a plain string), so ints, floats, tuples, and booleans all work.
@@ -48,6 +51,14 @@ Every arm takes the observability flags: ``--trace-out`` writes a Chrome
 ``trace_event`` file (open in Perfetto / chrome://tracing), ``--metrics-out``
 a Prometheus text exposition of the run's counters and histograms, and
 ``--series-out`` a JSON time-series sampled live by the snapshot recorder.
+With ``--engine proc``, ``--trace-out`` traces cross the process boundary:
+worker-side embed/ann_search/judge spans ride reply frames back and land
+on per-shard lanes under the router's request spans.
+
+``slo`` evaluates burn-rate SLOs (p99 latency, served fraction, staleness)
+against a ``--series-out`` dump; exit code 1 means at least one SLO is
+firing. ``serve --slo`` runs the same evaluation live inside the server,
+surfaced through the ``health`` op.
 """
 
 from __future__ import annotations
@@ -351,6 +362,10 @@ def _obs_finish(arguments, engine, tracer, registry, instrument, recorder) -> No
             cache=engine.cache,
             inflight=getattr(engine, "inflight", None),
         )
+        if tracer is not None:
+            # Request-span trace ids become latency-histogram exemplars, so
+            # a hot bucket links back to concrete traces in --trace-out.
+            instrument.attach_exemplars(tracer)
     if arguments.metrics_out:
         with open(arguments.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(registry.render())
@@ -847,8 +862,36 @@ def _command_serve(arguments) -> int:
         fault_domains=not arguments.no_fault_domains,
     )
     _persist_banner(arguments, engine)
+    slo_engine = recorder = None
+    if arguments.slo:
+        from repro.obs import (
+            EngineInstrument,
+            MetricsRegistry,
+            SLOEngine,
+            SnapshotRecorder,
+            default_slos,
+        )
+
+        registry = MetricsRegistry()
+        instrument = EngineInstrument(registry, "proc")
+        recorder = SnapshotRecorder(registry, interval=arguments.slo_interval)
+        instrument.install_probes(
+            recorder,
+            engine.metrics,
+            cache=engine.cache,
+            inflight_fn=lambda: engine.inflight,
+            breaker=_engine_breaker(engine),
+        )
+        recorder.start()
+        slo_engine = SLOEngine(
+            default_slos("proc"), recorder=recorder, registry=registry
+        )
     server = ProcServer(
-        engine, host=arguments.host, port=arguments.port, codec=arguments.codec
+        engine,
+        host=arguments.host,
+        port=arguments.port,
+        codec=arguments.codec,
+        slo=slo_engine,
     )
 
     async def runner():
@@ -856,18 +899,69 @@ def _command_serve(arguments) -> int:
         print(
             f"serving on {server.host}:{server.port} "
             f"workers={arguments.workers} codec={arguments.codec} "
+            f"slo={'on' if slo_engine is not None else 'off'} "
             f"(SIGTERM/SIGINT drains and exits)",
             flush=True,
         )
         await server.run()
 
-    asyncio.run(runner())
+    try:
+        asyncio.run(runner())
+    finally:
+        if recorder is not None:
+            recorder.stop(final_sample=False)
     metrics = engine.metrics
     print(
         f"drained: requests={server.requests_served} "
         f"hit_rate={metrics.hit_rate:.3f} hits={metrics.hits} "
         f"misses={metrics.misses} coalesced={metrics.coalesced_misses}"
     )
+    return 0
+
+
+def _command_slo(arguments) -> int:
+    """Evaluate the stock burn-rate SLOs against a ``--series-out`` dump.
+
+    Exit codes: 0 all quiet, 1 at least one SLO firing, 2 unusable input
+    (missing file, bad JSON, no samples)."""
+    import json
+
+    from repro.obs import default_slos, evaluate_slos, format_statuses
+
+    try:
+        with open(arguments.series, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"slo: cannot read series file {arguments.series!r}: {exc}")
+        return 2
+    if not isinstance(snapshot, dict) or not snapshot.get("t"):
+        print(f"slo: {arguments.series!r} has no samples to evaluate")
+        return 2
+    specs = default_slos(
+        engine=arguments.engine,
+        p99_threshold=arguments.p99_threshold,
+        served_threshold=arguments.served_threshold,
+        stale_threshold=arguments.stale_threshold,
+        fast_window=arguments.fast_window,
+        slow_window=arguments.slow_window,
+    )
+    statuses = evaluate_slos(specs, snapshot)
+    evaluated = [s for s in statuses if s.slow_samples > 0]
+    print(
+        f"slo: {len(snapshot['t'])} samples, engine={arguments.engine}, "
+        f"{len(evaluated)}/{len(statuses)} series present"
+    )
+    print(format_statuses(statuses))
+    if not evaluated:
+        print(
+            "slo: none of the SLO series exist in this dump "
+            "(was it recorded with --series-out for this engine?)"
+        )
+        return 2
+    firing = [status.name for status in statuses if status.firing]
+    if firing:
+        print(f"slo: FIRING: {', '.join(firing)}")
+        return 1
     return 0
 
 
@@ -1317,6 +1411,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="default per-request deadline in wall seconds (default none)",
     )
+    serve_parser.add_argument(
+        "--slo",
+        action="store_true",
+        help="evaluate the stock burn-rate SLOs live (snapshot recorder + "
+        "SLO engine); the health op then reports burn rates and firings",
+    )
+    serve_parser.add_argument(
+        "--slo-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="sampling interval for the --slo snapshot recorder (default 1)",
+    )
     serve_parser.add_argument("--seed", type=int, default=0)
     _add_persist_arguments(serve_parser)
     _add_proc_arguments(serve_parser)
@@ -1403,6 +1510,55 @@ def main(argv: list[str] | None = None) -> int:
         default="pickle",
         help="diff wire serializer (default pickle)",
     )
+    slo_parser = commands.add_parser(
+        "slo",
+        help="evaluate burn-rate SLOs against a --series-out dump "
+        "(exit 1 when firing)",
+    )
+    slo_parser.add_argument(
+        "--series",
+        required=True,
+        metavar="PATH",
+        help="snapshot series JSON written by a stress run's --series-out",
+    )
+    slo_parser.add_argument(
+        "--engine",
+        default="proc",
+        help="engine label the series was recorded under (default proc)",
+    )
+    slo_parser.add_argument(
+        "--p99-threshold",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="p99 latency SLO threshold (default 0.5 simulated seconds)",
+    )
+    slo_parser.add_argument(
+        "--served-threshold",
+        type=float,
+        default=0.99,
+        help="served-fraction SLO threshold (default 0.99)",
+    )
+    slo_parser.add_argument(
+        "--stale-threshold",
+        type=float,
+        default=0.2,
+        help="stale-fraction SLO threshold (default 0.2)",
+    )
+    slo_parser.add_argument(
+        "--fast-window",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="fast burn-rate window (default 300; clamps to the series)",
+    )
+    slo_parser.add_argument(
+        "--slow-window",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="slow burn-rate window (default 3600; clamps to the series)",
+    )
     arguments = parser.parse_args(argv)
     if arguments.command == "list":
         return _command_list()
@@ -1414,6 +1570,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_serve(arguments)
     if arguments.command == "replicate":
         return _command_replicate(arguments)
+    if arguments.command == "slo":
+        return _command_slo(arguments)
     return _command_run_all(arguments.quick)
 
 

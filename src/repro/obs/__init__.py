@@ -19,7 +19,19 @@ behaviour or — when left detached — their speed:
     into it.
 :class:`~repro.obs.snapshot.SnapshotRecorder`
     Interval sampling of the registry (plus derived probes: hit rate,
-    served fraction, p99, breaker state) into bounded time-series.
+    served fraction, stale fraction, p99, breaker state) into bounded
+    time-series.
+
+Two more pieces extend the surface across process boundaries:
+
+:mod:`repro.obs.distributed`
+    Trace-context propagation for the proc tier and replication links —
+    worker-side stage spans ride reply frames back and graft into the
+    router's tree with per-worker clock offsets (DESIGN §16).
+:mod:`repro.obs.slo`
+    Declarative SLOs with fast/slow-window burn-rate evaluation over
+    snapshot series, Prometheus gauges, histogram exemplars, and the
+    ``python -m repro slo`` CLI.
 
 See ``python -m repro stress --trace-out trace.json --metrics-out
 metrics.prom --series-out series.json`` for the end-to-end CLI surface, and
@@ -30,6 +42,14 @@ from repro.obs.bridge import (
     EngineInstrument,
     breaker_state_value,
     served_fraction,
+    stale_fraction,
+)
+from repro.obs.distributed import (
+    WorkerTracer,
+    graft_spans,
+    make_span_sink,
+    record_remote_leaf,
+    trace_context,
 )
 from repro.obs.registry import (
     Counter,
@@ -37,6 +57,14 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.slo import (
+    SLOEngine,
+    SLOSpec,
+    SLOStatus,
+    default_slos,
+    evaluate_slos,
+    format_statuses,
 )
 from repro.obs.snapshot import SnapshotRecorder, summarize_series
 from repro.obs.trace import (
@@ -70,11 +98,23 @@ __all__ = [
     "STAGE_REFRESH",
     "STAGE_REMOTE",
     "STAGE_REQUEST",
+    "SLOEngine",
+    "SLOSpec",
+    "SLOStatus",
     "SamplingTracer",
     "SnapshotRecorder",
     "Span",
     "Tracer",
+    "WorkerTracer",
     "breaker_state_value",
+    "default_slos",
+    "evaluate_slos",
+    "format_statuses",
+    "graft_spans",
+    "make_span_sink",
+    "record_remote_leaf",
     "served_fraction",
+    "stale_fraction",
     "summarize_series",
+    "trace_context",
 ]

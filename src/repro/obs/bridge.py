@@ -257,6 +257,10 @@ class EngineInstrument:
             lambda: served_fraction(metrics),
         )
         recorder.add_probe(
+            f"stale_fraction{{engine=\"{label}\"}}",
+            lambda: stale_fraction(metrics),
+        )
+        recorder.add_probe(
             f"p99_latency{{engine=\"{label}\"}}", lambda: metrics.total_latency.p99
         )
         if breaker is not None:
@@ -264,6 +268,31 @@ class EngineInstrument:
                 f"breaker_state{{engine=\"{label}\"}}",
                 lambda: breaker_state_value(breaker.state),
             )
+
+    def attach_exemplars(self, tracer) -> int:
+        """Attach recent request-span trace ids as latency exemplars.
+
+        Every finished ``request`` span in ``tracer`` contributes a
+        ``(wall duration, trace_id)`` exemplar to
+        ``repro_request_latency_seconds{engine,kind="total"}``. The
+        histogram's *samples* are simulated latencies while the exemplar
+        values are wall durations — exemplars are links to traces, not
+        measurements (DESIGN §16), so the mismatch is deliberate and
+        documented rather than papered over. Returns the number attached
+        (bounded storage: only the most recent survive).
+        """
+        if tracer is None:
+            return 0
+        label = self.engine_label
+        attached = 0
+        for span in tracer.spans():
+            if span.name != "request":
+                continue
+            self._latency.add_exemplar(
+                span.duration, span.trace_id, engine=label, kind="total"
+            )
+            attached += 1
+        return attached
 
 
 def served_fraction(metrics: EngineMetrics) -> float:
@@ -280,3 +309,12 @@ def served_fraction(metrics: EngineMetrics) -> float:
         return 1.0
     served = metrics.requests + metrics.stale_hits
     return served / finished
+
+
+def stale_fraction(metrics: EngineMetrics) -> float:
+    """Fraction of *served* answers that were stale hits — the staleness
+    signal the SLO layer watches (0.0 before anything has been served)."""
+    served = metrics.requests + metrics.stale_hits
+    if served == 0:
+        return 0.0
+    return metrics.stale_hits / served

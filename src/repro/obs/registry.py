@@ -23,6 +23,7 @@ import math
 import re
 import threading
 from bisect import bisect_left
+from collections import deque
 from typing import Iterable, Mapping
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -173,6 +174,9 @@ class Histogram(_Metric):
 
     kind = "histogram"
 
+    #: Retained exemplars per label set (recent wins; old ones roll off).
+    max_exemplars = 64
+
     def __init__(
         self,
         name: str,
@@ -192,6 +196,8 @@ class Histogram(_Metric):
         self._counts: dict[tuple, list[int]] = {}
         self._sums: dict[tuple, float] = {}
         self._totals: dict[tuple, int] = {}
+        #: labelset -> deque of (value, trace_id, bucket_index) exemplars.
+        self._exemplars: dict[tuple, deque] = {}
 
     def observe(self, value: float, **labels) -> None:
         """Record one sample."""
@@ -238,6 +244,30 @@ class Histogram(_Metric):
             self._sums[key] = (
                 total_sum if total_sum is not None else float(sum(samples))
             )
+
+    def add_exemplar(self, value: float, trace_id: int, **labels) -> None:
+        """Attach a trace id to the bucket ``value`` falls in.
+
+        Exemplars link an aggregate to concrete traces (the SLO engine
+        surfaces them when a latency objective burns). They are *not*
+        rendered into the text exposition — the golden-file determinism of
+        :meth:`render` would break on every run — only reachable through
+        :meth:`exemplars`. Bounded per label set, recent-wins.
+        """
+        if value < 0:
+            raise ValueError(f"exemplar values must be >= 0, got {value}")
+        key = _labelset(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            bucket = self._exemplars.get(key)
+            if bucket is None:
+                bucket = self._exemplars[key] = deque(maxlen=self.max_exemplars)
+            bucket.append((float(value), int(trace_id), index))
+
+    def exemplars(self, **labels) -> list[tuple[float, int, int]]:
+        """Recent ``(value, trace_id, bucket_index)`` rows, oldest first."""
+        with self._lock:
+            return list(self._exemplars.get(_labelset(labels), ()))
 
     def count(self, **labels) -> int:
         with self._lock:

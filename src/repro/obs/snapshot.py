@@ -65,6 +65,11 @@ class SnapshotRecorder:
         self._probes: dict[str, Callable[[], float]] = {}
         self._last_sample: float | None = None
         self.dropped = 0
+        #: Total probe callbacks (or whole samples, from the background
+        #: thread) that raised. Once nonzero it is also emitted as the
+        #: ``snapshot_probe_errors`` series, so a dashboard can see a sick
+        #: probe without scraping process state.
+        self.probe_errors = 0
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
 
@@ -89,12 +94,23 @@ class SnapshotRecorder:
             row.update(self.registry.values())
         with self._lock:
             probes = list(self._probes.items())
+        errors = 0
         for name, fn in probes:
+            # A raising probe records nan for its own series and is counted;
+            # the interval's other series points are unaffected.
             try:
                 row[name] = float(fn())
             except Exception:
                 row[name] = float("nan")
+                errors += 1
         with self._lock:
+            if errors:
+                self.probe_errors += errors
+            if self.probe_errors:
+                # Emitted only once a probe has ever failed: healthy runs
+                # keep their exact pre-existing series set, while a sick
+                # probe shows up as a series without scraping process state.
+                row["snapshot_probe_errors"] = float(self.probe_errors)
             self._times.append(now)
             self._rows.append(row)
             if len(self._times) > self.max_samples:
@@ -139,7 +155,14 @@ class SnapshotRecorder:
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):
-            self.sample()
+            # The recorder thread must outlive any single bad sample: a
+            # registry mid-mutation or a probe raising outside the per-probe
+            # guard costs one interval, never the rest of the run's series.
+            try:
+                self.sample()
+            except Exception:
+                with self._lock:
+                    self.probe_errors += 1
 
     # -- access ---------------------------------------------------------------
     def __len__(self) -> int:
@@ -173,6 +196,7 @@ class SnapshotRecorder:
             "interval": self.interval,
             "samples": len(self),
             "dropped": self.dropped,
+            "probe_errors": self.probe_errors,
             "t": [round(t, 6) for t in self.times()],
             "series": {name: self.series(name) for name in names},
         }

@@ -54,6 +54,7 @@ import json
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from pathlib import Path
 
 #: Canonical stage names (span ``name`` values the exporters group by).
@@ -206,6 +207,12 @@ class Tracer:
         self._current: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
             f"repro-span-{id(self):x}", default=None
         )
+        #: Remote parent context adopted via :meth:`adopt` — request roots
+        #: opened inside it graft under a span owned by another process
+        #: (the ProcServer's serve op sets it from the client's stamp).
+        self._remote: contextvars.ContextVar[tuple | None] = contextvars.ContextVar(
+            f"repro-remote-{id(self):x}", default=None
+        )
         self.dropped = 0
 
     # -- recording ----------------------------------------------------------
@@ -298,18 +305,45 @@ class Tracer:
 
         Worker threads and event-loop tasks both funnel requests through
         this, so a pooled thread's leftover context can never reparent an
-        unrelated request.
+        unrelated request. Inside an :meth:`adopt` block the root joins the
+        remote caller's trace instead of starting a fresh one.
         """
         span = Span.__new__(Span)
         span.name = name
-        span.span_id = span.trace_id = next(self._ids)
-        span.parent_id = None
+        span_id = next(self._ids)
+        span.span_id = span_id
+        remote = self._remote.get()
+        if remote is not None:
+            span.trace_id = remote[0]
+            span.parent_id = remote[1]
+        else:
+            span.trace_id = span_id
+            span.parent_id = None
         span.start = span.end = self.clock() - self._epoch
         span.thread_id = threading.get_ident()
         span.attrs = attrs or None
         span._tracer = self
         span._token = self._current.set(span)
         return span
+
+    @contextmanager
+    def adopt(self, ctx):
+        """Adopt a remote ``[trace_id, span_id]`` parent for the duration.
+
+        Request roots opened inside the block carry the remote trace id and
+        parent under the remote span, so a front-door client's span and the
+        router's request span merge into one tree when exports are viewed
+        together. ``ctx=None`` is a no-op, letting call sites adopt
+        unconditionally.
+        """
+        if ctx is None:
+            yield self
+            return
+        token = self._remote.set((ctx[0], ctx[1]))
+        try:
+            yield self
+        finally:
+            self._remote.reset(token)
 
     def current(self) -> Span | None:
         """The innermost open span in this context (None outside requests)."""
@@ -413,13 +447,18 @@ class Tracer:
             }
             events.append(event)
         for thread_id, tid in tids.items():
+            # Negative thread ids are the synthetic per-shard lanes grafted
+            # worker spans land on (repro.obs.distributed.graft_spans).
+            lane = (
+                f"shard-{-thread_id - 1}" if thread_id < 0 else f"thread-{thread_id}"
+            )
             events.append(
                 {
                     "name": "thread_name",
                     "ph": "M",
                     "pid": 0,
                     "tid": tid,
-                    "args": {"name": f"thread-{thread_id}"},
+                    "args": {"name": lane},
                 }
             )
         payload = {"traceEvents": events, "displayTimeUnit": "ms"}
@@ -537,8 +576,15 @@ class SamplingTracer(Tracer):
     def request(self, name: str = STAGE_REQUEST, **attrs) -> Span:
         span = _SampledRoot.__new__(_SampledRoot)
         span.name = name
-        span.span_id = span.trace_id = next(self._ids)
-        span.parent_id = None
+        span_id = next(self._ids)
+        span.span_id = span_id
+        remote = self._remote.get()
+        if remote is not None:
+            span.trace_id = remote[0]
+            span.parent_id = remote[1]
+        else:
+            span.trace_id = span_id
+            span.parent_id = None
         span.start = span.end = self.clock() - self._epoch
         span.thread_id = threading.get_ident()
         span.attrs = attrs or None

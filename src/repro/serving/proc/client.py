@@ -42,8 +42,13 @@ class ProcClient:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         codec_name: str = "pickle",
+        tracer=None,
     ) -> None:
         self.codec = get_codec(codec_name)
+        #: Optional client-side tracer: sampled ``serve`` calls open a local
+        #: root span and ship its identity with the request, so the server's
+        #: router/worker spans land in this client's trace.
+        self.tracer = tracer
         self._reader = reader
         self._writer = writer
         self._next_id = 0
@@ -56,12 +61,17 @@ class ProcClient:
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, codec: str = "pickle", timeout: float = 10.0
+        cls,
+        host: str,
+        port: int,
+        codec: str = "pickle",
+        timeout: float = 10.0,
+        tracer=None,
     ) -> "ProcClient":
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), timeout
         )
-        client = cls(reader, writer, codec_name=codec)
+        client = cls(reader, writer, codec_name=codec, tracer=tracer)
         client._remote = (host, port)
         client._connect_timeout = timeout
         return client
@@ -116,8 +126,19 @@ class ProcClient:
         self, query: Query, now: float = 0.0, deadline: float | None = None
     ) -> dict:
         """One request; returns the server's outcome payload (status/result/
-        latency/wall_latency)."""
-        return await self.call("serve", [wire.query_to_wire(query), now, deadline])
+        latency/wall_latency). With a tracer attached, sampled calls open a
+        client-side root span and ship ``[trace_id, span_id]`` so the
+        server's spans join this trace; untraced calls send the exact
+        pre-tracing three-element body."""
+        body = [wire.query_to_wire(query), now, deadline]
+        tracer = self.tracer
+        if tracer is None or not tracer.sample():
+            return await self.call("serve", body)
+        with tracer.request("client_request", tool=query.tool) as span:
+            body.append([span.trace_id, span.span_id])
+            outcome = await self.call("serve", body)
+            span.set(outcome=outcome.get("status"))
+            return outcome
 
     async def health(self) -> dict:
         return await self.call("health")

@@ -21,9 +21,14 @@ Division of labour per request:
 
 The router never sees an embedding: lookup replies carry wire-level
 ``SineResult`` structures whose elements are embedding-less, and the
-accounting path doesn't read vectors. Stage spans for worker-side work
-(embed / ann_search / judge) are not traced — the tracer observes
-router-side stages only (request, remote_fetch, admit).
+accounting path doesn't read vectors. Worker-side stage spans (embed /
+ann_search / judge / evict) *are* traced when a tracer is attached: the
+router stamps each lookup/insert with its request's ``[trace_id,
+parent_span_id]`` context, workers record the stages under that remote
+parent, and the completed records ride back on reply frames where
+:func:`~repro.obs.distributed.graft_spans` re-bases them onto the router's
+clock using the per-worker offset estimated at the hello handshake
+(DESIGN §16).
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.core.metrics import EngineMetrics  # noqa: F401  (re-exported docs)
 from repro.core.resilience import CircuitBreaker, ResilienceManager
 from repro.core.types import CacheLookup
 from repro.network.remote import RemoteDataService, RemoteFetchError
+from repro.obs.distributed import make_span_sink, trace_context
 from repro.serving.aio.engine import AsyncAsteriaEngine, AsyncOutcome
 from repro.serving.aio.remote import AsyncRemoteService
 from repro.serving.proc.pool import WorkerError, WorkerPool
@@ -78,9 +84,11 @@ class _RouterCacheView:
         return self.pool.capacity_items
 
     def set_tracer(self, tracer) -> None:
-        # Worker-side stages (embed/ann_search/judge) are untraced; the
-        # router's spans don't cross the process boundary.
+        # The pool grafts worker-side span records (piggybacked on reply
+        # frames) straight into this tracer; detaching (tracer=None)
+        # removes the sink so replies drop any stray records on the floor.
         self.tracer = tracer
+        self.pool.span_sink = make_span_sink(tracer)
 
     def __len__(self) -> int:
         return self.usage()
@@ -198,11 +206,18 @@ class ProcAsteriaEngine(AsyncAsteriaEngine):
     async def _sine_lookup(self, query, now, prepared=None):
         # `prepared` (the in-process stage-1 snapshot) never applies here:
         # frame-level accumulation in the ShardClient is the batching tier.
-        return await self.pool.lookup(query, now)
+        # `ctx` carries the current request span's identity across the
+        # process boundary (None on untraced/unsampled traffic — the frame
+        # stays byte-identical to the pre-tracing wire).
+        return await self.pool.lookup(
+            query, now, ctx=trace_context(self.engine.tracer)
+        )
 
     async def _admit(self, query, fetch, arrival) -> None:
         try:
-            await self.pool.insert(query, fetch, arrival)
+            await self.pool.insert(
+                query, fetch, arrival, ctx=trace_context(self.engine.tracer)
+            )
         except WorkerError as exc:
             if not self.fault_domains:
                 raise

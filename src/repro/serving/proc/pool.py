@@ -27,6 +27,7 @@ import multiprocessing
 import os
 import pathlib
 import socket
+import time
 
 from repro.core.cache import CacheStats
 from repro.core.sharding import shard_index_for
@@ -36,6 +37,7 @@ from repro.serving.proc.protocol import (
     get_codec,
     read_frame,
     recv_frame,
+    send_frame,
     write_frame,
 )
 from repro.serving.proc.worker import HELLO_MAGIC, WorkerSpec, worker_main
@@ -77,6 +79,7 @@ class ShardClient:
         ann_only: bool = False,
         on_connection_lost=None,
         frame_faults=None,
+        on_spans=None,
     ) -> None:
         self.shard_id = shard_id
         self.codec = codec
@@ -85,6 +88,13 @@ class ShardClient:
         self.ann_only = ann_only
         self.on_connection_lost = on_connection_lost
         self.frame_faults = frame_faults
+        #: ``fn(shard_id, records, clock_offset)`` for piggybacked span
+        #: records (optional fifth reply element); None drops them.
+        self.on_spans = on_spans
+        #: Router-clock minus worker-clock estimate from the hello
+        #: handshake's clock ping (``worker_reading + clock_offset`` lands
+        #: on the router's perf_counter timeline).
+        self.clock_offset = 0.0
         #: Latest piggybacked shard stats: [inserts, evictions, expirations,
         #: rejected_duplicates, prefetch_inserts, usage].
         self.last_stats: list = [0, 0, 0, 0, 0, 0]
@@ -98,7 +108,7 @@ class ShardClient:
         self._reader_task: asyncio.Task | None = None
         self._next_id = 0
         self._pending: dict[int, asyncio.Future] = {}
-        self._lookup_pending: list[tuple[dict, float, asyncio.Future]] = []
+        self._lookup_pending: list[tuple[dict, float, object, asyncio.Future]] = []
         self._lookup_timer: asyncio.TimerHandle | None = None
         self._distribute_tasks: set[asyncio.Task] = set()
         self._closed = False
@@ -138,21 +148,26 @@ class ShardClient:
         """One pipelined op; raises :class:`WorkerError` on worker failure."""
         return await self._send(op, body)
 
-    async def lookup(self, query, now: float):
-        """Join this shard's accumulation window; resolves to a SineResult."""
+    async def lookup(self, query, now: float, ctx=None):
+        """Join this shard's accumulation window; resolves to a SineResult.
+
+        ``ctx`` is the request's ``[trace_id, parent_span_id]`` stamp (None
+        on untraced traffic), carried per item so one frame can mix traced
+        and untraced requests."""
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        self._lookup_pending.append((wire.query_to_wire(query), now, future))
+        self._lookup_pending.append((wire.query_to_wire(query), now, ctx, future))
         if len(self._lookup_pending) >= self.batch_max:
             self.flush_lookups()
         elif self._lookup_timer is None:
             self._lookup_timer = loop.call_later(self.batch_window, self.flush_lookups)
         return wire.sine_from_wire(await future)
 
-    async def insert(self, query, fetch, arrival: float):
-        return await self.call(
-            "insert", [wire.query_to_wire(query), wire.fetch_to_wire(fetch), arrival]
-        )
+    async def insert(self, query, fetch, arrival: float, ctx=None):
+        body = [wire.query_to_wire(query), wire.fetch_to_wire(fetch), arrival]
+        if ctx is not None:
+            body.append(ctx)
+        return await self.call("insert", body)
 
     def flush_lookups(self) -> None:
         """Ship the pending accumulation window as one lookup_batch frame."""
@@ -163,8 +178,13 @@ class ShardClient:
         if not pending:
             return
         self._lookup_pending = []
-        items = [[query_wire, now] for query_wire, now, _ in pending]
-        waiters = [future for _, _, future in pending]
+        # Untraced items stay two elements long, so untraced frames are
+        # byte-identical to the pre-tracing wire format.
+        items = [
+            [query_wire, now] if ctx is None else [query_wire, now, ctx]
+            for query_wire, now, ctx, _ in pending
+        ]
+        waiters = [future for _, _, _, future in pending]
         try:
             frame_future = self._send("lookup_batch", [items, self.ann_only])
         except WorkerError as exc:
@@ -203,11 +223,17 @@ class ShardClient:
                         continue
                     if delay > 0:
                         await asyncio.sleep(delay)
-                request_id, ok, result, stats = self.codec.loads(payload)
+                frame = self.codec.loads(payload)
+                request_id, ok, result, stats = frame[:4]
                 # Stats first, waiter second: by the time an awaiting caller
                 # resumes, the router's cache view already reflects this op.
                 self.last_stats = stats
                 self.stats_stale = False
+                # Piggybacked span records (optional fifth element) graft
+                # before the waiter resumes too, so a request span closing
+                # right after the await already owns its worker stages.
+                if len(frame) > 4 and frame[4] and self.on_spans is not None:
+                    self.on_spans(self.shard_id, frame[4], self.clock_offset)
                 future = self._pending.pop(request_id, None)
                 if future is None or future.done():
                     continue
@@ -292,6 +318,11 @@ class WorkerPool:
         #: (see :meth:`enable_supervision`); started at :meth:`attach`,
         #: stopped first in the teardown paths.
         self.supervisor = None
+        #: ``fn(shard_id, records, clock_offset)`` receiving piggybacked
+        #: worker span records (installed by the router cache view's
+        #: ``set_tracer`` via :func:`repro.obs.distributed.make_span_sink`;
+        #: None = spans dropped at the client).
+        self.span_sink = None
         self._launched = False
 
     def enable_supervision(self, **knobs):
@@ -316,15 +347,22 @@ class WorkerPool:
             ann_only=self.ann_only,
             on_connection_lost=self._connection_lost,
             frame_faults=self.frame_faults,
+            on_spans=self._forward_spans,
         )
 
     def _connection_lost(self, shard_id: int) -> None:
         if self.supervisor is not None:
             self.supervisor.notify_death(shard_id)
 
+    def _forward_spans(self, shard_id: int, records, clock_offset: float) -> None:
+        sink = self.span_sink
+        if sink is not None:
+            sink(shard_id, records, clock_offset)
+
     def _accept_hello(self, listener: socket.socket):
-        """Accept one worker connection and validate its hello frame;
-        returns ``(shard_id, conn, restore_report_or_None)``."""
+        """Accept one worker connection, validate its hello frame, and run
+        the clock handshake; returns ``(shard_id, conn,
+        restore_report_or_None, clock_offset)``."""
         conn, _ = listener.accept()
         conn.settimeout(LAUNCH_TIMEOUT)
         hello = recv_frame(conn)
@@ -334,9 +372,22 @@ class WorkerPool:
         if message[0] != "hello" or message[1] != HELLO_MAGIC:
             conn.close()
             raise WorkerError(f"unexpected hello frame: {message!r}")
-        conn.settimeout(None)
         restore = message[4] if len(message) > 4 else None
-        return message[2], conn, restore
+        # Clock handshake: one synchronous ping/pong estimates the worker's
+        # perf_counter offset from ours as the round-trip midpoint —
+        # ``offset = (t0 + t1) / 2 - worker_reading`` — so piggybacked span
+        # timestamps re-base onto the router's timeline with error bounded
+        # by half the (loopback, ~tens of µs) round trip.
+        t0 = time.perf_counter()
+        send_frame(conn, self.codec.dumps([-1, "clock", None]))
+        pong = recv_frame(conn)
+        t1 = time.perf_counter()
+        if pong is None:
+            conn.close()
+            raise WorkerError("worker closed connection during clock handshake")
+        clock_offset = (t0 + t1) / 2.0 - self.codec.loads(pong)[2]
+        conn.settimeout(None)
+        return message[2], conn, restore, clock_offset
 
     # -- lifecycle ------------------------------------------------------------
     def launch(self) -> None:
@@ -344,7 +395,7 @@ class WorkerPool:
         if self._launched:
             return
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        by_shard: dict[int, socket.socket] = {}
+        by_shard: dict[int, tuple[socket.socket, float]] = {}
         try:
             listener.bind((self.host, 0))
             listener.listen(self.n_shards)
@@ -362,18 +413,20 @@ class WorkerPool:
                     process.start()
                     self.processes.append(process)
             for _ in range(self.n_shards):
-                shard_id, conn, _ = self._accept_hello(listener)
-                by_shard[shard_id] = conn
+                shard_id, conn, _, clock_offset = self._accept_hello(listener)
+                by_shard[shard_id] = (conn, clock_offset)
             if sorted(by_shard) != list(range(self.n_shards)):
                 raise WorkerError(
                     f"expected shards 0..{self.n_shards - 1}, got {sorted(by_shard)}"
                 )
-            self.clients = [
-                self._make_client(shard_id, by_shard[shard_id])
-                for shard_id in range(self.n_shards)
-            ]
+            self.clients = []
+            for shard_id in range(self.n_shards):
+                conn, clock_offset = by_shard[shard_id]
+                client = self._make_client(shard_id, conn)
+                client.clock_offset = clock_offset
+                self.clients.append(client)
         except Exception:
-            for conn in by_shard.values():
+            for conn, _ in by_shard.values():
                 conn.close()
             self.clients = []
             self.close()
@@ -385,8 +438,8 @@ class WorkerPool:
     def spawn_worker(self, spec: WorkerSpec):
         """Spawn ONE worker for ``spec`` and complete its hello handshake
         (blocking — the supervisor runs this in an executor). Returns
-        ``(process, conn, restore_report_or_None)``; the caller swaps them
-        in via :meth:`replace_client`."""
+        ``(process, conn, restore_report_or_None, clock_offset)``; the
+        caller swaps them in via :meth:`replace_client`."""
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
             listener.bind((self.host, 0))
@@ -403,7 +456,7 @@ class WorkerPool:
                 )
                 process.start()
             try:
-                shard_id, conn, restore = self._accept_hello(listener)
+                shard_id, conn, restore, clock_offset = self._accept_hello(listener)
             except Exception:
                 if process.is_alive():
                     process.kill()
@@ -418,20 +471,29 @@ class WorkerPool:
                     f"respawned worker identified as shard {shard_id}, "
                     f"expected {spec.shard_id}"
                 )
-            return process, conn, restore
+            return process, conn, restore, clock_offset
         finally:
             listener.close()
 
-    def replace_client(self, shard_id: int, conn: socket.socket, process) -> ShardClient:
+    def replace_client(
+        self,
+        shard_id: int,
+        conn: socket.socket,
+        process,
+        clock_offset: float = 0.0,
+    ) -> ShardClient:
         """Install a respawned worker's connection/process for ``shard_id``.
 
         The new client inherits the dead incarnation's ``last_stats`` with
         ``stats_stale`` set: cumulative counters stay monotone for readers,
-        but are flagged untrusted until the first post-recovery reply."""
+        but are flagged untrusted until the first post-recovery reply.
+        ``clock_offset`` is the respawned incarnation's own estimate — the
+        dead worker's offset means nothing for a new process."""
         old = self.clients[shard_id]
         client = self._make_client(shard_id, conn)
         client.last_stats = list(old.last_stats)
         client.stats_stale = True
+        client.clock_offset = clock_offset
         self.clients[shard_id] = client
         self.processes[shard_id] = process
         return client
@@ -467,12 +529,14 @@ class WorkerPool:
     def shard_for(self, text: str) -> int:
         return shard_index_for(text, self.n_shards)
 
-    async def lookup(self, query, now: float):
-        return await self.clients[self.shard_for(query.text)].lookup(query, now)
+    async def lookup(self, query, now: float, ctx=None):
+        return await self.clients[self.shard_for(query.text)].lookup(
+            query, now, ctx=ctx
+        )
 
-    async def insert(self, query, fetch, arrival: float):
+    async def insert(self, query, fetch, arrival: float, ctx=None):
         return await self.clients[self.shard_for(query.text)].insert(
-            query, fetch, arrival
+            query, fetch, arrival, ctx=ctx
         )
 
     def flush(self) -> None:

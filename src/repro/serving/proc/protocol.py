@@ -23,6 +23,15 @@ conversions. Two codecs are supported:
 
 Frames are capped at :data:`MAX_FRAME` bytes; an oversized or truncated
 frame raises :class:`FrameError` rather than desynchronizing the stream.
+
+Trace context rides inside existing frame bodies, never as new frame
+types: lookup/insert items may carry an optional trailing ``[trace_id,
+parent_span_id]`` element, worker replies may append a fifth element of
+completed span records, serve requests may carry a fourth, and the hello
+handshake exchanges one ``clock`` ping (request id -1) so the router can
+estimate each worker's monotonic-clock offset. Readers index defensively
+(``len(frame) > 4``), so untraced traffic is byte-identical to the
+pre-tracing protocol and old/new peers interoperate.
 Both synchronous (worker processes, blocking sockets) and asyncio (router,
 serve clients) frame I/O live here so there is exactly one encoding of the
 length prefix in the codebase.

@@ -9,8 +9,11 @@ connection:
 * request: ``[request_id, op, body]``
 * reply:   ``[request_id, ok, payload]``
 
-Ops: ``serve`` (``[query_wire, now, deadline]`` — the payload mirrors an
-``AsyncOutcome``), ``health``, ``metrics``, ``ping``.
+Ops: ``serve`` (``[query_wire, now, deadline]`` with an optional fourth
+``[trace_id, parent_span_id]`` element — the payload mirrors an
+``AsyncOutcome``, and a traced request's router/worker spans join the
+client's trace), ``health`` (includes an ``slo`` burn-rate summary when an
+:class:`~repro.obs.slo.SLOEngine` is attached), ``metrics``, ``ping``.
 
 Graceful shutdown: SIGTERM/SIGINT (or :meth:`request_stop`) stops accepting
 connections, lets every in-flight request finish, drains the engine
@@ -38,11 +41,16 @@ class ProcServer:
         host: str = "127.0.0.1",
         port: int = 0,
         codec: str = "pickle",
+        slo=None,
     ) -> None:
         self.engine = engine
         self.host = host
         self.port = port
         self.codec = get_codec(codec)
+        #: Optional :class:`~repro.obs.slo.SLOEngine`; when set, ``health``
+        #: replies carry its burn-rate summary (``python -m repro serve
+        #: --slo`` wires it up).
+        self.slo = slo
         self._server: asyncio.base_events.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._stop = asyncio.Event()
@@ -153,7 +161,20 @@ class ProcServer:
     async def _dispatch(self, op: str, body):
         if op == "serve":
             query = wire.query_from_wire(body[0])
-            outcome = await self.engine.serve(query, now=body[1], deadline=body[2])
+            ctx = body[3] if len(body) > 3 else None
+            tracer = self.engine.engine.tracer
+            if ctx is not None and tracer is not None:
+                # The client opened a root span for this request: adopt its
+                # identity so the router's request span (and the worker
+                # spans grafted under it) lands in the client's trace.
+                with tracer.adopt(ctx):
+                    outcome = await self.engine.serve(
+                        query, now=body[1], deadline=body[2]
+                    )
+            else:
+                outcome = await self.engine.serve(
+                    query, now=body[1], deadline=body[2]
+                )
             self.requests_served += 1
             response = outcome.response
             return {
@@ -175,6 +196,8 @@ class ProcServer:
             breakers = getattr(self.engine, "shard_breakers", None)
             if breakers:
                 reply["shards"] = [breaker.state for breaker in breakers]
+            if self.slo is not None:
+                reply["slo"] = self.slo.health_summary()
             return reply
         if op == "metrics":
             return self.engine.metrics.summary()

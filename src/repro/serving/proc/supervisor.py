@@ -249,7 +249,7 @@ class WorkerSupervisor:
                     await asyncio.sleep(delay)
                 t0 = time.monotonic()
                 try:
-                    process, conn, restore = await loop.run_in_executor(
+                    process, conn, restore, offset = await loop.run_in_executor(
                         None, pool.spawn_worker, pool.specs[shard]
                     )
                 except asyncio.CancelledError:
@@ -264,7 +264,7 @@ class WorkerSupervisor:
                         restore = restore_preview(pool.specs[shard].persist_dir)
                     except Exception:  # noqa: BLE001 - preview is best-effort
                         restore = None
-                client = pool.replace_client(shard, conn, process)
+                client = pool.replace_client(shard, conn, process, clock_offset=offset)
                 await client.attach()
                 self.restarts[shard] += 1
                 self.total_restarts += 1

@@ -21,6 +21,15 @@ Every reply piggybacks the shard's live :class:`CacheStats` plus its item
 count, so the router's cache view is exact at the moment it records
 metrics — no separate stats poll, no read-after-write races.
 
+Tracing rides the same piggyback: lookup/insert bodies may carry a
+``[trace_id, parent_span_id]`` context per item, the worker's
+:class:`~repro.obs.distributed.WorkerTracer` records real ``embed`` /
+``ann_search`` / ``judge`` / ``evict`` spans under those remote parents,
+and each reply appends the drained span records as an optional fifth
+element (raw worker-clock timestamps — the router re-bases them with the
+clock offset estimated at the hello handshake's ``clock`` ping). Untraced
+frames are byte-identical to before: no context, no fifth element.
+
 Shutdown: SIGTERM (or a ``shutdown`` op, or router EOF) sets a stop flag
 checked between frames; SIGINT is ignored so a Ctrl-C in the foreground
 process group lets the router drain in-flight work and coordinate the
@@ -32,9 +41,11 @@ from __future__ import annotations
 import os
 import signal
 import socket
+import time
 from dataclasses import dataclass, field
 
 from repro.core.config import AsteriaConfig
+from repro.obs.distributed import WorkerTracer
 from repro.serving.proc import wire
 from repro.serving.proc.protocol import get_codec, recv_frame, send_frame
 
@@ -109,6 +120,12 @@ class _ShardServer:
             fsync_every=spec.fsync_every,
         )
         self.store = getattr(self.cache, "persistent_store", None)
+        # Always installed: with no remote context active its ``live`` count
+        # is 0, so the cache's leaf guards short-circuit on one attribute
+        # load — untraced frames pay an integer check per stage, nothing
+        # more (benchmarks/run_obs_overhead.py measures the proc arm).
+        self.tracer = WorkerTracer()
+        self.cache.set_tracer(self.tracer)
 
     def close(self) -> None:
         """Flush and checkpoint the persistence tier, if any."""
@@ -138,6 +155,11 @@ class _ShardServer:
             return reply
         if op == "ping":
             return "pong"
+        if op == "clock":
+            # The router's hello-handshake ping/pong: return a raw reading
+            # of the clock the tracer stamps spans with, so the midpoint
+            # offset estimate aligns span timestamps, not just some clock.
+            return time.perf_counter()
         if op == "shutdown":
             return "bye"
         raise ValueError(f"unknown op {op!r}")
@@ -148,25 +170,40 @@ class _ShardServer:
             return []
         queries = [wire.query_from_wire(row[0]) for row in items]
         nows = [row[1] for row in items]
+        # Optional third element per item: the router's [trace_id,
+        # parent_span_id] context for that request (absent on untraced
+        # traffic — frames stay byte-identical to the pre-tracing wire).
+        ctxs = [row[2] if len(row) > 2 else None for row in items]
         # One purge at the newest clock + one shared stage-1 pass, then
         # per-query stage 2 at each query's own clock: the sequential
         # handle_batch preamble. Nothing mutates the index between prepare
         # and lookup inside a frame (hits only bump frequency/recency), so
         # the prepared hits stay exact.
         self.cache.remove_expired(max(nows))
-        batch_hits = self.cache.prepare_batch([query.text for query in queries])
-        return [
-            wire.sine_to_wire(
-                self.cache.lookup_prepared(query, hits, now, ann_only=ann_only)
-            )
-            for query, hits, now in zip(queries, batch_hits, nows)
-        ]
+        # The shared embed/ANN pass is one unit of work for the whole frame;
+        # its spans are attributed to the first traced request in it (with
+        # batch_window=0 frames are size 1, so this is exact attribution —
+        # the workers=1 parity gate in BENCH_breakdown.json relies on it).
+        shared_ctx = next((ctx for ctx in ctxs if ctx is not None), None)
+        with self.tracer.activate(shared_ctx):
+            batch_hits = self.cache.prepare_batch([query.text for query in queries])
+        out = []
+        for query, hits, now, ctx in zip(queries, batch_hits, nows, ctxs):
+            with self.tracer.activate(ctx):
+                out.append(
+                    wire.sine_to_wire(
+                        self.cache.lookup_prepared(query, hits, now, ann_only=ann_only)
+                    )
+                )
+        return out
 
     def _insert(self, body) -> dict:
         query = wire.query_from_wire(body[0])
         fetch = wire.fetch_from_wire(body[1])
         arrival = body[2]
-        element = self.cache.insert(query, fetch, arrival)
+        ctx = body[3] if len(body) > 3 else None
+        with self.tracer.activate(ctx):
+            element = self.cache.insert(query, fetch, arrival)
         return wire.element_to_wire(element)
 
 
@@ -211,6 +248,12 @@ def worker_main(spec: WorkerSpec, host: str, port: int) -> None:
                     f"{type(exc).__name__}: {exc}",
                     server.stats_tuple(),
                 ]
+            # Spans recorded while dispatching ride back on this reply (same
+            # piggyback trick as the stats tuple). Drained on both paths so
+            # a failing op can't leak its spans into the next frame.
+            spans = server.tracer.drain_wire()
+            if spans:
+                reply.append(spans)
             send_frame(sock, codec.dumps(reply))
             if op == "shutdown":
                 break

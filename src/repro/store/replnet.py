@@ -14,6 +14,10 @@ Session protocol (every frame is a codec-encoded dict):
     One sync's worth of diff records (see
     :mod:`repro.store.replication` for the record schema). Sent every
     ``sync_interval`` wall seconds while either side has pending records.
+    With a tracer attached the message also carries a ``"trace"`` context
+    (``[trace_id, span_id]`` of the sender's ``repl_sync`` span); the
+    receiver hangs its ``apply_diff`` span under it, so merged exports
+    show one send->apply edge per sync. Untraced sessions omit the key.
 ``{"op": "done", "node": id}``
     The sender's workload is finished and its outbound queue is drained.
 ``{"op": "digest", "node": id, "digest": {truth_key: [version, origin]}}``
@@ -36,6 +40,7 @@ import select
 import socket
 import time
 
+from repro.obs.distributed import record_remote_leaf
 from repro.serving.proc.protocol import get_codec, recv_frame, send_frame
 from repro.store.replication import ReplicaNode
 
@@ -133,6 +138,7 @@ def replicate_session(
     stop=None,
     pace: float = 0.0,
     settle_timeout: float = SETTLE_TIMEOUT,
+    tracer=None,
 ) -> dict:
     """Run one replication session over a connected socket.
 
@@ -140,6 +146,11 @@ def replicate_session(
     ``engine.handle`` closures — executed one per loop turn so diff
     application interleaves with local writes the way a live region's
     would. ``pace`` sleeps that many wall seconds after each step.
+
+    ``tracer`` (optional) records a ``repl_sync`` span per outgoing diff
+    (its context rides in the message) and an ``apply_diff`` span per
+    incoming one, parented under the *sender's* context via
+    :func:`~repro.obs.distributed.record_remote_leaf`.
 
     Returns a report dict with the convergence score from the digest
     exchange (``agreement`` is None if the peer vanished first).
@@ -161,6 +172,18 @@ def replicate_session(
             return False
         frames_out += 1
         return True
+
+    def send_diff() -> bool:
+        # One repl_sync span per outgoing diff; its context rides in the
+        # message so the peer's apply_diff span hangs under it.
+        message = node.diff_message()
+        if tracer is None:
+            return send(message)
+        with tracer.request(
+            "repl_sync", node=node.node_id, records=len(message["records"])
+        ) as span:
+            message["trace"] = [span.trace_id, span.span_id]
+            return send(message)
 
     send({"op": "hello", "magic": HELLO_MAGIC, "node": node.node_id})
     work = iter(workload or ())
@@ -208,7 +231,18 @@ def replicate_session(
                         )
                     peer_id = message.get("node")
                 elif op == "diff":
+                    t0 = tracer.clock() if tracer is not None else 0.0
                     node.apply_diff(message["records"], now=now)
+                    record_remote_leaf(
+                        tracer,
+                        message.get("trace"),
+                        "apply_diff",
+                        t0,
+                        attrs={
+                            "records": len(message["records"]),
+                            "from": message.get("from"),
+                        },
+                    )
                 elif op == "done":
                     peer_done = True
                 elif op == "digest":
@@ -229,14 +263,14 @@ def replicate_session(
                         time.sleep(pace)
             # -- periodic diff sync ----------------------------------------
             if now >= next_sync and node.pending:
-                if not send(node.diff_message()):
+                if not send_diff():
                     peer_closed = True
                     break
                 next_sync = now + sync_interval
             # -- done / digest handshake -----------------------------------
             if local_done and not sent_done:
                 if node.pending:
-                    send(node.diff_message())
+                    send_diff()
                 if not send({"op": "done", "node": node.node_id}):
                     peer_closed = True
                     break

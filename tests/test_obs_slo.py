@@ -1,0 +1,239 @@
+"""Tests for :mod:`repro.obs.slo`: burn-rate evaluation, firing rules,
+gauge publication, exemplar linkage, and the health/CLI rendering."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, SnapshotRecorder
+from repro.obs.slo import (
+    SLOEngine,
+    SLOSpec,
+    default_slos,
+    evaluate_slo,
+    evaluate_slos,
+    format_statuses,
+)
+
+
+class ManualClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def snapshot(times, values, series="p99_latency"):
+    return {"t": list(times), "series": {series: list(values)}}
+
+
+def latency_spec(**overrides):
+    kwargs = dict(
+        name="p99_latency",
+        series="p99_latency",
+        threshold=0.5,
+        op="<=",
+        target=0.99,
+        fast_window=300.0,
+        slow_window=3600.0,
+    )
+    kwargs.update(overrides)
+    return SLOSpec(**kwargs)
+
+
+class TestSpecValidation:
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError, match="op must be"):
+            latency_spec(op="==")
+
+    def test_target_must_be_a_fraction(self):
+        with pytest.raises(ValueError, match="target"):
+            latency_spec(target=1.0)
+        with pytest.raises(ValueError, match="target"):
+            latency_spec(target=0.0)
+
+    def test_windows_must_be_ordered(self):
+        with pytest.raises(ValueError, match="fast_window"):
+            latency_spec(fast_window=600.0, slow_window=300.0)
+        with pytest.raises(ValueError, match="fast_window"):
+            latency_spec(fast_window=0.0)
+
+    def test_goodness_directions(self):
+        latency = latency_spec()
+        assert latency.good(0.5) and not latency.good(0.51)
+        served = latency_spec(op=">=", threshold=0.99)
+        assert served.good(1.0) and not served.good(0.98)
+
+
+class TestBurnRateEvaluation:
+    def test_healthy_baseline_is_quiet(self):
+        spec = latency_spec()
+        times = [i * 10.0 for i in range(60)]
+        status = evaluate_slo(spec, snapshot(times, [0.05] * 60))
+        assert not status.firing
+        assert status.fast_burn_rate == 0.0
+        assert status.slow_burn_rate == 0.0
+        assert status.fast_samples > 0
+        assert status.last_value == 0.05
+
+    def test_sustained_regression_fires(self):
+        # Every sample over both windows breaches: burn rate is
+        # 1.0 / (1 - 0.99) = 100 in both, far past 14.4 / 6.0.
+        spec = latency_spec()
+        times = [i * 10.0 for i in range(60)]
+        status = evaluate_slo(spec, snapshot(times, [2.0] * 60))
+        assert status.firing
+        assert status.fast_burn_rate == pytest.approx(100.0)
+        assert status.slow_burn_rate == pytest.approx(100.0)
+
+    def test_short_blip_does_not_page(self):
+        # 100 samples spaced 36s apart fill the hour; only the last five
+        # breach. The fast window burns hot (5/9 bad) but the slow window
+        # stays at 5% bad -> burn 5.0 < 6.0, so no page.
+        spec = latency_spec()
+        times = [i * 36.0 for i in range(100)]
+        values = [0.05] * 95 + [2.0] * 5
+        status = evaluate_slo(spec, snapshot(times, values))
+        assert status.fast_burn_rate >= spec.fast_burn
+        assert status.slow_burn_rate < spec.slow_burn
+        assert not status.firing
+
+    def test_zero_samples_never_fire(self):
+        status = evaluate_slo(latency_spec(), {"t": [], "series": {}})
+        assert not status.firing
+        assert status.fast_samples == 0
+        assert status.slow_samples == 0
+        assert status.last_value is None
+
+    def test_nan_gaps_are_skipped(self):
+        spec = latency_spec()
+        nan = float("nan")
+        status = evaluate_slo(
+            spec, snapshot([0.0, 10.0, 20.0, 30.0], [nan, 0.1, nan, 0.2])
+        )
+        assert status.fast_samples == 2
+        assert status.last_value == 0.2
+
+    def test_availability_direction_fires_on_low_values(self):
+        spec = latency_spec(op=">=", threshold=0.99, name="served_fraction")
+        times = [i * 10.0 for i in range(30)]
+        bad = evaluate_slo(spec, snapshot(times, [0.8] * 30))
+        good = evaluate_slo(spec, snapshot(times, [1.0] * 30))
+        assert bad.firing
+        assert not good.firing
+
+    def test_windows_clamp_to_short_runs(self):
+        # A 60-second stress run fills neither window; the evaluation
+        # still sees every sample in both.
+        spec = latency_spec()
+        times = [i * 5.0 for i in range(12)]
+        status = evaluate_slo(spec, snapshot(times, [2.0] * 12))
+        assert status.fast_samples == 12
+        assert status.slow_samples == 12
+        assert status.firing
+
+
+class TestDefaultSlos:
+    def test_series_names_match_install_probes(self):
+        specs = default_slos(engine="proc")
+        assert [spec.series for spec in specs] == [
+            'p99_latency{engine="proc"}',
+            'served_fraction{engine="proc"}',
+            'stale_fraction{engine="proc"}',
+        ]
+
+    def test_directions(self):
+        by_name = {spec.name: spec for spec in default_slos()}
+        assert by_name["p99_latency"].op == "<="
+        assert by_name["served_fraction"].op == ">="
+        assert by_name["stale_fraction"].op == "<="
+
+
+class TestSLOEngine:
+    def test_injected_regression_fires_via_recorder(self):
+        # End-to-end over the real recorder surface: a probe reads a
+        # latency reading we control. The healthy phase is quiet; after
+        # the injected regression the latency SLO fires.
+        clock = ManualClock()
+        recorder = SnapshotRecorder(interval=0.1, clock=clock)
+        reading = {"p99": 0.05}
+        recorder.add_probe('p99_latency{engine="sync"}', lambda: reading["p99"])
+        engine = SLOEngine(default_slos(engine="sync"), recorder=recorder)
+
+        for _ in range(20):
+            clock.advance(10.0)
+            recorder.sample()
+        healthy = {s.name: s for s in engine.evaluate()}
+        assert not healthy["p99_latency"].firing
+
+        reading["p99"] = 3.0  # injected latency regression
+        for _ in range(20):
+            clock.advance(10.0)
+            recorder.sample()
+        burning = {s.name: s for s in engine.evaluate()}
+        assert burning["p99_latency"].firing
+        # The untracked SLOs have no samples at all and must stay quiet.
+        assert not burning["served_fraction"].firing
+        assert not burning["stale_fraction"].firing
+
+    def test_publishes_burn_and_firing_gauges(self):
+        registry = MetricsRegistry()
+        engine = SLOEngine([latency_spec()], registry=registry)
+        times = [i * 10.0 for i in range(60)]
+        engine.evaluate(snapshot(times, [2.0] * 60))
+        burn = registry.get("repro_slo_burn_rate")
+        firing = registry.get("repro_slo_firing")
+        assert burn.value(slo="p99_latency", window="fast") == pytest.approx(100.0)
+        assert burn.value(slo="p99_latency", window="slow") == pytest.approx(100.0)
+        assert firing.value(slo="p99_latency") == 1.0
+        engine.evaluate(snapshot(times, [0.05] * 60))
+        assert firing.value(slo="p99_latency") == 0.0
+
+    def test_firing_latency_slo_links_slowest_exemplars(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_request_latency_seconds")
+        for trace_id, value in ((101, 0.2), (102, 4.0), (103, 1.0), (104, 2.5)):
+            hist.add_exemplar(value, trace_id, engine="sync", kind="total")
+        engine = SLOEngine(
+            [latency_spec()],
+            latency_histogram=hist,
+            latency_labels={"engine": "sync", "kind": "total"},
+        )
+        times = [i * 10.0 for i in range(60)]
+        (status,) = engine.evaluate(snapshot(times, [2.0] * 60))
+        assert status.firing
+        assert status.exemplar_trace_ids == [102, 104, 103]  # slowest first
+        # Quiet SLOs do not dig for exemplars.
+        (quiet,) = engine.evaluate(snapshot(times, [0.05] * 60))
+        assert quiet.exemplar_trace_ids == []
+
+    def test_needs_recorder_or_snapshot(self):
+        engine = SLOEngine([latency_spec()])
+        with pytest.raises(ValueError, match="recorder"):
+            engine.evaluate()
+
+    def test_health_summary_shape(self):
+        engine = SLOEngine([latency_spec()])
+        times = [i * 10.0 for i in range(60)]
+        summary = engine.health_summary(snapshot(times, [2.0] * 60))
+        assert summary["firing"] == ["p99_latency"]
+        (row,) = summary["slos"]
+        assert row["name"] == "p99_latency"
+        assert row["firing"] is True
+        assert row["fast_burn_rate"] == pytest.approx(100.0)
+
+
+class TestFormatting:
+    def test_table_lists_every_slo(self):
+        times = [i * 10.0 for i in range(60)]
+        statuses = evaluate_slos(
+            [latency_spec(), latency_spec(name="quiet")],
+            snapshot(times, [2.0] * 60),
+        )
+        statuses[0].exemplar_trace_ids = [7, 8]
+        text = format_statuses(statuses)
+        assert "p99_latency" in text and "quiet" in text
+        assert "exemplar traces: [7, 8]" in text
+        assert text.splitlines()[0].startswith("slo")
